@@ -1,0 +1,49 @@
+//! Ablation bench for the in-text results around eqs. (37)–(54):
+//!
+//! * the eq.-54 shape estimate vs. fixed `m = 1` (the accuracy/cost
+//!   trade-off DESIGN.md calls out),
+//! * the λ sensitivity of metric II (the paper notes results depend on λ),
+//! * the closed-form bounds as a screening predicate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xtalk_bench::reference_two_pin;
+use xtalk_core::{shape_ratio_m, MetricOne, MetricTwo, NoiseAnalyzer};
+
+fn bench_bounds(c: &mut Criterion) {
+    let (network, aggressor, input) = reference_two_pin();
+    let analyzer = NoiseAnalyzer::new(&network).expect("analyzer builds");
+    let moments = analyzer
+        .output_moments(aggressor, &input)
+        .expect("moments exist");
+    let tr = input.effective_rise_time();
+
+    let mut group = c.benchmark_group("bounds_and_shape");
+    group.bench_function("shape_ratio_eq54", |b| {
+        let tw = moments.t_w().unwrap();
+        b.iter(|| shape_ratio_m(black_box(tw), black_box(tr)).unwrap())
+    });
+    group.bench_function("metric_I_fixed_m1", |b| {
+        b.iter(|| MetricOne::estimate_symmetric(black_box(&moments)).unwrap())
+    });
+    group.bench_function("metric_I_auto_m", |b| {
+        b.iter(|| MetricOne::estimate_auto(black_box(&moments), tr).unwrap())
+    });
+    for lambda in [2.0, xtalk_core::LAMBDA, 3.5] {
+        group.bench_function(format!("metric_II_lambda_{lambda:.2}"), |b| {
+            let metric = MetricTwo::with_lambda(lambda);
+            b.iter(|| metric.estimate_auto(black_box(&moments), tr).unwrap())
+        });
+    }
+    group.bench_function("screening_with_bounds", |b| {
+        // The cheapest possible go/no-go test: upper bound vs. threshold.
+        b.iter(|| {
+            let bounds = MetricOne::bounds(black_box(&moments)).unwrap();
+            black_box(bounds.vp.1 > 0.1)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates the Figure 5 sweep (peak noise vs. coupling location) and
+//! asserts its two qualitative claims inside the timed body.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xtalk_eval::run_figure5;
+use xtalk_tech::Technology;
+
+fn bench_figure5(c: &mut Criterion) {
+    let tech = Technology::p25();
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+    group.bench_function("coupling_location_sweep", |b| {
+        b.iter(|| {
+            let rows = run_figure5(&tech, 6);
+            // Golden peak grows toward the receiver; lumped-π is flat.
+            assert!(rows.windows(2).all(|w| w[1].golden_vp > w[0].golden_vp));
+            assert!(rows
+                .windows(2)
+                .all(|w| (w[1].lumped_vp - w[0].lumped_vp).abs() < 1e-9 * w[0].lumped_vp));
+            black_box(rows)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure5);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates the Table 1 pipeline (two-pin, far-end) at bench scale and
+//! times it end to end: workload generation → golden simulation → all six
+//! metrics → error statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xtalk_bench::BENCH_CASES;
+use xtalk_eval::run_two_pin_table;
+use xtalk_tech::sweep::SweepConfig;
+use xtalk_tech::{CouplingDirection, Technology};
+
+fn bench_table1(c: &mut Criterion) {
+    let tech = Technology::p25();
+    let config = SweepConfig {
+        cases: BENCH_CASES,
+        ..SweepConfig::default()
+    };
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("two_pin_far_end_pipeline", |b| {
+        b.iter(|| {
+            let stats = run_two_pin_table(&tech, CouplingDirection::FarEnd, &config, false);
+            assert!(stats.scored() > 0);
+            black_box(stats)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates the Table 2 pipeline (two-pin, near-end) at bench scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xtalk_bench::BENCH_CASES;
+use xtalk_eval::{run_two_pin_table, Method, Param};
+use xtalk_tech::sweep::SweepConfig;
+use xtalk_tech::{CouplingDirection, Technology};
+
+fn bench_table2(c: &mut Criterion) {
+    let tech = Technology::p25();
+    let config = SweepConfig {
+        cases: BENCH_CASES,
+        ..SweepConfig::default()
+    };
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("two_pin_near_end_pipeline", |b| {
+        b.iter(|| {
+            let stats = run_two_pin_table(&tech, CouplingDirection::NearEnd, &config, false);
+            // The paper's Table-2 claim: new metric II stays conservative
+            // (within the -5% tolerance) at the near end.
+            if let Some(cell) = stats.cell(Method::NewTwo, Param::Vp) {
+                assert!(cell.conservative_above(-5.0));
+            }
+            black_box(stats)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates the Table 3 pipeline (coupled RC trees) at bench scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xtalk_bench::BENCH_CASES;
+use xtalk_eval::run_tree_table;
+use xtalk_tech::sweep::SweepConfig;
+use xtalk_tech::Technology;
+
+fn bench_table3(c: &mut Criterion) {
+    let tech = Technology::p25();
+    let config = SweepConfig {
+        cases: BENCH_CASES,
+        ..SweepConfig::default()
+    };
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("tree_far_end_pipeline", |b| {
+        b.iter(|| {
+            let stats = run_tree_table(&tech, &config, false);
+            assert!(stats.scored() > 0);
+            black_box(stats)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

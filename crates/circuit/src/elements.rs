@@ -1,0 +1,83 @@
+use crate::{NetId, NodeId};
+
+/// Wire-segment resistance between two nodes of the *same* net.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resistor {
+    /// First terminal.
+    pub a: NodeId,
+    /// Second terminal.
+    pub b: NodeId,
+    /// Resistance in ohms (validated positive and finite).
+    pub ohms: f64,
+}
+
+/// Capacitance from one node to ground (wire-to-substrate capacitance or a
+/// receiver load, see [`Sink`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundCap {
+    /// The capacitor's non-ground terminal.
+    pub node: NodeId,
+    /// Capacitance in farads (validated positive and finite).
+    pub farads: f64,
+}
+
+/// Coupling capacitance between nodes of two *different* nets — the noise
+/// injection mechanism this whole stack exists to analyze.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CouplingCap {
+    /// Terminal on the first net.
+    pub a: NodeId,
+    /// Terminal on the second net.
+    pub b: NodeId,
+    /// Capacitance in farads (validated positive and finite).
+    pub farads: f64,
+}
+
+/// Linearized driver: an ideal voltage source behind an equivalent
+/// resistance, attached to the net's root node.
+///
+/// The equivalent-resistance linearization of the non-linear CMOS driver
+/// follows the paper's FrontEnd convention (its ref. \[2\]). On a victim net
+/// the source is quiet (held at the victim's steady level); on an aggressor
+/// net it carries the switching input waveform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Driver {
+    /// Net this driver drives.
+    pub net: NetId,
+    /// Net node the driver output connects to (the tree root).
+    pub node: NodeId,
+    /// Equivalent driver resistance in ohms (validated positive and finite).
+    pub ohms: f64,
+}
+
+/// Receiver load: a grounded capacitance at a net sink. Victim sinks are
+/// the observation points for noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sink {
+    /// Node the receiver input connects to.
+    pub node: NodeId,
+    /// Receiver input (load) capacitance in farads (validated non-negative
+    /// and finite; zero models an ideal probe).
+    pub farads: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_are_plain_copy_data() {
+        let r = Resistor {
+            a: NodeId(0),
+            b: NodeId(1),
+            ohms: 10.0,
+        };
+        let r2 = r; // Copy
+        assert_eq!(r, r2);
+        let c = GroundCap {
+            node: NodeId(1),
+            farads: 1e-15,
+        };
+        assert_eq!(c.farads, 1e-15);
+    }
+}

@@ -1,0 +1,152 @@
+use crate::{NetId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or validating a coupled RC network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// An element value was non-positive or non-finite.
+    InvalidValue {
+        /// Which element/parameter was being set, e.g. `"resistor"`.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A node id does not belong to this builder/network.
+    UnknownNode(NodeId),
+    /// A net id does not belong to this builder/network.
+    UnknownNet(NetId),
+    /// A resistor was placed between nodes of two different nets.
+    ResistorAcrossNets {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+    },
+    /// A coupling capacitor was placed between nodes of the same net
+    /// (use a ground capacitor or merge the nodes instead).
+    CouplingWithinNet {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+    },
+    /// A self-loop element (`a == b`).
+    SelfLoop(NodeId),
+    /// A net has no driver, or a second driver was added.
+    DriverCount {
+        /// Affected net.
+        net: NetId,
+        /// Number of drivers found.
+        found: usize,
+    },
+    /// The driver's node does not belong to the driven net.
+    DriverNodeOffNet {
+        /// Affected net.
+        net: NetId,
+        /// Offending node.
+        node: NodeId,
+    },
+    /// A net's resistive graph is not a connected tree spanning its nodes.
+    NotATree {
+        /// Affected net.
+        net: NetId,
+        /// Human-readable detail (cycle found / disconnected node …).
+        detail: String,
+    },
+    /// The network must contain exactly one victim net.
+    VictimCount {
+        /// Number of victim nets found.
+        found: usize,
+    },
+    /// A net has no sink (receiver); every net needs at least one.
+    NoSink(NetId),
+    /// An empty net (no nodes).
+    EmptyNet(NetId),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidValue { what, value } => {
+                write!(f, "invalid {what} value {value}: must be positive and finite")
+            }
+            CircuitError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            CircuitError::UnknownNet(n) => write!(f, "unknown net {n}"),
+            CircuitError::ResistorAcrossNets { a, b } => {
+                write!(f, "resistor {a}-{b} connects two different nets")
+            }
+            CircuitError::CouplingWithinNet { a, b } => {
+                write!(f, "coupling capacitor {a}-{b} connects nodes of the same net")
+            }
+            CircuitError::SelfLoop(n) => write!(f, "element connects node {n} to itself"),
+            CircuitError::DriverCount { net, found } => {
+                write!(f, "net {net} has {found} drivers, expected exactly 1")
+            }
+            CircuitError::DriverNodeOffNet { net, node } => {
+                write!(f, "driver of net {net} attached to node {node} of another net")
+            }
+            CircuitError::NotATree { net, detail } => {
+                write!(f, "net {net} is not a resistive tree: {detail}")
+            }
+            CircuitError::VictimCount { found } => {
+                write!(f, "network has {found} victim nets, expected exactly 1")
+            }
+            CircuitError::NoSink(n) => write!(f, "net {n} has no sink"),
+            CircuitError::EmptyNet(n) => write!(f, "net {n} has no nodes"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+/// Validates that a user-supplied element value is positive and finite.
+pub(crate) fn check_positive(what: &'static str, value: f64) -> Result<(), CircuitError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(CircuitError::InvalidValue { what, value })
+    }
+}
+
+/// Validates that a user-supplied element value is non-negative and finite.
+pub(crate) fn check_non_negative(what: &'static str, value: f64) -> Result<(), CircuitError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(())
+    } else {
+        Err(CircuitError::InvalidValue { what, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CircuitError::InvalidValue {
+            what: "resistor",
+            value: -1.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("resistor"));
+        assert!(msg.contains("-1"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn check_positive_rejects_edge_cases() {
+        assert!(check_positive("r", 1.0).is_ok());
+        assert!(check_positive("r", 0.0).is_err());
+        assert!(check_positive("r", -2.0).is_err());
+        assert!(check_positive("r", f64::NAN).is_err());
+        assert!(check_positive("r", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn check_non_negative_accepts_zero() {
+        assert!(check_non_negative("c", 0.0).is_ok());
+        assert!(check_non_negative("c", -1e-18).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// Opaque handle to a circuit node.
+///
+/// Node ids are dense indices assigned by [`crate::NetworkBuilder::add_node`]
+/// in creation order; they index directly into MNA vectors downstream.
+/// The circuit ground is *not* a node — elements reference it implicitly
+/// (e.g. [`crate::GroundCap`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Dense index of this node (0-based, creation order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Opaque handle to a net (victim or aggressor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Dense index of this net (0-based, creation order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(NetId(0).to_string(), "net0");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(5).index(), 5);
+        assert_eq!(NetId(2).index(), 2);
+    }
+}

@@ -1,0 +1,536 @@
+//! SPICE-deck export and (subset) import.
+//!
+//! [`write_deck`] renders a [`Network`] as a SPICE deck so any external
+//! simulator (HSPICE, ngspice, Xyce) can be used to cross-check the golden
+//! waveforms produced by `xtalk-sim`. [`parse_deck`] reads the exported
+//! subset back, round-tripping the full network structure — handy for
+//! archiving generated sweep cases as plain text.
+//!
+//! The exported deck uses structured comments (`*!` directives) to carry
+//! net roles and the victim observation node, which plain SPICE has no
+//! syntax for. Element cards use standard `R`/`C`/`V` syntax with SI
+//! suffixes accepted on input (`15f`, `0.2p`, `1k`, `2meg`, …).
+//!
+//! # Examples
+//!
+//! ```
+//! use xtalk_circuit::{spice, NetRole, NetworkBuilder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = NetworkBuilder::new();
+//! let v = b.add_net("vic", NetRole::Victim);
+//! let a = b.add_net("agg", NetRole::Aggressor);
+//! let v0 = b.add_node(v, "v0");
+//! let a0 = b.add_node(a, "a0");
+//! b.add_driver(v, v0, 120.0)?;
+//! b.add_driver(a, a0, 80.0)?;
+//! b.add_sink(v0, 10e-15)?;
+//! b.add_sink(a0, 12e-15)?;
+//! b.add_coupling_cap(v0, a0, 30e-15)?;
+//! let network = b.build()?;
+//!
+//! let deck = spice::write_deck(&network);
+//! let round_trip = spice::parse_deck(&deck)?;
+//! assert_eq!(round_trip.node_count(), network.node_count());
+//! assert_eq!(round_trip.coupling_caps(), network.coupling_caps());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{CircuitError, NetId, NetRole, Network, NetworkBuilder, NodeId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors raised by [`parse_deck`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceParseError {
+    /// A card had too few fields or a malformed name.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A numeric field (possibly with an SI suffix) did not parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// The deck parsed but did not describe a valid network.
+    Invalid(CircuitError),
+}
+
+impl fmt::Display for SpiceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceParseError::Malformed { line, detail } => {
+                write!(f, "malformed card on line {line}: {detail}")
+            }
+            SpiceParseError::BadNumber { line, token } => {
+                write!(f, "bad numeric value {token:?} on line {line}")
+            }
+            SpiceParseError::Invalid(e) => write!(f, "deck describes an invalid network: {e}"),
+        }
+    }
+}
+
+impl Error for SpiceParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpiceParseError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for SpiceParseError {
+    fn from(e: CircuitError) -> Self {
+        SpiceParseError::Invalid(e)
+    }
+}
+
+/// Renders `network` as a SPICE deck string.
+///
+/// Aggressor sources are emitted as `DC 0` placeholders — the intended use
+/// is to append analysis and stimulus cards for the external simulator; the
+/// structural cards are the authoritative content.
+pub fn write_deck(network: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "* coupled RC network exported by xtalk-circuit");
+    for (id, net) in network.nets() {
+        let role = match net.role() {
+            NetRole::Victim => "victim",
+            NetRole::Aggressor => "aggressor",
+        };
+        let _ = writeln!(out, "*! net {} {} {}", id.index(), role, net.name());
+    }
+    let _ = writeln!(
+        out,
+        "*! output n{}",
+        network.victim_output().index()
+    );
+
+    for (id, net) in network.nets() {
+        let i = id.index();
+        let d = net.driver();
+        let _ = writeln!(out, "VDRV{i} src{i} 0 DC 0");
+        let _ = writeln!(
+            out,
+            "RDRV{i} src{i} n{} {:e}",
+            d.node.index(),
+            d.ohms
+        );
+    }
+    for (k, r) in network.resistors().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "R{k} n{} n{} {:e}",
+            r.a.index(),
+            r.b.index(),
+            r.ohms
+        );
+    }
+    for (k, c) in network.ground_caps().iter().enumerate() {
+        let _ = writeln!(out, "C{k} n{} 0 {:e}", c.node.index(), c.farads);
+    }
+    let mut sink_idx = 0usize;
+    for (_, net) in network.nets() {
+        for s in net.sinks() {
+            let _ = writeln!(out, "CL{sink_idx} n{} 0 {:e}", s.node.index(), s.farads);
+            sink_idx += 1;
+        }
+    }
+    for (k, cc) in network.coupling_caps().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "CC{k} n{} n{} {:e}",
+            cc.a.index(),
+            cc.b.index(),
+            cc.farads
+        );
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+/// Parses a deck previously produced by [`write_deck`].
+///
+/// # Errors
+///
+/// Returns [`SpiceParseError`] on malformed cards, unparseable numbers, or
+/// when the described structure fails [`NetworkBuilder::build`] validation.
+pub fn parse_deck(deck: &str) -> Result<Network, SpiceParseError> {
+    struct RawNet {
+        role: NetRole,
+        name: String,
+        driver_node: Option<(String, f64)>,
+    }
+    let mut raw_nets: Vec<RawNet> = Vec::new();
+    let mut output_node: Option<String> = None;
+    let mut resistors: Vec<(String, String, f64)> = Vec::new();
+    let mut gcaps: Vec<(String, f64)> = Vec::new();
+    let mut sinks: Vec<(String, f64)> = Vec::new();
+    let mut ccaps: Vec<(String, String, f64)> = Vec::new();
+
+    for (lineno, raw_line) in deck.lines().enumerate() {
+        let line = raw_line.trim();
+        let lno = lineno + 1;
+        if line.is_empty() || line.eq_ignore_ascii_case(".end") {
+            continue;
+        }
+        if let Some(directive) = line.strip_prefix("*!") {
+            let f: Vec<&str> = directive.split_whitespace().collect();
+            match f.first().copied() {
+                Some("net") => {
+                    if f.len() < 4 {
+                        return Err(SpiceParseError::Malformed {
+                            line: lno,
+                            detail: "expected `*! net <idx> <role> <name>`".into(),
+                        });
+                    }
+                    let idx: usize = f[1].parse().map_err(|_| SpiceParseError::BadNumber {
+                        line: lno,
+                        token: f[1].into(),
+                    })?;
+                    let role = match f[2] {
+                        "victim" => NetRole::Victim,
+                        "aggressor" => NetRole::Aggressor,
+                        other => {
+                            return Err(SpiceParseError::Malformed {
+                                line: lno,
+                                detail: format!("unknown net role {other:?}"),
+                            })
+                        }
+                    };
+                    if idx != raw_nets.len() {
+                        return Err(SpiceParseError::Malformed {
+                            line: lno,
+                            detail: format!("net index {idx} out of order"),
+                        });
+                    }
+                    raw_nets.push(RawNet {
+                        role,
+                        name: f[3].to_string(),
+                        driver_node: None,
+                    });
+                }
+                Some("output") => {
+                    if f.len() != 2 {
+                        return Err(SpiceParseError::Malformed {
+                            line: lno,
+                            detail: "expected `*! output <node>`".into(),
+                        });
+                    }
+                    output_node = Some(f[1].to_string());
+                }
+                _ => {
+                    return Err(SpiceParseError::Malformed {
+                        line: lno,
+                        detail: format!("unknown directive {line:?}"),
+                    })
+                }
+            }
+            continue;
+        }
+        if line.starts_with('*') {
+            continue; // plain comment
+        }
+
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let name = fields[0];
+        let upper = name.to_ascii_uppercase();
+        let need = |n: usize| -> Result<(), SpiceParseError> {
+            if fields.len() < n {
+                Err(SpiceParseError::Malformed {
+                    line: lno,
+                    detail: format!("expected at least {n} fields, found {}", fields.len()),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let value = |tok: &str| -> Result<f64, SpiceParseError> {
+            parse_si_value(tok).ok_or_else(|| SpiceParseError::BadNumber {
+                line: lno,
+                token: tok.to_string(),
+            })
+        };
+
+        if upper.starts_with("VDRV") {
+            continue; // placeholder source; structure comes from RDRV
+        } else if let Some(idx_str) = upper.strip_prefix("RDRV") {
+            need(4)?;
+            let idx: usize = idx_str.parse().map_err(|_| SpiceParseError::Malformed {
+                line: lno,
+                detail: format!("bad driver index in {name:?}"),
+            })?;
+            if idx >= raw_nets.len() {
+                return Err(SpiceParseError::Malformed {
+                    line: lno,
+                    detail: format!("driver {name:?} references undeclared net {idx}"),
+                });
+            }
+            raw_nets[idx].driver_node = Some((fields[2].to_string(), value(fields[3])?));
+        } else if upper.starts_with("CC") {
+            need(4)?;
+            ccaps.push((fields[1].into(), fields[2].into(), value(fields[3])?));
+        } else if upper.starts_with("CL") {
+            need(4)?;
+            sinks.push((fields[1].into(), value(fields[3])?));
+        } else if upper.starts_with('C') {
+            need(4)?;
+            gcaps.push((fields[1].into(), value(fields[3])?));
+        } else if upper.starts_with('R') {
+            need(4)?;
+            resistors.push((fields[1].into(), fields[2].into(), value(fields[3])?));
+        } else {
+            return Err(SpiceParseError::Malformed {
+                line: lno,
+                detail: format!("unsupported card {name:?}"),
+            });
+        }
+    }
+
+    // Assign nodes to nets: seed each net with its driver node, then grow
+    // along resistor edges (nets are resistively disjoint by construction).
+    let mut node_net: HashMap<String, usize> = HashMap::new();
+    for (i, rn) in raw_nets.iter().enumerate() {
+        let (node, _) = rn.driver_node.as_ref().ok_or(SpiceParseError::Malformed {
+            line: 0,
+            detail: format!("net {i} has no RDRV card"),
+        })?;
+        node_net.insert(node.clone(), i);
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (a, b, _) in &resistors {
+            match (node_net.get(a).copied(), node_net.get(b).copied()) {
+                (Some(na), None) => {
+                    node_net.insert(b.clone(), na);
+                    changed = true;
+                }
+                (None, Some(nb)) => {
+                    node_net.insert(a.clone(), nb);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Rebuild through the validating builder.
+    let mut b = NetworkBuilder::new();
+    let mut net_ids: Vec<NetId> = Vec::new();
+    for rn in &raw_nets {
+        net_ids.push(b.add_net(rn.name.clone(), rn.role));
+    }
+    // Deterministic node order: sort by name.
+    let mut node_names: Vec<&String> = node_net.keys().collect();
+    node_names.sort();
+    let mut node_ids: HashMap<String, NodeId> = HashMap::new();
+    for name in node_names {
+        let net = net_ids[node_net[name]];
+        node_ids.insert(name.clone(), b.add_node(net, name.clone()));
+    }
+    let lookup = |m: &HashMap<String, NodeId>, n: &str| -> Result<NodeId, SpiceParseError> {
+        m.get(n).copied().ok_or_else(|| SpiceParseError::Malformed {
+            line: 0,
+            detail: format!("node {n:?} not reachable from any driver"),
+        })
+    };
+
+    for (i, rn) in raw_nets.iter().enumerate() {
+        let (node, ohms) = rn.driver_node.as_ref().expect("checked above");
+        b.add_driver(net_ids[i], lookup(&node_ids, node)?, *ohms)?;
+    }
+    for (a, bb, ohms) in &resistors {
+        b.add_resistor(lookup(&node_ids, a)?, lookup(&node_ids, bb)?, *ohms)?;
+    }
+    for (n, f) in &gcaps {
+        b.add_ground_cap(lookup(&node_ids, n)?, *f)?;
+    }
+    for (n, f) in &sinks {
+        b.add_sink(lookup(&node_ids, n)?, *f)?;
+    }
+    for (a, bb, f) in &ccaps {
+        b.add_coupling_cap(lookup(&node_ids, a)?, lookup(&node_ids, bb)?, *f)?;
+    }
+    if let Some(out) = output_node {
+        b.set_victim_output(lookup(&node_ids, &out)?);
+    }
+    Ok(b.build()?)
+}
+
+/// Parses a SPICE numeric token with optional SI suffix (`1.5k`, `10f`,
+/// `2meg`, `3e-12`, case-insensitive). Returns `None` when unparseable.
+///
+/// # Examples
+///
+/// ```
+/// use xtalk_circuit::spice::parse_si_value;
+/// assert!((parse_si_value("15f").unwrap() - 15e-15).abs() < 1e-27);
+/// assert_eq!(parse_si_value("2MEG"), Some(2e6));
+/// assert_eq!(parse_si_value("1e-12"), Some(1e-12));
+/// assert_eq!(parse_si_value("volts"), None);
+/// ```
+pub fn parse_si_value(token: &str) -> Option<f64> {
+    let lower = token.to_ascii_lowercase();
+    let (num_part, mult) = if let Some(stripped) = lower.strip_suffix("meg") {
+        (stripped, 1e6)
+    } else if let Some(stripped) = lower.strip_suffix("mil") {
+        (stripped, 25.4e-6)
+    } else {
+        match lower.as_bytes().last() {
+            Some(b't') => (&lower[..lower.len() - 1], 1e12),
+            Some(b'g') => (&lower[..lower.len() - 1], 1e9),
+            Some(b'k') => (&lower[..lower.len() - 1], 1e3),
+            Some(b'm') => (&lower[..lower.len() - 1], 1e-3),
+            Some(b'u') => (&lower[..lower.len() - 1], 1e-6),
+            Some(b'n') => (&lower[..lower.len() - 1], 1e-9),
+            Some(b'p') => (&lower[..lower.len() - 1], 1e-12),
+            Some(b'f') => (&lower[..lower.len() - 1], 1e-15),
+            _ => (lower.as_str(), 1.0),
+        }
+    };
+    num_part.parse::<f64>().ok().map(|v| v * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+
+    fn sample_network() -> Network {
+        let mut b = NetworkBuilder::new();
+        let v = b.add_net("vic", NetRole::Victim);
+        let a = b.add_net("agg", NetRole::Aggressor);
+        let v0 = b.add_node(v, "v0");
+        let v1 = b.add_node(v, "v1");
+        let v2 = b.add_node(v, "v2");
+        let a0 = b.add_node(a, "a0");
+        let a1 = b.add_node(a, "a1");
+        b.add_driver(v, v0, 150.0).unwrap();
+        b.add_driver(a, a0, 90.0).unwrap();
+        b.add_resistor(v0, v1, 25.0).unwrap();
+        b.add_resistor(v1, v2, 35.0).unwrap();
+        b.add_resistor(a0, a1, 40.0).unwrap();
+        b.add_ground_cap(v1, 8e-15).unwrap();
+        b.add_ground_cap(a1, 6e-15).unwrap();
+        b.add_sink(v2, 12e-15).unwrap();
+        b.add_sink(a1, 10e-15).unwrap();
+        b.add_coupling_cap(v1, a1, 22e-15).unwrap();
+        b.add_coupling_cap(v2, a1, 11e-15).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn si_suffixes_parse() {
+        assert_eq!(parse_si_value("1k"), Some(1e3));
+        assert_eq!(parse_si_value("2.5p"), Some(2.5e-12));
+        assert_eq!(parse_si_value("100"), Some(100.0));
+        assert_eq!(parse_si_value("1meg"), Some(1e6));
+        assert!((parse_si_value("3n").unwrap() - 3e-9).abs() < 1e-24);
+        assert!((parse_si_value("4u").unwrap() - 4e-6).abs() < 1e-21);
+        assert_eq!(parse_si_value("5m"), Some(5e-3));
+        assert_eq!(parse_si_value("6g"), Some(6e9));
+        assert_eq!(parse_si_value("7t"), Some(7e12));
+        assert_eq!(parse_si_value(""), None);
+        assert_eq!(parse_si_value("x1"), None);
+    }
+
+    #[test]
+    fn deck_contains_all_cards() {
+        let deck = write_deck(&sample_network());
+        assert!(deck.contains("*! net 0 victim vic"));
+        assert!(deck.contains("*! net 1 aggressor agg"));
+        assert!(deck.contains("RDRV0"));
+        assert!(deck.contains("RDRV1"));
+        assert!(deck.contains("CC0"));
+        assert!(deck.contains("CC1"));
+        assert!(deck.contains(".end"));
+        // 3 wire resistors + 2 driver resistors
+        assert_eq!(deck.lines().filter(|l| l.starts_with('R')).count(), 5);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let original = sample_network();
+        let deck = write_deck(&original);
+        let parsed = parse_deck(&deck).unwrap();
+        assert_eq!(parsed.node_count(), original.node_count());
+        assert_eq!(parsed.net_count(), original.net_count());
+        assert_eq!(parsed.resistors().len(), original.resistors().len());
+        assert_eq!(parsed.ground_caps().len(), original.ground_caps().len());
+        assert_eq!(
+            parsed.coupling_caps().len(),
+            original.coupling_caps().len()
+        );
+        // Totals are basis-independent even if node numbering changed.
+        assert!(
+            (parsed.net_total_cap(parsed.victim()) - original.net_total_cap(original.victim()))
+                .abs()
+                < 1e-27
+        );
+        assert!(
+            (parsed.net_total_res(parsed.victim()) - original.net_total_res(original.victim()))
+                .abs()
+                < 1e-9
+        );
+        // Output node survives by name.
+        assert_eq!(
+            parsed.node_name(parsed.victim_output()),
+            format!("n{}", original.victim_output().index())
+        );
+    }
+
+    #[test]
+    fn double_round_trip_is_stable() {
+        let original = sample_network();
+        let deck1 = write_deck(&original);
+        let net1 = parse_deck(&deck1).unwrap();
+        let deck2 = write_deck(&net1);
+        let net2 = parse_deck(&deck2).unwrap();
+        assert_eq!(net1.node_count(), net2.node_count());
+        assert_eq!(net1.resistors().len(), net2.resistors().len());
+    }
+
+    #[test]
+    fn malformed_cards_are_reported_with_line_numbers() {
+        let bad = "*! net 0 victim v\nR1 n0\n";
+        match parse_deck(bad) {
+            Err(SpiceParseError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_number_is_reported() {
+        let bad = "*! net 0 victim v\nRDRV0 src0 n0 abc\n";
+        match parse_deck(bad) {
+            Err(SpiceParseError::BadNumber { token, .. }) => assert_eq!(token, "abc"),
+            other => panic!("expected bad-number error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_role_rejected() {
+        let bad = "*! net 0 bystander v\n";
+        assert!(matches!(
+            parse_deck(bad),
+            Err(SpiceParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn structurally_invalid_deck_rejected() {
+        // Two victim nets.
+        let bad = "*! net 0 victim v1\n*! net 1 victim v2\nRDRV0 src0 n0 10\nRDRV1 src1 n1 10\nCL0 n0 0 1f\nCL1 n1 0 1f\n";
+        assert!(matches!(parse_deck(bad), Err(SpiceParseError::Invalid(_))));
+    }
+}

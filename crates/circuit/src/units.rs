@@ -1,0 +1,79 @@
+//! Readable SI-unit constructors.
+//!
+//! The whole workspace uses base SI units (ohms, farads, seconds, meters,
+//! volts). Interconnect work lives many orders of magnitude below the base
+//! units, so these helpers keep construction sites legible:
+//!
+//! ```
+//! use xtalk_circuit::units::*;
+//!
+//! let load = ff(12.5);        // 12.5 femtofarads
+//! let wire = 1.2 * MILLIMETER;
+//! let slew = ps(80.0);        // 80 picoseconds
+//! assert!(load < pf(1.0));
+//! assert_eq!(wire, 1.2e-3);
+//! # let _ = slew;
+//! ```
+
+/// One ohm (multiplicative identity; for symmetry at call sites).
+pub const OHM: f64 = 1.0;
+/// One kilo-ohm in ohms.
+pub const KILO_OHM: f64 = 1.0e3;
+/// One farad.
+pub const FARAD: f64 = 1.0;
+/// One second.
+pub const SECOND: f64 = 1.0;
+/// One meter.
+pub const METER: f64 = 1.0;
+/// One millimeter in meters.
+pub const MILLIMETER: f64 = 1.0e-3;
+/// One micrometer in meters.
+pub const MICROMETER: f64 = 1.0e-6;
+/// One volt.
+pub const VOLT: f64 = 1.0;
+
+/// Femtofarads to farads.
+pub fn ff(v: f64) -> f64 {
+    v * 1.0e-15
+}
+
+/// Picofarads to farads.
+pub fn pf(v: f64) -> f64 {
+    v * 1.0e-12
+}
+
+/// Picoseconds to seconds.
+pub fn ps(v: f64) -> f64 {
+    v * 1.0e-12
+}
+
+/// Nanoseconds to seconds.
+pub fn ns(v: f64) -> f64 {
+    v * 1.0e-9
+}
+
+/// Micrometers to meters.
+pub fn um(v: f64) -> f64 {
+    v * 1.0e-6
+}
+
+/// Millimeters to meters.
+pub fn mm(v: f64) -> f64 {
+    v * 1.0e-3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_scale_correctly() {
+        assert_eq!(ff(1.0), 1e-15);
+        assert_eq!(pf(1.0), 1e-12);
+        assert_eq!(ps(2.0), 2e-12);
+        assert!((ns(1.5) - 1.5e-9).abs() < 1e-24);
+        assert!((um(3.0) - 3e-6).abs() < 1e-21);
+        assert_eq!(mm(0.5), 5e-4);
+        assert_eq!(2.0 * KILO_OHM, 2000.0);
+    }
+}

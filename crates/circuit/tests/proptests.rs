@@ -1,0 +1,132 @@
+//! Property-based tests: SPICE round-tripping and structural invariants
+//! over randomized networks.
+
+use proptest::prelude::*;
+use xtalk_circuit::{spice, NetRole, Network, NetworkBuilder, NodeId};
+
+/// Strategy parameters for one random coupled network.
+#[derive(Debug, Clone)]
+struct NetSpec {
+    victim_segs: usize,
+    agg_segs: Vec<usize>,
+    res: f64,
+    cap: f64,
+    couple_every: usize,
+}
+
+fn net_spec() -> impl Strategy<Value = NetSpec> {
+    (
+        2usize..8,
+        prop::collection::vec(1usize..6, 1..4),
+        1.0..500.0f64,
+        1e-16..5e-14f64,
+        1usize..3,
+    )
+        .prop_map(|(victim_segs, agg_segs, res, cap, couple_every)| NetSpec {
+            victim_segs,
+            agg_segs,
+            res,
+            cap,
+            couple_every,
+        })
+}
+
+fn build(spec: &NetSpec) -> Network {
+    let mut b = NetworkBuilder::new();
+    let v = b.add_net("victim", NetRole::Victim);
+    let mut v_nodes: Vec<NodeId> = vec![b.add_node(v, "v0")];
+    b.add_driver(v, v_nodes[0], spec.res * 4.0).unwrap();
+    for i in 1..=spec.victim_segs {
+        let n = b.add_node(v, format!("v{i}"));
+        b.add_resistor(v_nodes[i - 1], n, spec.res).unwrap();
+        b.add_ground_cap(n, spec.cap).unwrap();
+        v_nodes.push(n);
+    }
+    b.add_sink(v_nodes[spec.victim_segs], spec.cap * 2.0).unwrap();
+
+    for (k, &segs) in spec.agg_segs.iter().enumerate() {
+        let a = b.add_net(format!("agg{k}"), NetRole::Aggressor);
+        let mut prev = b.add_node(a, format!("a{k}_0"));
+        b.add_driver(a, prev, spec.res * 2.0).unwrap();
+        for i in 1..=segs {
+            let n = b.add_node(a, format!("a{k}_{i}"));
+            b.add_resistor(prev, n, spec.res).unwrap();
+            b.add_ground_cap(n, spec.cap).unwrap();
+            if i % spec.couple_every == 0 {
+                let vn = v_nodes[1 + (i - 1) % spec.victim_segs];
+                b.add_coupling_cap(n, vn, spec.cap * 1.5).unwrap();
+            }
+            prev = n;
+        }
+        b.add_sink(prev, spec.cap).unwrap();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spice_round_trip_preserves_structure_and_totals(spec in net_spec()) {
+        let original = build(&spec);
+        let deck = spice::write_deck(&original);
+        let parsed = spice::parse_deck(&deck).unwrap();
+
+        prop_assert_eq!(parsed.node_count(), original.node_count());
+        prop_assert_eq!(parsed.net_count(), original.net_count());
+        prop_assert_eq!(parsed.resistors().len(), original.resistors().len());
+        prop_assert_eq!(parsed.coupling_caps().len(), original.coupling_caps().len());
+        // Per-net totals are representation-independent.
+        for (id, _) in original.nets() {
+            // Nets keep their names; find the matching net in the parse.
+            let name = original.net(id).name();
+            let (pid, _) = parsed
+                .nets()
+                .find(|(_, n)| n.name() == name)
+                .expect("net survives by name");
+            let dr = (parsed.net_total_res(pid) - original.net_total_res(id)).abs();
+            prop_assert!(dr <= 1e-9 * original.net_total_res(id).max(1.0));
+            let dc = (parsed.net_total_cap(pid) - original.net_total_cap(id)).abs();
+            prop_assert!(dc <= 1e-22 + 1e-9 * original.net_total_cap(id));
+        }
+    }
+
+    #[test]
+    fn tree_views_are_consistent(spec in net_spec()) {
+        let net = build(&spec);
+        for (id, n) in net.nets() {
+            let tree = net.tree(id);
+            prop_assert_eq!(tree.len(), n.nodes().len());
+            prop_assert_eq!(tree.root(), n.driver().node);
+            // Path resistance is monotone along any root path and bounded
+            // by the net total.
+            let total = net.net_total_res(id);
+            for &node in n.nodes() {
+                let pr = tree.path_resistance(node);
+                prop_assert!(pr >= 0.0 && pr <= total + 1e-9);
+                if let Some((parent, r)) = tree.parent(node) {
+                    prop_assert!(
+                        (tree.path_resistance(parent) + r - pr).abs() < 1e-9
+                    );
+                }
+                // Common-path resistance to the root is zero; to itself,
+                // the full path.
+                prop_assert!(tree.common_path_resistance(node, tree.root()).abs() < 1e-12);
+                prop_assert!(
+                    (tree.common_path_resistance(node, node) - pr).abs() < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn couplings_between_is_symmetric(spec in net_spec()) {
+        let net = build(&spec);
+        let victim = net.victim();
+        for (agg, _) in net.aggressor_nets() {
+            let ab: f64 = net.couplings_between(agg, victim).map(|(_, _, f)| f).sum();
+            let ba: f64 = net.couplings_between(victim, agg).map(|(_, _, f)| f).sum();
+            prop_assert!((ab - ba).abs() < 1e-24);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+use std::error::Error;
+use xtalk_circuit::spice::parse_si_value;
+
+/// Which analysis to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Structure summary of the deck.
+    Info,
+    /// Per-aggressor noise estimates at the victim output.
+    Noise,
+    /// Victim delay window under Miller switch factors.
+    Delay,
+    /// TICER-style quick-node reduction; writes the reduced deck to stdout.
+    Reduce,
+}
+
+/// Noise metric selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricArg {
+    /// New metric I (piecewise-linear template).
+    One,
+    /// New metric II — the default.
+    #[default]
+    Two,
+    /// Metric II on the fully closed-form FrontEnd (tree a1/b1/b2).
+    Closed,
+}
+
+/// Delay metric selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DelayMetricArg {
+    /// Elmore (conservative).
+    Elmore,
+    /// D2M.
+    D2m,
+    /// Two-pole 50% — the default.
+    #[default]
+    TwoPole,
+}
+
+/// Aggressor input shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShapeArg {
+    /// Saturated ramp — the default.
+    #[default]
+    Ramp,
+    /// Exponential.
+    Exp,
+    /// Ideal step.
+    Step,
+}
+
+/// Fully parsed invocation.
+#[derive(Debug, Clone)]
+pub struct Invocation {
+    /// Selected sub-command.
+    pub command: Command,
+    /// Path to the SPICE deck.
+    pub deck_path: String,
+    /// Aggressor input slew (s).
+    pub slew: f64,
+    /// Aggressor input arrival (s).
+    pub arrival: f64,
+    /// Input shape.
+    pub shape: ShapeArg,
+    /// Noise metric.
+    pub metric: MetricArg,
+    /// Delay metric.
+    pub delay_metric: DelayMetricArg,
+    /// Cross-check with the transient simulator.
+    pub golden: bool,
+    /// Optional noise budget (× Vdd) to flag violations against.
+    pub threshold: Option<f64>,
+    /// Reduction time-constant threshold (s); `None` → `b1/1000`.
+    pub reduce_tau: Option<f64>,
+    /// Restrict the noise report to one aggressor net by name.
+    pub aggressor: Option<String>,
+}
+
+/// Result of parsing: either run an analysis or print help.
+#[derive(Debug, Clone)]
+pub enum ParseOutcome {
+    /// Run this invocation.
+    Run(Invocation),
+    /// Print this help text and exit successfully.
+    Help(String),
+}
+
+const HELP: &str = "\
+xtalk — closed-form crosstalk noise and delay analysis
+
+USAGE:
+    xtalk info  <deck.sp>
+    xtalk noise <deck.sp> [--slew T] [--arrival T] [--shape ramp|exp|step]
+                          [--metric one|two|closed] [--golden] [--threshold V]
+                          [--aggressor NAME]
+    xtalk delay <deck.sp> [--delay-metric elmore|d2m|two-pole]
+    xtalk reduce <deck.sp> [--tau T]
+
+The deck must use the subset written by xtalk's SPICE exporter (element
+cards R/C/CC/CL/RDRV plus `*!` net-role directives). Times accept SPICE
+suffixes (100p, 0.1n); defaults: --slew 100p, --arrival 0, ramp inputs,
+metric II.
+
+    --golden      also run the transient simulator and report errors
+    --threshold V flag aggressors whose peak exceeds V (x Vdd)
+    --tau T       reduction time-constant threshold (default: b1/1000)
+";
+
+/// Parses `argv` (program name excluded).
+///
+/// # Errors
+///
+/// Returns a user-readable message for unknown commands/flags or
+/// malformed values.
+pub fn parse(argv: &[String]) -> Result<ParseOutcome, Box<dyn Error>> {
+    let mut it = argv.iter().peekable();
+    let command = match it.next().map(String::as_str) {
+        None | Some("--help") | Some("-h") | Some("help") => {
+            return Ok(ParseOutcome::Help(HELP.to_string()))
+        }
+        Some("info") => Command::Info,
+        Some("noise") => Command::Noise,
+        Some("delay") => Command::Delay,
+        Some("reduce") => Command::Reduce,
+        Some(other) => return Err(format!("unknown command {other:?}; try --help").into()),
+    };
+    let deck_path = it
+        .next()
+        .ok_or("missing deck path; try --help")?
+        .to_string();
+
+    let mut inv = Invocation {
+        command,
+        deck_path,
+        slew: 100e-12,
+        arrival: 0.0,
+        shape: ShapeArg::default(),
+        metric: MetricArg::default(),
+        delay_metric: DelayMetricArg::default(),
+        golden: false,
+        threshold: None,
+        reduce_tau: None,
+        aggressor: None,
+    };
+
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, Box<dyn Error>> {
+            it.next().ok_or_else(|| format!("{flag} needs a value").into())
+        };
+        match flag.as_str() {
+            "--slew" => {
+                inv.slew = parse_si_value(value()?)
+                    .ok_or_else(|| "bad --slew value".to_string())?;
+            }
+            "--arrival" => {
+                inv.arrival = parse_si_value(value()?)
+                    .ok_or_else(|| "bad --arrival value".to_string())?;
+            }
+            "--shape" => {
+                inv.shape = match value()?.as_str() {
+                    "ramp" => ShapeArg::Ramp,
+                    "exp" => ShapeArg::Exp,
+                    "step" => ShapeArg::Step,
+                    other => return Err(format!("unknown shape {other:?}").into()),
+                };
+            }
+            "--metric" => {
+                inv.metric = match value()?.as_str() {
+                    "one" | "1" | "I" => MetricArg::One,
+                    "two" | "2" | "II" => MetricArg::Two,
+                    "closed" => MetricArg::Closed,
+                    other => return Err(format!("unknown metric {other:?}").into()),
+                };
+            }
+            "--delay-metric" => {
+                inv.delay_metric = match value()?.as_str() {
+                    "elmore" => DelayMetricArg::Elmore,
+                    "d2m" => DelayMetricArg::D2m,
+                    "two-pole" => DelayMetricArg::TwoPole,
+                    other => return Err(format!("unknown delay metric {other:?}").into()),
+                };
+            }
+            "--golden" => inv.golden = true,
+            "--aggressor" => inv.aggressor = Some(value()?.to_string()),
+            "--tau" => {
+                inv.reduce_tau = Some(
+                    parse_si_value(value()?).ok_or_else(|| "bad --tau value".to_string())?,
+                );
+            }
+            "--threshold" => {
+                inv.threshold = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "bad --threshold value".to_string())?,
+                );
+            }
+            "--help" | "-h" => return Ok(ParseOutcome::Help(HELP.to_string())),
+            other => return Err(format!("unknown flag {other:?}; try --help").into()),
+        }
+    }
+    if !(inv.slew.is_finite() && inv.slew > 0.0) && inv.shape != ShapeArg::Step {
+        return Err("--slew must be positive".into());
+    }
+    Ok(ParseOutcome::Run(inv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(args: &[&str]) -> Invocation {
+        match parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap() {
+            ParseOutcome::Run(inv) => inv,
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let inv = parse_ok(&["noise", "deck.sp"]);
+        assert_eq!(inv.command, Command::Noise);
+        assert_eq!(inv.deck_path, "deck.sp");
+        assert!((inv.slew - 100e-12).abs() < 1e-20);
+        assert_eq!(inv.metric, MetricArg::Two);
+        assert!(!inv.golden);
+        assert!(inv.threshold.is_none());
+    }
+
+    #[test]
+    fn si_suffixes_accepted() {
+        let inv = parse_ok(&["noise", "d.sp", "--slew", "250p", "--arrival", "0.1n"]);
+        assert!((inv.slew - 250e-12).abs() < 1e-20);
+        assert!((inv.arrival - 0.1e-9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let inv = parse_ok(&[
+            "noise", "d.sp", "--shape", "exp", "--metric", "closed", "--golden",
+            "--threshold", "0.15",
+        ]);
+        assert_eq!(inv.shape, ShapeArg::Exp);
+        assert_eq!(inv.metric, MetricArg::Closed);
+        assert!(inv.golden);
+        assert_eq!(inv.threshold, Some(0.15));
+        let inv = parse_ok(&["delay", "d.sp", "--delay-metric", "elmore"]);
+        assert_eq!(inv.delay_metric, DelayMetricArg::Elmore);
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert!(matches!(
+            parse(&["--help".to_string()]).unwrap(),
+            ParseOutcome::Help(_)
+        ));
+        assert!(matches!(parse(&[]).unwrap(), ParseOutcome::Help(_)));
+        assert!(parse(&["bogus".to_string()]).is_err());
+        assert!(parse(&["noise".to_string()]).is_err());
+        assert!(parse(&[
+            "noise".to_string(),
+            "d.sp".to_string(),
+            "--slew".to_string(),
+            "fast".to_string()
+        ])
+        .is_err());
+        assert!(parse(&[
+            "noise".to_string(),
+            "d.sp".to_string(),
+            "--wat".to_string()
+        ])
+        .is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Implementation of the `xtalk` command-line tool.
+//!
+//! The binary wraps the workspace's analysis stack for engineers holding a
+//! SPICE deck (in the subset `xtalk_circuit::spice` round-trips):
+//!
+//! ```text
+//! xtalk info  <deck.sp>                     # structure summary
+//! xtalk noise <deck.sp> [--slew 100p] [--shape ramp|exp|step]
+//!             [--metric one|two|closed] [--golden] [--threshold 0.1]
+//! xtalk delay <deck.sp> [--metric elmore|d2m|two-pole]
+//! xtalk reduce <deck.sp> [--tau T]        # reduced deck on stdout
+//! ```
+//!
+//! All analysis goes through the same public APIs a library user would
+//! call; the CLI only parses arguments and formats reports. The library
+//! half exists so the logic is unit-testable without process spawning.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod report;
+
+pub use args::{Command, DelayMetricArg, MetricArg, ParseOutcome, ShapeArg};
+pub use report::{delay_report, info_report, noise_report};
+
+use std::error::Error;
+
+/// Runs the tool: parses `argv` (without the program name) and returns
+/// the report text.
+///
+/// # Errors
+///
+/// Propagates argument, I/O, parse and analysis errors as boxed errors
+/// with user-readable messages.
+pub fn run(argv: &[String]) -> Result<String, Box<dyn Error>> {
+    match args::parse(argv)? {
+        ParseOutcome::Help(text) => Ok(text),
+        ParseOutcome::Run(cmd) => {
+            let deck = std::fs::read_to_string(&cmd.deck_path)
+                .map_err(|e| format!("cannot read {}: {e}", cmd.deck_path))?;
+            let network = xtalk_circuit::spice::parse_deck(&deck)?;
+            match cmd.command {
+                Command::Info => Ok(info_report(&network)),
+                Command::Noise => noise_report(&network, &cmd),
+                Command::Delay => delay_report(&network, &cmd),
+                Command::Reduce => report::reduce_report(&network, &cmd),
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! `xtalk` — command-line crosstalk noise and delay analysis.
+//!
+//! See `xtalk --help` or the crate docs of `xtalk-cli`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match xtalk_cli::run(&argv) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("xtalk: {e}");
+            std::process::exit(1);
+        }
+    }
+}

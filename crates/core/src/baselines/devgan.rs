@@ -1,0 +1,81 @@
+use super::BaselineEstimate;
+use crate::MetricError;
+use xtalk_circuit::signal::{InputSignal, Waveshape, EXP_TRANSITION_FACTOR};
+
+/// Devgan's coupled-noise upper bound (paper ref. \[7\], ICCAD'97).
+///
+/// The victim node voltage is bounded by the aggressor's maximum slew
+/// driven through the coupling network's DC transfer of `dV/dt`:
+/// `Vp ≤ a1 · max|dV_i/dt|`, with `a1 = h1` the first transfer moment
+/// (the same Σ Cc·Rx the original paper expresses by tree traversal).
+///
+/// For a saturated ramp the max slew is `1/t_r`; for the exponential
+/// shapes it is `1/τ = ln 9 / t_r`. The bound is *absolute* (always
+/// conservative) but its error is unbounded as `t_r` shrinks below the
+/// circuit time constants — the paper's tables show ≈+1300% worst case.
+///
+/// # Errors
+///
+/// [`MetricError::StepInputNeedsExplicitM`] for an ideal step (`t_r = 0`),
+/// where the bound degenerates to `+∞`.
+///
+/// # Examples
+///
+/// ```
+/// use xtalk_circuit::signal::InputSignal;
+/// use xtalk_core::baselines::devgan;
+///
+/// let est = devgan(2e-11, &InputSignal::rising_ramp(0.0, 1e-10))?;
+/// assert!((est.vp.unwrap() - 0.2).abs() < 1e-12); // a1/tr
+/// assert_eq!(est.wn, None);                       // not captured
+/// # Ok::<(), xtalk_core::MetricError>(())
+/// ```
+pub fn devgan(a1: f64, input: &InputSignal) -> Result<BaselineEstimate, MetricError> {
+    let tr = input.transition();
+    if !(tr.is_finite() && tr > 0.0) {
+        return Err(MetricError::StepInputNeedsExplicitM);
+    }
+    let max_slew = match input.shape() {
+        Waveshape::RisingRamp | Waveshape::FallingRamp => 1.0 / tr,
+        Waveshape::RisingExp | Waveshape::FallingExp => EXP_TRANSITION_FACTOR / tr,
+        Waveshape::Step => unreachable!("step has tr == 0"),
+    };
+    Ok(BaselineEstimate {
+        vp: Some(a1.abs() * max_slew),
+        ..BaselineEstimate::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_bound_is_a1_over_tr() {
+        let est = devgan(1e-11, &InputSignal::rising_ramp(0.0, 2e-10)).unwrap();
+        assert!((est.vp.unwrap() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_bound_uses_initial_slope() {
+        let tr = 2e-10;
+        let est = devgan(1e-11, &InputSignal::rising_exp(0.0, tr)).unwrap();
+        let tau = tr / EXP_TRANSITION_FACTOR;
+        assert!((est.vp.unwrap() - 1e-11 / tau).abs() < 1e-9 * est.vp.unwrap());
+    }
+
+    #[test]
+    fn step_is_rejected() {
+        assert!(matches!(
+            devgan(1e-11, &InputSignal::step(0.0)),
+            Err(MetricError::StepInputNeedsExplicitM)
+        ));
+    }
+
+    #[test]
+    fn bound_grows_as_input_sharpens() {
+        let slow = devgan(1e-11, &InputSignal::rising_ramp(0.0, 1e-9)).unwrap();
+        let fast = devgan(1e-11, &InputSignal::rising_ramp(0.0, 1e-11)).unwrap();
+        assert!(fast.vp.unwrap() > 50.0 * slow.vp.unwrap());
+    }
+}

@@ -1,0 +1,164 @@
+use super::BaselineEstimate;
+use crate::MetricError;
+use xtalk_circuit::{signal::InputSignal, NetId, Network};
+use xtalk_moments::TwoPoleFit;
+
+/// Lumped-π reference model (the Figure 5 contrast case).
+///
+/// Both nets are collapsed to a single node each: the victim keeps its
+/// driver resistance `Rd_v` and total grounded capacitance `C_v`, the
+/// aggressor likewise, and the full coupling capacitance `C_c` bridges the
+/// two. The resulting two-node circuit is *exactly* two-pole, with
+///
+/// ```text
+/// a1 = Rd_v·C_c
+/// b1 = Rd_v·(C_v + C_c) + Rd_a·(C_a + C_c)
+/// b2 = Rd_v·Rd_a·[(C_v + C_c)·(C_a + C_c) − C_c²]
+/// ```
+///
+/// so the ramp response is evaluated analytically. By construction the
+/// model is blind to the coupling *location* along the victim — the paper's
+/// Figure 5 shows it reporting the same peak for every placement while the
+/// distributed metrics track the real trend.
+///
+/// # Errors
+///
+/// * [`MetricError::NoNoise`] — no coupling between the two nets.
+/// * [`MetricError::StepInputNeedsExplicitM`] — ideal step input.
+/// * [`MetricError::BaselineUnstable`] — degenerate lumped fit (cannot
+///   occur for physical element values).
+///
+/// # Panics
+///
+/// Panics if `aggressor` is out of bounds for `network`.
+pub fn lumped_pi(
+    network: &Network,
+    aggressor: NetId,
+    input: &InputSignal,
+) -> Result<BaselineEstimate, MetricError> {
+    let victim = network.victim();
+    let cc: f64 = network
+        .couplings_between(aggressor, victim)
+        .map(|(_, _, f)| f)
+        .sum();
+    if cc <= 0.0 {
+        return Err(MetricError::NoNoise);
+    }
+    let tr = input.transition();
+    if !(tr.is_finite() && tr > 0.0) {
+        return Err(MetricError::StepInputNeedsExplicitM);
+    }
+
+    // Grounded capacitance per net (wire + sinks + couplings to *other*
+    // nets treated as grounded, per the usual lumping convention).
+    let grounded_cap = |net: NetId| -> f64 {
+        let mut c = 0.0;
+        for gc in network.ground_caps() {
+            if network.node_net(gc.node) == net {
+                c += gc.farads;
+            }
+        }
+        for s in network.net(net).sinks() {
+            c += s.farads;
+        }
+        let pair = |x: NetId, y: NetId| (x == victim && y == aggressor) || (x == aggressor && y == victim);
+        for other in network.nets().map(|(id, _)| id) {
+            if other != net && !pair(net, other) {
+                for (_, _, f) in network.couplings_between(net, other) {
+                    c += f;
+                }
+            }
+        }
+        c
+    };
+    let rd_v = network.victim_net().driver().ohms;
+    let rd_a = network.net(aggressor).driver().ohms;
+    let c_v = grounded_cap(victim);
+    let c_a = grounded_cap(aggressor);
+
+    let a1 = rd_v * cc;
+    let b1 = rd_v * (c_v + cc) + rd_a * (c_a + cc);
+    let b2 = rd_v * rd_a * ((c_v + cc) * (c_a + cc) - cc * cc);
+    let fit = TwoPoleFit::from_coeffs(a1, b1, b2);
+    match fit.ramp_peak(tr) {
+        Some((tp, vp)) => Ok(BaselineEstimate {
+            vp: Some(vp.abs()),
+            tp: Some(input.arrival() + tp),
+            ..BaselineEstimate::default()
+        }),
+        None => Err(MetricError::BaselineUnstable {
+            baseline: "lumped-pi",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_circuit::{NetRole, NetworkBuilder};
+
+    /// Two-segment victim with coupling at a configurable position.
+    fn two_pin(coupling_on_far_node: bool) -> (Network, NetId) {
+        let mut b = NetworkBuilder::new();
+        let v = b.add_net("v", NetRole::Victim);
+        let a = b.add_net("a", NetRole::Aggressor);
+        let v0 = b.add_node(v, "v0");
+        let v1 = b.add_node(v, "v1");
+        let v2 = b.add_node(v, "v2");
+        let a0 = b.add_node(a, "a0");
+        b.add_driver(v, v0, 200.0).unwrap();
+        b.add_driver(a, a0, 100.0).unwrap();
+        b.add_resistor(v0, v1, 50.0).unwrap();
+        b.add_resistor(v1, v2, 50.0).unwrap();
+        b.add_ground_cap(v1, 10e-15).unwrap();
+        b.add_sink(v2, 10e-15).unwrap();
+        b.add_sink(a0, 10e-15).unwrap();
+        let target = if coupling_on_far_node { v2 } else { v1 };
+        b.add_coupling_cap(a0, target, 20e-15).unwrap();
+        b.set_victim_output(v2);
+        let net = b.build().unwrap();
+        let agg = net.aggressor_nets().next().unwrap().0;
+        (net, agg)
+    }
+
+    #[test]
+    fn lumped_model_is_location_blind() {
+        let input = InputSignal::rising_ramp(0.0, 1e-10);
+        let (near, agg_n) = two_pin(false);
+        let (far, agg_f) = two_pin(true);
+        let vp_near = lumped_pi(&near, agg_n, &input).unwrap().vp.unwrap();
+        let vp_far = lumped_pi(&far, agg_f, &input).unwrap().vp.unwrap();
+        assert!(
+            (vp_near - vp_far).abs() < 1e-12 * vp_near,
+            "lumped model must not see coupling location: {vp_near} vs {vp_far}"
+        );
+    }
+
+    #[test]
+    fn no_coupling_is_no_noise() {
+        let mut b = NetworkBuilder::new();
+        let v = b.add_net("v", NetRole::Victim);
+        let a = b.add_net("a", NetRole::Aggressor);
+        let v0 = b.add_node(v, "v0");
+        let a0 = b.add_node(a, "a0");
+        b.add_driver(v, v0, 100.0).unwrap();
+        b.add_driver(a, a0, 100.0).unwrap();
+        b.add_sink(v0, 1e-15).unwrap();
+        b.add_sink(a0, 1e-15).unwrap();
+        // Note: networks without any coupling are legal.
+        let net = b.build().unwrap();
+        let agg = net.aggressor_nets().next().unwrap().0;
+        assert!(matches!(
+            lumped_pi(&net, agg, &InputSignal::rising_ramp(0.0, 1e-10)),
+            Err(MetricError::NoNoise)
+        ));
+    }
+
+    #[test]
+    fn peak_positive_and_reasonable() {
+        let (net, agg) = two_pin(true);
+        let est = lumped_pi(&net, agg, &InputSignal::rising_ramp(0.0, 1e-10)).unwrap();
+        let vp = est.vp.unwrap();
+        assert!(vp > 0.0 && vp < 1.0, "vp = {vp}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Prior-art crosstalk metrics — the comparison columns of the paper's
+//! Tables 1–3 and the lumped-π reference of Figure 5.
+//!
+//! Each baseline captures only a subset of the waveform parameters (the
+//! tables' "N/A" entries); [`BaselineEstimate`] models that with options.
+//! All estimates are magnitudes of the rising-equivalent pulse, like the
+//! new metrics.
+//!
+//! | Baseline | `Vp` | `Tp` | `Wn` | notes |
+//! |----------|------|------|------|-------|
+//! | [`devgan`] (ref. 7) | ✓ | — | — | absolute upper bound, unbounded error |
+//! | [`vittal`] (ref. 13) | ✓ | — | ✓ | `Vp = a1/b1`, `Wn = b1` |
+//! | [`yu_one_pole`] (ref. 17) | ✓ | — | — | saturated-ramp one-pole model |
+//! | [`yu_two_pole`] (ref. 17) | ✓ | ✓ | — | may be unstable (no estimate) |
+//! | [`lumped_pi`] | ✓ | ✓ | — | location-blind reference |
+
+mod devgan;
+mod lumped;
+mod vittal;
+mod yu;
+
+pub use devgan::devgan;
+pub use lumped::lumped_pi;
+pub use vittal::vittal;
+pub use yu::{yu_one_pole, yu_two_pole};
+
+/// A (possibly partial) noise estimate from a baseline metric. `None`
+/// fields are the parameters the method does not capture — the "N/A"
+/// entries in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BaselineEstimate {
+    /// Peak amplitude (× `Vdd`, positive), if captured.
+    pub vp: Option<f64>,
+    /// Peak-occurrence time, if captured.
+    pub tp: Option<f64>,
+    /// Pulse width, if captured.
+    pub wn: Option<f64>,
+    /// First transition time, if captured.
+    pub t1: Option<f64>,
+    /// Second transition time, if captured.
+    pub t2: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_not_applicable() {
+        let e = BaselineEstimate::default();
+        assert!(e.vp.is_none() && e.tp.is_none() && e.wn.is_none());
+        assert!(e.t1.is_none() && e.t2.is_none());
+    }
+}

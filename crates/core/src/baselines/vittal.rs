@@ -1,0 +1,87 @@
+use super::BaselineEstimate;
+use xtalk_circuit::signal::InputSignal;
+
+/// Vittal et al.'s simplified metric (paper ref. \[13\]).
+///
+/// The full derivation gives `Wn = B1 − A2/A1`, where `A_k`/`B_k` are the
+/// numerator/denominator coefficients of the *output* waveform
+/// `V_o(s) = V_i(s)·H(s)` (figure 1 of the paper). Because `a2` has no
+/// convenient closed form, the practically used simplification (quoted in
+/// the paper's §2.1.2) is
+///
+/// ```text
+/// Wn ≈ B1        Vp ≈ A1/B1
+/// ```
+///
+/// with `A1 = a1·g0 = a1` and `B1 = b1 − g1 = b1 + t0 + t_r/2` for a ramp
+/// (`b1` = the circuit's shared denominator coefficient, the sum of
+/// open-circuit time constants of [`xtalk_moments::tree::open_circuit_b1`];
+/// `g1` = the input's first Taylor coefficient). Dropping the `−A2/A1`
+/// sharpening makes `Wn` a systematic over-estimate (the paper's tables
+/// show ≈65% average width error) while `Vp = A1/B1` stays conservative
+/// for far-end coupling but loses the upper-bound property at the near
+/// end.
+///
+/// # Panics
+///
+/// Panics if `b1` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use xtalk_circuit::signal::InputSignal;
+/// use xtalk_core::baselines::vittal;
+///
+/// let input = InputSignal::rising_ramp(0.0, 1e-10);
+/// let est = vittal(1e-11, 1.5e-10, &input);
+/// assert_eq!(est.wn, Some(2e-10)); // b1 + tr/2
+/// assert!((est.vp.unwrap() - 0.05).abs() < 1e-12);
+/// assert_eq!(est.tp, None);
+/// ```
+pub fn vittal(a1: f64, b1: f64, input: &InputSignal) -> BaselineEstimate {
+    assert!(b1.is_finite() && b1 > 0.0, "b1 must be positive");
+    let g = input.taylor_g();
+    let wn = b1 - g[1];
+    BaselineEstimate {
+        vp: Some(a1.abs() / wn),
+        wn: Some(wn),
+        ..BaselineEstimate::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_vp_and_wn_only() {
+        let input = InputSignal::rising_ramp(0.0, 1e-10);
+        let est = vittal(3e-11, 1e-10, &input);
+        // B1 = 1e-10 + 0.5e-10.
+        assert!((est.wn.unwrap() - 1.5e-10).abs() < 1e-22);
+        assert!((est.vp.unwrap() - 0.2).abs() < 1e-12);
+        assert!(est.tp.is_none() && est.t1.is_none() && est.t2.is_none());
+    }
+
+    #[test]
+    fn vp_times_wn_is_a1() {
+        // The metric conserves the pulse area: Vp·Wn = A1 = a1.
+        let input = InputSignal::rising_ramp(0.0, 2e-10);
+        let est = vittal(3e-11, 1.5e-10, &input);
+        assert!((est.vp.unwrap() * est.wn.unwrap() - 3e-11).abs() < 1e-22);
+    }
+
+    #[test]
+    fn arrival_time_widens_b1() {
+        let early = vittal(1e-11, 1e-10, &InputSignal::rising_ramp(0.0, 1e-10));
+        let late = vittal(1e-11, 1e-10, &InputSignal::rising_ramp(5e-11, 1e-10));
+        assert!(late.wn.unwrap() > early.wn.unwrap());
+        assert!(late.vp.unwrap() < early.vp.unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "b1 must be positive")]
+    fn non_positive_b1_panics() {
+        vittal(1e-11, 0.0, &InputSignal::rising_ramp(0.0, 1e-10));
+    }
+}

@@ -1,0 +1,93 @@
+use std::error::Error;
+use std::fmt;
+use xtalk_moments::MomentError;
+
+/// Errors raised by the noise metrics.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MetricError {
+    /// The first output moment `f1` vanishes: the aggressor injects no
+    /// noise at the observation node (no coupling path).
+    NoNoise,
+    /// The moment combination `36·f3/f1 − 18·(f2/f1)²` (the squared pulse
+    /// width `T_W²`, eq. 34) is not positive — the supplied moments do not
+    /// describe a physical single-polarity pulse. Occurs only with
+    /// inconsistent hand-supplied or over-truncated approximate moments;
+    /// exact moments of an RC noise pulse always pass.
+    NonPhysicalMoments {
+        /// The offending `T_W²` value (s²).
+        tw_squared: f64,
+    },
+    /// The shape ratio `m` must be positive and finite.
+    BadShapeRatio {
+        /// The offending value.
+        m: f64,
+    },
+    /// The input transition time must be positive for the `m` estimate of
+    /// eq. (54); use an explicit `m` for ideal steps.
+    StepInputNeedsExplicitM,
+    /// Failure in the underlying moment computation.
+    Moments(MomentError),
+    /// The requested baseline cannot produce an estimate for this circuit
+    /// (e.g. the two-pole fit is unstable — the failure mode the paper
+    /// points out for matching-based models).
+    BaselineUnstable {
+        /// Name of the baseline metric.
+        baseline: &'static str,
+    },
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::NoNoise => {
+                write!(f, "first output moment is zero: no coupling noise at this node")
+            }
+            MetricError::NonPhysicalMoments { tw_squared } => write!(
+                f,
+                "moments give non-positive squared pulse width {tw_squared}: not a physical pulse"
+            ),
+            MetricError::BadShapeRatio { m } => {
+                write!(f, "shape ratio m = {m} must be positive and finite")
+            }
+            MetricError::StepInputNeedsExplicitM => {
+                write!(f, "eq. (54) needs a positive input transition time; pass m explicitly for steps")
+            }
+            MetricError::Moments(e) => write!(f, "moment computation failed: {e}"),
+            MetricError::BaselineUnstable { baseline } => {
+                write!(f, "baseline {baseline} produced no stable estimate for this circuit")
+            }
+        }
+    }
+}
+
+impl Error for MetricError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MetricError::Moments(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MomentError> for MetricError {
+    fn from(e: MomentError) -> Self {
+        MetricError::Moments(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        assert!(MetricError::NoNoise.to_string().contains("no coupling noise"));
+        assert!(MetricError::NonPhysicalMoments { tw_squared: -1.0 }
+            .to_string()
+            .contains("-1"));
+        assert!(MetricError::BaselineUnstable { baseline: "yu2" }
+            .to_string()
+            .contains("yu2"));
+    }
+}

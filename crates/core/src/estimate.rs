@@ -1,0 +1,162 @@
+/// A complete closed-form characterization of a noise pulse — the output
+/// of [`crate::MetricOne`] / [`crate::MetricTwo`].
+///
+/// All times in seconds, `vp` normalized to the supply and always
+/// positive; `polarity` carries the pulse sign. The invariants
+/// `tp = t0 + t1` and `wn = t1 + t2` hold by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseEstimate {
+    /// Peak amplitude (× `Vdd`, positive).
+    pub vp: f64,
+    /// Noise arrival time (start of the rising flank).
+    pub t0: f64,
+    /// First (rising) transition time.
+    pub t1: f64,
+    /// Second (falling) transition time (`= m·t1`).
+    pub t2: f64,
+    /// Peak-occurrence time `t0 + t1`.
+    pub tp: f64,
+    /// Pulse width `t1 + t2`.
+    pub wn: f64,
+    /// Template shape ratio `m = t2/t1` used for the estimate.
+    pub m: f64,
+    /// Pulse polarity: `+1.0` or `−1.0`.
+    pub polarity: f64,
+}
+
+impl NoiseEstimate {
+    /// Area of the template pulse, `vp·wn/2` (V·s) — equals the matched
+    /// first moment `f1` for the piecewise-linear template and serves as
+    /// the paper's energy proxy.
+    pub fn area(&self) -> f64 {
+        0.5 * self.vp * self.wn
+    }
+
+    /// Signed peak, `polarity × vp`.
+    pub fn signed_vp(&self) -> f64 {
+        self.polarity * self.vp
+    }
+
+    /// Value of the estimate's piecewise-linear template waveform at
+    /// time `t` (unsigned; combine with [`NoiseEstimate::signed_vp`]'s
+    /// sign convention for plotting). Zero outside `[t0, t0 + wn]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # let e = xtalk_core::NoiseEstimate {
+    /// #     vp: 0.2, t0: 0.0, t1: 1e-10, t2: 1e-10, tp: 1e-10,
+    /// #     wn: 2e-10, m: 1.0, polarity: 1.0,
+    /// # };
+    /// assert_eq!(e.template_value(1e-10), 0.2);     // the peak
+    /// assert_eq!(e.template_value(5e-11), 0.1);     // mid-rise
+    /// assert_eq!(e.template_value(1e-9), 0.0);      // after the fall
+    /// ```
+    pub fn template_value(&self, t: f64) -> f64 {
+        let rel = t - self.t0;
+        if rel <= 0.0 {
+            0.0
+        } else if rel <= self.t1 {
+            self.vp * rel / self.t1
+        } else {
+            (self.vp * (1.0 - (rel - self.t1) / self.t2)).max(0.0)
+        }
+    }
+
+    /// `true` when the pulse peak exceeds `threshold` (× `Vdd`) — the
+    /// screening predicate used by routers and noise-repair loops.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # let e = xtalk_core::NoiseEstimate {
+    /// #     vp: 0.2, t0: 0.0, t1: 1e-10, t2: 1e-10, tp: 1e-10,
+    /// #     wn: 2e-10, m: 1.0, polarity: 1.0,
+    /// # };
+    /// assert!(e.violates(0.15));
+    /// assert!(!e.violates(0.25));
+    /// ```
+    pub fn violates(&self, threshold: f64) -> bool {
+        self.vp > threshold
+    }
+}
+
+/// Closed-form lower/upper bounds on the waveform parameters over the full
+/// shape-ratio range `0 < m < ∞` (paper eqs. 37–40). The `Vp` and `Wn`
+/// bounds are tight: the spread is ≈13% and ≈15% respectively.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseBounds {
+    /// `Vp` bounds: `(√3/2)·2f1/T_W ≤ Vp ≤ 2f1/T_W`.
+    pub vp: (f64, f64),
+    /// `T0` bounds (eq. 38).
+    pub t0: (f64, f64),
+    /// `Tp` bounds (eq. 39).
+    pub tp: (f64, f64),
+    /// `Wn` bounds: `T_W ≤ Wn ≤ (2/√3)·T_W` (eq. 40).
+    pub wn: (f64, f64),
+}
+
+impl NoiseBounds {
+    /// `true` when every parameter of `estimate` lies inside the bounds
+    /// (inclusive, with a tiny tolerance for rounding).
+    pub fn contains(&self, estimate: &NoiseEstimate) -> bool {
+        let tol = 1e-9;
+        let inside = |(lo, hi): (f64, f64), v: f64| {
+            let span = (hi - lo).abs().max(hi.abs()).max(1e-300);
+            v >= lo - tol * span && v <= hi + tol * span
+        };
+        inside(self.vp, estimate.vp)
+            && inside(self.t0, estimate.t0)
+            && inside(self.tp, estimate.tp)
+            && inside(self.wn, estimate.wn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NoiseEstimate {
+        NoiseEstimate {
+            vp: 0.3,
+            t0: 1e-10,
+            t1: 5e-11,
+            t2: 1e-10,
+            tp: 1.5e-10,
+            wn: 1.5e-10,
+            m: 2.0,
+            polarity: -1.0,
+        }
+    }
+
+    #[test]
+    fn area_is_half_base_times_height() {
+        let e = sample();
+        assert!((e.area() - 0.5 * 0.3 * 1.5e-10).abs() < 1e-24);
+    }
+
+    #[test]
+    fn signed_peak_carries_polarity() {
+        assert_eq!(sample().signed_vp(), -0.3);
+    }
+
+    #[test]
+    fn violates_compares_magnitude() {
+        assert!(sample().violates(0.2));
+        assert!(!sample().violates(0.3));
+    }
+
+    #[test]
+    fn bounds_containment() {
+        let b = NoiseBounds {
+            vp: (0.25, 0.35),
+            t0: (0.5e-10, 1.5e-10),
+            tp: (1e-10, 2e-10),
+            wn: (1e-10, 2e-10),
+        };
+        assert!(b.contains(&sample()));
+        let mut outside = sample();
+        outside.vp = 0.4;
+        assert!(!b.contains(&outside));
+    }
+}

@@ -1,0 +1,171 @@
+//! Receiver noise-rejection judgment — why the paper insists on
+//! characterizing more than the peak.
+//!
+//! A noise spike only causes a functional failure if the receiving gate
+//! both *sees* it (amplitude above its DC threshold) and receives enough
+//! *energy* to flip its output node ("the pulse width is a measure of
+//! energy … noise energy ha\[s\] similar importance for circuit performance
+//! as the peak amplitude of the crosstalk noise has for functional
+//! failure", §1). The classic receiver noise-rejection curve captures
+//! this: tall-but-narrow pulses are tolerated, wide pulses are not.
+//!
+//! [`NoiseRejection`] implements the two-parameter rejection model:
+//! a DC threshold `v_th` plus a critical charge `q_crit` (V·s of pulse
+//! area the receiver integrates before flipping). Judging a
+//! [`NoiseEstimate`] therefore needs exactly the pair (`Vp`, `Wn`) the
+//! new metrics provide — a peak-only metric cannot evaluate it.
+
+use crate::NoiseEstimate;
+
+/// Verdict of a receiver on a noise pulse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseVerdict {
+    /// Below the DC threshold: can never propagate.
+    Safe,
+    /// Above the threshold but too little energy to flip the receiver:
+    /// tolerated, though noise margins are consumed.
+    Marginal,
+    /// Amplitude and energy both sufficient: a functional failure.
+    Failure,
+}
+
+/// Two-parameter receiver noise-rejection model.
+///
+/// # Examples
+///
+/// ```
+/// use xtalk_core::receiver::{NoiseRejection, NoiseVerdict};
+/// use xtalk_core::NoiseEstimate;
+///
+/// let rx = NoiseRejection::new(0.3, 30e-12); // 30% Vdd, 30 fVs critical
+/// let pulse = |vp: f64, wn: f64| NoiseEstimate {
+///     vp, t0: 0.0, t1: wn / 2.0, t2: wn / 2.0, tp: wn / 2.0,
+///     wn, m: 1.0, polarity: 1.0,
+/// };
+/// assert_eq!(rx.judge(&pulse(0.2, 1e-9)), NoiseVerdict::Safe);
+/// assert_eq!(rx.judge(&pulse(0.5, 2e-11)), NoiseVerdict::Marginal);
+/// assert_eq!(rx.judge(&pulse(0.5, 1e-9)), NoiseVerdict::Failure);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseRejection {
+    v_th: f64,
+    q_crit: f64,
+}
+
+impl NoiseRejection {
+    /// Builds a rejection model from the DC threshold (× `Vdd`) and the
+    /// critical pulse area (V·s).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive and finite and
+    /// `v_th < 1`.
+    pub fn new(v_th: f64, q_crit: f64) -> Self {
+        assert!(
+            v_th.is_finite() && v_th > 0.0 && v_th < 1.0,
+            "DC threshold must be inside (0, 1) x Vdd"
+        );
+        assert!(
+            q_crit.is_finite() && q_crit > 0.0,
+            "critical charge must be positive"
+        );
+        NoiseRejection { v_th, q_crit }
+    }
+
+    /// DC threshold (× `Vdd`).
+    pub fn v_th(&self) -> f64 {
+        self.v_th
+    }
+
+    /// Critical pulse area (V·s).
+    pub fn q_crit(&self) -> f64 {
+        self.q_crit
+    }
+
+    /// Judges a noise estimate against the rejection curve.
+    pub fn judge(&self, estimate: &NoiseEstimate) -> NoiseVerdict {
+        if estimate.vp <= self.v_th {
+            NoiseVerdict::Safe
+        } else if estimate.area() <= self.q_crit {
+            NoiseVerdict::Marginal
+        } else {
+            NoiseVerdict::Failure
+        }
+    }
+
+    /// The rejection curve itself: the widest tolerable pulse at a given
+    /// amplitude, `Wn_max(vp) = 2·q_crit/vp` above the threshold, `∞`
+    /// (represented as `f64::INFINITY`) below it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vp` is positive and finite.
+    pub fn max_width(&self, vp: f64) -> f64 {
+        assert!(vp.is_finite() && vp > 0.0, "amplitude must be positive");
+        if vp <= self.v_th {
+            f64::INFINITY
+        } else {
+            2.0 * self.q_crit / vp
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pulse(vp: f64, wn: f64) -> NoiseEstimate {
+        NoiseEstimate {
+            vp,
+            t0: 0.0,
+            t1: wn / 2.0,
+            t2: wn / 2.0,
+            tp: wn / 2.0,
+            wn,
+            m: 1.0,
+            polarity: 1.0,
+        }
+    }
+
+    #[test]
+    fn low_amplitude_is_always_safe() {
+        let rx = NoiseRejection::new(0.25, 10e-12);
+        assert_eq!(rx.judge(&pulse(0.25, 1e-6)), NoiseVerdict::Safe);
+        assert_eq!(rx.max_width(0.2), f64::INFINITY);
+    }
+
+    #[test]
+    fn narrow_spikes_are_tolerated() {
+        let rx = NoiseRejection::new(0.25, 10e-12);
+        // 0.5 Vdd but only 0.5*0.5*20ps = 5 fVs < 10 fVs.
+        assert_eq!(rx.judge(&pulse(0.5, 20e-12)), NoiseVerdict::Marginal);
+    }
+
+    #[test]
+    fn wide_tall_pulses_fail() {
+        let rx = NoiseRejection::new(0.25, 10e-12);
+        assert_eq!(rx.judge(&pulse(0.5, 1e-10)), NoiseVerdict::Failure);
+    }
+
+    #[test]
+    fn rejection_curve_boundary_is_consistent_with_judge() {
+        let rx = NoiseRejection::new(0.25, 10e-12);
+        let vp = 0.4;
+        let boundary = rx.max_width(vp);
+        assert_eq!(rx.judge(&pulse(vp, boundary * 0.999)), NoiseVerdict::Marginal);
+        assert_eq!(rx.judge(&pulse(vp, boundary * 1.001)), NoiseVerdict::Failure);
+    }
+
+    #[test]
+    fn curve_is_monotone_decreasing_in_amplitude() {
+        let rx = NoiseRejection::new(0.25, 10e-12);
+        assert!(rx.max_width(0.3) > rx.max_width(0.5));
+        assert!(rx.max_width(0.5) > rx.max_width(0.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "inside (0, 1)")]
+    fn threshold_validated() {
+        NoiseRejection::new(1.5, 1e-12);
+    }
+}

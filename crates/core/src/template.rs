@@ -1,0 +1,277 @@
+//! Template noise waveforms (paper §3.1, Figure 2).
+//!
+//! The metrics work by matching the first three output moments against one
+//! of two simplified waveforms:
+//!
+//! * [`PwlTemplate`] — triangular pulse: linear rise over `T1`, linear fall
+//!   over `T2 = m·T1` (metric I);
+//! * [`LinExpTemplate`] — linear rise over `T1`, exponential decay with
+//!   time constant `τ₂ = m·T1/λ` (metric II), eq. (2).
+//!
+//! Each template knows its exact Laplace-domain moments `e1, e2, e3`
+//! (eqs. 21–23 and 26–28) and can evaluate itself in the time domain —
+//! which is exactly what the property tests exploit: the closed-form
+//! moments must equal numerically integrated ones, and a metric fed a
+//! template's own moments must reconstruct the template.
+
+/// Triangular (piecewise-linear) noise template of metric I.
+///
+/// # Examples
+///
+/// ```
+/// use xtalk_core::template::PwlTemplate;
+///
+/// let t = PwlTemplate::new(1e-10, 5e-11, 2.0, 0.3);
+/// assert_eq!(t.value(1e-10), 0.0);           // arrival
+/// assert!((t.value(1.5e-10) - 0.3).abs() < 1e-15); // peak at T0+T1
+/// let [e1, _, _] = t.moments();
+/// assert!((e1 - 0.5 * 0.3 * 1.5e-10).abs() < 1e-24); // area
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PwlTemplate {
+    /// Arrival time `T0`.
+    pub t0: f64,
+    /// Rise time `T1`.
+    pub t1: f64,
+    /// Shape ratio `m = T2/T1`.
+    pub m: f64,
+    /// Peak `Vp`.
+    pub vp: f64,
+}
+
+impl PwlTemplate {
+    /// Creates a template.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t1 > 0`, `m > 0`, `vp > 0` and all are finite.
+    pub fn new(t0: f64, t1: f64, m: f64, vp: f64) -> Self {
+        assert!(t0.is_finite(), "t0 must be finite");
+        assert!(t1.is_finite() && t1 > 0.0, "t1 must be positive");
+        assert!(m.is_finite() && m > 0.0, "m must be positive");
+        assert!(vp.is_finite() && vp > 0.0, "vp must be positive");
+        PwlTemplate { t0, t1, m, vp }
+    }
+
+    /// Fall time `T2 = m·T1`.
+    pub fn t2(&self) -> f64 {
+        self.m * self.t1
+    }
+
+    /// Pulse width `T1 + T2`.
+    pub fn wn(&self) -> f64 {
+        self.t1 * (1.0 + self.m)
+    }
+
+    /// Peak time `T0 + T1`.
+    pub fn tp(&self) -> f64 {
+        self.t0 + self.t1
+    }
+
+    /// Template value at time `t`.
+    pub fn value(&self, t: f64) -> f64 {
+        let dt = t - self.t0;
+        if dt <= 0.0 {
+            0.0
+        } else if dt <= self.t1 {
+            self.vp * dt / self.t1
+        } else {
+            let fall = dt - self.t1;
+            (self.vp * (1.0 - fall / self.t2())).max(0.0)
+        }
+    }
+
+    /// Closed-form moments `[e1, e2, e3]` (paper eqs. 21–23).
+    pub fn moments(&self) -> [f64; 3] {
+        let (t0, t1, m, vp) = (self.t0, self.t1, self.m, self.vp);
+        let e1 = (m + 1.0) / 2.0 * vp * t1;
+        let e2 = -(m + 1.0) / 6.0 * vp * t1 * ((m + 2.0) * t1 + 3.0 * t0);
+        let e3 = (m + 1.0) / 24.0
+            * vp
+            * t1
+            * ((m * m + 3.0 * m + 3.0) * t1 * t1
+                + 4.0 * (m + 2.0) * t0 * t1
+                + 6.0 * t0 * t0);
+        [e1, e2, e3]
+    }
+}
+
+/// Linear-rise / exponential-decay noise template of metric II (eq. 2).
+///
+/// The decay time constant is `τ₂ = T2/λ = m·T1/λ`, with `λ` converting
+/// between the 10–90% extrapolated transition time and the exponential
+/// time constant (eq. 7; default [`crate::LAMBDA`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinExpTemplate {
+    /// Arrival time `T0`.
+    pub t0: f64,
+    /// Rise time `T1`.
+    pub t1: f64,
+    /// Shape ratio `m = T2/T1`.
+    pub m: f64,
+    /// Transition-time/shape factor `λ`.
+    pub lambda: f64,
+    /// Peak `Vp`.
+    pub vp: f64,
+}
+
+impl LinExpTemplate {
+    /// Creates a template.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t1 > 0`, `m > 0`, `lambda > 0`, `vp > 0` and all are
+    /// finite.
+    pub fn new(t0: f64, t1: f64, m: f64, lambda: f64, vp: f64) -> Self {
+        assert!(t0.is_finite(), "t0 must be finite");
+        assert!(t1.is_finite() && t1 > 0.0, "t1 must be positive");
+        assert!(m.is_finite() && m > 0.0, "m must be positive");
+        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+        assert!(vp.is_finite() && vp > 0.0, "vp must be positive");
+        LinExpTemplate {
+            t0,
+            t1,
+            m,
+            lambda,
+            vp,
+        }
+    }
+
+    /// Decay time constant `τ₂ = m·T1/λ`.
+    pub fn tau2(&self) -> f64 {
+        self.m * self.t1 / self.lambda
+    }
+
+    /// Equivalent second transition time `T2 = λ·τ₂ = m·T1`.
+    pub fn t2(&self) -> f64 {
+        self.m * self.t1
+    }
+
+    /// Pulse width `T1 + T2` (eq. 53 convention).
+    pub fn wn(&self) -> f64 {
+        self.t1 * (1.0 + self.m)
+    }
+
+    /// Peak time `T0 + T1`.
+    pub fn tp(&self) -> f64 {
+        self.t0 + self.t1
+    }
+
+    /// Template value at time `t` (eq. 2).
+    pub fn value(&self, t: f64) -> f64 {
+        let dt = t - self.t0;
+        if dt <= 0.0 {
+            0.0
+        } else if dt <= self.t1 {
+            self.vp * dt / self.t1
+        } else {
+            self.vp * (-(dt - self.t1) / self.tau2()).exp()
+        }
+    }
+
+    /// Closed-form moments `[e1, e2, e3]` (paper eqs. 26–28), with
+    /// `α = m/λ`:
+    ///
+    /// ```text
+    /// e1 =  Vp·T1·(α + 1/2)
+    /// e2 = −Vp·T1·[(α² + α + 1/3)·T1 + (α + 1/2)·T0]
+    /// e3 =  Vp·T1·[(α³ + α² + α/2 + 1/8)·T1²
+    ///              + (α² + α + 1/3)·T1·T0 + (α + 1/2)·T0²/2]
+    /// ```
+    pub fn moments(&self) -> [f64; 3] {
+        let (t0, t1, vp) = (self.t0, self.t1, self.vp);
+        let a = self.m / self.lambda;
+        let e1 = vp * t1 * (a + 0.5);
+        let e2 = -vp * t1 * ((a * a + a + 1.0 / 3.0) * t1 + (a + 0.5) * t0);
+        let e3 = vp
+            * t1
+            * ((a * a * a + a * a + a / 2.0 + 1.0 / 8.0) * t1 * t1
+                + (a * a + a + 1.0 / 3.0) * t1 * t0
+                + 0.5 * (a + 0.5) * t0 * t0);
+        [e1, e2, e3]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically integrates `[∫v, −∫t·v, ∫t²·v/2]` for comparison with
+    /// the closed forms.
+    fn numeric_moments(value: impl Fn(f64) -> f64, t_end: f64) -> [f64; 3] {
+        let n = 2_000_000;
+        let dt = t_end / n as f64;
+        let mut m = [0.0f64; 3];
+        for k in 0..n {
+            let t = (k as f64 + 0.5) * dt;
+            let v = value(t) * dt;
+            m[0] += v;
+            m[1] -= t * v;
+            m[2] += 0.5 * t * t * v;
+        }
+        m
+    }
+
+    #[test]
+    fn pwl_moments_match_quadrature() {
+        let t = PwlTemplate::new(2e-10, 1e-10, 2.5, 0.4);
+        let analytic = t.moments();
+        let numeric = numeric_moments(|x| t.value(x), 2e-9);
+        for k in 0..3 {
+            assert!(
+                (analytic[k] - numeric[k]).abs() < 1e-5 * analytic[k].abs(),
+                "moment {k}: {} vs {}",
+                analytic[k],
+                numeric[k]
+            );
+        }
+    }
+
+    #[test]
+    fn linexp_moments_match_quadrature() {
+        let t = LinExpTemplate::new(1e-10, 8e-11, 1.7, crate::LAMBDA, 0.25);
+        let analytic = t.moments();
+        // Exponential tail: integrate far out.
+        let numeric = numeric_moments(|x| t.value(x), 6e-9);
+        for k in 0..3 {
+            assert!(
+                (analytic[k] - numeric[k]).abs() < 1e-4 * analytic[k].abs(),
+                "moment {k}: {} vs {}",
+                analytic[k],
+                numeric[k]
+            );
+        }
+    }
+
+    #[test]
+    fn pwl_geometry() {
+        let t = PwlTemplate::new(1e-10, 5e-11, 2.0, 0.3);
+        assert_eq!(t.t2(), 1e-10);
+        assert!((t.wn() - 1.5e-10).abs() < 1e-24);
+        assert_eq!(t.tp(), 1.5e-10);
+        assert_eq!(t.value(0.0), 0.0);
+        assert!((t.value(t.tp()) - 0.3).abs() < 1e-15);
+        assert_eq!(t.value(1e-9), 0.0); // beyond the fall
+    }
+
+    #[test]
+    fn linexp_tail_decays_with_tau2() {
+        let t = LinExpTemplate::new(0.0, 1e-10, 2.0, crate::LAMBDA, 0.5);
+        let tau = t.tau2();
+        let v1 = t.value(1e-10 + tau);
+        assert!((v1 - 0.5 * (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linexp_transition_time_consistency() {
+        // T2 = λ·τ2 by construction.
+        let t = LinExpTemplate::new(0.0, 1e-10, 1.3, crate::LAMBDA, 0.5);
+        assert!((t.t2() - t.lambda * t.tau2()).abs() < 1e-22);
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be positive")]
+    fn zero_m_panics() {
+        PwlTemplate::new(0.0, 1e-10, 0.0, 0.1);
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end validation of the closed-form metrics against the transient
+//! simulator on randomized coupled circuits — a miniature of the paper's
+//! Tables 1–3 run as a test.
+//!
+//! Checked properties (the paper's headline claims):
+//!
+//! * metric II with the default λ is a **conservative** `Vp` estimate
+//!   (allowing the paper's own −5% numerical-tolerance convention);
+//! * both metrics land within a sane multiplicative band of the golden
+//!   `Vp` and `Wn`;
+//! * the area (first moment) of the simulated pulse matches `f1` — the
+//!   quantity both metrics preserve exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xtalk_circuit::{signal::InputSignal, NetId, NetRole, Network, NetworkBuilder};
+use xtalk_core::{MetricKind, NoiseAnalyzer};
+use xtalk_sim::{measure_noise, SimOptions, TransientSim};
+
+/// Random two-pin coupling circuit in a realistic 0.25 µm-like range.
+fn random_two_pin(rng: &mut StdRng) -> (Network, NetId) {
+    let mut b = NetworkBuilder::new();
+    let v = b.add_net("v", NetRole::Victim);
+    let a = b.add_net("a", NetRole::Aggressor);
+
+    let segs = rng.random_range(2..6);
+    let r_seg = rng.random_range(5.0..80.0);
+    let c_seg = rng.random_range(2e-15..15e-15);
+    let cc_seg = rng.random_range(2e-15..25e-15);
+
+    let mut vprev = b.add_node(v, "v0");
+    b.add_driver(v, vprev, rng.random_range(50.0..1500.0)).unwrap();
+    let mut aprev = b.add_node(a, "a0");
+    b.add_driver(a, aprev, rng.random_range(50.0..1500.0)).unwrap();
+    for i in 1..=segs {
+        let vn = b.add_node(v, format!("v{i}"));
+        let an = b.add_node(a, format!("a{i}"));
+        b.add_resistor(vprev, vn, r_seg).unwrap();
+        b.add_resistor(aprev, an, r_seg).unwrap();
+        b.add_ground_cap(vn, c_seg).unwrap();
+        b.add_ground_cap(an, c_seg).unwrap();
+        b.add_coupling_cap(vn, an, cc_seg).unwrap();
+        vprev = vn;
+        aprev = an;
+    }
+    b.add_sink(vprev, rng.random_range(2e-15..40e-15)).unwrap();
+    b.add_sink(aprev, rng.random_range(2e-15..40e-15)).unwrap();
+    b.set_victim_output(vprev);
+    let net = b.build().unwrap();
+    let agg = net.aggressor_nets().next().unwrap().0;
+    (net, agg)
+}
+
+struct Case {
+    golden_vp: f64,
+    golden_wn: f64,
+    golden_area: f64,
+    vp1: f64,
+    vp2: f64,
+    wn1: f64,
+    wn2: f64,
+    f1: f64,
+}
+
+fn run_case(rng: &mut StdRng) -> Option<Case> {
+    let (net, agg) = random_two_pin(rng);
+    let input = InputSignal::rising_ramp(0.0, rng.random_range(3e-11..4e-10));
+
+    let analyzer = NoiseAnalyzer::new(&net).unwrap();
+    let est1 = analyzer.analyze(agg, &input, MetricKind::One).ok()?;
+    let est2 = analyzer.analyze(agg, &input, MetricKind::Two).ok()?;
+    let f = analyzer.output_moments(agg, &input).unwrap();
+
+    let sim = TransientSim::new(&net).unwrap();
+    let opts = SimOptions::auto(&net, &[(agg, input)]);
+    let res = sim.run(&[(agg, input)], &opts).unwrap();
+    let golden = measure_noise(res.probe(net.victim_output()).unwrap(), 1.0).ok()?;
+    if golden.vp < 1e-4 {
+        return None; // numerically negligible pulses are not meaningful
+    }
+    Some(Case {
+        golden_vp: golden.vp,
+        golden_wn: golden.wn,
+        golden_area: golden.area,
+        vp1: est1.vp,
+        vp2: est2.vp,
+        wn1: est1.wn,
+        wn2: est2.wn,
+        f1: f.f1(),
+    })
+}
+
+#[test]
+fn metrics_track_simulation_over_random_circuits() {
+    let mut rng = StdRng::seed_from_u64(0xda7e2002);
+    let mut cases = Vec::new();
+    while cases.len() < 60 {
+        if let Some(c) = run_case(&mut rng) {
+            cases.push(c);
+        }
+    }
+
+    let mut metric2_conservative = 0usize;
+    for (i, c) in cases.iter().enumerate() {
+        // Area identity: simulated pulse area = f1 (to integrator accuracy).
+        assert!(
+            (c.golden_area - c.f1).abs() < 2e-2 * c.f1,
+            "case {i}: area {} vs f1 {}",
+            c.golden_area,
+            c.f1
+        );
+        // Both metrics within a sane band of golden (paper: max ~85%).
+        for (name, vp) in [("I", c.vp1), ("II", c.vp2)] {
+            let err = (vp - c.golden_vp) / c.golden_vp;
+            assert!(
+                (-0.6..2.0).contains(&err),
+                "case {i}: metric {name} vp error {err} ({vp} vs {})",
+                c.golden_vp
+            );
+        }
+        for (name, wn) in [("I", c.wn1), ("II", c.wn2)] {
+            let err = (wn - c.golden_wn) / c.golden_wn;
+            assert!(
+                (-0.7..2.0).contains(&err),
+                "case {i}: metric {name} wn error {err}"
+            );
+        }
+        // Paper convention: within -5% still counts as conservative.
+        if c.vp2 >= 0.95 * c.golden_vp {
+            metric2_conservative += 1;
+        }
+    }
+    // Metric II must be (essentially) always an upper bound for Vp.
+    assert!(
+        metric2_conservative == cases.len(),
+        "metric II failed conservatism on {}/{} cases",
+        cases.len() - metric2_conservative,
+        cases.len()
+    );
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the closed-form metrics.
+//!
+//! The central properties:
+//!
+//! 1. **Template round trip** — feeding a template's own moments to the
+//!    matching metric reconstructs the template parameters exactly
+//!    (eqs. 30–36 and 48–53 invert eqs. 21–23 and 26–28);
+//! 2. **Bounds** — metric I estimates stay inside eqs. (37)–(40) for every
+//!    shape ratio;
+//! 3. **Invariants** — `tp = t0 + t1`, `wn = t1 + t2`, area preservation.
+
+use proptest::prelude::*;
+use xtalk_core::template::{LinExpTemplate, PwlTemplate};
+use xtalk_core::{MetricOne, MetricTwo, OutputMoments, LAMBDA};
+
+/// Realistic interconnect parameter ranges (seconds, normalized volts).
+fn params() -> impl Strategy<Value = (f64, f64, f64, f64)> {
+    (
+        0.0..5e-10f64,    // t0
+        1e-12..5e-10f64,  // t1
+        0.05..20.0f64,    // m
+        0.01..0.8f64,     // vp
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn metric_one_round_trips_pwl_templates((t0, t1, m, vp) in params()) {
+        let tpl = PwlTemplate::new(t0, t1, m, vp);
+        let [e1, e2, e3] = tpl.moments();
+        let f = OutputMoments::from_raw(e1, e2, e3, 1.0).unwrap();
+        let est = MetricOne::estimate(&f, m).unwrap();
+        prop_assert!((est.vp - vp).abs() < 1e-6 * vp, "vp {} vs {vp}", est.vp);
+        prop_assert!((est.t1 - t1).abs() < 1e-6 * t1);
+        prop_assert!((est.t0 - t0).abs() < 1e-6 * (t0 + t1));
+        prop_assert!((est.t2 - m * t1).abs() < 1e-6 * m * t1);
+    }
+
+    #[test]
+    fn metric_two_round_trips_linexp_templates((t0, t1, m, vp) in params()) {
+        let tpl = LinExpTemplate::new(t0, t1, m, LAMBDA, vp);
+        let [e1, e2, e3] = tpl.moments();
+        let f = OutputMoments::from_raw(e1, e2, e3, 1.0).unwrap();
+        let est = MetricTwo::default().estimate(&f, m).unwrap();
+        prop_assert!((est.vp - vp).abs() < 1e-6 * vp, "vp {} vs {vp}", est.vp);
+        prop_assert!((est.t1 - t1).abs() < 1e-6 * t1);
+        prop_assert!((est.t0 - t0).abs() < 1e-5 * (t0 + t1));
+    }
+
+    #[test]
+    fn metric_one_estimates_stay_in_bounds(
+        (t0, t1, m, vp) in params(),
+        m_guess in 1e-3..1e3f64,
+    ) {
+        let tpl = PwlTemplate::new(t0, t1, m, vp);
+        let [e1, e2, e3] = tpl.moments();
+        let f = OutputMoments::from_raw(e1, e2, e3, 1.0).unwrap();
+        let bounds = MetricOne::bounds(&f).unwrap();
+        let est = MetricOne::estimate(&f, m_guess).unwrap();
+        prop_assert!(bounds.contains(&est), "m_guess={m_guess}: {est:?} vs {bounds:?}");
+    }
+
+    #[test]
+    fn estimates_satisfy_structural_invariants(
+        (t0, t1, m, vp) in params(),
+        m_guess in 1e-2..1e2f64,
+    ) {
+        let tpl = PwlTemplate::new(t0, t1, m, vp);
+        let [e1, e2, e3] = tpl.moments();
+        let f = OutputMoments::from_raw(e1, e2, e3, 1.0).unwrap();
+        for est in [
+            MetricOne::estimate(&f, m_guess).unwrap(),
+            MetricTwo::default().estimate(&f, m_guess).unwrap(),
+        ] {
+            prop_assert!(est.vp > 0.0 && est.t1 > 0.0 && est.t2 > 0.0);
+            prop_assert!((est.tp - (est.t0 + est.t1)).abs() <= 1e-9 * est.t1.max(est.tp.abs()));
+            prop_assert!((est.wn - (est.t1 + est.t2)).abs() <= 1e-9 * est.wn);
+            prop_assert!((est.t2 / est.t1 - m_guess).abs() <= 1e-9 * m_guess);
+        }
+    }
+
+    #[test]
+    fn metric_one_area_is_exactly_f1((t0, t1, m, vp) in params(), m_guess in 1e-2..1e2f64) {
+        // Matching e1 forces Vp·Wn/2 = f1 regardless of the m used.
+        let tpl = PwlTemplate::new(t0, t1, m, vp);
+        let [e1, e2, e3] = tpl.moments();
+        let f = OutputMoments::from_raw(e1, e2, e3, 1.0).unwrap();
+        let est = MetricOne::estimate(&f, m_guess).unwrap();
+        prop_assert!((est.area() - f.f1()).abs() < 1e-9 * f.f1());
+    }
+
+    #[test]
+    fn cross_template_estimates_agree_on_order_of_magnitude(
+        (t0, t1, m, vp) in params(),
+    ) {
+        // Feeding PWL moments to metric II (model mismatch) must still give
+        // a sane estimate. The analytic extremes of the Vp ratio over
+        // 0 < m < ∞ are bounded by √72/4 ≈ 2.12 (m → ∞ limit).
+        let tpl = PwlTemplate::new(t0, t1, m, vp);
+        let [e1, e2, e3] = tpl.moments();
+        let f = OutputMoments::from_raw(e1, e2, e3, 1.0).unwrap();
+        let est1 = MetricOne::estimate(&f, m).unwrap();
+        let est2 = MetricTwo::default().estimate(&f, m).unwrap();
+        let ratio = est2.vp / est1.vp;
+        prop_assert!((0.4..2.13).contains(&ratio), "vp ratio {ratio}");
+    }
+}

@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+use xtalk_circuit::{CircuitError, NetId};
+use xtalk_moments::MomentError;
+
+/// Errors raised by the delay analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DelayError {
+    /// A scenario entry names a net that is not an aggressor of the
+    /// analyzed network.
+    NotAnAggressor(NetId),
+    /// A net appears twice in the scenario.
+    DuplicateScenarioEntry(NetId),
+    /// The decoupled victim network could not be rebuilt (internal
+    /// inconsistency — indicates a bug, not an input condition).
+    Rebuild(CircuitError),
+    /// Moment computation on the decoupled victim failed.
+    Moments(MomentError),
+    /// The reduced-order model has no monotone 50% crossing (unstable
+    /// two-pole fit) for the requested metric.
+    NoCrossing,
+}
+
+impl fmt::Display for DelayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DelayError::NotAnAggressor(net) => {
+                write!(f, "net {net} is not an aggressor of this network")
+            }
+            DelayError::DuplicateScenarioEntry(net) => {
+                write!(f, "net {net} appears twice in the switching scenario")
+            }
+            DelayError::Rebuild(e) => write!(f, "decoupled victim rebuild failed: {e}"),
+            DelayError::Moments(e) => write!(f, "moment computation failed: {e}"),
+            DelayError::NoCrossing => {
+                write!(f, "reduced model has no 50% crossing for this circuit")
+            }
+        }
+    }
+}
+
+impl Error for DelayError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DelayError::Rebuild(e) => Some(e),
+            DelayError::Moments(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for DelayError {
+    fn from(e: CircuitError) -> Self {
+        DelayError::Rebuild(e)
+    }
+}
+
+impl From<MomentError> for DelayError {
+    fn from(e: MomentError) -> Self {
+        DelayError::Moments(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        assert!(DelayError::NoCrossing.to_string().contains("50%"));
+        let e = DelayError::Moments(MomentError::ZeroOrder);
+        assert!(e.to_string().contains("moment"));
+    }
+}

@@ -1,0 +1,262 @@
+use crate::DelayError;
+use xtalk_moments::{PoleKind, TwoPoleFit};
+
+/// Which delay metric to evaluate on the decoupled victim's transfer
+/// moments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DelayMetric {
+    /// Elmore delay `−m1`: the classical conservative bound (exact mean of
+    /// the impulse response).
+    Elmore,
+    /// `D2M = ln 2 · m1² / √m2` — the two-moment delay metric, exact for a
+    /// single pole and much tighter than Elmore on RC trees.
+    D2m,
+    /// 50% crossing of the two-pole reduced step response (bisection on a
+    /// closed-form waveform; the most accurate of the three).
+    #[default]
+    TwoPole,
+}
+
+/// Evaluates a delay metric from the victim's step-response Taylor
+/// coefficients `h = [h0 = 1, h1, h2, h3]` (own-driver transfer of the
+/// decoupled victim; `h1 < 0 < h2` for RC trees).
+///
+/// Returns the 50% step delay in seconds.
+///
+/// # Errors
+///
+/// [`DelayError::NoCrossing`] when the two-pole model is unstable or has
+/// no monotone crossing (cannot occur for passive decoupled RC trees with
+/// exact moments, but guards Padé pathologies with hand-supplied inputs).
+pub fn step_delay(metric: DelayMetric, h: &[f64]) -> Result<f64, DelayError> {
+    assert!(h.len() >= 3, "need at least h0..h2");
+    let m1 = h[1];
+    let m2 = h[2];
+    match metric {
+        DelayMetric::Elmore => Ok(-m1),
+        DelayMetric::D2m => {
+            if m2 <= 0.0 {
+                return Err(DelayError::NoCrossing);
+            }
+            Ok(std::f64::consts::LN_2 * m1 * m1 / m2.sqrt())
+        }
+        DelayMetric::TwoPole => {
+            assert!(h.len() >= 4, "two-pole metric needs h0..h3");
+            two_pole_50(h)
+        }
+    }
+}
+
+/// Output transition time (10–90% extrapolated, the eq.-6 convention) of
+/// the two-pole step response — how much the coupled load degrades the
+/// victim's edge rate, the other quantity timing flows need.
+///
+/// # Errors
+///
+/// [`DelayError::NoCrossing`] on degenerate reduced models.
+pub fn step_slew(h: &[f64]) -> Result<f64, DelayError> {
+    assert!(h.len() >= 4, "slew needs h0..h3");
+    let (v, slowest) = two_pole_response(h)?;
+    let t10 = first_up_crossing(&v, slowest, 0.1)?;
+    let t90 = first_up_crossing(&v, slowest, 0.9)?;
+    Ok((t90 - t10) / 0.8)
+}
+
+/// 50% crossing of the two-pole step response.
+///
+/// The victim's own transfer has a DC path (`h0 = 1`); the second-order
+/// Padé model is `H(s) = (1 + a1·s)/(1 + b1·s + b2·s²)` with the
+/// coefficients fixed by moment matching:
+///
+/// ```text
+/// b1 = (h1·h2 − h3)/(h2 − h1²)
+/// b2 = −(h2 + b1·h1)
+/// a1 = h1 + b1
+/// ```
+///
+/// The unit-step response follows by partial fractions,
+/// `v(t) = 1 + Σᵢ kᵢ·e^{pᵢt}` with `kᵢ = (1 + a1·pᵢ)/(pᵢ·b2·(pᵢ − pⱼ))`,
+/// and the 50% delay is located by a bracketed bisection.
+fn two_pole_50(h: &[f64]) -> Result<f64, DelayError> {
+    let (v, slowest) = two_pole_response(h)?;
+    first_up_crossing(&v, slowest, 0.5)
+}
+
+/// Builds the two-pole (or degenerate one-pole) step response and its
+/// slowest time constant from the victim's own transfer coefficients.
+#[allow(clippy::type_complexity)]
+fn two_pole_response(h: &[f64]) -> Result<(Box<dyn Fn(f64) -> f64>, f64), DelayError> {
+    let (h1, h2, h3) = (h[1], h[2], h[3]);
+    if h1 >= 0.0 {
+        return Err(DelayError::NoCrossing);
+    }
+    let denom = h2 - h1 * h1;
+    // h2 → h1² is the exact single-pole degeneration of the second-order
+    // Padé (the 2×2 moment matrix goes singular); fall back to the
+    // one-pole model (1 + a1·s)/(1 + b1·s).
+    if denom.abs() <= 1e-9 * h1 * h1 {
+        let b1 = -h2 / h1;
+        let a1 = h1 + b1;
+        if b1 <= 0.0 {
+            return Err(DelayError::NoCrossing);
+        }
+        let k = a1 / b1 - 1.0;
+        let p = -1.0 / b1;
+        return Ok((Box::new(move |t: f64| 1.0 + k * (p * t).exp()), b1));
+    }
+    let b1 = (h1 * h2 - h3) / denom;
+    let b2 = -(h2 + b1 * h1);
+    let a1 = h1 + b1;
+
+    // Reuse the noise fit's pole classification for the shared denominator.
+    let poles = TwoPoleFit::from_coeffs(1.0, b1, b2).poles();
+    let v: Box<dyn Fn(f64) -> f64> = match poles {
+        PoleKind::SingleReal { p } => {
+            // V(s) = (1 + a1 s)/(s (1 + b1 s)): v = 1 + (a1/b1 − 1)e^{pt}.
+            let k = a1 / b1 - 1.0;
+            Box::new(move |t: f64| 1.0 + k * (p * t).exp())
+        }
+        PoleKind::RealStable { p1, p2 } => {
+            let k1 = (1.0 + a1 * p1) / (p1 * b2 * (p1 - p2));
+            let k2 = (1.0 + a1 * p2) / (p2 * b2 * (p2 - p1));
+            Box::new(move |t: f64| 1.0 + k1 * (p1 * t).exp() + k2 * (p2 * t).exp())
+        }
+        PoleKind::RealDouble { p } => {
+            // V(s) = (1 + a1 s)/(s·b2·(s − p)²). Residues: 1/(b2 p²) = 1 at
+            // s = 0; at the double pole, B = (1 + a1 p)/(b2 p) on (s−p)⁻²
+            // and A = d/ds[(1 + a1 s)/(s b2)]|_p = −1/(b2 p²) = −1 on
+            // (s−p)⁻¹. Hence v(t) = 1 + (B·t − 1)·e^{pt}, with v(0) = 0.
+            let b_coef = (1.0 + a1 * p) / (b2 * p);
+            Box::new(move |t: f64| 1.0 + (b_coef * t - 1.0) * (p * t).exp())
+        }
+        _ => return Err(DelayError::NoCrossing),
+    };
+    let slowest = match poles {
+        PoleKind::SingleReal { p } | PoleKind::RealDouble { p } => -1.0 / p,
+        PoleKind::RealStable { p1, .. } => -1.0 / p1,
+        _ => unreachable!("filtered above"),
+    };
+    Ok((v, slowest))
+}
+
+/// First up-crossing of `level`, by coarse scan + bisection.
+fn first_up_crossing(
+    v: &dyn Fn(f64) -> f64,
+    slowest: f64,
+    level: f64,
+) -> Result<f64, DelayError> {
+    let t_max = 60.0 * slowest;
+    let n = 2048;
+    let mut bracket = None;
+    for i in 0..n {
+        let t0 = t_max * i as f64 / n as f64;
+        let t1 = t_max * (i + 1) as f64 / n as f64;
+        if v(t0) < level && v(t1) >= level {
+            bracket = Some((t0, t1));
+            break;
+        }
+    }
+    let (mut lo, mut hi) = bracket.ok_or(DelayError::NoCrossing)?;
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if v(mid) < level {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Single-pole victim: H = 1/(1 + τ s) → h = [1, -τ, τ², -τ³].
+    fn one_pole(tau: f64) -> [f64; 4] {
+        [1.0, -tau, tau * tau, -tau * tau * tau]
+    }
+
+    #[test]
+    fn elmore_is_negated_first_moment() {
+        let h = one_pole(2e-10);
+        assert_eq!(step_delay(DelayMetric::Elmore, &h).unwrap(), 2e-10);
+    }
+
+    #[test]
+    fn d2m_is_exact_for_one_pole() {
+        // 50% delay of 1 - e^{-t/τ} is τ·ln2.
+        let tau = 1.5e-10;
+        let d = step_delay(DelayMetric::D2m, &one_pole(tau)).unwrap();
+        assert!((d - tau * std::f64::consts::LN_2).abs() < 1e-12 * d);
+    }
+
+    #[test]
+    fn two_pole_is_exact_for_one_pole() {
+        let tau = 1.5e-10;
+        let d = step_delay(DelayMetric::TwoPole, &one_pole(tau)).unwrap();
+        assert!(
+            (d - tau * std::f64::consts::LN_2).abs() < 1e-6 * d,
+            "d = {d}"
+        );
+    }
+
+    #[test]
+    fn two_pole_matches_analytic_two_pole_circuit() {
+        // H = 1/((1 + τ1 s)(1 + τ2 s)): h1 = -(τ1+τ2), h2 = τ1²+τ1τ2+τ2²,
+        // h3 = -(τ1³+τ1²τ2+τ1τ2²+τ2³).
+        let (t1, t2) = (2e-10, 0.7e-10);
+        let h = [
+            1.0,
+            -(t1 + t2),
+            t1 * t1 + t1 * t2 + t2 * t2,
+            -(t1 * t1 * t1 + t1 * t1 * t2 + t1 * t2 * t2 + t2 * t2 * t2),
+        ];
+        let d = step_delay(DelayMetric::TwoPole, &h).unwrap();
+        // Reference by dense numerical evaluation of the exact response:
+        // v(t) = 1 - (τ1 e^{-t/τ1} - τ2 e^{-t/τ2})/(τ1 - τ2).
+        let v = |t: f64| {
+            1.0 - (t1 * (-t / t1).exp() - t2 * (-t / t2).exp()) / (t1 - t2)
+        };
+        let mut lo = 0.0;
+        let mut hi = 1e-8;
+        for _ in 0..100 {
+            let m = 0.5 * (lo + hi);
+            if v(m) < 0.5 {
+                lo = m;
+            } else {
+                hi = m;
+            }
+        }
+        let reference = 0.5 * (lo + hi);
+        assert!(
+            (d - reference).abs() < 1e-4 * reference,
+            "{d} vs {reference}"
+        );
+    }
+
+    #[test]
+    fn metric_ordering_elmore_most_conservative() {
+        let (t1, t2) = (2e-10, 0.7e-10);
+        let h = [
+            1.0,
+            -(t1 + t2),
+            t1 * t1 + t1 * t2 + t2 * t2,
+            -(t1 * t1 * t1 + t1 * t1 * t2 + t1 * t2 * t2 + t2 * t2 * t2),
+        ];
+        let elmore = step_delay(DelayMetric::Elmore, &h).unwrap();
+        let d2m = step_delay(DelayMetric::D2m, &h).unwrap();
+        let two = step_delay(DelayMetric::TwoPole, &h).unwrap();
+        assert!(elmore > two, "Elmore {elmore} must exceed 50% delay {two}");
+        assert!(d2m <= elmore);
+        assert!(d2m > 0.0);
+    }
+
+    #[test]
+    fn degenerate_moments_report_no_crossing() {
+        assert!(matches!(
+            step_delay(DelayMetric::D2m, &[1.0, -1e-10, -1e-20, 0.0]),
+            Err(DelayError::NoCrossing)
+        ));
+    }
+}

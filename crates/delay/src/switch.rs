@@ -1,0 +1,64 @@
+/// Miller switch factor of an aggressor relative to the switching victim.
+///
+/// Replacing a coupling capacitor `Cc` by an effective grounded capacitor
+/// `k·Cc` captures the first-order effect of the aggressor's activity on
+/// the victim's transition:
+///
+/// * an aggressor switching **with** the victim holds the voltage across
+///   `Cc` constant → no coupling current → `k = 0` (fastest victim);
+/// * a **quiet** aggressor lets `Cc` charge like a grounded cap → `k = 1`;
+/// * an aggressor switching **against** the victim doubles the voltage
+///   excursion across `Cc` → `k = 2` (slowest victim).
+///
+/// [`SwitchFactor::Custom`] admits the intermediate/extended factors used
+/// by timing signoff flows (e.g. slew-ratio-dependent factors in
+/// `[-1, 3]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwitchFactor {
+    /// Aggressor switches in the victim's direction: `k = 0`.
+    SameDirection,
+    /// Aggressor holds still: `k = 1`.
+    Quiet,
+    /// Aggressor switches against the victim: `k = 2`.
+    Opposite,
+    /// Explicit factor (finite; timing flows use up to `[-1, 3]`).
+    Custom(f64),
+}
+
+impl SwitchFactor {
+    /// The numeric Miller factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`SwitchFactor::Custom`] value is not finite.
+    pub fn factor(&self) -> f64 {
+        match self {
+            SwitchFactor::SameDirection => 0.0,
+            SwitchFactor::Quiet => 1.0,
+            SwitchFactor::Opposite => 2.0,
+            SwitchFactor::Custom(k) => {
+                assert!(k.is_finite(), "custom switch factor must be finite");
+                *k
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_factors() {
+        assert_eq!(SwitchFactor::SameDirection.factor(), 0.0);
+        assert_eq!(SwitchFactor::Quiet.factor(), 1.0);
+        assert_eq!(SwitchFactor::Opposite.factor(), 2.0);
+        assert_eq!(SwitchFactor::Custom(2.5).factor(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn non_finite_custom_panics() {
+        SwitchFactor::Custom(f64::NAN).factor();
+    }
+}

@@ -1,0 +1,135 @@
+//! Validates the switch-factor delay model against the transient
+//! simulator with the victim *and* the aggressor actually switching.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xtalk_circuit::{signal::InputSignal, NetId, NetRole, Network, NetworkBuilder};
+use xtalk_delay::{DelayAnalyzer, DelayMetric, SwitchFactor};
+use xtalk_sim::{SimOptions, TransientSim};
+
+fn random_coupled_line(rng: &mut StdRng) -> (Network, NetId) {
+    let mut b = NetworkBuilder::new();
+    let v = b.add_net("v", NetRole::Victim);
+    let a = b.add_net("a", NetRole::Aggressor);
+    let segs = rng.random_range(3..7);
+    let mut vp = b.add_node(v, "v0");
+    let mut ap = b.add_node(a, "a0");
+    b.add_driver(v, vp, rng.random_range(100.0..800.0)).unwrap();
+    b.add_driver(a, ap, rng.random_range(100.0..800.0)).unwrap();
+    for i in 1..=segs {
+        let vn = b.add_node(v, format!("v{i}"));
+        let an = b.add_node(a, format!("a{i}"));
+        b.add_resistor(vp, vn, rng.random_range(10.0..80.0)).unwrap();
+        b.add_resistor(ap, an, rng.random_range(10.0..80.0)).unwrap();
+        b.add_ground_cap(vn, rng.random_range(2e-15..12e-15)).unwrap();
+        b.add_ground_cap(an, rng.random_range(2e-15..12e-15)).unwrap();
+        b.add_coupling_cap(vn, an, rng.random_range(5e-15..30e-15)).unwrap();
+        vp = vn;
+        ap = an;
+    }
+    b.add_sink(vp, rng.random_range(5e-15..30e-15)).unwrap();
+    b.add_sink(ap, rng.random_range(5e-15..30e-15)).unwrap();
+    b.set_victim_output(vp);
+    let net = b.build().unwrap();
+    let agg = net.aggressor_nets().next().unwrap().0;
+    (net, agg)
+}
+
+/// Simulated 50% delay of the victim (rising) with the aggressor driven
+/// by `agg_input` (or quiet when `None`).
+fn simulated_delay(net: &Network, agg: NetId, agg_input: Option<InputSignal>) -> f64 {
+    let victim_input = InputSignal::rising_ramp(0.0, 50e-12);
+    let mut stim = vec![(net.victim(), victim_input)];
+    if let Some(ai) = agg_input {
+        stim.push((agg, ai));
+    }
+    let sim = TransientSim::new(net).unwrap();
+    let opts = SimOptions::auto(net, &stim);
+    let run = sim.run_full(&stim, &opts).unwrap();
+    let w = run.probe(net.victim_output()).unwrap();
+    let t50 = w
+        .crossing_after(0.0, 0.5, true)
+        .expect("victim output must cross 50%");
+    t50 - victim_input.crossing_time(0.5)
+}
+
+#[test]
+fn switching_direction_orders_simulated_delays() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for case in 0..15 {
+        let (net, agg) = random_coupled_line(&mut rng);
+        // Align the aggressor edge with the victim edge; same slew.
+        let along = InputSignal::rising_ramp(0.0, 50e-12);
+        let against = InputSignal::falling_ramp(0.0, 50e-12);
+        let d_same = simulated_delay(&net, agg, Some(along));
+        let d_quiet = simulated_delay(&net, agg, None);
+        let d_opp = simulated_delay(&net, agg, Some(against));
+        assert!(
+            d_same < d_quiet && d_quiet < d_opp,
+            "case {case}: {d_same} {d_quiet} {d_opp}"
+        );
+    }
+}
+
+#[test]
+fn switch_factor_window_brackets_simulated_delays() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for case in 0..15 {
+        let (net, agg) = random_coupled_line(&mut rng);
+        let analyzer = DelayAnalyzer::new(&net);
+        let (best, worst) = analyzer.delay_window(DelayMetric::TwoPole).unwrap();
+
+        let along = InputSignal::rising_ramp(0.0, 50e-12);
+        let against = InputSignal::falling_ramp(0.0, 50e-12);
+        let d_same = simulated_delay(&net, agg, Some(along));
+        let d_opp = simulated_delay(&net, agg, Some(against));
+
+        // The k=0/k=2 window brackets the simulated extremes with the
+        // step-vs-ramp slack (the metric models a step input): allow the
+        // bracket a 35% margin on each side.
+        assert!(
+            best <= d_same * 1.35,
+            "case {case}: best-case {best} should not exceed simulated same-direction {d_same}"
+        );
+        assert!(
+            worst >= d_opp * 0.65,
+            "case {case}: worst-case {worst} should cover simulated opposite {d_opp}"
+        );
+        assert!(worst > best);
+    }
+}
+
+#[test]
+fn quiet_two_pole_delay_tracks_simulation() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut rel_errors = Vec::new();
+    for _ in 0..15 {
+        let (net, agg) = random_coupled_line(&mut rng);
+        let analyzer = DelayAnalyzer::new(&net);
+        let est = analyzer
+            .delay(&[(agg, SwitchFactor::Quiet)], DelayMetric::TwoPole)
+            .unwrap();
+        let sim = simulated_delay(&net, agg, None);
+        rel_errors.push((est - sim) / sim);
+    }
+    // Step-input metric vs 50 ps ramp simulation: mean |error| modest.
+    let mean_abs =
+        rel_errors.iter().map(|e| e.abs()).sum::<f64>() / rel_errors.len() as f64;
+    assert!(mean_abs < 0.35, "mean |error| {mean_abs}: {rel_errors:?}");
+}
+
+#[test]
+fn elmore_bounds_simulated_quiet_delay() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for case in 0..15 {
+        let (net, _) = random_coupled_line(&mut rng);
+        let analyzer = DelayAnalyzer::new(&net);
+        let elmore = analyzer.delay(&[], DelayMetric::Elmore).unwrap();
+        let agg = net.aggressor_nets().next().unwrap().0;
+        let sim = simulated_delay(&net, agg, None);
+        assert!(
+            elmore > 0.8 * sim,
+            "case {case}: Elmore {elmore} vs simulated {sim}"
+        );
+    }
+}

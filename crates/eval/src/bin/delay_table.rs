@@ -1,0 +1,24 @@
+//! Evaluation table for the crosstalk-delay extension: the three delay
+//! metrics (Elmore / D2M / two-pole 50%) under three aggressor scenarios
+//! (along / quiet / against), scored against co-switching transient
+//! simulation.
+//!
+//! ```text
+//! cargo run --release -p xtalk-eval --bin delay_table -- [--cases N] [--seed S]
+//! ```
+
+use xtalk_eval::{cli, render_delay_table, run_delay_table};
+use xtalk_tech::Technology;
+
+fn main() {
+    let mut config = cli::config_from_args("delay_table");
+    if config.cases > 300 {
+        config.cases = 300;
+    }
+    let tech = Technology::p25();
+    eprintln!("delay_table: {} two-pin cases x 3 scenarios", config.cases);
+    let rows = run_delay_table(&tech, &config);
+    println!("{}", render_delay_table(&rows));
+    println!("notes: metrics model step inputs; simulation uses 50 ps edges.");
+    println!("       Elmore is the conservative bound; two-pole the accurate one.");
+}

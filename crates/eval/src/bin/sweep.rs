@@ -1,0 +1,50 @@
+//! Full-volume validation sweep in the spirit of the paper's "over 40000
+//! cases": runs all three table workloads at a configurable case count and
+//! prints the three tables plus the conservatism summary for new metric II.
+//!
+//! ```text
+//! cargo run --release -p xtalk-eval --bin sweep -- --cases 13000
+//! ```
+//! (three workloads × `--cases` ≈ the paper's volume at 13–14k each.)
+
+use xtalk_eval::{render_table, run_tree_table, run_two_pin_table, Method, Param};
+use xtalk_eval::{cli, TableStats};
+use xtalk_tech::{CouplingDirection, Technology};
+
+fn conservatism_line(name: &str, stats: &TableStats) {
+    if let Some(cell) = stats.cell(Method::NewTwo, Param::Vp) {
+        println!(
+            "{name}: new II Vp error range {:.1}% … {:.1}%  (conservative ≥ -5%: {})",
+            cell.max_neg(),
+            cell.max_pos(),
+            cell.conservative_above(-5.0)
+        );
+    }
+}
+
+fn main() {
+    let config = cli::config_from_args("sweep");
+    let tech = Technology::p25();
+
+    eprintln!("sweep: 3 workloads x {} cases", config.cases);
+    let t1 = run_two_pin_table(&tech, CouplingDirection::FarEnd, &config, true);
+    println!(
+        "{}",
+        render_table("Table 1: two-pin nets, far-end coupling — error %", &t1)
+    );
+    let t2 = run_two_pin_table(&tech, CouplingDirection::NearEnd, &config, true);
+    println!(
+        "{}",
+        render_table("Table 2: two-pin nets, near-end coupling — error %", &t2)
+    );
+    let t3 = run_tree_table(&tech, &config, true);
+    println!(
+        "{}",
+        render_table("Table 3: tree structures, far-end coupling — error %", &t3)
+    );
+
+    println!("— summary —");
+    conservatism_line("far-end ", &t1);
+    conservatism_line("near-end", &t2);
+    conservatism_line("trees   ", &t3);
+}

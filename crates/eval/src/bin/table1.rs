@@ -1,0 +1,23 @@
+//! Regenerates **Table 1**: error percentages for two-pin nets, far-end
+//! coupling.
+//!
+//! ```text
+//! cargo run --release -p xtalk-eval --bin table1 -- [--cases N] [--seed S] [--corners F]
+//! ```
+
+use xtalk_eval::{cli, render_table, run_two_pin_table};
+use xtalk_tech::{CouplingDirection, Technology};
+
+fn main() {
+    let config = cli::config_from_args("table1");
+    let tech = Technology::p25();
+    eprintln!(
+        "table1: two-pin far-end, {} cases, seed {}",
+        config.cases, config.seed
+    );
+    let stats = run_two_pin_table(&tech, CouplingDirection::FarEnd, &config, true);
+    println!(
+        "{}",
+        render_table("Table 1: two-pin nets, far-end coupling — error %", &stats)
+    );
+}

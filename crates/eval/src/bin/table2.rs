@@ -1,0 +1,24 @@
+//! Regenerates **Table 2**: error percentages for two-pin nets, near-end
+//! coupling — the scenario where only new metric II remains a conservative
+//! `Vp` upper bound.
+//!
+//! ```text
+//! cargo run --release -p xtalk-eval --bin table2 -- [--cases N] [--seed S] [--corners F]
+//! ```
+
+use xtalk_eval::{cli, render_table, run_two_pin_table};
+use xtalk_tech::{CouplingDirection, Technology};
+
+fn main() {
+    let config = cli::config_from_args("table2");
+    let tech = Technology::p25();
+    eprintln!(
+        "table2: two-pin near-end, {} cases, seed {}",
+        config.cases, config.seed
+    );
+    let stats = run_two_pin_table(&tech, CouplingDirection::NearEnd, &config, true);
+    println!(
+        "{}",
+        render_table("Table 2: two-pin nets, near-end coupling — error %", &stats)
+    );
+}

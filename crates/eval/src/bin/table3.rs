@@ -1,0 +1,23 @@
+//! Regenerates **Table 3**: error percentages for coupled RC tree
+//! structures, far-end coupling.
+//!
+//! ```text
+//! cargo run --release -p xtalk-eval --bin table3 -- [--cases N] [--seed S] [--corners F]
+//! ```
+
+use xtalk_eval::{cli, render_table, run_tree_table};
+use xtalk_tech::Technology;
+
+fn main() {
+    let config = cli::config_from_args("table3");
+    let tech = Technology::p25();
+    eprintln!(
+        "table3: tree structures far-end, {} cases, seed {}",
+        config.cases, config.seed
+    );
+    let stats = run_tree_table(&tech, &config, true);
+    println!(
+        "{}",
+        render_table("Table 3: tree structures, far-end coupling — error %", &stats)
+    );
+}

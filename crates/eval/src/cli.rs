@@ -1,0 +1,48 @@
+//! Minimal shared argument parsing for the experiment binaries
+//! (`--cases N`, `--seed S`, `--corners F`). Unknown flags abort with a
+//! usage message; no dependency on an argument-parsing crate.
+
+use xtalk_tech::sweep::SweepConfig;
+
+/// Parses the standard sweep flags from `std::env::args`.
+pub fn config_from_args(bin: &str) -> SweepConfig {
+    let mut config = SweepConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{bin}: {flag} needs a {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--cases" => {
+                config.cases = take("count").parse().unwrap_or_else(|_| {
+                    eprintln!("{bin}: bad --cases value");
+                    std::process::exit(2);
+                })
+            }
+            "--seed" => {
+                config.seed = take("seed").parse().unwrap_or_else(|_| {
+                    eprintln!("{bin}: bad --seed value");
+                    std::process::exit(2);
+                })
+            }
+            "--corners" => {
+                config.corner_fraction = take("fraction").parse().unwrap_or_else(|_| {
+                    eprintln!("{bin}: bad --corners value");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: {bin} [--cases N] [--seed S] [--corners F]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("{bin}: unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    config
+}

@@ -1,0 +1,73 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section.
+//!
+//! | Paper artifact | Entry point | Binary |
+//! |----------------|-------------|--------|
+//! | Table 1 (two-pin, far-end) | [`run_two_pin_table`] | `table1` |
+//! | Table 2 (two-pin, near-end) | [`run_two_pin_table`] | `table2` |
+//! | Table 3 (trees, far-end) | [`run_tree_table`] | `table3` |
+//! | Figure 5 (coupling location) | [`run_figure5`] | `figure5` |
+//!
+//! Each table compares six analytical metrics against the golden transient
+//! simulation over a seeded random sweep, reporting max-positive,
+//! max-negative and mean-absolute error percentages per waveform
+//! parameter — the same statistics the paper prints. Error% =
+//! `(estimate − golden)/golden × 100`; a method's missing parameter is
+//! "N/A", and two-pole instabilities are counted separately (the paper's
+//! "may not offer a solution" remark).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod case_eval;
+pub mod cli;
+mod delay_eval;
+mod figure5;
+mod lambda;
+pub mod plot;
+mod stats;
+mod table;
+
+pub use case_eval::{evaluate_case, CaseOutcome, Method, Param, ALL_METHODS, ALL_PARAMS};
+pub use delay_eval::{render_delay_table, run_delay_table, DelayRow};
+pub use figure5::{render_figure5, run_figure5, Figure5Row};
+pub use lambda::{lambda_sweep, render_lambda, LambdaRow};
+pub use stats::{ErrorStats, TableStats};
+pub use table::render_table;
+
+use xtalk_tech::sweep::{tree_cases, two_pin_cases, SweepCase, SweepConfig};
+use xtalk_tech::{CouplingDirection, Technology};
+
+/// Runs a Table 1/2-style evaluation: `config.cases` random two-pin
+/// circuits with the given coupling direction.
+pub fn run_two_pin_table(
+    tech: &Technology,
+    direction: CouplingDirection,
+    config: &SweepConfig,
+    progress: bool,
+) -> TableStats {
+    let cases = two_pin_cases(tech, direction, config);
+    evaluate_cases(&cases, progress)
+}
+
+/// Runs the Table 3-style evaluation over random coupled RC trees
+/// (far-end, as in the paper).
+pub fn run_tree_table(tech: &Technology, config: &SweepConfig, progress: bool) -> TableStats {
+    let cases = tree_cases(tech, true, config);
+    evaluate_cases(&cases, progress)
+}
+
+/// Evaluates a pre-generated case list.
+pub fn evaluate_cases(cases: &[SweepCase], progress: bool) -> TableStats {
+    let mut stats = TableStats::new();
+    for (i, case) in cases.iter().enumerate() {
+        if progress && i % 50 == 0 {
+            eprintln!("  case {i}/{} …", cases.len());
+        }
+        match evaluate_case(case) {
+            Ok(outcome) => stats.record(&outcome),
+            Err(reason) => stats.record_skip(&reason),
+        }
+    }
+    stats
+}

@@ -1,0 +1,158 @@
+//! Minimal ASCII line plots for terminal reproduction of the paper's
+//! figures — no plotting dependencies, fixed-width output.
+
+use std::fmt::Write as _;
+
+/// One series to draw: a label (its first character becomes the marker)
+/// and `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label; first char is the plot marker.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders series on a `width × height` character grid with simple
+/// linear axes. Returns the chart followed by a legend.
+///
+/// # Panics
+///
+/// Panics if no series contains any point, or the grid is degenerate.
+///
+/// # Examples
+///
+/// ```
+/// use xtalk_eval::plot::{render_plot, Series};
+/// let s = Series { label: "golden".into(), points: vec![(0.0, 0.0), (1.0, 1.0)] };
+/// let chart = render_plot(&[s], 20, 8, "x", "y");
+/// assert!(chart.contains('g'));
+/// assert!(chart.contains("golden"));
+/// ```
+pub fn render_plot(
+    series: &[Series],
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    assert!(width >= 8 && height >= 4, "grid too small");
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "nothing to plot");
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Pad degenerate ranges so a flat series still renders mid-plot.
+    if (x_max - x_min).abs() < 1e-300 {
+        x_max = x_min + 1.0;
+    }
+    let pad = ((y_max - y_min) * 0.05).max(y_max.abs() * 1e-3).max(1e-300);
+    y_min -= pad;
+    y_max += pad;
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let marker = s.label.chars().next().unwrap_or('*');
+        for &(x, y) in &s.points {
+            let col = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let row = ((y_max - y) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col.min(width - 1)] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{y_label}");
+    for (r, row) in grid.iter().enumerate() {
+        let y_axis_value = y_max - (y_max - y_min) * r as f64 / (height - 1) as f64;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{y_axis_value:>9.4} |{line}");
+    }
+    let _ = writeln!(out, "{:>10}+{}", "", "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "{:>10} {:<.4}{}{:>.4}  ({x_label})",
+        "",
+        x_min,
+        " ".repeat(width.saturating_sub(12)),
+        x_max
+    );
+    for s in series {
+        let _ = writeln!(
+            out,
+            "  {} = {}",
+            s.label.chars().next().unwrap_or('*'),
+            s.label
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_two_series_with_distinct_markers() {
+        let a = Series {
+            label: "alpha".into(),
+            points: (0..10).map(|i| (i as f64, i as f64)).collect(),
+        };
+        let b = Series {
+            label: "beta".into(),
+            points: (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect(),
+        };
+        let chart = render_plot(&[a, b], 40, 12, "t", "v");
+        assert!(chart.contains('a'));
+        assert!(chart.contains('b'));
+        assert!(chart.contains("alpha"));
+        assert!(chart.contains("beta"));
+        assert!(chart.lines().count() > 12);
+    }
+
+    #[test]
+    fn flat_series_renders() {
+        let s = Series {
+            label: "flat".into(),
+            points: vec![(0.0, 0.5), (1.0, 0.5), (2.0, 0.5)],
+        };
+        let chart = render_plot(&[s], 20, 6, "x", "y");
+        assert!(chart.matches('f').count() >= 3);
+    }
+
+    #[test]
+    fn increasing_series_occupies_increasing_rows() {
+        let s = Series {
+            label: "up".into(),
+            points: vec![(0.0, 0.0), (1.0, 1.0)],
+        };
+        let chart = render_plot(&[s], 12, 6, "x", "y");
+        let rows: Vec<usize> = chart
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains('u') && l.contains('|'))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0] < rows[1], "higher y must be on an earlier line");
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_input_panics() {
+        render_plot(
+            &[Series {
+                label: "e".into(),
+                points: vec![],
+            }],
+            20,
+            6,
+            "x",
+            "y",
+        );
+    }
+}

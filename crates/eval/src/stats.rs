@@ -1,0 +1,252 @@
+use crate::{CaseOutcome, Method, Param, ALL_METHODS, ALL_PARAMS};
+use std::collections::BTreeMap;
+
+/// Capacity of the quantile sample (plenty for stable p50/p95 at the
+/// paper's case volumes while bounding memory).
+const SAMPLE_CAP: usize = 4096;
+
+/// Error-percentage statistics for one (method, parameter) cell:
+/// max-positive, max-negative and mean-absolute error — as the paper's
+/// tables report — plus reservoir-sampled quantiles of the absolute error.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ErrorStats {
+    max_pos: f64,
+    max_neg: f64,
+    sum_abs: f64,
+    count: usize,
+    /// Reservoir sample of |error| for quantiles (deterministic: the
+    /// replacement index is derived from the running count, not an RNG,
+    /// so tables stay bit-reproducible).
+    sample: Vec<f64>,
+}
+
+impl ErrorStats {
+    /// Records one error percentage.
+    pub fn record(&mut self, pct: f64) {
+        if pct > self.max_pos {
+            self.max_pos = pct;
+        }
+        if pct < self.max_neg {
+            self.max_neg = pct;
+        }
+        self.sum_abs += pct.abs();
+        self.count += 1;
+        if self.sample.len() < SAMPLE_CAP {
+            self.sample.push(pct.abs());
+        } else {
+            // Deterministic reservoir: pseudo-index from a Weyl sequence
+            // over the running count.
+            let idx = (self.count.wrapping_mul(0x9e3779b97f4a7c15) >> 32) as usize
+                % self.count;
+            if idx < SAMPLE_CAP {
+                self.sample[idx] = pct.abs();
+            }
+        }
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) of the absolute error (%), from the
+    /// reservoir sample; `None` before any samples arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 ≤ q ≤ 1.0`.
+    pub fn quantile_abs(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.sample.is_empty() {
+            return None;
+        }
+        let mut sorted = self.sample.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// Median absolute error (%).
+    pub fn median_abs(&self) -> Option<f64> {
+        self.quantile_abs(0.5)
+    }
+
+    /// 95th-percentile absolute error (%).
+    pub fn p95_abs(&self) -> Option<f64> {
+        self.quantile_abs(0.95)
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Largest positive error (%); 0 when all errors were negative.
+    pub fn max_pos(&self) -> f64 {
+        self.max_pos
+    }
+
+    /// Largest negative error (%); 0 when all errors were positive.
+    pub fn max_neg(&self) -> f64 {
+        self.max_neg
+    }
+
+    /// Mean absolute error (%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded.
+    pub fn avg_abs(&self) -> f64 {
+        assert!(self.count > 0, "no samples recorded");
+        self.sum_abs / self.count as f64
+    }
+
+    /// `true` when every recorded error stayed above `floor_pct` (the
+    /// paper treats ≥ −5% as still conservative).
+    pub fn conservative_above(&self, floor_pct: f64) -> bool {
+        self.max_neg >= floor_pct
+    }
+}
+
+/// Accumulated statistics of a whole table run.
+#[derive(Debug, Default)]
+pub struct TableStats {
+    cells: BTreeMap<(Method, Param), ErrorStats>,
+    /// Per method: cases where the method produced no estimate at all
+    /// (e.g. unstable two-pole fits).
+    no_estimate: BTreeMap<Method, usize>,
+    scored: usize,
+    skipped: usize,
+    skip_reasons: BTreeMap<String, usize>,
+}
+
+impl TableStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        TableStats::default()
+    }
+
+    /// Folds one evaluated case into the statistics.
+    pub fn record(&mut self, outcome: &CaseOutcome) {
+        self.scored += 1;
+        for method in ALL_METHODS {
+            let mut produced_any = false;
+            for param in ALL_PARAMS {
+                if let Some(pred) = outcome.predicted(method, param) {
+                    produced_any = true;
+                    let golden = outcome.golden_value(param);
+                    if golden.abs() > 0.0 {
+                        let pct = (pred - golden) / golden * 100.0;
+                        self.cells.entry((method, param)).or_default().record(pct);
+                    }
+                }
+            }
+            if !produced_any {
+                *self.no_estimate.entry(method).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Counts a case that could not be scored at all.
+    pub fn record_skip(&mut self, reason: &str) {
+        self.skipped += 1;
+        // Group by the reason prefix (strip case-specific numbers).
+        let key = reason
+            .split(&['(', ':'][..])
+            .next()
+            .unwrap_or("unknown")
+            .trim()
+            .to_string();
+        *self.skip_reasons.entry(key).or_insert(0) += 1;
+    }
+
+    /// Statistics of one table cell, if any samples landed there.
+    pub fn cell(&self, method: Method, param: Param) -> Option<&ErrorStats> {
+        self.cells.get(&(method, param))
+    }
+
+    /// Number of fully scored cases.
+    pub fn scored(&self) -> usize {
+        self.scored
+    }
+
+    /// Number of skipped cases.
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Per-method count of cases with no estimate (instability).
+    pub fn no_estimate(&self, method: Method) -> usize {
+        self.no_estimate.get(&method).copied().unwrap_or(0)
+    }
+
+    /// Skip reasons with counts (sorted by reason).
+    pub fn skip_reasons(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.skip_reasons.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_stats_track_extremes_and_mean() {
+        let mut s = ErrorStats::default();
+        for pct in [10.0, -3.0, 25.0, -1.0] {
+            s.record(pct);
+        }
+        assert_eq!(s.max_pos(), 25.0);
+        assert_eq!(s.max_neg(), -3.0);
+        assert!((s.avg_abs() - 9.75).abs() < 1e-12);
+        assert_eq!(s.count(), 4);
+        assert!(s.conservative_above(-5.0));
+        assert!(!s.conservative_above(-2.0));
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let mut s = ErrorStats::default();
+        for i in 0..1000 {
+            s.record(i as f64 / 10.0); // |errors| uniform over 0..100
+        }
+        let median = s.median_abs().unwrap();
+        let p95 = s.p95_abs().unwrap();
+        assert!((median - 50.0).abs() < 3.0, "median {median}");
+        assert!((p95 - 95.0).abs() < 3.0, "p95 {p95}");
+        assert!(s.quantile_abs(0.0).unwrap() <= median);
+        assert!(ErrorStats::default().median_abs().is_none());
+    }
+
+    #[test]
+    fn quantiles_remain_sane_beyond_the_reservoir_cap() {
+        let mut s = ErrorStats::default();
+        for i in 0..20_000 {
+            s.record((i % 100) as f64);
+        }
+        let median = s.median_abs().unwrap();
+        assert!((median - 49.5).abs() < 8.0, "median {median}");
+    }
+
+    #[test]
+    fn all_positive_errors_have_zero_max_neg() {
+        let mut s = ErrorStats::default();
+        s.record(5.0);
+        s.record(1.0);
+        assert_eq!(s.max_neg(), 0.0);
+        assert!(s.conservative_above(-5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn avg_of_empty_panics() {
+        ErrorStats::default().avg_abs();
+    }
+
+    #[test]
+    fn skip_reasons_are_grouped() {
+        let mut t = TableStats::new();
+        t.record_skip("negligible pulse (1.0e-5 Vdd)");
+        t.record_skip("negligible pulse (3.0e-4 Vdd)");
+        t.record_skip("golden measurement: pulse truncated");
+        assert_eq!(t.skipped(), 3);
+        let reasons: Vec<_> = t.skip_reasons().collect();
+        assert_eq!(reasons.len(), 2);
+        assert!(reasons.iter().any(|(r, c)| r.contains("negligible") && *c == 2));
+    }
+}

@@ -1,0 +1,120 @@
+use crate::{TableStats, ALL_METHODS, ALL_PARAMS};
+use std::fmt::Write as _;
+
+/// Renders a [`TableStats`] in the layout of the paper's Tables 1–3:
+/// one row pair (`Max.%`, `Ave.%`) per waveform parameter, one column per
+/// method, `N/A` where a method does not capture a parameter.
+///
+/// `title` becomes the caption line.
+pub fn render_table(title: &str, stats: &TableStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "  ({} cases scored, {} skipped)",
+        stats.scored(),
+        stats.skipped()
+    );
+
+    let col_w = 16usize;
+    let label_w = 14usize;
+
+    // Header.
+    let mut header = format!("{:<label_w$}", "metric");
+    for m in ALL_METHODS {
+        let _ = write!(header, "{:>col_w$}", m.to_string());
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+
+    for p in ALL_PARAMS {
+        // Max row: "lo ~ hi" like the paper's Vp rows.
+        let mut max_row = format!("{:<label_w$}", format!("{p}  Max.(%)"));
+        let mut avg_row = format!("{:<label_w$}", format!("{p}  Ave.(%)"));
+        for m in ALL_METHODS {
+            match stats.cell(m, p) {
+                Some(cell) if cell.count() > 0 => {
+                    let _ = write!(
+                        max_row,
+                        "{:>col_w$}",
+                        format!("{:.0} ~ {:.0}", cell.max_neg(), cell.max_pos())
+                    );
+                    let _ = write!(avg_row, "{:>col_w$}", format!("{:.1}", cell.avg_abs()));
+                }
+                _ => {
+                    let _ = write!(max_row, "{:>col_w$}", "N/A");
+                    let _ = write!(avg_row, "{:>col_w$}", "N/A");
+                }
+            }
+        }
+        let _ = writeln!(out, "{max_row}");
+        let _ = writeln!(out, "{avg_row}");
+    }
+
+    // Instability / skip footnotes.
+    for m in ALL_METHODS {
+        let n = stats.no_estimate(m);
+        if n > 0 {
+            let _ = writeln!(out, "  note: {m} produced no estimate on {n} cases");
+        }
+    }
+    for (reason, count) in stats.skip_reasons() {
+        let _ = writeln!(out, "  skipped {count}: {reason}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Method, Param};
+
+    #[test]
+    fn renders_na_for_empty_cells() {
+        let stats = TableStats::new();
+        let s = render_table("Table X", &stats);
+        assert!(s.contains("Table X"));
+        assert!(s.contains("N/A"));
+        assert!(s.contains("Vp"));
+        assert!(s.contains("new II"));
+    }
+
+    #[test]
+    fn renders_recorded_cells() {
+        use crate::CaseOutcome;
+        use xtalk_core::baselines::BaselineEstimate;
+        use xtalk_sim::NoiseWaveformParams;
+
+        let golden = NoiseWaveformParams {
+            vp: 0.1,
+            tp: 2e-10,
+            t0: 1e-10,
+            t1: 1e-10,
+            t2: 2e-10,
+            wn: 3e-10,
+            area: 1.5e-11,
+            polarity: 1.0,
+        };
+        let full = BaselineEstimate {
+            vp: Some(0.12),
+            tp: Some(2.2e-10),
+            wn: Some(3.3e-10),
+            t1: Some(1.1e-10),
+            t2: Some(2.2e-10),
+        };
+        let outcome = CaseOutcome {
+            golden,
+            estimates: [None, None, None, None, Some(full), Some(full)],
+            lumped_vp: None,
+        };
+        let mut stats = TableStats::new();
+        stats.record(&outcome);
+        assert_eq!(stats.scored(), 1);
+        let cell = stats.cell(Method::NewOne, Param::Vp).unwrap();
+        assert!((cell.max_pos() - 20.0).abs() < 1e-9);
+        let s = render_table("T", &stats);
+        assert!(s.contains("20"));
+        // Methods with no estimates at all get a footnote.
+        assert!(s.contains("no estimate on 1 cases"));
+    }
+}

@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+///
+/// # Examples
+///
+/// ```
+/// use xtalk_linalg::{LinalgError, Matrix};
+///
+/// let singular = Matrix::zeros(2, 2);
+/// match singular.lu() {
+///     Err(LinalgError::Singular { pivot }) => assert_eq!(pivot, 0),
+///     other => panic!("expected singular error, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// What the caller supplied, e.g. `"rhs of length 3"`.
+        found: String,
+        /// What the operation required, e.g. `"length 4"`.
+        expected: String,
+    },
+    /// The matrix is singular (or numerically so) at the given pivot index.
+    Singular {
+        /// Elimination step at which no usable pivot was found.
+        pivot: usize,
+    },
+    /// The matrix is not square but the operation requires it.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A value expected to be finite was NaN or infinite.
+    NonFinite {
+        /// Description of where the non-finite value appeared.
+        context: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { found, expected } => {
+                write!(f, "shape mismatch: found {found}, expected {expected}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at elimination step {pivot}")
+            }
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix of shape {rows}x{cols} is not square")
+            }
+            LinalgError::NonFinite { context } => {
+                write!(f, "non-finite value encountered in {context}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}

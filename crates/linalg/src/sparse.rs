@@ -1,0 +1,271 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+//! Compressed-sparse-row matrices.
+//!
+//! MNA systems of large coupled interconnect structures are extremely
+//! sparse (a handful of entries per row). The simulator and moment engine
+//! stamp elements into a [`Triplets`] accumulator and compress it into a
+//! [`Csr`] for matrix-vector products; for factorization the (small, per-net)
+//! systems are densified via [`Csr::to_dense`].
+
+use crate::{LinalgError, Matrix};
+
+/// Coordinate-format accumulator used while stamping circuit elements.
+///
+/// Duplicate `(row, col)` entries are summed on compression, which matches
+/// the additive semantics of element stamps.
+///
+/// # Examples
+///
+/// ```
+/// use xtalk_linalg::sparse::Triplets;
+///
+/// let mut t = Triplets::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // accumulates
+/// let csr = t.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// assert_eq!(csr.nnz(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Triplets {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Triplets {
+    /// Creates an empty accumulator of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Triplets {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds `value` at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet ({row},{col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of raw (pre-merge) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compresses into CSR, merging duplicates and dropping exact zeros.
+    pub fn to_csr(&self) -> Csr {
+        let mut sorted = self.entries.clone();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+
+        // Merge consecutive duplicates into (row, col, value) runs.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some((lr, lc, lv)) if *lr == r && *lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        merged.retain(|&(_, _, v)| v != 0.0);
+
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(merged.len());
+        let mut values = Vec::with_capacity(merged.len());
+        for (r, c, v) in merged {
+            row_ptr[r + 1] += 1;
+            col_idx.push(c);
+            values.push(v);
+        }
+        for r in 0..self.rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// Immutable compressed-sparse-row matrix.
+///
+/// # Examples
+///
+/// ```
+/// use xtalk_linalg::sparse::Triplets;
+///
+/// let mut t = Triplets::new(2, 2);
+/// t.push(0, 0, 2.0);
+/// t.push(1, 0, -1.0);
+/// t.push(1, 1, 2.0);
+/// let a = t.to_csr();
+/// assert_eq!(a.mul_vec(&[1.0, 1.0]).unwrap(), vec![2.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `(row, col)` (zero when not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        match self.col_idx[lo..hi].binary_search(&col) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over the stored entries of one row as `(col, value)` pairs.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Sparse matrix-vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on a length mismatch.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                found: format!("vector of length {}", x.len()),
+                expected: format!("length {}", self.cols),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Densifies into a [`Matrix`].
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                m[(r, c)] = v;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_merge_duplicates() {
+        let mut t = Triplets::new(3, 3);
+        t.push(1, 1, 1.0);
+        t.push(1, 1, 0.5);
+        t.push(0, 2, 2.0);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(1, 1), 1.5);
+        assert_eq!(a.get(0, 2), 2.0);
+        assert_eq!(a.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn cancelled_entries_are_dropped() {
+        let mut t = Triplets::new(1, 1);
+        t.push(0, 0, 1.0);
+        t.push(0, 0, -1.0);
+        assert_eq!(t.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    fn csr_mul_vec_matches_dense() {
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(0, 2, -1.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 0, 1.0);
+        t.push(2, 2, 4.0);
+        let a = t.to_csr();
+        let x = [1.0, 2.0, 3.0];
+        let dense = a.to_dense();
+        assert_eq!(a.mul_vec(&x).unwrap(), dense.mul_vec(&x).unwrap());
+    }
+
+    #[test]
+    fn empty_matrix_behaves() {
+        let t = Triplets::new(2, 2);
+        assert!(t.is_empty());
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]).unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn row_iteration_in_column_order() {
+        let mut t = Triplets::new(1, 4);
+        t.push(0, 3, 3.0);
+        t.push(0, 1, 1.0);
+        let a = t.to_csr();
+        let row: Vec<_> = a.row(0).collect();
+        assert_eq!(row, vec![(1, 1.0), (3, 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut t = Triplets::new(1, 1);
+        t.push(1, 0, 1.0);
+    }
+}

@@ -1,0 +1,422 @@
+use crate::MomentError;
+
+/// How close to zero `h1` may be before a fit is considered degenerate.
+const DEGENERATE_H1: f64 = 1e-300;
+
+/// Pole structure of a two-pole fit, in the `s` plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PoleKind {
+    /// One effective pole (`b2 ≈ 0`); `p < 0`.
+    SingleReal {
+        /// The pole (1/s).
+        p: f64,
+    },
+    /// Two distinct negative real poles — the well-behaved case.
+    RealStable {
+        /// Dominant (slower, smaller magnitude) pole.
+        p1: f64,
+        /// Faster pole.
+        p2: f64,
+    },
+    /// Two equal negative real poles.
+    RealDouble {
+        /// The repeated pole.
+        p: f64,
+    },
+    /// Complex-conjugate pair `σ ± jω` — the fit is oscillatory; the
+    /// paper notes two-pole matching "suffers from instability and may not
+    /// offer a solution for some circuits".
+    Complex {
+        /// Real part.
+        re: f64,
+        /// Imaginary part (positive).
+        im: f64,
+    },
+    /// At least one pole is non-negative: the reduced model is unstable
+    /// even though the underlying RC circuit is passive.
+    Unstable {
+        /// First pole.
+        p1: f64,
+        /// Second pole.
+        p2: f64,
+    },
+}
+
+impl PoleKind {
+    /// `true` when time-domain evaluation of the fit is meaningful
+    /// (strictly decaying, non-oscillatory).
+    pub fn is_well_behaved(&self) -> bool {
+        matches!(
+            self,
+            PoleKind::SingleReal { .. } | PoleKind::RealStable { .. } | PoleKind::RealDouble { .. }
+        )
+    }
+}
+
+/// Two-pole Padé model of a noise transfer function,
+/// `H(s) = a1·s / (1 + b1·s + b2·s²)`, fit to the first three Taylor
+/// coefficients.
+///
+/// This is the model class behind the paper's eqs. (11)–(18) and the Yu
+/// baseline metrics. Besides the fit itself it provides exact time-domain
+/// step/ramp responses (which *do* use exponentials — only the paper's new
+/// metrics avoid them) and a peak search for well-behaved pole structures.
+///
+/// # Examples
+///
+/// ```
+/// use xtalk_moments::{PoleKind, TwoPoleFit};
+///
+/// // H(s) = s·1e-11 / (1 + 2e-10·s + 0.5e-20·s²) — two real poles.
+/// let fit = TwoPoleFit::from_taylor(&[0.0, 1e-11, -2e-21, 3.75e-31]).unwrap();
+/// assert!((fit.b1() - 2e-10).abs() < 1e-22);
+/// assert!(matches!(fit.poles(), PoleKind::RealStable { .. }));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPoleFit {
+    a1: f64,
+    b1: f64,
+    b2: f64,
+    poles: PoleKind,
+}
+
+impl TwoPoleFit {
+    /// Fits from Taylor coefficients `h = [h0, h1, h2, h3]` (only indices
+    /// 1–3 are used; `h0` must describe a DC-free transfer, i.e. noise):
+    /// `a1 = h1`, `b1 = −h2/h1`, `b2 = b1² − h3/h1`.
+    ///
+    /// # Errors
+    ///
+    /// [`MomentError::ZeroOrder`] when fewer than four coefficients are
+    /// supplied; [`MomentError::DegenerateFit`] when `h1 ≈ 0` (no coupling
+    /// to the observed node).
+    pub fn from_taylor(h: &[f64]) -> Result<Self, MomentError> {
+        if h.len() < 4 {
+            return Err(MomentError::ZeroOrder);
+        }
+        let (h1, h2, h3) = (h[1], h[2], h[3]);
+        if h1.abs() < DEGENERATE_H1 {
+            return Err(MomentError::DegenerateFit);
+        }
+        let b1 = -h2 / h1;
+        let b2 = b1 * b1 - h3 / h1;
+        Ok(Self::from_coeffs(h1, b1, b2))
+    }
+
+    /// Builds directly from model coefficients (e.g. closed-form `a1`,
+    /// `b1`, `b2` from the tree formulas).
+    pub fn from_coeffs(a1: f64, b1: f64, b2: f64) -> Self {
+        let poles = classify_poles(b1, b2);
+        TwoPoleFit { a1, b1, b2, poles }
+    }
+
+    /// Numerator coefficient `a1`.
+    pub fn a1(&self) -> f64 {
+        self.a1
+    }
+
+    /// Denominator coefficient `b1` (sum of time constants).
+    pub fn b1(&self) -> f64 {
+        self.b1
+    }
+
+    /// Denominator coefficient `b2`.
+    pub fn b2(&self) -> f64 {
+        self.b2
+    }
+
+    /// Pole structure.
+    pub fn poles(&self) -> PoleKind {
+        self.poles
+    }
+
+    /// Taylor coefficients `[0, h1, h2, h3]` reproduced by the model —
+    /// the inverse of [`TwoPoleFit::from_taylor`] (eqs. 11–14 of the paper
+    /// with `g = [1, 0, 0, 0]`).
+    pub fn taylor(&self) -> [f64; 4] {
+        [
+            0.0,
+            self.a1,
+            -self.a1 * self.b1,
+            self.a1 * (self.b1 * self.b1 - self.b2),
+        ]
+    }
+
+    /// Unit-step response `y(t)` of the fit (response of the victim output
+    /// when the aggressor input steps 0→1 at `t = 0`); `0` for `t ≤ 0`.
+    ///
+    /// Uses exponentials — intended for baseline metrics and validation,
+    /// not for the closed-form flow.
+    pub fn step_response(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        match self.poles {
+            PoleKind::SingleReal { p } => self.a1 * (-p) * (p * t).exp(),
+            PoleKind::RealStable { p1, p2 } | PoleKind::Unstable { p1, p2 } => {
+                self.a1 / (self.b2 * (p1 - p2)) * ((p1 * t).exp() - (p2 * t).exp())
+            }
+            PoleKind::RealDouble { p } => self.a1 / self.b2 * t * (p * t).exp(),
+            PoleKind::Complex { re, im } => {
+                self.a1 / (self.b2 * im) * (re * t).exp() * (im * t).sin()
+            }
+        }
+    }
+
+    /// Integral of the step response, `S(t) = ∫₀ᵗ y(τ) dτ`; `0` for
+    /// `t ≤ 0`. The ramp response is `(S(t) − S(t − t_r))/t_r`.
+    pub fn step_integral(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        match self.poles {
+            PoleKind::SingleReal { p } => self.a1 * (1.0 - (p * t).exp()),
+            PoleKind::RealStable { p1, p2 } | PoleKind::Unstable { p1, p2 } => {
+                self.a1 / (self.b2 * (p1 - p2))
+                    * (((p1 * t).exp() - 1.0) / p1 - ((p2 * t).exp() - 1.0) / p2)
+            }
+            PoleKind::RealDouble { p } => {
+                self.a1 / self.b2
+                    * ((p * t).exp() * (t / p - 1.0 / (p * p)) + 1.0 / (p * p))
+            }
+            PoleKind::Complex { re, im } => {
+                let denom = re * re + im * im;
+                self.a1 / (self.b2 * im)
+                    * (((re * t).exp() * (re * (im * t).sin() - im * (im * t).cos()) + im)
+                        / denom)
+            }
+        }
+    }
+
+    /// Response to a saturated ramp 0→1 with transition time `tr`
+    /// arriving at `t = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tr` is not positive.
+    pub fn ramp_response(&self, t: f64, tr: f64) -> f64 {
+        assert!(tr > 0.0, "ramp transition time must be positive");
+        (self.step_integral(t) - self.step_integral(t - tr)) / tr
+    }
+
+    /// Peak `(t_p, v_p)` of the ramp response, or `None` when the pole
+    /// structure is not well-behaved (complex or unstable fit — the
+    /// failure mode the paper attributes to two-pole matching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tr` is not positive.
+    pub fn ramp_peak(&self, tr: f64) -> Option<(f64, f64)> {
+        if !self.poles.is_well_behaved() {
+            return None;
+        }
+        assert!(tr > 0.0, "ramp transition time must be positive");
+        let slowest = match self.poles {
+            PoleKind::SingleReal { p } | PoleKind::RealDouble { p } => -1.0 / p,
+            PoleKind::RealStable { p1, p2 } => (-1.0 / p1).max(-1.0 / p2),
+            _ => unreachable!("filtered above"),
+        };
+        // The ramp response is unimodal (difference of shifted unimodal
+        // step responses): coarse bracket, then ternary refinement.
+        let t_max = tr + 30.0 * slowest;
+        let coarse: usize = 512;
+        let mut best_i: usize = 0;
+        let mut best_v = f64::NEG_INFINITY;
+        for i in 0..=coarse {
+            let t = t_max * i as f64 / coarse as f64;
+            let v = self.ramp_response(t, tr);
+            if v > best_v {
+                best_v = v;
+                best_i = i;
+            }
+        }
+        let mut lo = t_max * best_i.saturating_sub(1) as f64 / coarse as f64;
+        let mut hi = t_max * (best_i + 1).min(coarse) as f64 / coarse as f64;
+        for _ in 0..100 {
+            let m1 = lo + (hi - lo) / 3.0;
+            let m2 = hi - (hi - lo) / 3.0;
+            if self.ramp_response(m1, tr) < self.ramp_response(m2, tr) {
+                lo = m1;
+            } else {
+                hi = m2;
+            }
+        }
+        let tp = 0.5 * (lo + hi);
+        Some((tp, self.ramp_response(tp, tr)))
+    }
+}
+
+/// Classifies the roots of `b2·s² + b1·s + 1 = 0`.
+fn classify_poles(b1: f64, b2: f64) -> PoleKind {
+    // Relative threshold: b2 negligible vs b1² means one pole escaped to -∞.
+    if b2.abs() <= 1e-12 * b1 * b1 || b2 == 0.0 {
+        let p = -1.0 / b1;
+        return if p < 0.0 {
+            PoleKind::SingleReal { p }
+        } else {
+            PoleKind::Unstable { p1: p, p2: p }
+        };
+    }
+    let disc = b1 * b1 - 4.0 * b2;
+    // Rounding can push a true double root a few ulps either side of zero;
+    // treat a vanishing discriminant (relative to its terms) as a double pole.
+    if disc.abs() <= 1e-9 * (b1 * b1).max(4.0 * b2.abs()) {
+        let p = -b1 / (2.0 * b2);
+        return if p < 0.0 {
+            PoleKind::RealDouble { p }
+        } else {
+            PoleKind::Unstable { p1: p, p2: p }
+        };
+    }
+    if disc < 0.0 {
+        PoleKind::Complex {
+            re: -b1 / (2.0 * b2),
+            im: (-disc).sqrt() / (2.0 * b2.abs()),
+        }
+    } else {
+        let sq = disc.sqrt();
+        let r1 = (-b1 + sq) / (2.0 * b2);
+        let r2 = (-b1 - sq) / (2.0 * b2);
+        // Order by magnitude: dominant (slow) pole first.
+        let (p1, p2) = if r1.abs() <= r2.abs() { (r1, r2) } else { (r2, r1) };
+        if p1 < 0.0 && p2 < 0.0 {
+            PoleKind::RealStable { p1, p2 }
+        } else {
+            PoleKind::Unstable { p1, p2 }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fit with poles at -1/τ1, -1/τ2: b1 = τ1+τ2, b2 = τ1·τ2.
+    fn fit_from_taus(a1: f64, tau1: f64, tau2: f64) -> TwoPoleFit {
+        TwoPoleFit::from_coeffs(a1, tau1 + tau2, tau1 * tau2)
+    }
+
+    #[test]
+    fn taylor_round_trip() {
+        let fit = fit_from_taus(2e-11, 1e-10, 3e-11);
+        let h = fit.taylor();
+        let refit = TwoPoleFit::from_taylor(&h).unwrap();
+        assert!((refit.a1() - fit.a1()).abs() < 1e-24);
+        assert!((refit.b1() - fit.b1()).abs() < 1e-22);
+        assert!((refit.b2() - fit.b2()).abs() < 1e-32);
+    }
+
+    #[test]
+    fn poles_recovered_from_time_constants() {
+        let fit = fit_from_taus(1e-11, 2e-10, 5e-11);
+        match fit.poles() {
+            PoleKind::RealStable { p1, p2 } => {
+                assert!((p1 + 1.0 / 2e-10).abs() < 1e-3 / 2e-10);
+                assert!((p2 + 1.0 / 5e-11).abs() < 1e-3 / 5e-11);
+            }
+            other => panic!("expected RealStable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn complex_poles_detected() {
+        // b1² < 4 b2.
+        let fit = TwoPoleFit::from_coeffs(1e-11, 1e-10, 1e-19);
+        assert!(matches!(fit.poles(), PoleKind::Complex { .. }));
+        assert!(!fit.poles().is_well_behaved());
+        assert!(fit.ramp_peak(1e-10).is_none());
+    }
+
+    #[test]
+    fn negative_b2_is_unstable() {
+        let fit = TwoPoleFit::from_coeffs(1e-11, 1e-10, -1e-20);
+        assert!(matches!(fit.poles(), PoleKind::Unstable { .. }));
+    }
+
+    #[test]
+    fn degenerate_fit_rejected() {
+        assert!(matches!(
+            TwoPoleFit::from_taylor(&[0.0, 0.0, 1e-21, 0.0]),
+            Err(MomentError::DegenerateFit)
+        ));
+        assert!(matches!(
+            TwoPoleFit::from_taylor(&[0.0, 1.0]),
+            Err(MomentError::ZeroOrder)
+        ));
+    }
+
+    #[test]
+    fn step_response_matches_quadrature_of_integral() {
+        let fit = fit_from_taus(1e-11, 2e-10, 7e-11);
+        // dS/dt == y(t) via central differences.
+        for &t in &[1e-11, 5e-11, 2e-10, 8e-10] {
+            let h = t * 1e-6;
+            let deriv = (fit.step_integral(t + h) - fit.step_integral(t - h)) / (2.0 * h);
+            let y = fit.step_response(t);
+            assert!(
+                (deriv - y).abs() < 1e-6 * y.abs().max(1e-12),
+                "t={t}: {deriv} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn step_integral_saturates_at_a1() {
+        // ∫0^∞ y = lim_{s→0} H(s)/s = a1.
+        let fit = fit_from_taus(3e-11, 1e-10, 4e-11);
+        let s_inf = fit.step_integral(1e-7);
+        assert!((s_inf - 3e-11).abs() < 1e-16);
+    }
+
+    #[test]
+    fn double_pole_square_endpoint() {
+        let fit = TwoPoleFit::from_coeffs(1e-11, 2e-10, 1e-20); // (1 + 1e-10 s)^2
+        assert!(matches!(fit.poles(), PoleKind::RealDouble { .. }));
+        // y(t) = a1/b2 * t e^{-t/1e-10}; check at t = 1e-10.
+        let y = fit.step_response(1e-10);
+        let expect = 1e-11 / 1e-20 * 1e-10 * (-1.0f64).exp();
+        assert!((y - expect).abs() < 1e-9 * expect.abs());
+        // Integral saturates at a1 as well.
+        assert!((fit.step_integral(1e-7) - 1e-11).abs() < 1e-16);
+    }
+
+    #[test]
+    fn single_pole_ramp_peak_is_at_tr() {
+        // One-pole noise: peak of the ramp response occurs exactly at t = tr.
+        let tau = 1e-10;
+        let fit = TwoPoleFit::from_coeffs(2e-11, tau, 0.0);
+        assert!(matches!(fit.poles(), PoleKind::SingleReal { .. }));
+        let tr = 2e-10;
+        let (tp, vp) = fit.ramp_peak(tr).unwrap();
+        assert!((tp - tr).abs() < 1e-3 * tr, "tp = {tp}");
+        // Analytic peak: (a1/tr)(1 - e^{-tr/tau}).
+        let expect = 2e-11 / tr * (1.0 - (-tr / tau).exp());
+        assert!((vp - expect).abs() < 1e-4 * expect);
+    }
+
+    #[test]
+    fn two_pole_ramp_peak_bounded_by_step_peak() {
+        let fit = fit_from_taus(1e-11, 2e-10, 6e-11);
+        let (tp, vp) = fit.ramp_peak(1e-10).unwrap();
+        // Step-response peak (analytic argmax of k(e^{p1 t} - e^{p2 t})).
+        let (p1, p2) = match fit.poles() {
+            PoleKind::RealStable { p1, p2 } => (p1, p2),
+            other => panic!("unexpected {other:?}"),
+        };
+        // Argmax of e^{p1 t} - e^{p2 t}: p1 e^{p1 t*} = p2 e^{p2 t*}.
+        let t_star = (p2 / p1).ln() / (p1 - p2);
+        let v_star = fit.step_response(t_star);
+        assert!(vp <= v_star + 1e-15);
+        assert!(vp > 0.0);
+        assert!(tp > 0.0);
+    }
+
+    #[test]
+    fn ramp_response_converges_to_step_as_tr_shrinks() {
+        let fit = fit_from_taus(1e-11, 2e-10, 6e-11);
+        let t = 1.5e-10;
+        let fast = fit.ramp_response(t, 1e-14);
+        let step = fit.step_response(t);
+        assert!((fast - step).abs() < 1e-3 * step.abs());
+    }
+}

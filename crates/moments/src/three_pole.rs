@@ -1,0 +1,298 @@
+//! Third-order Padé fits — the model class the paper rules out for
+//! closed-form metrics.
+//!
+//! §2.1.2: "In general, any approximation with more than two poles cannot
+//! produce closed-form expressions for delay and noise. Therefore, second
+//! order Padé Approximation is preferred in fast crosstalk noise
+//! evaluations." This module makes that trade-off concrete: the
+//! *fit itself* is still closed-form (the cubic's roots come from
+//! Cardano's formula), but everything downstream — peak, width, crossing
+//! times — requires numerical evaluation of a three-exponential waveform,
+//! exactly the cost the paper's metrics avoid.
+//!
+//! [`ThreePoleFit`] exists for model-accuracy studies and as a stronger
+//! reduced-order baseline; the production path stays two-pole.
+
+use crate::MomentError;
+
+/// Roots of a real cubic `x³ + p·x² + q·x + r = 0` (Cardano/trigonometric
+/// forms). Returns 1–3 real roots; complex pairs are reported via
+/// [`CubicRoots::ComplexPair`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CubicRoots {
+    /// Three real roots (possibly repeated), unordered.
+    ThreeReal(f64, f64, f64),
+    /// One real root and a complex-conjugate pair `re ± j·im`.
+    ComplexPair {
+        /// The real root.
+        real: f64,
+        /// Real part of the pair.
+        re: f64,
+        /// Imaginary part of the pair (positive).
+        im: f64,
+    },
+}
+
+/// Solves the monic cubic `x³ + a·x² + b·x + c = 0`.
+///
+/// # Examples
+///
+/// ```
+/// use xtalk_moments::three_pole::{solve_cubic, CubicRoots};
+/// // (x-1)(x-2)(x-3): x³ -6x² +11x -6
+/// match solve_cubic(-6.0, 11.0, -6.0) {
+///     CubicRoots::ThreeReal(r1, r2, r3) => {
+///         let mut rs = [r1, r2, r3];
+///         rs.sort_by(f64::total_cmp);
+///         assert!((rs[0] - 1.0).abs() < 1e-9);
+///         assert!((rs[2] - 3.0).abs() < 1e-9);
+///     }
+///     other => panic!("expected three real roots, got {other:?}"),
+/// }
+/// ```
+pub fn solve_cubic(a: f64, b: f64, c: f64) -> CubicRoots {
+    // Depressed cubic t³ + p t + q with x = t − a/3.
+    let shift = a / 3.0;
+    let p = b - a * a / 3.0;
+    let q = 2.0 * a * a * a / 27.0 - a * b / 3.0 + c;
+    let disc = (q / 2.0) * (q / 2.0) + (p / 3.0) * (p / 3.0) * (p / 3.0);
+    if disc > 0.0 {
+        // One real root (Cardano), complex pair from the quadratic factor.
+        let sq = disc.sqrt();
+        let u = (-q / 2.0 + sq).cbrt();
+        let v = (-q / 2.0 - sq).cbrt();
+        let t1 = u + v;
+        let real = t1 - shift;
+        // Remaining quadratic: t² + t1·t + (t1² + p), roots
+        // −t1/2 ± j·√(3t1²/4 + p).
+        let re = -t1 / 2.0 - shift;
+        let im = (0.75 * t1 * t1 + p).max(0.0).sqrt();
+        CubicRoots::ComplexPair { real, re, im }
+    } else {
+        // Three real roots (trigonometric form).
+        let m = 2.0 * (-p / 3.0).max(0.0).sqrt();
+        let arg = if m.abs() < 1e-300 {
+            0.0
+        } else {
+            (3.0 * q / (p * m)).clamp(-1.0, 1.0)
+        };
+        let theta = arg.acos() / 3.0;
+        let two_pi_3 = 2.0 * std::f64::consts::PI / 3.0;
+        CubicRoots::ThreeReal(
+            m * theta.cos() - shift,
+            m * (theta - two_pi_3).cos() - shift,
+            m * (theta + two_pi_3).cos() - shift,
+        )
+    }
+}
+
+/// Third-order Padé model `H(s) = (a1·s + a2·s²)/(1 + b1·s + b2·s² + b3·s³)`
+/// of a noise transfer, fit to the first five Taylor coefficients.
+///
+/// Matching `h1..h5` against the five unknowns gives a linear system in
+/// `(b1, b2, b3)` (the last three equations) followed by back-substitution
+/// for `(a1, a2)`. Pole extraction reduces to a cubic, solved in closed
+/// form by [`solve_cubic`]; stability requires all three real parts
+/// negative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreePoleFit {
+    a1: f64,
+    a2: f64,
+    b: [f64; 3],
+    roots: CubicRoots,
+}
+
+impl ThreePoleFit {
+    /// Fits from Taylor coefficients `h = [h0, h1, …, h5]` (`h0` must be a
+    /// DC-free noise transfer).
+    ///
+    /// # Errors
+    ///
+    /// [`MomentError::ZeroOrder`] with fewer than six coefficients;
+    /// [`MomentError::DegenerateFit`] when the moment matrix is singular
+    /// (uncoupled aggressor or insufficient order in the data).
+    pub fn from_taylor(h: &[f64]) -> Result<Self, MomentError> {
+        if h.len() < 6 {
+            return Err(MomentError::ZeroOrder);
+        }
+        // Matching (1 + b1 s + b2 s² + b3 s³)(h1 s + h2 s² + …) = a1 s + a2 s²:
+        //   s³: h3 + b1 h2 + b2 h1 = 0
+        //   s⁴: h4 + b1 h3 + b2 h2 + b3 h1 = 0
+        //   s⁵: h5 + b1 h4 + b2 h3 + b3 h2 = 0
+        let m = xtalk_linalg::Matrix::from_rows(&[
+            &[h[2], h[1], 0.0],
+            &[h[3], h[2], h[1]],
+            &[h[4], h[3], h[2]],
+        ])
+        .expect("3x3 shape");
+        let rhs = [-h[3], -h[4], -h[5]];
+        let b = m.solve(&rhs).map_err(|_| MomentError::DegenerateFit)?;
+        let (b1, b2, b3) = (b[0], b[1], b[2]);
+        let a1 = h[1];
+        let a2 = h[2] + b1 * h[1];
+        // Poles: roots of b3 s³ + b2 s² + b1 s + 1 = 0 (monic form).
+        if b3.abs() < 1e-300 {
+            return Err(MomentError::DegenerateFit);
+        }
+        let roots = solve_cubic(b2 / b3, b1 / b3, 1.0 / b3);
+        Ok(ThreePoleFit {
+            a1,
+            a2,
+            b: [b1, b2, b3],
+            roots,
+        })
+    }
+
+    /// Numerator coefficients `(a1, a2)`.
+    pub fn numerator(&self) -> (f64, f64) {
+        (self.a1, self.a2)
+    }
+
+    /// Denominator coefficients `[b1, b2, b3]`.
+    pub fn denominator(&self) -> [f64; 3] {
+        self.b
+    }
+
+    /// The pole structure (closed-form cubic roots).
+    pub fn roots(&self) -> CubicRoots {
+        self.roots
+    }
+
+    /// `true` when all poles are strictly in the left half-plane.
+    pub fn is_stable(&self) -> bool {
+        match self.roots {
+            CubicRoots::ThreeReal(r1, r2, r3) => r1 < 0.0 && r2 < 0.0 && r3 < 0.0,
+            CubicRoots::ComplexPair { real, re, .. } => real < 0.0 && re < 0.0,
+        }
+    }
+
+    /// Taylor coefficients `[0, h1, …, h5]` reproduced by the model (for
+    /// round-trip checks).
+    pub fn taylor(&self) -> [f64; 6] {
+        // Long division of (a1 s + a2 s²) by (1 + b1 s + b2 s² + b3 s³).
+        let [b1, b2, b3] = self.b;
+        let mut hh = [0.0; 6];
+        hh[1] = self.a1;
+        hh[2] = self.a2 - b1 * hh[1];
+        hh[3] = -(b1 * hh[2] + b2 * hh[1]);
+        hh[4] = -(b1 * hh[3] + b2 * hh[2] + b3 * hh[1]);
+        hh[5] = -(b1 * hh[4] + b2 * hh[3] + b3 * hh[2]);
+        hh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubic_with_double_root() {
+        // (x-1)²(x+2) = x³ - 3x + 2
+        match solve_cubic(0.0, -3.0, 2.0) {
+            CubicRoots::ThreeReal(r1, r2, r3) => {
+                let mut rs = [r1, r2, r3];
+                rs.sort_by(f64::total_cmp);
+                assert!((rs[0] + 2.0).abs() < 1e-6);
+                assert!((rs[1] - 1.0).abs() < 1e-6);
+                assert!((rs[2] - 1.0).abs() < 1e-6);
+            }
+            other => panic!("expected three real, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cubic_with_complex_pair() {
+        // (x+1)(x² + x + 1): x³ + 2x² + 2x + 1, pair at -1/2 ± j√3/2.
+        match solve_cubic(2.0, 2.0, 1.0) {
+            CubicRoots::ComplexPair { real, re, im } => {
+                assert!((real + 1.0).abs() < 1e-9);
+                assert!((re + 0.5).abs() < 1e-9);
+                assert!((im - 3.0f64.sqrt() / 2.0).abs() < 1e-9);
+            }
+            other => panic!("expected complex pair, got {other:?}"),
+        }
+    }
+
+    /// Taylor coefficients of a synthetic three-pole transfer with known
+    /// poles −1/τᵢ and numerator a1·s.
+    fn synthetic(a1: f64, taus: [f64; 3]) -> [f64; 6] {
+        let b1 = taus.iter().sum::<f64>();
+        let b2 = taus[0] * taus[1] + taus[0] * taus[2] + taus[1] * taus[2];
+        let b3 = taus[0] * taus[1] * taus[2];
+        let mut h = [0.0; 6];
+        h[1] = a1;
+        h[2] = -b1 * h[1];
+        h[3] = -(b1 * h[2] + b2 * h[1]);
+        h[4] = -(b1 * h[3] + b2 * h[2] + b3 * h[1]);
+        h[5] = -(b1 * h[4] + b2 * h[3] + b3 * h[2]);
+        h
+    }
+
+    #[test]
+    fn recovers_synthetic_three_pole_system() {
+        let taus = [3e-10, 1e-10, 0.4e-10];
+        let h = synthetic(2e-11, taus);
+        let fit = ThreePoleFit::from_taylor(&h).unwrap();
+        assert!(fit.is_stable());
+        let (a1, a2) = fit.numerator();
+        assert!((a1 - 2e-11).abs() < 1e-20);
+        assert!(a2.abs() < 1e-9 * a1 * taus[0], "spurious a2 = {a2}");
+        match fit.roots() {
+            CubicRoots::ThreeReal(r1, r2, r3) => {
+                let mut got = [-1.0 / r1, -1.0 / r2, -1.0 / r3];
+                got.sort_by(f64::total_cmp);
+                let mut want = taus;
+                want.sort_by(f64::total_cmp);
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-6 * w, "{g} vs {w}");
+                }
+            }
+            other => panic!("expected three real poles, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn taylor_round_trip() {
+        let h = synthetic(1e-11, [2e-10, 0.9e-10, 0.3e-10]);
+        let fit = ThreePoleFit::from_taylor(&h).unwrap();
+        let back = fit.taylor();
+        for k in 1..6 {
+            assert!(
+                (back[k] - h[k]).abs() <= 1e-6 * h[k].abs(),
+                "h[{k}]: {} vs {}",
+                h[k],
+                back[k]
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(matches!(
+            ThreePoleFit::from_taylor(&[0.0, 1.0, 2.0]),
+            Err(MomentError::ZeroOrder)
+        ));
+        // All-zero moments: singular system.
+        assert!(matches!(
+            ThreePoleFit::from_taylor(&[0.0; 6]),
+            Err(MomentError::DegenerateFit)
+        ));
+    }
+
+    #[test]
+    fn fits_exact_circuit_moments_better_than_two_poles() {
+        // A genuine 3-time-constant system: the 3-pole fit reproduces h4
+        // and h5, which the 2-pole fit misses.
+        let h = synthetic(1e-11, [4e-10, 1.2e-10, 0.5e-10]);
+        let three = ThreePoleFit::from_taylor(&h).unwrap();
+        let two = crate::TwoPoleFit::from_taylor(&h[..4]).unwrap();
+        let t3 = three.taylor();
+        // Two-pole extrapolation of h4: a1(b1³ - 2 b1 b2) … compute via
+        // the recurrence with its own (b1, b2):
+        let h4_two = -(two.b1() * two.taylor()[3] + two.b2() * two.taylor()[2]);
+        let err_two = (h4_two - h[4]).abs() / h[4].abs();
+        let err_three = (t3[4] - h[4]).abs() / h[4].abs();
+        assert!(err_three < 1e-6, "three-pole h4 error {err_three}");
+        assert!(err_two > 1e-3, "two-pole should miss h4: {err_two}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Cross-validation of the closed-form tree formulas against the exact
+//! MNA moment engine on randomized coupled RC trees.
+//!
+//! These are the identities the paper's FrontEnd flow rests on:
+//!
+//! * `a1` (closed form, ref. \[13\]) equals the exact `h1` Taylor
+//!   coefficient of each aggressor→victim transfer function;
+//! * `b1` (sum of open-circuit time constants, ref. \[11\]) equals the exact
+//!   `tr(G⁻¹C)`;
+//! * the two-pole Padé fit built from exact Taylor coefficients reproduces
+//!   those coefficients (moment matching is exact by construction).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xtalk_circuit::{NetId, NetRole, Network, NetworkBuilder, NodeId};
+use xtalk_moments::{tree, MomentEngine, TwoPoleFit};
+
+/// Builds a random coupled network: a victim tree with `branches` branch
+/// points and 1–2 aggressors, each a random chain, with couplings at
+/// random victim nodes.
+fn random_network(rng: &mut StdRng) -> (Network, Vec<NetId>) {
+    let mut b = NetworkBuilder::new();
+    let v = b.add_net("vic", NetRole::Victim);
+
+    // Victim: random tree grown node by node.
+    let n_victim = rng.random_range(3..10);
+    let mut victim_nodes: Vec<NodeId> = Vec::new();
+    let root = b.add_node(v, "v0");
+    victim_nodes.push(root);
+    b.add_driver(v, root, rng.random_range(20.0..2000.0)).unwrap();
+    for i in 1..n_victim {
+        let parent = victim_nodes[rng.random_range(0..victim_nodes.len())];
+        let node = b.add_node(v, format!("v{i}"));
+        b.add_resistor(parent, node, rng.random_range(1.0..200.0))
+            .unwrap();
+        b.add_ground_cap(node, rng.random_range(0.5e-15..30e-15))
+            .unwrap();
+        victim_nodes.push(node);
+    }
+    let out = victim_nodes[victim_nodes.len() - 1];
+    b.add_sink(out, rng.random_range(1e-15..50e-15)).unwrap();
+    b.set_victim_output(out);
+
+    // Aggressors: chains with couplings into random victim nodes.
+    let n_agg = rng.random_range(1..3);
+    let mut agg_ids = Vec::new();
+    for a in 0..n_agg {
+        let agg = b.add_net(format!("agg{a}"), NetRole::Aggressor);
+        agg_ids.push(agg);
+        let len = rng.random_range(2..6);
+        let mut prev = b.add_node(agg, format!("a{a}_0"));
+        b.add_driver(agg, prev, rng.random_range(20.0..2000.0))
+            .unwrap();
+        for i in 1..len {
+            let node = b.add_node(agg, format!("a{a}_{i}"));
+            b.add_resistor(prev, node, rng.random_range(1.0..200.0))
+                .unwrap();
+            b.add_ground_cap(node, rng.random_range(0.5e-15..30e-15))
+                .unwrap();
+            // Random coupling to a victim node.
+            if rng.random_bool(0.6) {
+                let vn = victim_nodes[rng.random_range(0..victim_nodes.len())];
+                b.add_coupling_cap(node, vn, rng.random_range(1e-15..80e-15))
+                    .unwrap();
+            }
+            prev = node;
+        }
+        b.add_sink(prev, rng.random_range(1e-15..50e-15)).unwrap();
+    }
+    (b.build().unwrap(), agg_ids)
+}
+
+#[test]
+fn closed_form_a1_equals_exact_h1_over_many_random_trees() {
+    let mut rng = StdRng::seed_from_u64(0x1d_a1);
+    for case in 0..200 {
+        let (net, aggs) = random_network(&mut rng);
+        let engine = MomentEngine::new(&net).unwrap();
+        for &agg in &aggs {
+            let h = engine.transfer_taylor(agg, net.victim_output(), 2).unwrap();
+            let a1 = tree::coupling_a1(&net, agg, net.victim_output());
+            assert!(
+                (h[1] - a1).abs() <= 1e-9 * a1.abs().max(1e-30),
+                "case {case}: exact h1 = {}, closed-form a1 = {a1}",
+                h[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn closed_form_b1_and_b2_equal_matrix_invariants_over_many_random_trees() {
+    let mut rng = StdRng::seed_from_u64(0xb1);
+    for case in 0..200 {
+        let (net, _) = random_network(&mut rng);
+        let engine = MomentEngine::new(&net).unwrap();
+        let (b1_exact, b2_exact) = engine.denominator().unwrap();
+        let b1_tree = tree::open_circuit_b1(&net);
+        assert!(
+            (b1_exact - b1_tree).abs() <= 1e-9 * b1_exact.abs(),
+            "case {case}: trace b1 = {b1_exact}, closed-form b1 = {b1_tree}"
+        );
+        // b2 of a passive RC network is positive (real poles exist).
+        assert!(b2_exact > 0.0, "case {case}: b2 = {b2_exact}");
+        // Pairwise open/short-circuit time-constant form (ref. [11]).
+        let b2_tree = tree::short_circuit_b2(&net);
+        assert!(
+            (b2_exact - b2_tree).abs() <= 1e-9 * b2_exact.abs(),
+            "case {case}: invariant b2 = {b2_exact}, closed-form b2 = {b2_tree}"
+        );
+    }
+}
+
+#[test]
+fn pade_fit_reproduces_exact_taylor_coefficients() {
+    let mut rng = StdRng::seed_from_u64(0xfade);
+    for case in 0..100 {
+        let (net, aggs) = random_network(&mut rng);
+        let engine = MomentEngine::new(&net).unwrap();
+        for &agg in &aggs {
+            let h = engine.transfer_taylor(agg, net.victim_output(), 4).unwrap();
+            if h[1].abs() < 1e-30 {
+                continue; // uncoupled aggressor: nothing to fit
+            }
+            let fit = TwoPoleFit::from_taylor(&h).unwrap();
+            let back = fit.taylor();
+            for k in 1..4 {
+                assert!(
+                    (back[k] - h[k]).abs() <= 1e-9 * h[k].abs().max(1e-40),
+                    "case {case}: h[{k}] = {}, refit = {}",
+                    h[k],
+                    back[k]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn victim_elmore_delay_equals_negated_first_moment_when_uncoupled() {
+    // With no aggressors at all, -h1 of the victim's own transfer at a node
+    // equals the Elmore delay there.
+    let mut b = NetworkBuilder::new();
+    let v = b.add_net("v", NetRole::Victim);
+    let n0 = b.add_node(v, "n0");
+    let n1 = b.add_node(v, "n1");
+    let n2 = b.add_node(v, "n2");
+    b.add_driver(v, n0, 120.0).unwrap();
+    b.add_resistor(n0, n1, 40.0).unwrap();
+    b.add_resistor(n1, n2, 60.0).unwrap();
+    b.add_ground_cap(n1, 10e-15).unwrap();
+    b.add_sink(n2, 20e-15).unwrap();
+    let net = b.build().unwrap();
+    let engine = MomentEngine::new(&net).unwrap();
+    let h = engine.transfer_taylor(net.victim(), n2, 2).unwrap();
+    let elmore = tree::elmore_delay(&net, n2);
+    assert!((h[0] - 1.0).abs() < 1e-12);
+    assert!(
+        (-h[1] - elmore).abs() < 1e-9 * elmore,
+        "-h1 = {}, elmore = {elmore}",
+        -h[1]
+    );
+}
+
+#[test]
+fn moments_alternate_in_sign_for_monotone_rc_networks() {
+    // For an RC tree driven at the root, node-voltage Taylor coefficients
+    // alternate in sign: m0 > 0, m1 < 0, m2 > 0 … (completely monotone
+    // impulse response). Spot-check on random victims.
+    let mut rng = StdRng::seed_from_u64(0x5160);
+    for _ in 0..50 {
+        let (net, _) = random_network(&mut rng);
+        let engine = MomentEngine::new(&net).unwrap();
+        let h = engine.transfer_taylor(net.victim(), net.victim_output(), 5).unwrap();
+        for (k, hk) in h.iter().enumerate() {
+            let expect_sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            assert!(
+                hk * expect_sign > 0.0,
+                "victim transfer h[{k}] = {hk} has unexpected sign"
+            );
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the two-pole fit over randomized stable pole pairs.
+
+use proptest::prelude::*;
+use xtalk_moments::{PoleKind, TwoPoleFit};
+
+/// Strategy: stable fits from random time constants and areas.
+fn stable_fit() -> impl Strategy<Value = TwoPoleFit> {
+    (1e-12..1e-9f64, 1e-12..1e-9f64, 1e-13..1e-10f64).prop_map(|(t1, t2, a1)| {
+        TwoPoleFit::from_coeffs(a1, t1 + t2, t1 * t2)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn stable_taus_classify_as_well_behaved(fit in stable_fit()) {
+        prop_assert!(fit.poles().is_well_behaved(), "{:?}", fit.poles());
+    }
+
+    #[test]
+    fn step_response_is_nonnegative_and_decays(fit in stable_fit()) {
+        let slowest = match fit.poles() {
+            PoleKind::SingleReal { p } | PoleKind::RealDouble { p } => -1.0 / p,
+            PoleKind::RealStable { p1, .. } => -1.0 / p1,
+            other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+        };
+        let mut last_tail = f64::INFINITY;
+        for k in 1..=40 {
+            let t = slowest * k as f64;
+            let y = fit.step_response(t);
+            prop_assert!(y >= -1e-18, "negative response {y} at {t}");
+            if k > 20 {
+                prop_assert!(y <= last_tail * (1.0 + 1e-9), "tail not decaying");
+                last_tail = y;
+            }
+        }
+        prop_assert!(fit.step_response(slowest * 200.0) < 1e-9 * fit.a1() / slowest);
+    }
+
+    #[test]
+    fn step_integral_is_monotone_and_saturates_at_a1(fit in stable_fit()) {
+        let slowest = match fit.poles() {
+            PoleKind::SingleReal { p } | PoleKind::RealDouble { p } => -1.0 / p,
+            PoleKind::RealStable { p1, .. } => -1.0 / p1,
+            other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+        };
+        let mut prev = 0.0;
+        for k in 1..=50 {
+            let s = fit.step_integral(slowest * k as f64 * 0.5);
+            prop_assert!(s >= prev - 1e-24, "integral decreased");
+            prev = s;
+        }
+        let s_inf = fit.step_integral(slowest * 100.0);
+        prop_assert!((s_inf - fit.a1()).abs() < 1e-6 * fit.a1(),
+            "integral {s_inf} vs a1 {}", fit.a1());
+    }
+
+    #[test]
+    fn ramp_peak_below_step_peak_and_shrinks_with_slower_ramps(fit in stable_fit(), tr in 1e-12..1e-9f64) {
+        let (tp1, vp1) = fit.ramp_peak(tr).expect("stable fit has a peak");
+        let (tp2, vp2) = fit.ramp_peak(tr * 4.0).expect("stable fit has a peak");
+        prop_assert!(vp1 > 0.0 && tp1 > 0.0);
+        // Slower input, smaller and later peak.
+        prop_assert!(vp2 <= vp1 * (1.0 + 1e-6), "{vp2} vs {vp1}");
+        prop_assert!(tp2 >= tp1 * (1.0 - 1e-6));
+    }
+
+    #[test]
+    fn taylor_inverse_of_from_taylor(fit in stable_fit()) {
+        let h = fit.taylor();
+        let refit = TwoPoleFit::from_taylor(&h).unwrap();
+        prop_assert!((refit.a1() - fit.a1()).abs() <= 1e-9 * fit.a1().abs());
+        prop_assert!((refit.b1() - fit.b1()).abs() <= 1e-9 * fit.b1().abs());
+        prop_assert!((refit.b2() - fit.b2()).abs() <= 1e-6 * fit.b2().abs());
+    }
+}

@@ -1,0 +1,466 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+use crate::{SimError, Waveform};
+use std::collections::HashMap;
+use xtalk_circuit::{signal::InputSignal, NetId, NetRole, Network, NodeId};
+use xtalk_linalg::Matrix;
+use xtalk_moments::tree;
+
+/// Time-integration scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntegrationMethod {
+    /// Trapezoidal rule — 2nd-order accurate, A-stable; the default.
+    #[default]
+    Trapezoidal,
+    /// Backward Euler — 1st-order, L-stable; useful to bound trapezoidal
+    /// ringing artifacts in convergence studies.
+    BackwardEuler,
+}
+
+/// Options controlling a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Fixed time step (s).
+    pub dt: f64,
+    /// Simulation horizon (s); samples cover `0 ..= t_stop`.
+    pub t_stop: f64,
+    /// Integration scheme.
+    pub method: IntegrationMethod,
+    /// Nodes to record; when empty, only the victim output is recorded.
+    pub probes: Vec<NodeId>,
+}
+
+impl SimOptions {
+    /// Picks a step and horizon from the circuit's time constants and the
+    /// stimuli: `dt` resolves both the fastest input transition and the
+    /// aggregate time constant `b1`; `t_stop` spans the latest arrival
+    /// plus several `b1` for full pulse decay.
+    ///
+    /// The defaults aim at metric-validation accuracy (relative waveform
+    /// errors well below the metric errors being measured) at modest cost.
+    pub fn auto(network: &Network, stimuli: &[(NetId, InputSignal)]) -> Self {
+        let b1 = tree::open_circuit_b1(network).max(1e-15);
+        let min_tr = stimuli
+            .iter()
+            .map(|(_, s)| {
+                if s.transition() > 0.0 {
+                    s.transition()
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .fold(f64::INFINITY, f64::min);
+        let max_end = stimuli
+            .iter()
+            .map(|(_, s)| s.arrival() + s.transition())
+            .fold(0.0_f64, f64::max);
+        let scale = if min_tr.is_finite() {
+            min_tr.min(b1)
+        } else {
+            b1
+        };
+        let mut dt = scale / 200.0;
+        let t_stop = max_end + 25.0 * b1;
+        // Corner cases (fast input on a slow net, or vice versa) can push
+        // the naive step count into the millions; cap it — 2nd-order
+        // accuracy keeps waveform errors far below metric errors even at
+        // the cap.
+        const MAX_STEPS: f64 = 50_000.0;
+        if t_stop / dt > MAX_STEPS {
+            dt = t_stop / MAX_STEPS;
+        }
+        SimOptions {
+            dt,
+            t_stop,
+            method: IntegrationMethod::Trapezoidal,
+            probes: Vec::new(),
+        }
+    }
+
+    /// Returns a copy with a different step (for convergence studies).
+    pub fn with_dt(mut self, dt: f64) -> Self {
+        self.dt = dt;
+        self
+    }
+
+    /// Returns a copy with a different integration method.
+    pub fn with_method(mut self, method: IntegrationMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if !(self.dt.is_finite() && self.dt > 0.0) {
+            return Err(SimError::BadOptions {
+                detail: format!("dt = {} must be positive and finite", self.dt),
+            });
+        }
+        if !(self.t_stop.is_finite() && self.t_stop > self.dt) {
+            return Err(SimError::BadOptions {
+                detail: format!(
+                    "t_stop = {} must exceed one step dt = {}",
+                    self.t_stop, self.dt
+                ),
+            });
+        }
+        if self.t_stop / self.dt > 5e7 {
+            return Err(SimError::BadOptions {
+                detail: format!(
+                    "{} steps requested; refusing runs beyond 5e7 steps",
+                    (self.t_stop / self.dt) as u64
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a transient run: recorded waveforms per probe node.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    probes: Vec<(NodeId, Waveform)>,
+}
+
+impl SimResult {
+    /// The waveform recorded at `node`, if it was probed.
+    pub fn probe(&self, node: NodeId) -> Option<&Waveform> {
+        self.probes
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, w)| w)
+    }
+
+    /// All recorded `(node, waveform)` pairs.
+    pub fn probes(&self) -> &[(NodeId, Waveform)] {
+        &self.probes
+    }
+}
+
+/// Fixed-step transient MNA simulator over a validated [`Network`].
+///
+/// Construction stamps `G` and `C` once; each [`TransientSim::run`]
+/// factors the stepping matrix for its `dt` and integrates. See the
+/// [crate-level example](crate).
+#[derive(Debug)]
+pub struct TransientSim<'a> {
+    network: &'a Network,
+    g: Matrix,
+    c: Matrix,
+}
+
+impl<'a> TransientSim<'a> {
+    /// Stamps the MNA matrices for `network`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for validated networks; the `Result` guards
+    /// future stamping extensions (controlled sources etc.).
+    pub fn new(network: &'a Network) -> Result<Self, SimError> {
+        let n = network.node_count();
+        let mut g = Matrix::zeros(n, n);
+        let mut c = Matrix::zeros(n, n);
+        for r in network.resistors() {
+            let (a, b, cond) = (r.a.index(), r.b.index(), 1.0 / r.ohms);
+            g.add_at(a, a, cond);
+            g.add_at(b, b, cond);
+            g.add_at(a, b, -cond);
+            g.add_at(b, a, -cond);
+        }
+        for (_, net) in network.nets() {
+            let d = net.driver();
+            g.add_at(d.node.index(), d.node.index(), 1.0 / d.ohms);
+            for s in net.sinks() {
+                c.add_at(s.node.index(), s.node.index(), s.farads);
+            }
+        }
+        for gc in network.ground_caps() {
+            c.add_at(gc.node.index(), gc.node.index(), gc.farads);
+        }
+        for cc in network.coupling_caps() {
+            let (a, b) = (cc.a.index(), cc.b.index());
+            c.add_at(a, a, cc.farads);
+            c.add_at(b, b, cc.farads);
+            c.add_at(a, b, -cc.farads);
+            c.add_at(b, a, -cc.farads);
+        }
+        Ok(TransientSim { network, g, c })
+    }
+
+    /// Integrates `C·dv/dt + G·v = B·u(t)` with the given stimuli and
+    /// options. Aggressor nets without a stimulus are held quiet at 0; the
+    /// victim source is always quiet (the noise-analysis convention).
+    ///
+    /// The initial state is the DC solution for the inputs at `t = 0`
+    /// (falling inputs start their net at 1).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::StimulusOnNonAggressor`] / [`SimError::DuplicateStimulus`]
+    ///   — malformed stimulus list.
+    /// * [`SimError::BadOptions`] — non-positive step/horizon or an
+    ///   excessive step count.
+    /// * [`SimError::Numerical`] — factorization failure.
+    pub fn run(
+        &self,
+        stimuli: &[(NetId, InputSignal)],
+        options: &SimOptions,
+    ) -> Result<SimResult, SimError> {
+        for (net, _) in stimuli {
+            if self.network.net(*net).role() != NetRole::Aggressor {
+                return Err(SimError::StimulusOnNonAggressor(*net));
+            }
+        }
+        self.run_full(stimuli, options)
+    }
+
+    /// Like [`TransientSim::run`], but any net — the victim included — may
+    /// carry a stimulus. This is the entry point for *delay* analysis
+    /// (victim switching while aggressors switch along or against it);
+    /// the noise convention of [`TransientSim::run`] keeps the victim
+    /// quiet.
+    ///
+    /// # Errors
+    ///
+    /// As [`TransientSim::run`], minus the role restriction.
+    pub fn run_full(
+        &self,
+        stimuli: &[(NetId, InputSignal)],
+        options: &SimOptions,
+    ) -> Result<SimResult, SimError> {
+        options.validate()?;
+        let mut seen: HashMap<NetId, ()> = HashMap::new();
+        for (net, _) in stimuli {
+            if seen.insert(*net, ()).is_some() {
+                return Err(SimError::DuplicateStimulus(*net));
+            }
+        }
+
+        let n = self.network.node_count();
+        let dt = options.dt;
+        let steps = (options.t_stop / dt).ceil() as usize;
+
+        // Source conductance vector entries: input u_j enters as
+        // (1/Rd_j)·u_j at the driver node.
+        let sources: Vec<(usize, f64, InputSignal)> = stimuli
+            .iter()
+            .map(|(net, sig)| {
+                let d = self.network.net(*net).driver();
+                (d.node.index(), 1.0 / d.ohms, *sig)
+            })
+            .collect();
+        let rhs_inputs = |t: f64, out: &mut [f64]| {
+            out.fill(0.0);
+            for (node, cond, sig) in &sources {
+                out[*node] += cond * sig.value(t);
+            }
+        };
+
+        // Stepping matrices.
+        let (lhs, rhs_mat) = match options.method {
+            IntegrationMethod::Trapezoidal => {
+                // (C/dt + G/2) v1 = (C/dt - G/2) v0 + (b0 + b1)/2
+                let lhs = self.c.add_scaled(&self.g, 0.5 * dt).expect("same shape");
+                let rhs = self.c.add_scaled(&self.g, -0.5 * dt).expect("same shape");
+                (lhs.scaled(1.0 / dt), Some(rhs.scaled(1.0 / dt)))
+            }
+            IntegrationMethod::BackwardEuler => {
+                // (C/dt + G) v1 = C/dt v0 + b1
+                let lhs = self.c.add_scaled(&self.g, dt).expect("same shape");
+                (lhs.scaled(1.0 / dt), None)
+            }
+        };
+        let lu = lhs.lu()?;
+
+        // Initial condition: DC solution at t = 0.
+        let mut b_now = vec![0.0; n];
+        rhs_inputs(0.0, &mut b_now);
+        let g_lu = self.g.lu()?;
+        let mut v = g_lu.solve(&b_now)?;
+
+        // Probe bookkeeping.
+        let probe_nodes: Vec<NodeId> = if options.probes.is_empty() {
+            vec![self.network.victim_output()]
+        } else {
+            options.probes.clone()
+        };
+        let mut traces: Vec<Vec<f64>> = probe_nodes
+            .iter()
+            .map(|node| {
+                let mut t = Vec::with_capacity(steps + 1);
+                t.push(v[node.index()]);
+                t
+            })
+            .collect();
+
+        let mut b_next = vec![0.0; n];
+        let mut rhs = vec![0.0; n];
+        let mut v_next = vec![0.0; n];
+        for k in 0..steps {
+            let t1 = (k + 1) as f64 * dt;
+            rhs_inputs(t1, &mut b_next);
+            match options.method {
+                IntegrationMethod::Trapezoidal => {
+                    let m = rhs_mat.as_ref().expect("trapezoidal rhs matrix");
+                    for i in 0..n {
+                        let mut acc = 0.0;
+                        for j in 0..n {
+                            acc += m[(i, j)] * v[j];
+                        }
+                        rhs[i] = acc + 0.5 * (b_now[i] + b_next[i]);
+                    }
+                }
+                IntegrationMethod::BackwardEuler => {
+                    for i in 0..n {
+                        let mut acc = 0.0;
+                        for j in 0..n {
+                            acc += self.c[(i, j)] * v[j];
+                        }
+                        rhs[i] = acc / dt + b_next[i];
+                    }
+                }
+            }
+            lu.solve_into(&rhs, &mut v_next)?;
+            std::mem::swap(&mut v, &mut v_next);
+            std::mem::swap(&mut b_now, &mut b_next);
+            for (trace, node) in traces.iter_mut().zip(&probe_nodes) {
+                trace.push(v[node.index()]);
+            }
+        }
+
+        let probes = probe_nodes
+            .into_iter()
+            .zip(traces)
+            .map(|(node, samples)| (node, Waveform::new(0.0, dt, samples)))
+            .collect();
+        Ok(SimResult { probes })
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_circuit::NetworkBuilder;
+
+    /// Lumped RC victim driven by one coupled aggressor node.
+    fn coupled_pair(rd: f64, cg: f64, cc: f64) -> (Network, NetId) {
+        let mut b = NetworkBuilder::new();
+        let v = b.add_net("v", NetRole::Victim);
+        let a = b.add_net("a", NetRole::Aggressor);
+        let vn = b.add_node(v, "v0");
+        let an = b.add_node(a, "a0");
+        b.add_driver(v, vn, rd).unwrap();
+        b.add_driver(a, an, rd).unwrap();
+        b.add_sink(vn, cg).unwrap();
+        b.add_sink(an, cg).unwrap();
+        b.add_coupling_cap(vn, an, cc).unwrap();
+        let net = b.build().unwrap();
+        let agg = net.aggressor_nets().next().unwrap().0;
+        (net, agg)
+    }
+
+    #[test]
+    fn quiet_network_stays_at_zero() {
+        let (net, _) = coupled_pair(100.0, 10e-15, 5e-15);
+        let sim = TransientSim::new(&net).unwrap();
+        let opts = SimOptions {
+            dt: 1e-12,
+            t_stop: 1e-10,
+            method: IntegrationMethod::Trapezoidal,
+            probes: vec![],
+        };
+        let res = sim.run(&[], &opts).unwrap();
+        let w = res.probe(net.victim_output()).unwrap();
+        assert!(w.samples().iter().all(|&v| v.abs() < 1e-15));
+    }
+
+    #[test]
+    fn falling_input_starts_aggressor_high() {
+        let (net, agg) = coupled_pair(100.0, 10e-15, 5e-15);
+        let sim = TransientSim::new(&net).unwrap();
+        let agg_node = net.net(agg).driver().node;
+        let opts = SimOptions {
+            dt: 1e-13,
+            t_stop: 2e-9,
+            method: IntegrationMethod::Trapezoidal,
+            probes: vec![agg_node, net.victim_output()],
+        };
+        let stim = [(agg, InputSignal::falling_ramp(1e-10, 1e-10))];
+        let res = sim.run(&stim, &opts).unwrap();
+        let wa = res.probe(agg_node).unwrap();
+        assert!((wa.samples()[0] - 1.0).abs() < 1e-9);
+        // Aggressor ends low; victim noise is negative-going.
+        assert!(wa.samples().last().unwrap().abs() < 1e-3);
+        let wv = res.probe(net.victim_output()).unwrap();
+        let min = wv.samples().iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min < -1e-3, "expected negative noise, min = {min}");
+    }
+
+    #[test]
+    fn stimulus_validation() {
+        let (net, agg) = coupled_pair(100.0, 10e-15, 5e-15);
+        let sim = TransientSim::new(&net).unwrap();
+        let opts = SimOptions {
+            dt: 1e-12,
+            t_stop: 1e-10,
+            method: IntegrationMethod::Trapezoidal,
+            probes: vec![],
+        };
+        let sig = InputSignal::rising_ramp(0.0, 1e-10);
+        assert!(matches!(
+            sim.run(&[(net.victim(), sig)], &opts),
+            Err(SimError::StimulusOnNonAggressor(_))
+        ));
+        assert!(matches!(
+            sim.run(&[(agg, sig), (agg, sig)], &opts),
+            Err(SimError::DuplicateStimulus(_))
+        ));
+    }
+
+    #[test]
+    fn options_validation() {
+        let (net, agg) = coupled_pair(100.0, 10e-15, 5e-15);
+        let sim = TransientSim::new(&net).unwrap();
+        let sig = InputSignal::rising_ramp(0.0, 1e-10);
+        for bad in [
+            SimOptions {
+                dt: 0.0,
+                t_stop: 1e-10,
+                method: IntegrationMethod::Trapezoidal,
+                probes: vec![],
+            },
+            SimOptions {
+                dt: 1e-12,
+                t_stop: 1e-13,
+                method: IntegrationMethod::Trapezoidal,
+                probes: vec![],
+            },
+            SimOptions {
+                dt: 1e-22,
+                t_stop: 1.0,
+                method: IntegrationMethod::Trapezoidal,
+                probes: vec![],
+            },
+        ] {
+            assert!(matches!(
+                sim.run(&[(agg, sig)], &bad),
+                Err(SimError::BadOptions { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn auto_options_cover_the_pulse() {
+        let (net, agg) = coupled_pair(500.0, 20e-15, 10e-15);
+        let stim = [(agg, InputSignal::rising_ramp(2e-10, 1e-10))];
+        let opts = SimOptions::auto(&net, &stim);
+        assert!(opts.t_stop > 3e-10);
+        assert!(opts.dt < 1e-11);
+        let sim = TransientSim::new(&net).unwrap();
+        let res = sim.run(&stim, &opts).unwrap();
+        let w = res.probe(net.victim_output()).unwrap();
+        // Pulse decays by the end of the window.
+        let (_, vp) = w.max();
+        assert!(vp > 0.0);
+        assert!(w.samples().last().unwrap().abs() < 1e-3 * vp);
+    }
+}

@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+use xtalk_circuit::NetId;
+use xtalk_linalg::LinalgError;
+
+/// Errors raised by the transient simulator and waveform measurement.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The system matrix could not be factored (numerical pathology).
+    Numerical(LinalgError),
+    /// A stimulus was attached to a net that is not an aggressor.
+    StimulusOnNonAggressor(NetId),
+    /// Two stimuli target the same aggressor net.
+    DuplicateStimulus(NetId),
+    /// Simulation options are out of range (non-positive step or horizon).
+    BadOptions {
+        /// Explanation of the offending option.
+        detail: String,
+    },
+    /// The waveform never rises meaningfully above zero: there is no noise
+    /// pulse to measure.
+    NoPulse,
+    /// The noise pulse has not decayed below the measurement threshold by
+    /// the end of the simulation window; re-run with a longer horizon.
+    Truncated,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Numerical(e) => write!(f, "numerical failure in simulator: {e}"),
+            SimError::StimulusOnNonAggressor(n) => {
+                write!(f, "stimulus attached to non-aggressor net {n}")
+            }
+            SimError::DuplicateStimulus(n) => {
+                write!(f, "multiple stimuli attached to aggressor net {n}")
+            }
+            SimError::BadOptions { detail } => write!(f, "bad simulation options: {detail}"),
+            SimError::NoPulse => write!(f, "waveform contains no measurable noise pulse"),
+            SimError::Truncated => {
+                write!(f, "noise pulse truncated by simulation horizon; extend t_stop")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for SimError {
+    fn from(e: LinalgError) -> Self {
+        SimError::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        assert!(SimError::NoPulse.to_string().contains("no measurable"));
+        assert!(SimError::Truncated.to_string().contains("t_stop"));
+        let e = SimError::BadOptions {
+            detail: "dt must be positive".into(),
+        };
+        assert!(e.to_string().contains("dt must be positive"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Physical-invariant property tests for the transient engine on random
+//! coupled networks:
+//!
+//! * **linearity** — the network is LTI, so the response to two aggressors
+//!   switching together equals the sum of their individual responses;
+//! * **passivity** — node voltages never leave the `[−Vdd, +Vdd]` range
+//!   spanned by the sources (an RC network cannot amplify);
+//! * **charge conservation** — the victim pulse area equals the first
+//!   output moment, independent of the input shape.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xtalk_circuit::{signal::InputSignal, NetId, NetRole, Network, NetworkBuilder};
+use xtalk_moments::MomentEngine;
+use xtalk_sim::{SimOptions, TransientSim};
+
+/// Random victim + two aggressors, all chains, couplings everywhere.
+fn random_network(seed: u64) -> (Network, Vec<NetId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new();
+    let v = b.add_net("v", NetRole::Victim);
+    let a1 = b.add_net("a1", NetRole::Aggressor);
+    let a2 = b.add_net("a2", NetRole::Aggressor);
+    let segs = rng.random_range(2..5);
+
+    let mut chain = |net: NetId, b: &mut NetworkBuilder, tag: &str| {
+        let mut nodes = vec![b.add_node(net, format!("{tag}0"))];
+        b.add_driver(net, nodes[0], rng.random_range(80.0..900.0))
+            .unwrap();
+        for i in 1..=segs {
+            let n = b.add_node(net, format!("{tag}{i}"));
+            b.add_resistor(nodes[i - 1], n, rng.random_range(10.0..90.0))
+                .unwrap();
+            b.add_ground_cap(n, rng.random_range(2e-15..12e-15)).unwrap();
+            nodes.push(n);
+        }
+        b.add_sink(nodes[segs], rng.random_range(4e-15..25e-15))
+            .unwrap();
+        nodes
+    };
+    let vn = chain(v, &mut b, "v");
+    let an1 = chain(a1, &mut b, "x");
+    let an2 = chain(a2, &mut b, "y");
+    b.set_victim_output(vn[segs]);
+    let mut rng2 = StdRng::seed_from_u64(seed ^ 0xc0de);
+    for i in 1..=segs {
+        if rng2.random_bool(0.8) {
+            b.add_coupling_cap(an1[i], vn[i], rng2.random_range(4e-15..25e-15))
+                .unwrap();
+        }
+        if rng2.random_bool(0.8) {
+            b.add_coupling_cap(an2[i], vn[i], rng2.random_range(4e-15..25e-15))
+                .unwrap();
+        }
+    }
+    (b.build().unwrap(), vec![a1, a2])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn superposition_linearity(seed in 0u64..1000, tr1 in 4e-11..3e-10f64, tr2 in 4e-11..3e-10f64) {
+        let (net, aggs) = random_network(seed);
+        let sim = TransientSim::new(&net).unwrap();
+        let s1 = InputSignal::rising_ramp(0.0, tr1);
+        let s2 = InputSignal::rising_ramp(2e-11, tr2);
+        let both = [(aggs[0], s1), (aggs[1], s2)];
+        let opts = SimOptions::auto(&net, &both);
+
+        let w_both = sim.run(&both, &opts).unwrap();
+        let w_1 = sim.run(&[(aggs[0], s1)], &opts).unwrap();
+        let w_2 = sim.run(&[(aggs[1], s2)], &opts).unwrap();
+        let out = net.victim_output();
+        let (b, x, y) = (
+            w_both.probe(out).unwrap(),
+            w_1.probe(out).unwrap(),
+            w_2.probe(out).unwrap(),
+        );
+        let scale = b.samples().iter().fold(1e-6_f64, |m, v| m.max(v.abs()));
+        for k in 0..b.len() {
+            let sum = x.samples()[k] + y.samples()[k];
+            prop_assert!(
+                (b.samples()[k] - sum).abs() < 1e-6 * scale,
+                "sample {k}: {} vs {}",
+                b.samples()[k],
+                sum
+            );
+        }
+    }
+
+    #[test]
+    fn passivity_bounds_node_voltages(seed in 0u64..1000, tr in 4e-11..3e-10f64) {
+        // Note the correct invariant: with multiple sources, *driven* net
+        // nodes may transiently exceed the supply by a small coupling
+        // excursion (the recovering victim pushes charge back into an
+        // already-high aggressor — real overshoot noise), so the global
+        // bound is |v| ≤ 1 + 1 (superposition of unit-swing responses).
+        // The quiet victim itself stays inside ±1.
+        let (net, aggs) = random_network(seed);
+        let sim = TransientSim::new(&net).unwrap();
+        let stim = [
+            (aggs[0], InputSignal::rising_ramp(0.0, tr)),
+            (aggs[1], InputSignal::falling_ramp(1e-11, tr)),
+        ];
+        let mut opts = SimOptions::auto(&net, &stim);
+        // Probe every node.
+        opts.probes = net
+            .nets()
+            .flat_map(|(_, n)| n.nodes().iter().copied())
+            .collect();
+        let run = sim.run(&stim, &opts).unwrap();
+        let victim_nodes = net.victim_net().nodes();
+        for (node, w) in run.probes() {
+            let bound = if victim_nodes.contains(node) { 1.0 } else { 2.0 };
+            for &v in w.samples() {
+                prop_assert!(
+                    v.abs() <= bound + 1e-3,
+                    "node {node} reached {v} (bound {bound})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pulse_area_equals_first_moment_for_any_shape(seed in 0u64..1000, tr in 5e-11..2e-10f64, exp_input in any::<bool>()) {
+        let (net, aggs) = random_network(seed);
+        let input = if exp_input {
+            InputSignal::rising_exp(0.0, tr)
+        } else {
+            InputSignal::rising_ramp(0.0, tr)
+        };
+        let engine = MomentEngine::new(&net).unwrap();
+        let h = engine.transfer_taylor(aggs[0], net.victim_output(), 2).unwrap();
+        if h[1].abs() < 1e-16 {
+            return Ok(()); // uncoupled draw
+        }
+        let sim = TransientSim::new(&net).unwrap();
+        let stim = [(aggs[0], input)];
+        let opts = SimOptions::auto(&net, &stim);
+        let run = sim.run(&stim, &opts).unwrap();
+        let area = run.probe(net.victim_output()).unwrap().integral();
+        prop_assert!(
+            (area - h[1]).abs() < 5e-3 * h[1].abs(),
+            "area {area} vs f1 {}",
+            h[1]
+        );
+    }
+}

@@ -1,0 +1,188 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+use crate::Technology;
+use xtalk_circuit::{CircuitError, NetId, NetRole, Network, NetworkBuilder, NodeId};
+
+/// A parallel bus with the victim in the middle — the canonical
+/// multi-aggressor situation the paper's superposition treatment (§3.5)
+/// targets.
+///
+/// `2·neighbors_per_side + 1` equal-length wires run in parallel; the
+/// center wire is the victim, every other wire an aggressor. Nearest
+/// neighbours couple at the full per-length coupling capacitance;
+/// second-nearest at `second_neighbor_fraction` of it (the usual fringe
+/// approximation — beyond that, coupling is negligible at minimum pitch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusSpec {
+    /// Wires on each side of the victim (1 → 3-wire bus, 2 → 5-wire bus).
+    pub neighbors_per_side: usize,
+    /// Bus length (m).
+    pub length: f64,
+    /// Driver resistance of every wire (Ω).
+    pub driver: f64,
+    /// Receiver load of every wire (F).
+    pub load: f64,
+    /// Coupling fraction for second-nearest neighbours (0 disables).
+    pub second_neighbor_fraction: f64,
+    /// Spatial discretization (segments per mm).
+    pub segments_per_mm: usize,
+}
+
+impl BusSpec {
+    /// Builds the bus. Returns `(network, aggressors)` with the aggressor
+    /// list ordered nearest-first: `[left1, right1, left2, right2, …]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates element validation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive length, zero neighbours, a fraction outside
+    /// `[0, 1]`, or zero segments.
+    pub fn build(&self, tech: &Technology) -> Result<(Network, Vec<NetId>), CircuitError> {
+        assert!(self.length > 0.0, "bus length must be positive");
+        assert!(self.neighbors_per_side >= 1, "need at least one neighbour");
+        assert!(
+            (0.0..=1.0).contains(&self.second_neighbor_fraction),
+            "second-neighbour fraction must be in [0, 1]"
+        );
+        assert!(self.segments_per_mm > 0, "need at least one segment per mm");
+
+        let n = ((self.length * 1e3 * self.segments_per_mm as f64).ceil() as usize).max(2);
+        let seg = self.length / n as f64;
+
+        let mut b = NetworkBuilder::new();
+        // Lanes ordered by physical position: index 0 = leftmost; the
+        // victim sits at position `neighbors_per_side`.
+        let k = self.neighbors_per_side;
+        let total_lanes = 2 * k + 1;
+        let mut lane_nets = Vec::with_capacity(total_lanes);
+        let mut lane_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(total_lanes);
+        for lane in 0..total_lanes {
+            let (name, role) = if lane == k {
+                ("victim".to_string(), NetRole::Victim)
+            } else {
+                (format!("bit{lane}"), NetRole::Aggressor)
+            };
+            let net = b.add_net(name, role);
+            let mut nodes = vec![b.add_node(net, format!("l{lane}_0"))];
+            b.add_driver(net, nodes[0], self.driver)?;
+            for i in 1..=n {
+                let node = b.add_node(net, format!("l{lane}_{i}"));
+                b.add_resistor(nodes[i - 1], node, tech.wire_r(seg))?;
+                b.add_ground_cap(node, tech.wire_c(seg))?;
+                nodes.push(node);
+            }
+            b.add_sink(nodes[n], self.load)?;
+            if lane == k {
+                b.set_victim_output(nodes[n]);
+            }
+            lane_nets.push(net);
+            lane_nodes.push(nodes);
+        }
+
+        // Couplings between physically adjacent lanes (and second-nearest
+        // when enabled), segment-aligned.
+        for lane in 0..total_lanes {
+            for (other, fraction) in [
+                (lane + 1, 1.0),
+                (lane + 2, self.second_neighbor_fraction),
+            ] {
+                if other >= total_lanes || fraction == 0.0 {
+                    continue;
+                }
+                // Skip aggressor-aggressor pairs: invisible to the victim
+                // analysis and they inflate the MNA size.
+                if lane != k && other != k {
+                    continue;
+                }
+                for i in 1..=n {
+                    b.add_coupling_cap(
+                        lane_nodes[lane][i],
+                        lane_nodes[other][i],
+                        tech.wire_cc(seg) * fraction,
+                    )?;
+                }
+            }
+        }
+
+        let network = b.build()?;
+        // Aggressors nearest-first relative to the victim lane.
+        let mut aggs = Vec::with_capacity(2 * k);
+        for dist in 1..=k {
+            aggs.push(lane_nets[k - dist]);
+            aggs.push(lane_nets[k + dist]);
+        }
+        Ok((network, aggs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> BusSpec {
+        BusSpec {
+            neighbors_per_side: 2,
+            length: 1.0e-3,
+            driver: 200.0,
+            load: 15e-15,
+            second_neighbor_fraction: 0.25,
+            segments_per_mm: 8,
+        }
+    }
+
+    #[test]
+    fn five_wire_bus_builds() {
+        let (net, aggs) = spec().build(&Technology::p25()).unwrap();
+        assert_eq!(net.net_count(), 5);
+        assert_eq!(aggs.len(), 4);
+        assert_eq!(net.aggressor_nets().count(), 4);
+    }
+
+    #[test]
+    fn nearest_neighbors_couple_stronger() {
+        let tech = Technology::p25();
+        let (net, aggs) = spec().build(&tech).unwrap();
+        let total = |agg: NetId| -> f64 {
+            net.couplings_between(agg, net.victim())
+                .map(|(_, _, f)| f)
+                .sum()
+        };
+        // aggs[0], aggs[1] are nearest; aggs[2], aggs[3] second-nearest.
+        let near = total(aggs[0]);
+        let far = total(aggs[2]);
+        assert!((near - tech.wire_cc(1.0e-3)).abs() < 0.05 * near);
+        assert!((far - 0.25 * near).abs() < 0.05 * near, "{far} vs {near}");
+    }
+
+    #[test]
+    fn disabling_second_neighbors_drops_their_coupling() {
+        let mut s = spec();
+        s.second_neighbor_fraction = 0.0;
+        let (net, aggs) = s.build(&Technology::p25()).unwrap();
+        assert_eq!(
+            net.couplings_between(aggs[2], net.victim()).count(),
+            0,
+            "second neighbour must be uncoupled"
+        );
+        assert!(net.couplings_between(aggs[0], net.victim()).count() > 0);
+    }
+
+    #[test]
+    fn three_wire_bus_is_smallest() {
+        let mut s = spec();
+        s.neighbors_per_side = 1;
+        let (net, aggs) = s.build(&Technology::p25()).unwrap();
+        assert_eq!(net.net_count(), 3);
+        assert_eq!(aggs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one neighbour")]
+    fn zero_neighbors_panics() {
+        let mut s = spec();
+        s.neighbors_per_side = 0;
+        let _ = s.build(&Technology::p25());
+    }
+}

@@ -1,0 +1,56 @@
+//! Technology parameters and coupling-circuit generators.
+//!
+//! The paper validates its metrics "in 0.25 µm technology for a variety of
+//! coupling circuits, including two-pin nets and RC trees" (Figure 4),
+//! sweeping coupling location, driver strengths and coupling lengths
+//! (0.1–2.0 mm), plus extreme corner cases. This crate reproduces that
+//! workload generator:
+//!
+//! * [`Technology`] — per-length wire R/C/Cc and device ranges
+//!   ([`Technology::p25`] carries published-typical 0.25 µm values; the
+//!   substitution rationale lives in `DESIGN.md`);
+//! * [`TwoPinSpec`] — the Figure-4/Figure-5 parallel-wire circuit with
+//!   lengths `L1` (coupling offset), `L2` (coupling length), `L3` (victim
+//!   length) and a near-/far-end [`CouplingDirection`];
+//! * [`TreeSpec`] / [`random_tree`] — coupled RC trees with branches;
+//! * [`sweep`] — seeded random case generation for the Tables 1–3
+//!   reproductions, including the paper's "drastically different driver
+//!   sizes" corners.
+//!
+//! # Examples
+//!
+//! ```
+//! use xtalk_circuit::units::*;
+//! use xtalk_tech::{CouplingDirection, Technology, TwoPinSpec};
+//!
+//! let tech = Technology::p25();
+//! let spec = TwoPinSpec {
+//!     l1: mm(0.3),
+//!     l2: mm(0.5),
+//!     l3: mm(1.5),
+//!     direction: CouplingDirection::FarEnd,
+//!     victim_driver: 200.0,
+//!     aggressor_driver: 150.0,
+//!     victim_load: ff(20.0),
+//!     aggressor_load: ff(20.0),
+//!     segments_per_mm: 10,
+//! };
+//! let (network, aggressor) = spec.build(&tech).unwrap();
+//! assert!(network.node_count() > 20);
+//! assert_eq!(network.aggressor_nets().next().unwrap().0, aggressor);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod technology;
+mod tree;
+mod two_pin;
+
+pub mod sweep;
+
+pub use bus::BusSpec;
+pub use technology::Technology;
+pub use tree::{random_tree, TreeSpec};
+pub use two_pin::{CouplingDirection, TwoPinSpec};

@@ -1,0 +1,149 @@
+/// Interconnect technology parameters: per-length wire parasitics and the
+/// device/signal ranges used in sweeps.
+///
+/// All values in base SI units (Ω/m, F/m, Ω, F, s).
+///
+/// # Examples
+///
+/// ```
+/// let tech = xtalk_tech::Technology::p25();
+/// // 1 mm of wire at 0.25 µm-class parasitics:
+/// let r = tech.r_per_m * 1e-3;
+/// let c = tech.c_per_m * 1e-3;
+/// assert!(r > 10.0 && r < 500.0);      // tens of ohms per mm
+/// assert!(c > 1e-14 && c < 5e-13);     // tens of fF per mm
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Display name.
+    pub name: &'static str,
+    /// Wire resistance per meter (Ω/m).
+    pub r_per_m: f64,
+    /// Wire ground (area + fringe) capacitance per meter (F/m).
+    pub c_per_m: f64,
+    /// Coupling capacitance per meter to a minimum-spaced neighbour (F/m).
+    pub cc_per_m: f64,
+    /// Equivalent driver resistance range (Ω): weakest … strongest swept.
+    pub driver_range: (f64, f64),
+    /// Receiver load range (F).
+    pub load_range: (f64, f64),
+    /// Input transition-time range (s).
+    pub slew_range: (f64, f64),
+}
+
+impl Technology {
+    /// Published-typical 0.25 µm-generation values (minimum-width,
+    /// minimum-spacing routing — the geometry where crosstalk matters):
+    ///
+    /// * sheet ≈ 0.07 Ω/□ at ~0.32 µm width → ≈ 0.22 Ω/µm;
+    /// * ground capacitance ≈ 0.05 fF/µm;
+    /// * coupling capacitance ≈ 0.10 fF/µm (coupling dominates ground at
+    ///   minimum pitch, as the deep-submicron literature emphasizes);
+    /// * drivers from strong (30 Ω) to very weak (3 kΩ) to cover the
+    ///   paper's "drastically different driver sizes" corners;
+    /// * loads 2–50 fF, input slews 30–300 ps.
+    pub fn p25() -> Self {
+        Technology {
+            name: "p25",
+            r_per_m: 0.22e6,
+            c_per_m: 0.05e-9,
+            cc_per_m: 0.10e-9,
+            driver_range: (30.0, 3000.0),
+            load_range: (2e-15, 50e-15),
+            slew_range: (30e-12, 300e-12),
+        }
+    }
+
+    /// Published-typical 0.18 µm-generation values: thinner, narrower
+    /// wires (higher resistance), slightly lower ground capacitance and a
+    /// *higher* coupling share — the scaling trend that makes crosstalk a
+    /// "performance-limiting factor" (the paper's opening motivation).
+    pub fn p18() -> Self {
+        Technology {
+            name: "p18",
+            r_per_m: 0.40e6,
+            c_per_m: 0.04e-9,
+            cc_per_m: 0.11e-9,
+            driver_range: (25.0, 2500.0),
+            load_range: (1.5e-15, 40e-15),
+            slew_range: (20e-12, 250e-12),
+        }
+    }
+
+    /// Published-typical 0.13 µm-generation values, continuing the trend.
+    pub fn p13() -> Self {
+        Technology {
+            name: "p13",
+            r_per_m: 0.75e6,
+            c_per_m: 0.035e-9,
+            cc_per_m: 0.12e-9,
+            driver_range: (20.0, 2000.0),
+            load_range: (1e-15, 30e-15),
+            slew_range: (15e-12, 200e-12),
+        }
+    }
+
+    /// Coupling-to-total capacitance ratio at minimum pitch — the headline
+    /// scaling indicator (`cc/(cc + c)` grows node over node).
+    pub fn coupling_fraction(&self) -> f64 {
+        self.cc_per_m / (self.cc_per_m + self.c_per_m)
+    }
+
+    /// Total wire resistance of `length` meters (Ω).
+    pub fn wire_r(&self, length: f64) -> f64 {
+        self.r_per_m * length
+    }
+
+    /// Total wire ground capacitance of `length` meters (F).
+    pub fn wire_c(&self, length: f64) -> f64 {
+        self.c_per_m * length
+    }
+
+    /// Total coupling capacitance over `length` meters of parallel run (F).
+    pub fn wire_cc(&self, length: f64) -> f64 {
+        self.cc_per_m * length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p25_values_are_in_expected_ranges() {
+        let t = Technology::p25();
+        // per-µm sanity: 0.05..0.3 Ω/µm, 0.03..0.12 fF/µm.
+        let r_um = t.r_per_m * 1e-6;
+        let c_um = t.c_per_m * 1e-6;
+        let cc_um = t.cc_per_m * 1e-6;
+        assert!((0.05..0.3).contains(&r_um));
+        assert!((0.03e-15..0.12e-15).contains(&c_um));
+        assert!(cc_um > c_um, "coupling dominates ground at min pitch");
+        assert!(t.driver_range.0 < t.driver_range.1);
+        assert!(t.load_range.0 < t.load_range.1);
+        assert!(t.slew_range.0 < t.slew_range.1);
+    }
+
+    #[test]
+    fn coupling_fraction_grows_with_scaling() {
+        let p25 = Technology::p25().coupling_fraction();
+        let p18 = Technology::p18().coupling_fraction();
+        let p13 = Technology::p13().coupling_fraction();
+        assert!(p25 < p18 && p18 < p13, "{p25} {p18} {p13}");
+        assert!(p25 > 0.5, "coupling already dominates at 0.25um");
+    }
+
+    #[test]
+    fn resistance_grows_with_scaling() {
+        assert!(Technology::p18().r_per_m > Technology::p25().r_per_m);
+        assert!(Technology::p13().r_per_m > Technology::p18().r_per_m);
+    }
+
+    #[test]
+    fn wire_totals_scale_linearly() {
+        let t = Technology::p25();
+        assert!((t.wire_r(2e-3) - 2.0 * t.wire_r(1e-3)).abs() < 1e-9);
+        assert!((t.wire_c(1e-3) - t.c_per_m * 1e-3).abs() < 1e-20);
+        assert!((t.wire_cc(0.5e-3) - t.cc_per_m * 0.5e-3).abs() < 1e-20);
+    }
+}

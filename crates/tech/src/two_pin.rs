@@ -1,0 +1,228 @@
+use crate::Technology;
+use xtalk_circuit::{CircuitError, NetId, NetRole, Network, NetworkBuilder, NodeId};
+
+/// Relative orientation of aggressor and victim (paper Tables 1 vs 2).
+///
+/// *Far-end*: the aggressor drives from the same end as the victim's
+/// driver, so the victim's receiver is closest to the *aggressor's
+/// receiver*. *Near-end*: the aggressor drives from the opposite end —
+/// its signal is fastest (least RC-filtered) right next to the victim's
+/// receiver, which is why near-end noise is usually larger and why simple
+/// metrics that ignore the distinction stop being upper bounds (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CouplingDirection {
+    /// Aggressor driver on the victim-driver side.
+    FarEnd,
+    /// Aggressor driver on the victim-receiver side.
+    NearEnd,
+}
+
+/// The Figure-4 two-pin coupling circuit: two parallel wires of length
+/// `L3`, capacitively coupled over the window `[L1, L1 + L2]`.
+///
+/// ```text
+/// victim:     driver ──── L1 ──── [ coupling region L2 ] ──── ──── load
+/// aggressor
+///   far-end:  driver ═════════════[ ================== ]═════════ load
+///   near-end: load   ═════════════[ ================== ]═════════ driver
+/// ```
+///
+/// Figure 5's sweep sets `L2 = 0.5 mm`, `L3 = 1.5 mm` and moves
+/// `L1 = 0.1 … 1.0 mm`: the closer the coupling window to the victim
+/// receiver, the larger the peak noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPinSpec {
+    /// Distance from the victim driver to the start of the coupling
+    /// window (m). May be 0 (coupling at the driver).
+    pub l1: f64,
+    /// Coupling-window length (m); must be positive.
+    pub l2: f64,
+    /// Total wire length (m); `l1 + l2 ≤ l3`.
+    pub l3: f64,
+    /// Orientation.
+    pub direction: CouplingDirection,
+    /// Victim equivalent driver resistance (Ω).
+    pub victim_driver: f64,
+    /// Aggressor equivalent driver resistance (Ω).
+    pub aggressor_driver: f64,
+    /// Victim receiver load (F).
+    pub victim_load: f64,
+    /// Aggressor receiver load (F).
+    pub aggressor_load: f64,
+    /// Spatial discretization of the distributed wires (segments per mm);
+    /// 8–12 is plenty for metric validation.
+    pub segments_per_mm: usize,
+}
+
+impl TwoPinSpec {
+    /// Builds the coupled network. Returns `(network, aggressor_net)`.
+    ///
+    /// Both wires share a uniform segmentation of `L3`; the coupling
+    /// window is snapped to segment boundaries (at least one segment
+    /// wide), which keeps element values well-scaled for any float inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates element validation failures for out-of-range values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths are inconsistent (`l2 ≤ 0`, `l1 < 0`, or
+    /// `l1 + l2 > l3` beyond rounding) or `segments_per_mm == 0`.
+    pub fn build(&self, tech: &Technology) -> Result<(Network, NetId), CircuitError> {
+        assert!(self.l2 > 0.0, "coupling length must be positive");
+        assert!(self.l1 >= 0.0, "coupling offset must be non-negative");
+        assert!(
+            self.l1 + self.l2 <= self.l3 * (1.0 + 1e-9),
+            "coupling window exceeds the wire length"
+        );
+        assert!(self.segments_per_mm > 0, "need at least one segment per mm");
+
+        let n = ((self.l3 * 1e3 * self.segments_per_mm as f64).ceil() as usize).max(2);
+        let seg = self.l3 / n as f64;
+        // Window snapped to segment boundaries, at least one segment wide.
+        let start = ((self.l1 / seg).round() as usize).min(n - 1);
+        let end = (((self.l1 + self.l2) / seg).round() as usize)
+            .clamp(start + 1, n);
+
+        let mut b = NetworkBuilder::new();
+        let vic = b.add_net("victim", NetRole::Victim);
+        let agg = b.add_net("aggressor", NetRole::Aggressor);
+
+        // Two identical chains; node k sits at position k·seg.
+        let chain = |b: &mut NetworkBuilder, net: NetId, tag: &str| -> Result<Vec<NodeId>, CircuitError> {
+            let mut nodes = Vec::with_capacity(n + 1);
+            nodes.push(b.add_node(net, format!("{tag}0")));
+            for k in 1..=n {
+                let node = b.add_node(net, format!("{tag}{k}"));
+                b.add_resistor(nodes[k - 1], node, tech.wire_r(seg))?;
+                b.add_ground_cap(node, tech.wire_c(seg))?;
+                nodes.push(node);
+            }
+            Ok(nodes)
+        };
+        let v_nodes = chain(&mut b, vic, "v")?;
+        let a_nodes = chain(&mut b, agg, "a")?;
+
+        b.add_driver(vic, v_nodes[0], self.victim_driver)?;
+        b.add_sink(v_nodes[n], self.victim_load)?;
+        b.set_victim_output(v_nodes[n]);
+
+        let (a_drv, a_load) = match self.direction {
+            CouplingDirection::FarEnd => (a_nodes[0], a_nodes[n]),
+            CouplingDirection::NearEnd => (a_nodes[n], a_nodes[0]),
+        };
+        b.add_driver(agg, a_drv, self.aggressor_driver)?;
+        b.add_sink(a_load, self.aggressor_load)?;
+
+        // Aligned coupling caps over the window; total ≈ cc_per_m · L2.
+        let cc_per_seg = tech.wire_cc(self.l2) / (end - start) as f64;
+        for k in (start + 1)..=end {
+            b.add_coupling_cap(a_nodes[k], v_nodes[k], cc_per_seg)?;
+        }
+
+        let network = b.build()?;
+        Ok((network, agg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(direction: CouplingDirection) -> TwoPinSpec {
+        TwoPinSpec {
+            l1: 0.3e-3,
+            l2: 0.5e-3,
+            l3: 1.5e-3,
+            direction,
+            victim_driver: 200.0,
+            aggressor_driver: 150.0,
+            victim_load: 20e-15,
+            aggressor_load: 20e-15,
+            segments_per_mm: 10,
+        }
+    }
+
+    #[test]
+    fn builds_with_expected_totals() {
+        let tech = Technology::p25();
+        let (net, agg) = spec(CouplingDirection::FarEnd).build(&tech).unwrap();
+        // Both wires span L3.
+        let rv = net.net_total_res(net.victim());
+        assert!(
+            (rv - tech.wire_r(1.5e-3)).abs() < 1e-6 * rv,
+            "victim R {rv}"
+        );
+        let ra = net.net_total_res(agg);
+        assert!((ra - tech.wire_r(1.5e-3)).abs() < 1e-6 * ra);
+        // Total coupling ≈ cc_per_m * L2.
+        let cc: f64 = net
+            .couplings_between(agg, net.victim())
+            .map(|(_, _, f)| f)
+            .sum();
+        assert!((cc - tech.wire_cc(0.5e-3)).abs() < 1e-6 * cc);
+    }
+
+    #[test]
+    fn near_and_far_end_differ_only_in_driver_placement() {
+        let tech = Technology::p25();
+        let (far, fa) = spec(CouplingDirection::FarEnd).build(&tech).unwrap();
+        let (near, na) = spec(CouplingDirection::NearEnd).build(&tech).unwrap();
+        assert_eq!(far.node_count(), near.node_count());
+        assert_eq!(far.coupling_caps().len(), near.coupling_caps().len());
+        assert!((far.net_total_res(fa) - near.net_total_res(na)).abs() < 1e-9);
+        assert_ne!(far.net(fa).driver().node, near.net(na).driver().node);
+    }
+
+    #[test]
+    fn degenerate_window_edges_are_robust() {
+        let tech = Technology::p25();
+        // Window flush against the driver.
+        let mut s = spec(CouplingDirection::FarEnd);
+        s.l1 = 0.0;
+        assert!(s.build(&tech).is_ok());
+        // Window flush against the receiver, with a floating-point
+        // residue in l3 (the construction that used to create femtometer
+        // segments).
+        let mut s2 = spec(CouplingDirection::FarEnd);
+        s2.l1 = 1.0000000000000002e-3;
+        s2.l2 = 0.5e-3;
+        s2.l3 = s2.l1 + s2.l2;
+        let (net, _) = s2.build(&tech).unwrap();
+        // Every resistor stays in a sane range (no sub-micron slivers).
+        for r in net.resistors() {
+            assert!(r.ohms > 1e-3, "sliver resistor {} ohms", r.ohms);
+        }
+        // Tiny window still gets one segment.
+        let mut s3 = spec(CouplingDirection::FarEnd);
+        s3.l2 = 1e-6;
+        s3.l3 = 1.5e-3;
+        let (net3, agg3) = s3.build(&tech).unwrap();
+        assert_eq!(net3.couplings_between(agg3, net3.victim()).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "coupling window exceeds")]
+    fn oversized_window_panics() {
+        let mut s = spec(CouplingDirection::FarEnd);
+        s.l1 = 1.2e-3;
+        s.build(&Technology::p25()).unwrap();
+    }
+
+    #[test]
+    fn segment_count_scales_with_resolution() {
+        let tech = Technology::p25();
+        let coarse = {
+            let mut s = spec(CouplingDirection::FarEnd);
+            s.segments_per_mm = 4;
+            s.build(&tech).unwrap().0.node_count()
+        };
+        let fine = {
+            let mut s = spec(CouplingDirection::FarEnd);
+            s.segments_per_mm = 16;
+            s.build(&tech).unwrap().0.node_count()
+        };
+        assert!(fine > 3 * coarse);
+    }
+}

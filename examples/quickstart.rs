@@ -1,0 +1,80 @@
+//! Quickstart: estimate the complete crosstalk noise waveform on a coupled
+//! two-pin net with the closed-form metrics, then cross-check against the
+//! bundled transient simulator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use xtalk::core::{MetricKind, NoiseAnalyzer};
+use xtalk::sim::{measure_noise, SimOptions, TransientSim};
+use xtalk::tech::{CouplingDirection, Technology, TwoPinSpec};
+use xtalk_circuit::signal::InputSignal;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the coupling situation: two parallel 1.5 mm wires in a
+    //    0.25 µm-class technology, coupled over 0.8 mm starting 0.4 mm
+    //    from the victim's driver.
+    let tech = Technology::p25();
+    let spec = TwoPinSpec {
+        l1: 0.4e-3,
+        l2: 0.8e-3,
+        l3: 1.5e-3,
+        direction: CouplingDirection::FarEnd,
+        victim_driver: 180.0,
+        aggressor_driver: 120.0,
+        victim_load: 15e-15,
+        aggressor_load: 15e-15,
+        segments_per_mm: 10,
+    };
+    let (network, aggressor) = spec.build(&tech)?;
+    let input = InputSignal::rising_ramp(0.0, 100e-12);
+
+    // 2. Closed-form analysis: five basic operations on three moments.
+    let analyzer = NoiseAnalyzer::new(&network)?;
+    let est = analyzer.analyze(aggressor, &input, MetricKind::Two)?;
+    println!("new metric II estimate (normalized to Vdd / seconds):");
+    println!("  Vp = {:.4}   (peak amplitude)", est.vp);
+    println!("  T0 = {:.2e}  (noise arrival)", est.t0);
+    println!("  T1 = {:.2e}  (rising transition)", est.t1);
+    println!("  T2 = {:.2e}  (falling transition)", est.t2);
+    println!("  Tp = {:.2e}  (peak time)", est.tp);
+    println!("  Wn = {:.2e}  (pulse width)", est.wn);
+
+    // Shape-ratio bounds (eqs. 37-40): the range the metric-I estimate can
+    // take over every template shape 0 < m < ∞ (NOT a bound on the true
+    // noise — metric II is the conservative estimator).
+    let bounds = analyzer.bounds(aggressor, &input)?;
+    println!(
+        "metric-I shape bounds: Vp in [{:.4}, {:.4}], Wn in [{:.2e}, {:.2e}]",
+        bounds.vp.0, bounds.vp.1, bounds.wn.0, bounds.wn.1
+    );
+
+    // 3. Golden cross-check with the transient simulator.
+    let sim = TransientSim::new(&network)?;
+    let opts = SimOptions::auto(&network, &[(aggressor, input)]);
+    let result = sim.run(&[(aggressor, input)], &opts)?;
+    let golden = measure_noise(
+        result.probe(network.victim_output()).expect("victim probed"),
+        input.noise_polarity(),
+    )?;
+    println!("transient simulation:");
+    println!("  Vp = {:.4}, Tp = {:.2e}, Wn = {:.2e}", golden.vp, golden.tp, golden.wn);
+    println!(
+        "metric II peak error: {:+.1}%  (conservative: {})",
+        (est.vp - golden.vp) / golden.vp * 100.0,
+        est.vp >= 0.95 * golden.vp
+    );
+
+    // 4. The screening idiom: Devgan's absolute upper bound is the
+    //    cheapest sound go/no-go test against a noise budget.
+    let h = analyzer.transfer_taylor(aggressor)?;
+    let devgan = xtalk::core::baselines::devgan(h[1], &input)?;
+    let upper = devgan.vp.expect("devgan reports vp");
+    println!(
+        "10% noise budget: Devgan bound {:.4} -> {}",
+        upper,
+        if upper <= 0.10 { "SAFE (skip detailed analysis)" } else { "needs detailed analysis" }
+    );
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! Capstone: a miniature noise sign-off flow over a 5-wire bus, touching
+//! every layer of the stack —
+//!
+//! 1. generate the coupled bus (`xtalk-tech`),
+//! 2. TICER-reduce it for analysis speed (`xtalk-circuit::reduce`),
+//! 3. per-aggressor closed-form noise estimates (`xtalk-core`),
+//! 4. worst-case multi-aggressor superposition with timing windows,
+//! 5. receiver noise-rejection verdict (amplitude *and* energy),
+//! 6. coupling-aware delay window (`xtalk-delay`),
+//! 7. golden confirmation by simultaneous-switching simulation,
+//! 8. archive the analyzed network as a SPICE deck.
+//!
+//! ```text
+//! cargo run --release --example signoff_flow
+//! ```
+
+use xtalk::core::receiver::{NoiseRejection, NoiseVerdict};
+use xtalk::core::superpose::{combined_width, worst_case, TimingWindow};
+use xtalk::core::{MetricKind, NoiseAnalyzer};
+use xtalk::delay::{DelayAnalyzer, DelayMetric};
+use xtalk::moments::tree;
+use xtalk::sim::{measure_noise, SimOptions, TransientSim};
+use xtalk::tech::{BusSpec, Technology};
+use xtalk_circuit::reduce::reduce_quick_nodes;
+use xtalk_circuit::signal::InputSignal;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The physical situation: a victim in the middle of a 5-bit bus.
+    let tech = Technology::p25();
+    let (full, _) = BusSpec {
+        neighbors_per_side: 2,
+        length: 1.4e-3,
+        driver: 160.0,
+        load: 15e-15,
+        second_neighbor_fraction: 0.25,
+        segments_per_mm: 14, // extraction-grade resolution
+    }
+    .build(&tech)?;
+    println!("bus as extracted: {} nodes", full.node_count());
+
+    // 2. Reduce for analysis (a1/b1-exact, τ < b1/1000 eliminated).
+    let tau = tree::open_circuit_b1(&full) * 1e-3;
+    let network = reduce_quick_nodes(&full, tau)?;
+    let aggs: Vec<_> = network.aggressor_nets().map(|(id, _)| id).collect();
+    println!("after reduction:  {} nodes\n", network.node_count());
+
+    // 3. Per-aggressor estimates (rising edges, 90 ps slew).
+    let analyzer = NoiseAnalyzer::new(&network)?;
+    let input = InputSignal::rising_ramp(0.0, 90e-12);
+    let mut contributions = Vec::new();
+    for &agg in &aggs {
+        let est = analyzer.analyze(agg, &input, MetricKind::Two)?;
+        println!(
+            "  {:<6} Vp = {:.4}  Wn = {:.0} ps",
+            network.net(agg).name(),
+            est.vp,
+            est.wn * 1e12
+        );
+        contributions.push(est);
+    }
+
+    // 4. Worst case across the bus: each bit constrained to a ±150 ps
+    //    timing window around its nominal arrival.
+    let window = TimingWindow::new(-150e-12, 150e-12);
+    let cs: Vec<_> = contributions.iter().map(|e| (*e, window)).collect();
+    let combined = worst_case(&cs);
+    let width = combined_width(&cs, combined.at, 0.1);
+    println!(
+        "\nworst case: Vp = {:.4} ({} bits aligned), combined width {:.0} ps",
+        combined.vp, combined.aligned, width * 1e12
+    );
+
+    // 5. Receiver verdict: a static gate with a 35% threshold and 25 fVs
+    //    critical charge.
+    let rx = NoiseRejection::new(0.35, 25e-12);
+    let worst_pulse = xtalk::core::NoiseEstimate {
+        vp: combined.vp,
+        t0: combined.at - width / 2.0,
+        t1: width / 2.0,
+        t2: width / 2.0,
+        tp: combined.at,
+        wn: width,
+        m: 1.0,
+        polarity: 1.0,
+    };
+    let verdict = rx.judge(&worst_pulse);
+    println!(
+        "receiver verdict: {verdict:?} (threshold {:.2}, q_crit {:.0} pVs)",
+        rx.v_th(),
+        rx.q_crit() * 1e12
+    );
+
+    // 6. Coupling-aware delay window for the victim.
+    let delays = DelayAnalyzer::new(&network);
+    let (best, worst_d) = delays.delay_window(DelayMetric::TwoPole)?;
+    println!(
+        "victim delay window: [{:.1}, {:.1}] ps",
+        best * 1e12,
+        worst_d * 1e12
+    );
+
+    // 7. Golden confirmation: everyone switching at once.
+    let stim: Vec<_> = aggs.iter().map(|&a| (a, input)).collect();
+    let sim = TransientSim::new(&network)?;
+    let opts = SimOptions::auto(&network, &stim);
+    let run = sim.run(&stim, &opts)?;
+    let golden = measure_noise(run.probe(network.victim_output()).expect("probed"), 1.0)?;
+    println!(
+        "simultaneous simulation: Vp = {:.4} (worst-case estimate covers it: {})",
+        golden.vp,
+        combined.vp >= 0.95 * golden.vp
+    );
+    assert!(combined.vp >= 0.95 * golden.vp);
+
+    // 8. Archive the reduced network for the signoff record.
+    let deck = xtalk_circuit::spice::write_deck(&network);
+    let path = std::env::temp_dir().join("xtalk_signoff_bus.sp");
+    std::fs::write(&path, deck)?;
+    println!("archived reduced deck at {}", path.display());
+
+    if verdict == NoiseVerdict::Failure {
+        println!("\nACTION REQUIRED: widen spacing or upsize the victim driver.");
+    } else {
+        println!("\nbus passes noise sign-off.");
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! `xtalk` — closed-form crosstalk noise metrics for physical design.
+//!
+//! A production-quality Rust reproduction of *Chen & Marek-Sadowska,
+//! "Closed-Form Crosstalk Noise Metrics for Physical Design Applications"
+//! (DATE 2002)*, together with every substrate the paper stands on. This
+//! facade crate re-exports the workspace members; see `README.md` for the
+//! architecture overview, `DESIGN.md` for the paper-to-module map and
+//! `EXPERIMENTS.md` for reproduction results.
+//!
+//! # Guided tour
+//!
+//! * Describe a coupled interconnect with [`circuit`]
+//!   (`NetworkBuilder`, input signals, SPICE deck I/O, TICER reduction).
+//! * Generate realistic workloads with [`tech`] (0.25/0.18/0.13 µm
+//!   parameters; two-pin, tree and bus geometries; seeded sweeps).
+//! * Compute waveform moments with [`moments`] (exact MNA recursion,
+//!   `O(n)` tree engine, closed-form `a1`/`b1`/`b2`, two-pole Padé).
+//! * Estimate the complete noise waveform with [`core`]
+//!   (`NoiseAnalyzer`, metrics I/II, baselines, timing-window
+//!   superposition, receiver rejection curves).
+//! * Estimate coupling-aware delays with [`delay`] (Miller switch
+//!   factors; Elmore/D2M/two-pole 50% delay and output slew).
+//! * Validate against the golden transient simulator in [`sim`].
+//! * Reproduce the paper's tables and figures with [`eval`].
+//!
+//! # Example
+//!
+//! ```
+//! use xtalk::core::{MetricKind, NoiseAnalyzer};
+//! use xtalk::tech::{CouplingDirection, Technology, TwoPinSpec};
+//! use xtalk::circuit::signal::InputSignal;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (network, aggressor) = TwoPinSpec {
+//!     l1: 0.4e-3, l2: 0.8e-3, l3: 1.5e-3,
+//!     direction: CouplingDirection::FarEnd,
+//!     victim_driver: 180.0, aggressor_driver: 120.0,
+//!     victim_load: 15e-15, aggressor_load: 15e-15,
+//!     segments_per_mm: 10,
+//! }
+//! .build(&Technology::p25())?;
+//!
+//! let analyzer = NoiseAnalyzer::new(&network)?;
+//! let noise = analyzer.analyze(
+//!     aggressor,
+//!     &InputSignal::rising_ramp(0.0, 100e-12),
+//!     MetricKind::Two,
+//! )?;
+//! assert!(noise.vp > 0.0 && noise.vp < 1.0);
+//! assert!((noise.wn - (noise.t1 + noise.t2)).abs() < 1e-18);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use xtalk_circuit as circuit;
+pub use xtalk_core as core;
+pub use xtalk_delay as delay;
+pub use xtalk_eval as eval;
+pub use xtalk_linalg as linalg;
+pub use xtalk_moments as moments;
+pub use xtalk_sim as sim;
+pub use xtalk_tech as tech;

@@ -1,0 +1,135 @@
+//! Full bus workflow: the canonical multi-aggressor flow combining the
+//! bus generator, per-aggressor metrics, worst-case superposition,
+//! receiver judgment, and a simultaneous-switching simulation check.
+
+use xtalk::core::receiver::{NoiseRejection, NoiseVerdict};
+use xtalk::core::superpose::{worst_case, worst_case_mixed, TimingWindow};
+use xtalk::core::{MetricKind, NoiseAnalyzer};
+use xtalk::sim::{measure_noise, SimOptions, TransientSim};
+use xtalk::tech::{BusSpec, Technology};
+use xtalk_circuit::signal::InputSignal;
+
+fn bus() -> (xtalk_circuit::Network, Vec<xtalk_circuit::NetId>) {
+    BusSpec {
+        neighbors_per_side: 2,
+        length: 1.2e-3,
+        driver: 180.0,
+        load: 15e-15,
+        second_neighbor_fraction: 0.25,
+        segments_per_mm: 8,
+    }
+    .build(&Technology::p25())
+    .expect("bus builds")
+}
+
+#[test]
+fn nearest_neighbors_dominate_the_noise() {
+    let (net, aggs) = bus();
+    let analyzer = NoiseAnalyzer::new(&net).unwrap();
+    let input = InputSignal::rising_ramp(0.0, 100e-12);
+    let vps: Vec<f64> = aggs
+        .iter()
+        .map(|&a| analyzer.analyze(a, &input, MetricKind::Two).unwrap().vp)
+        .collect();
+    // aggs is nearest-first: [left1, right1, left2, right2].
+    assert!(vps[0] > 2.0 * vps[2], "nearest must dominate: {vps:?}");
+    assert!(vps[1] > 2.0 * vps[3]);
+    // Symmetry of the bus.
+    assert!((vps[0] - vps[1]).abs() < 0.05 * vps[0]);
+    assert!((vps[2] - vps[3]).abs() < 0.05 * vps[2]);
+}
+
+#[test]
+fn combined_worst_case_covers_simultaneous_switching() {
+    let (net, aggs) = bus();
+    let analyzer = NoiseAnalyzer::new(&net).unwrap();
+    let input = InputSignal::rising_ramp(0.0, 100e-12);
+    let ests: Vec<_> = aggs
+        .iter()
+        .map(|&a| analyzer.analyze(a, &input, MetricKind::Two).unwrap())
+        .collect();
+
+    let wide = TimingWindow::new(-1e-9, 1e-9);
+    let combined = worst_case(&ests.iter().map(|e| (*e, wide)).collect::<Vec<_>>());
+    // Sum of all four peaks.
+    let sum: f64 = ests.iter().map(|e| e.vp).sum();
+    assert!((combined.vp - sum).abs() < 1e-9 * sum);
+
+    // Simulate everyone switching together (peaks roughly coincide since
+    // the bus is symmetric).
+    let stim: Vec<_> = aggs.iter().map(|&a| (a, input)).collect();
+    let sim = TransientSim::new(&net).unwrap();
+    let opts = SimOptions::auto(&net, &stim);
+    let run = sim.run(&stim, &opts).unwrap();
+    let golden = measure_noise(run.probe(net.victim_output()).unwrap(), 1.0).unwrap();
+    assert!(
+        combined.vp >= 0.95 * golden.vp,
+        "worst case {} must cover simultaneous simulation {}",
+        combined.vp,
+        golden.vp
+    );
+}
+
+#[test]
+fn mixed_polarity_bus_partially_cancels() {
+    let (net, aggs) = bus();
+    let analyzer = NoiseAnalyzer::new(&net).unwrap();
+    let rise = InputSignal::rising_ramp(0.0, 100e-12);
+    let fall = InputSignal::falling_ramp(0.0, 100e-12);
+
+    // Left neighbours rise, right neighbours fall.
+    let ests = [
+        analyzer.analyze(aggs[0], &rise, MetricKind::Two).unwrap(),
+        analyzer.analyze(aggs[1], &fall, MetricKind::Two).unwrap(),
+        analyzer.analyze(aggs[2], &rise, MetricKind::Two).unwrap(),
+        analyzer.analyze(aggs[3], &fall, MetricKind::Two).unwrap(),
+    ];
+    let pinned = TimingWindow::pinned();
+    let cs: Vec<_> = ests.iter().map(|e| (*e, pinned)).collect();
+    let (pos, neg) = worst_case_mixed(&cs);
+    let all_rise: f64 = ests.iter().map(|e| e.vp).sum();
+    assert!(pos.vp < all_rise, "cancellation must reduce the worst case");
+    assert!(neg.vp < all_rise);
+
+    // Simulation agrees that the mixed pattern is quieter than all-rise.
+    let sim = TransientSim::new(&net).unwrap();
+    let mixed_stim = [
+        (aggs[0], rise),
+        (aggs[1], fall),
+        (aggs[2], rise),
+        (aggs[3], fall),
+    ];
+    let all_stim: Vec<_> = aggs.iter().map(|&a| (a, rise)).collect();
+    let opts = SimOptions::auto(&net, &all_stim);
+    let peak = |stim: &[(xtalk_circuit::NetId, InputSignal)]| {
+        let run = sim.run(stim, &opts).unwrap();
+        run.probe(net.victim_output())
+            .unwrap()
+            .samples()
+            .iter()
+            .fold(0.0_f64, |m, v| m.max(v.abs()))
+    };
+    assert!(peak(&mixed_stim) < peak(&all_stim));
+}
+
+#[test]
+fn receiver_judgment_uses_width_not_just_peak() {
+    let (net, aggs) = bus();
+    let analyzer = NoiseAnalyzer::new(&net).unwrap();
+    let est = analyzer
+        .analyze(aggs[0], &InputSignal::rising_ramp(0.0, 100e-12), MetricKind::Two)
+        .unwrap();
+    assert!(est.vp > 0.05, "need a visible pulse for the test");
+
+    // A receiver with a huge critical charge tolerates the pulse even
+    // though the amplitude crosses its threshold; a twitchy receiver
+    // fails it. Same pulse, different verdicts — only possible because
+    // the metric reports the width.
+    let tolerant = NoiseRejection::new(est.vp * 0.5, est.area() * 10.0);
+    let twitchy = NoiseRejection::new(est.vp * 0.5, est.area() * 0.1);
+    assert_eq!(tolerant.judge(&est), NoiseVerdict::Marginal);
+    assert_eq!(twitchy.judge(&est), NoiseVerdict::Failure);
+    // And one with a high threshold never notices.
+    let deaf = NoiseRejection::new(0.95, est.area() * 0.1);
+    assert_eq!(deaf.judge(&est), NoiseVerdict::Safe);
+}

@@ -1,0 +1,90 @@
+//! End-to-end CLI flow: generate a circuit, export its SPICE deck, and
+//! run every `xtalk` sub-command against the file.
+
+use xtalk::tech::{CouplingDirection, Technology, TwoPinSpec};
+use xtalk_circuit::spice;
+
+fn write_sample_deck(dir: &std::path::Path) -> std::path::PathBuf {
+    let spec = TwoPinSpec {
+        l1: 0.2e-3,
+        l2: 0.6e-3,
+        l3: 1.0e-3,
+        direction: CouplingDirection::NearEnd,
+        victim_driver: 220.0,
+        aggressor_driver: 130.0,
+        victim_load: 15e-15,
+        aggressor_load: 15e-15,
+        segments_per_mm: 8,
+    };
+    let (network, _) = spec.build(&Technology::p25()).expect("spec builds");
+    let path = dir.join("sample.sp");
+    std::fs::write(&path, spice::write_deck(&network)).expect("deck written");
+    path
+}
+
+fn run(args: &[&str]) -> Result<String, String> {
+    xtalk_cli::run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        .map_err(|e| e.to_string())
+}
+
+#[test]
+fn info_noise_and_delay_subcommands_work() {
+    let dir = std::env::temp_dir().join("xtalk-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let deck = write_sample_deck(&dir);
+    let deck_str = deck.to_str().expect("utf-8 path");
+
+    let info = run(&["info", deck_str]).expect("info runs");
+    assert!(info.contains("victim"));
+    assert!(info.contains("aggressor"));
+
+    let noise = run(&["noise", deck_str, "--slew", "120p", "--threshold", "0.05"]).unwrap();
+    assert!(noise.contains("aggressor"));
+    assert!(noise.contains("Vp"));
+    assert!(noise.contains("VIOLATION") || noise.contains("ok"));
+
+    let closed = run(&["noise", deck_str, "--metric", "closed"]).unwrap();
+    assert!(closed.contains("Vp"));
+
+    let golden = run(&["noise", deck_str, "--golden"]).unwrap();
+    assert!(golden.contains("(simulated)"));
+
+    let delay = run(&["delay", deck_str]).unwrap();
+    assert!(delay.contains("worst case"));
+
+    // `reduce` emits a smaller, re-analyzable deck.
+    let reduced_out = run(&["reduce", deck_str]).unwrap();
+    assert!(reduced_out.contains("xtalk reduce:"));
+    let reduced_deck: String = reduced_out.lines().skip(1).collect::<Vec<_>>().join("\n");
+    let reduced_path = dir.join("reduced.sp");
+    std::fs::write(&reduced_path, &reduced_deck).expect("write reduced deck");
+    let noise_after = run(&["noise", reduced_path.to_str().unwrap()]).unwrap();
+    assert!(noise_after.contains("Vp"));
+}
+
+#[test]
+fn cli_reports_friendly_errors() {
+    assert!(run(&["noise", "/nonexistent/deck.sp"])
+        .unwrap_err()
+        .contains("cannot read"));
+    assert!(run(&["frobnicate"]).unwrap_err().contains("unknown command"));
+    let help = run(&["--help"]).unwrap();
+    assert!(help.contains("USAGE"));
+}
+
+#[test]
+fn golden_cross_check_agrees_with_estimate() {
+    let dir = std::env::temp_dir().join("xtalk-cli-test2");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let deck = write_sample_deck(&dir);
+    let out = run(&["noise", deck.to_str().unwrap(), "--golden"]).unwrap();
+    // The simulated row carries a percentage error; it should be a sane
+    // double-digit number, not hundreds of percent.
+    let pct: f64 = out
+        .lines()
+        .find(|l| l.contains("(simulated)"))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|t| t.trim_end_matches('%').parse().ok())
+        .expect("percentage parses");
+    assert!(pct.abs() < 100.0, "estimate vs golden off by {pct}%");
+}

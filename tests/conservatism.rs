@@ -1,0 +1,103 @@
+//! The paper's headline claims as workspace-level assertions, run over
+//! seeded random sweeps of all three workloads (small volume here; the
+//! `sweep` binary runs the full version):
+//!
+//! 1. new metric II is a conservative `Vp` estimate (within the paper's
+//!    −5% tolerance) for far-end, near-end and tree workloads;
+//! 2. Devgan's bound is absolutely conservative but wildly loose;
+//! 3. the new metrics characterize all five waveform parameters, while
+//!    every baseline leaves gaps.
+
+use xtalk::eval::{evaluate_cases, Method, Param, ALL_PARAMS};
+use xtalk::tech::sweep::{tree_cases, two_pin_cases, SweepConfig};
+use xtalk::tech::{CouplingDirection, Technology};
+
+fn config() -> SweepConfig {
+    SweepConfig {
+        cases: 25,
+        seed: 0x5eed,
+        corner_fraction: 0.3,
+    }
+}
+
+#[test]
+fn metric_two_is_conservative_on_all_three_workloads() {
+    let tech = Technology::p25();
+    let workloads = [
+        ("far-end", two_pin_cases(&tech, CouplingDirection::FarEnd, &config())),
+        ("near-end", two_pin_cases(&tech, CouplingDirection::NearEnd, &config())),
+        ("trees", tree_cases(&tech, true, &config())),
+    ];
+    for (name, cases) in workloads {
+        let stats = evaluate_cases(&cases, false);
+        assert!(stats.scored() > 10, "{name}: too few scored cases");
+        let cell = stats.cell(Method::NewTwo, Param::Vp).expect("cell filled");
+        assert!(
+            cell.conservative_above(-5.0),
+            "{name}: new II max negative error {}%",
+            cell.max_neg()
+        );
+    }
+}
+
+#[test]
+fn devgan_is_absolute_but_loose() {
+    let tech = Technology::p25();
+    let cases = two_pin_cases(&tech, CouplingDirection::FarEnd, &config());
+    let stats = evaluate_cases(&cases, false);
+    let cell = stats.cell(Method::Devgan, Param::Vp).expect("cell filled");
+    assert!(cell.conservative_above(-5.0), "Devgan must never underestimate");
+    // ... and be far looser than new II on average.
+    let new2 = stats.cell(Method::NewTwo, Param::Vp).expect("cell filled");
+    assert!(
+        cell.avg_abs() > 3.0 * new2.avg_abs(),
+        "Devgan {} vs new II {}",
+        cell.avg_abs(),
+        new2.avg_abs()
+    );
+}
+
+#[test]
+fn only_the_new_metrics_characterize_every_parameter() {
+    let tech = Technology::p25();
+    let cases = two_pin_cases(&tech, CouplingDirection::FarEnd, &config());
+    let stats = evaluate_cases(&cases, false);
+    for p in ALL_PARAMS {
+        assert!(stats.cell(Method::NewOne, p).is_some(), "new I misses {p}");
+        assert!(stats.cell(Method::NewTwo, p).is_some(), "new II misses {p}");
+    }
+    // The tables' N/A pattern for the baselines.
+    assert!(stats.cell(Method::Devgan, Param::Wn).is_none());
+    assert!(stats.cell(Method::Devgan, Param::Tp).is_none());
+    assert!(stats.cell(Method::Vittal, Param::Tp).is_none());
+    assert!(stats.cell(Method::YuOnePole, Param::Wn).is_none());
+    assert!(stats.cell(Method::YuTwoPole, Param::Wn).is_none());
+    assert!(stats.cell(Method::YuTwoPole, Param::Tp).is_some());
+}
+
+#[test]
+fn near_end_noise_tends_larger_than_far_end() {
+    // Matched seeds: the same circuits, opposite coupling directions.
+    let tech = Technology::p25();
+    let far = two_pin_cases(&tech, CouplingDirection::FarEnd, &config());
+    let near = two_pin_cases(&tech, CouplingDirection::NearEnd, &config());
+    let mut larger = 0usize;
+    let mut total = 0usize;
+    for (f, n) in far.iter().zip(&near) {
+        let (Ok(of), Ok(on)) = (
+            xtalk::eval::evaluate_case(f),
+            xtalk::eval::evaluate_case(n),
+        ) else {
+            continue;
+        };
+        total += 1;
+        if on.golden.vp >= of.golden.vp {
+            larger += 1;
+        }
+    }
+    assert!(total > 10, "too few comparable cases");
+    assert!(
+        larger * 2 > total,
+        "near-end larger on only {larger}/{total} cases"
+    );
+}

@@ -1,0 +1,54 @@
+//! The Figure 5 claims as assertions (small sweep; the `figure5` binary
+//! and bench run the full version):
+//!
+//! * simulated peak noise grows monotonically — nearly linearly — as the
+//!   coupling window moves toward the victim receiver;
+//! * the distributed closed-form metrics track the trend;
+//! * the lumped-π model reports the same peak everywhere;
+//! * new metric II stays a conservative envelope across the sweep.
+
+use xtalk::eval::run_figure5;
+use xtalk::tech::Technology;
+
+#[test]
+fn coupling_location_trend_reproduces() {
+    // 10 points: 0.1 mm steps, aligned with the generator's segment grid
+    // (off-grid points snap to segments and would skew the increments).
+    let rows = run_figure5(&Technology::p25(), 10);
+    assert_eq!(rows.len(), 10);
+
+    // Monotonic growth of golden and both metrics.
+    for w in rows.windows(2) {
+        assert!(w[1].golden_vp > w[0].golden_vp, "golden not increasing");
+        assert!(w[1].new1_vp > w[0].new1_vp, "metric I not increasing");
+        assert!(w[1].new2_vp > w[0].new2_vp, "metric II not increasing");
+        // Lumped-π: identical at every location.
+        assert!(
+            (w[1].lumped_vp - w[0].lumped_vp).abs() < 1e-9 * w[0].lumped_vp,
+            "lumped model must be location-blind"
+        );
+    }
+
+    // Near-linearity: the increments of the golden peak are uniform to 25%.
+    let deltas: Vec<f64> = rows.windows(2).map(|w| w[1].golden_vp - w[0].golden_vp).collect();
+    let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    for d in &deltas {
+        assert!(
+            (d - mean).abs() < 0.25 * mean,
+            "increments not near-linear: {deltas:?}"
+        );
+    }
+
+    // Metric II is a conservative envelope over the whole sweep.
+    for r in &rows {
+        assert!(
+            r.new2_vp >= 0.95 * r.golden_vp,
+            "metric II not conservative at L1 = {}",
+            r.l1
+        );
+    }
+
+    // The spread over the sweep is substantial (the effect matters): >20%.
+    let spread = rows.last().unwrap().golden_vp / rows[0].golden_vp;
+    assert!(spread > 1.2, "location effect too weak: {spread}");
+}

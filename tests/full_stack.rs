@@ -1,0 +1,123 @@
+//! Cross-crate integration: generator → moments → metrics → simulator,
+//! plus SPICE-deck round-tripping through the full analysis.
+
+use xtalk::core::{MetricKind, NoiseAnalyzer};
+use xtalk::moments::{tree, MomentEngine};
+use xtalk::sim::{measure_noise, SimOptions, TransientSim};
+use xtalk::tech::{CouplingDirection, Technology, TwoPinSpec};
+use xtalk_circuit::signal::InputSignal;
+use xtalk_circuit::spice;
+
+fn reference() -> (xtalk_circuit::Network, xtalk_circuit::NetId, InputSignal) {
+    let spec = TwoPinSpec {
+        l1: 0.35e-3,
+        l2: 0.7e-3,
+        l3: 1.4e-3,
+        direction: CouplingDirection::NearEnd,
+        victim_driver: 240.0,
+        aggressor_driver: 110.0,
+        victim_load: 18e-15,
+        aggressor_load: 14e-15,
+        segments_per_mm: 8,
+    };
+    let (network, aggressor) = spec.build(&Technology::p25()).expect("spec builds");
+    (network, aggressor, InputSignal::rising_ramp(0.0, 90e-12))
+}
+
+#[test]
+fn metric_vs_simulation_end_to_end() {
+    let (network, aggressor, input) = reference();
+    let analyzer = NoiseAnalyzer::new(&network).unwrap();
+    let est = analyzer.analyze(aggressor, &input, MetricKind::Two).unwrap();
+
+    let sim = TransientSim::new(&network).unwrap();
+    let opts = SimOptions::auto(&network, &[(aggressor, input)]);
+    let run = sim.run(&[(aggressor, input)], &opts).unwrap();
+    let golden = measure_noise(
+        run.probe(network.victim_output()).unwrap(),
+        input.noise_polarity(),
+    )
+    .unwrap();
+
+    // Conservative peak within the paper's error band.
+    assert!(est.vp >= 0.95 * golden.vp, "{} vs {}", est.vp, golden.vp);
+    assert!(est.vp <= 2.0 * golden.vp, "{} vs {}", est.vp, golden.vp);
+    // Peak time and width in the right ballpark.
+    assert!((est.tp - golden.tp).abs() < 0.6 * golden.tp);
+    assert!((est.wn - golden.wn).abs() < 0.6 * golden.wn);
+}
+
+#[test]
+fn spice_round_trip_preserves_the_analysis() {
+    let (network, aggressor, input) = reference();
+    let deck = spice::write_deck(&network);
+    let parsed = spice::parse_deck(&deck).unwrap();
+
+    // Taylor coefficients from the parsed network match the original.
+    let e1 = MomentEngine::new(&network).unwrap();
+    let e2 = MomentEngine::new(&parsed).unwrap();
+    let agg2 = parsed.aggressor_nets().next().unwrap().0;
+    let h1 = e1.transfer_taylor(aggressor, network.victim_output(), 4).unwrap();
+    let h2 = e2.transfer_taylor(agg2, parsed.victim_output(), 4).unwrap();
+    for k in 0..4 {
+        assert!(
+            (h1[k] - h2[k]).abs() <= 1e-9 * h1[k].abs().max(1e-40),
+            "h[{k}]: {} vs {}",
+            h1[k],
+            h2[k]
+        );
+    }
+    // And so do the noise estimates.
+    let a1 = NoiseAnalyzer::new(&network).unwrap();
+    let a2 = NoiseAnalyzer::new(&parsed).unwrap();
+    let est1 = a1.analyze(aggressor, &input, MetricKind::Two).unwrap();
+    let est2 = a2.analyze(agg2, &input, MetricKind::Two).unwrap();
+    assert!((est1.vp - est2.vp).abs() < 1e-9 * est1.vp);
+    assert!((est1.wn - est2.wn).abs() < 1e-9 * est1.wn);
+}
+
+#[test]
+fn closed_form_coefficients_match_engine_on_generated_circuits() {
+    let (network, aggressor, _) = reference();
+    let engine = MomentEngine::new(&network).unwrap();
+    let h = engine
+        .transfer_taylor(aggressor, network.victim_output(), 2)
+        .unwrap();
+    let a1 = tree::coupling_a1(&network, aggressor, network.victim_output());
+    assert!((h[1] - a1).abs() < 1e-9 * a1);
+    let (b1, _) = engine.denominator().unwrap();
+    let b1_tree = tree::open_circuit_b1(&network);
+    assert!((b1 - b1_tree).abs() < 1e-9 * b1);
+}
+
+#[test]
+fn all_metric_kinds_and_both_directions_work() {
+    for direction in [CouplingDirection::FarEnd, CouplingDirection::NearEnd] {
+        let spec = TwoPinSpec {
+            l1: 0.2e-3,
+            l2: 0.5e-3,
+            l3: 1.0e-3,
+            direction,
+            victim_driver: 300.0,
+            aggressor_driver: 200.0,
+            victim_load: 10e-15,
+            aggressor_load: 10e-15,
+            segments_per_mm: 8,
+        };
+        let (network, aggressor) = spec.build(&Technology::p25()).unwrap();
+        let analyzer = NoiseAnalyzer::new(&network).unwrap();
+        for shape in [
+            InputSignal::rising_ramp(0.0, 100e-12),
+            InputSignal::falling_ramp(20e-12, 150e-12),
+            InputSignal::rising_exp(0.0, 120e-12),
+            InputSignal::falling_exp(10e-12, 80e-12),
+        ] {
+            for kind in [MetricKind::One, MetricKind::OneSymmetric, MetricKind::Two] {
+                let est = analyzer.analyze(aggressor, &shape, kind).unwrap();
+                assert!(est.vp > 0.0 && est.vp < 1.0);
+                assert!(est.t1 > 0.0 && est.t2 > 0.0);
+                assert_eq!(est.polarity, shape.noise_polarity());
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Validation of the TICER-style quick-node reduction: the claimed moment
+//! guarantees (exact `a1`/`b1`, mildly perturbed higher moments) and its
+//! effect on the noise estimates, over generated two-pin circuits.
+
+use xtalk::core::{MetricKind, NoiseAnalyzer};
+use xtalk::moments::{tree, MomentEngine};
+use xtalk::tech::{CouplingDirection, Technology, TwoPinSpec};
+use xtalk_circuit::reduce::reduce_quick_nodes;
+use xtalk_circuit::signal::InputSignal;
+
+fn finely_segmented() -> (xtalk_circuit::Network, xtalk_circuit::NetId) {
+    TwoPinSpec {
+        l1: 0.3e-3,
+        l2: 0.8e-3,
+        l3: 1.5e-3,
+        direction: CouplingDirection::FarEnd,
+        victim_driver: 220.0,
+        aggressor_driver: 140.0,
+        victim_load: 18e-15,
+        aggressor_load: 15e-15,
+        segments_per_mm: 20, // deliberately oversampled
+    }
+    .build(&Technology::p25())
+    .expect("spec builds")
+}
+
+/// The principled threshold: a small fraction of the network's aggregate
+/// time constant `b1` — per-elimination error is `O(τ/b1)`.
+fn threshold(net: &xtalk_circuit::Network) -> f64 {
+    tree::open_circuit_b1(net) * 1e-3
+}
+
+#[test]
+fn reduction_preserves_a1_and_b1_exactly() {
+    let (net, agg) = finely_segmented();
+    let reduced = reduce_quick_nodes(&net, threshold(&net)).unwrap();
+    assert!(
+        reduced.node_count() < net.node_count(),
+        "{} -> {}",
+        net.node_count(),
+        reduced.node_count()
+    );
+    let red_agg = reduced.aggressor_nets().next().unwrap().0;
+
+    let a1_full = tree::coupling_a1(&net, agg, net.victim_output());
+    let a1_red = tree::coupling_a1(&reduced, red_agg, reduced.victim_output());
+    assert!(
+        (a1_full - a1_red).abs() < 1e-9 * a1_full,
+        "a1 {a1_full} vs {a1_red}"
+    );
+
+    let b1_full = tree::open_circuit_b1(&net);
+    let b1_red = tree::open_circuit_b1(&reduced);
+    assert!(
+        (b1_full - b1_red).abs() < 1e-9 * b1_full,
+        "b1 {b1_full} vs {b1_red}"
+    );
+}
+
+#[test]
+fn reduction_perturbs_higher_moments_only_slightly() {
+    let (net, agg) = finely_segmented();
+    let reduced = reduce_quick_nodes(&net, threshold(&net)).unwrap();
+    assert!(
+        reduced.node_count() * 4 <= net.node_count(),
+        "want at least 4x reduction: {} -> {}",
+        net.node_count(),
+        reduced.node_count()
+    );
+    let red_agg = reduced.aggressor_nets().next().unwrap().0;
+
+    let full = MomentEngine::new(&net).unwrap();
+    let red = MomentEngine::new(&reduced).unwrap();
+    let h_full = full.transfer_taylor(agg, net.victim_output(), 4).unwrap();
+    let h_red = red
+        .transfer_taylor(red_agg, reduced.victim_output(), 4)
+        .unwrap();
+    for k in 2..4 {
+        let rel = (h_full[k] - h_red[k]).abs() / h_full[k].abs();
+        assert!(rel < 0.01, "h[{k}] moved by {rel}");
+    }
+}
+
+#[test]
+fn noise_estimates_survive_reduction() {
+    let (net, agg) = finely_segmented();
+    let reduced = reduce_quick_nodes(&net, threshold(&net)).unwrap();
+    let red_agg = reduced.aggressor_nets().next().unwrap().0;
+    let input = InputSignal::rising_ramp(0.0, 100e-12);
+
+    let full = NoiseAnalyzer::new(&net).unwrap();
+    let red = NoiseAnalyzer::new(&reduced).unwrap();
+    for kind in [MetricKind::One, MetricKind::Two] {
+        let ef = full.analyze(agg, &input, kind).unwrap();
+        let er = red.analyze(red_agg, &input, kind).unwrap();
+        assert!(
+            (ef.vp - er.vp).abs() < 0.02 * ef.vp,
+            "{kind:?}: vp {} vs {}",
+            ef.vp,
+            er.vp
+        );
+        assert!((ef.wn - er.wn).abs() < 0.02 * ef.wn);
+        assert!((ef.tp - er.tp).abs() < 0.05 * ef.tp.abs().max(ef.t1));
+    }
+}
+
+#[test]
+fn aggressive_reduction_still_keeps_the_estimate_in_band() {
+    // Even collapsing everything collapsible (huge threshold), pinned
+    // nodes preserve the coupling topology coarsely; the estimate should
+    // stay within the metric's own error band.
+    let (net, agg) = finely_segmented();
+    let reduced = reduce_quick_nodes(&net, 1.0).unwrap();
+    let red_agg = reduced.aggressor_nets().next().unwrap().0;
+    let input = InputSignal::rising_ramp(0.0, 100e-12);
+    let ef = NoiseAnalyzer::new(&net)
+        .unwrap()
+        .analyze(agg, &input, MetricKind::Two)
+        .unwrap();
+    let er = NoiseAnalyzer::new(&reduced)
+        .unwrap()
+        .analyze(red_agg, &input, MetricKind::Two)
+        .unwrap();
+    assert!(
+        (ef.vp - er.vp).abs() < 0.3 * ef.vp,
+        "vp {} vs {}",
+        ef.vp,
+        er.vp
+    );
+    assert!(reduced.node_count() <= 6, "n = {}", reduced.node_count());
+}

@@ -1,0 +1,50 @@
+//! The paper's opening motivation as an experiment: "scaling the feature
+//! sizes and lowering the level of power supply voltage has made digital
+//! designs vulnerable to noise" — identical geometry, shrinking
+//! technology node, growing relative coupling noise.
+
+use xtalk::core::{MetricKind, NoiseAnalyzer};
+use xtalk::sim::{measure_noise, SimOptions, TransientSim};
+use xtalk::tech::{CouplingDirection, Technology, TwoPinSpec};
+use xtalk_circuit::signal::InputSignal;
+
+fn noise_at(tech: &Technology) -> (f64, f64) {
+    let spec = TwoPinSpec {
+        l1: 0.2e-3,
+        l2: 1.0e-3,
+        l3: 1.5e-3,
+        direction: CouplingDirection::FarEnd,
+        victim_driver: 300.0,
+        aggressor_driver: 200.0,
+        victim_load: 10e-15,
+        aggressor_load: 10e-15,
+        segments_per_mm: 8,
+    };
+    let (network, aggressor) = spec.build(tech).expect("spec builds");
+    let input = InputSignal::rising_ramp(0.0, 100e-12);
+    let est = NoiseAnalyzer::new(&network)
+        .unwrap()
+        .analyze(aggressor, &input, MetricKind::Two)
+        .unwrap();
+    let sim = TransientSim::new(&network).unwrap();
+    let opts = SimOptions::auto(&network, &[(aggressor, input)]);
+    let run = sim.run(&[(aggressor, input)], &opts).unwrap();
+    let golden = measure_noise(run.probe(network.victim_output()).unwrap(), 1.0).unwrap();
+    (est.vp, golden.vp)
+}
+
+#[test]
+fn same_geometry_gets_noisier_as_technology_shrinks() {
+    let (e25, g25) = noise_at(&Technology::p25());
+    let (e18, g18) = noise_at(&Technology::p18());
+    let (e13, g13) = noise_at(&Technology::p13());
+
+    // Both the metric and the golden simulation see the trend.
+    assert!(g25 < g18 && g18 < g13, "golden: {g25} {g18} {g13}");
+    assert!(e25 < e18 && e18 < e13, "metric: {e25} {e18} {e13}");
+
+    // And metric II stays conservative at every node.
+    for (e, g) in [(e25, g25), (e18, g18), (e13, g13)] {
+        assert!(e >= 0.95 * g, "conservatism lost: {e} vs {g}");
+    }
+}

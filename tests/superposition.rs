@@ -1,0 +1,135 @@
+//! Multi-aggressor superposition vs. the simulator: the worst-case
+//! combined estimate must cover the simultaneous-switching simulation at
+//! the alignment it predicts, and the simulator must confirm that
+//! separated arrivals produce less noise than aligned ones.
+
+use xtalk::core::superpose::{worst_case, TimingWindow};
+use xtalk::core::{MetricKind, NoiseAnalyzer};
+use xtalk::sim::{measure_noise, SimOptions, TransientSim};
+use xtalk_circuit::signal::InputSignal;
+use xtalk_circuit::{NetId, NetRole, Network, NetworkBuilder};
+
+/// Victim chain with two aggressors coupling to different windows.
+fn two_aggressor_bus() -> (Network, Vec<NetId>) {
+    let mut b = NetworkBuilder::new();
+    let v = b.add_net("victim", NetRole::Victim);
+    let mut nodes = vec![b.add_node(v, "v0")];
+    b.add_driver(v, nodes[0], 200.0).unwrap();
+    for i in 1..=10 {
+        let n = b.add_node(v, format!("v{i}"));
+        b.add_resistor(nodes[i - 1], n, 25.0).unwrap();
+        b.add_ground_cap(n, 6e-15).unwrap();
+        nodes.push(n);
+    }
+    b.add_sink(nodes[10], 10e-15).unwrap();
+    b.set_victim_output(nodes[10]);
+
+    let mut aggs = Vec::new();
+    for (name, segs) in [("agg_a", 2..5usize), ("agg_b", 7..10usize)] {
+        let a = b.add_net(name, NetRole::Aggressor);
+        let an = b.add_node(a, format!("{name}_0"));
+        b.add_driver(a, an, 120.0).unwrap();
+        b.add_sink(an, 8e-15).unwrap();
+        for k in segs {
+            b.add_coupling_cap(an, nodes[k], 10e-15).unwrap();
+        }
+        aggs.push(a);
+    }
+    (b.build().unwrap(), aggs)
+}
+
+#[test]
+fn aligned_worst_case_covers_simultaneous_simulation() {
+    let (network, aggs) = two_aggressor_bus();
+    let analyzer = NoiseAnalyzer::new(&network).unwrap();
+    let inputs = [
+        InputSignal::rising_ramp(0.0, 80e-12),
+        InputSignal::rising_ramp(0.0, 120e-12),
+    ];
+    let ests: Vec<_> = aggs
+        .iter()
+        .zip(&inputs)
+        .map(|(a, i)| analyzer.analyze(*a, i, MetricKind::Two).unwrap())
+        .collect();
+
+    let wide = TimingWindow::new(-1e-9, 1e-9);
+    let combined = worst_case(&[(ests[0], wide), (ests[1], wide)]);
+    // Wide windows align both peaks: the combined peak is the sum.
+    assert!((combined.vp - (ests[0].vp + ests[1].vp)).abs() < 1e-9 * combined.vp);
+    assert_eq!(combined.aligned, 2);
+
+    // Simulate with the alignment the estimator chose.
+    let stim: Vec<(NetId, InputSignal)> = aggs
+        .iter()
+        .zip(&inputs)
+        .zip(&ests)
+        .map(|((a, i), e)| (*a, i.with_arrival(i.arrival() + combined.at - e.tp)))
+        .collect();
+    let sim = TransientSim::new(&network).unwrap();
+    let mut opts = SimOptions::auto(&network, &stim);
+    opts.t_stop += combined.at.abs() * 2.0;
+    let run = sim.run(&stim, &opts).unwrap();
+    let golden = measure_noise(run.probe(network.victim_output()).unwrap(), 1.0).unwrap();
+
+    assert!(
+        combined.vp >= 0.95 * golden.vp,
+        "combined estimate {} must cover simulated {}",
+        combined.vp,
+        golden.vp
+    );
+    // And it is not absurdly loose.
+    assert!(combined.vp <= 2.5 * golden.vp);
+}
+
+#[test]
+fn separated_arrivals_reduce_simulated_noise() {
+    let (network, aggs) = two_aggressor_bus();
+    let sim = TransientSim::new(&network).unwrap();
+    let base = InputSignal::rising_ramp(0.0, 100e-12);
+
+    let aligned = [(aggs[0], base), (aggs[1], base)];
+    let opts = SimOptions::auto(&network, &aligned);
+    let run = sim.run(&aligned, &opts).unwrap();
+    let vp_aligned = measure_noise(run.probe(network.victim_output()).unwrap(), 1.0)
+        .unwrap()
+        .vp;
+
+    let separated = [
+        (aggs[0], base),
+        (aggs[1], base.with_arrival(2e-9)),
+    ];
+    let mut opts2 = SimOptions::auto(&network, &separated);
+    opts2.t_stop += 2e-9;
+    let run2 = sim.run(&separated, &opts2).unwrap();
+    let vp_separated = measure_noise(run2.probe(network.victim_output()).unwrap(), 1.0)
+        .unwrap()
+        .vp;
+
+    assert!(
+        vp_aligned > 1.3 * vp_separated,
+        "alignment must matter: {vp_aligned} vs {vp_separated}"
+    );
+}
+
+#[test]
+fn opposite_polarity_aggressors_partially_cancel_in_simulation() {
+    let (network, aggs) = two_aggressor_bus();
+    let sim = TransientSim::new(&network).unwrap();
+    let rise = InputSignal::rising_ramp(0.0, 100e-12);
+    let fall = InputSignal::falling_ramp(0.0, 100e-12);
+
+    // Compare raw waveform extremes: cancellation can suppress the mixed
+    // pulse below the measurable-pulse floor entirely.
+    let extreme = |stim: &[(NetId, InputSignal)]| -> f64 {
+        let opts = SimOptions::auto(&network, stim);
+        let run = sim.run(stim, &opts).unwrap();
+        let w = run.probe(network.victim_output()).unwrap();
+        w.samples().iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    };
+    let vp_same = extreme(&[(aggs[0], rise), (aggs[1], rise)]);
+    let vp_mixed = extreme(&[(aggs[0], rise), (aggs[1], fall)]);
+    assert!(
+        vp_mixed < vp_same,
+        "opposite transitions must partially cancel: {vp_mixed} vs {vp_same}"
+    );
+}
