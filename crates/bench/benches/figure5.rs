@@ -12,7 +12,7 @@ fn bench_figure5(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("coupling_location_sweep", |b| {
         b.iter(|| {
-            let rows = run_figure5(&tech, 6);
+            let rows = run_figure5(&tech, 6).expect("benign sweep builds");
             // Golden peak grows toward the receiver; lumped-π is flat.
             assert!(rows.windows(2).all(|w| w[1].golden_vp > w[0].golden_vp));
             assert!(rows

@@ -25,12 +25,41 @@ pub struct NetworkBuilder {
     drivers: Vec<Driver>,
     sinks: Vec<Sink>,
     victim_output: Option<NodeId>,
+    skip_value_checks: bool,
 }
 
 impl NetworkBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
         NetworkBuilder::default()
+    }
+
+    /// Creates a builder that skips the per-element *value* checks
+    /// (positivity / finiteness) while keeping every structural check
+    /// (tree shape, driver/sink presence, net membership).
+    ///
+    /// This exists so tests and fault-injection harnesses can construct
+    /// networks carrying NaN, negative, or zero element values and then
+    /// exercise [`crate::Network::validate`] and downstream degraded-mode
+    /// handling. Production callers should use [`NetworkBuilder::new`];
+    /// a permissively built network only reveals its corruption through
+    /// `validate()`, not through the type system.
+    pub fn permissive() -> Self {
+        NetworkBuilder {
+            skip_value_checks: true,
+            ..NetworkBuilder::default()
+        }
+    }
+
+    fn check_value(
+        &self,
+        check: impl FnOnce() -> Result<(), CircuitError>,
+    ) -> Result<(), CircuitError> {
+        if self.skip_value_checks {
+            Ok(())
+        } else {
+            check()
+        }
     }
 
     /// Declares a net; returns its handle.
@@ -64,7 +93,7 @@ impl NetworkBuilder {
     /// * [`CircuitError::SelfLoop`] — `a == b`.
     /// * [`CircuitError::ResistorAcrossNets`] — terminals on different nets.
     pub fn add_resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> Result<(), CircuitError> {
-        check_positive("resistor", ohms)?;
+        self.check_value(|| check_positive("resistor", ohms))?;
         self.check_node(a)?;
         self.check_node(b)?;
         if a == b {
@@ -84,7 +113,7 @@ impl NetworkBuilder {
     /// * [`CircuitError::InvalidValue`] — `farads` not positive/finite.
     /// * [`CircuitError::UnknownNode`] — `node` is foreign.
     pub fn add_ground_cap(&mut self, node: NodeId, farads: f64) -> Result<(), CircuitError> {
-        check_positive("ground capacitor", farads)?;
+        self.check_value(|| check_positive("ground capacitor", farads))?;
         self.check_node(node)?;
         self.ground_caps.push(GroundCap { node, farads });
         Ok(())
@@ -104,7 +133,7 @@ impl NetworkBuilder {
         b: NodeId,
         farads: f64,
     ) -> Result<(), CircuitError> {
-        check_positive("coupling capacitor", farads)?;
+        self.check_value(|| check_positive("coupling capacitor", farads))?;
         self.check_node(a)?;
         self.check_node(b)?;
         if a == b {
@@ -126,7 +155,7 @@ impl NetworkBuilder {
     /// * [`CircuitError::DriverNodeOffNet`] — `node` not on `net`.
     /// * [`CircuitError::DriverCount`] — the net already has a driver.
     pub fn add_driver(&mut self, net: NetId, node: NodeId, ohms: f64) -> Result<(), CircuitError> {
-        check_positive("driver resistance", ohms)?;
+        self.check_value(|| check_positive("driver resistance", ohms))?;
         self.check_net(net)?;
         self.check_node(node)?;
         if self.node_net[node.index()] != net {
@@ -151,7 +180,7 @@ impl NetworkBuilder {
     /// * [`CircuitError::InvalidValue`] — `farads` negative or non-finite.
     /// * [`CircuitError::UnknownNode`] — `node` is foreign.
     pub fn add_sink(&mut self, node: NodeId, farads: f64) -> Result<(), CircuitError> {
-        check_non_negative("sink load", farads)?;
+        self.check_value(|| check_non_negative("sink load", farads))?;
         self.check_node(node)?;
         self.sinks.push(Sink { node, farads });
         Ok(())

@@ -71,6 +71,7 @@ pub mod signal;
 pub mod spice;
 mod tree;
 pub mod units;
+mod validate;
 
 pub use builder::NetworkBuilder;
 pub use elements::{CouplingCap, Driver, GroundCap, Resistor, Sink};
@@ -78,3 +79,4 @@ pub use error::CircuitError;
 pub use ids::{NetId, NodeId};
 pub use network::{Net, NetRole, Network};
 pub use tree::NetTree;
+pub use validate::{Severity, ValidationFinding, ValidationKind, ValidationReport};

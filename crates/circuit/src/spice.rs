@@ -61,6 +61,30 @@ pub enum SpiceParseError {
         /// The offending token.
         token: String,
     },
+    /// A numeric field parsed but is NaN or infinite — either a literal
+    /// (`nan`, `inf`) or an SI-suffix overflow (`1e308k`).
+    NonFiniteValue {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// An element value violates its sign constraint: resistances and
+    /// capacitances must be positive; sink loads must be non-negative.
+    NonPositiveValue {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// Something was defined twice: a net's driver card, a node claimed
+    /// by the drivers of two different nets, or the output directive.
+    DuplicateDefinition {
+        /// 1-based line number (0 when detected after the line scan).
+        line: usize,
+        /// What was redefined.
+        what: String,
+    },
     /// The deck parsed but did not describe a valid network.
     Invalid(CircuitError),
 }
@@ -73,6 +97,15 @@ impl fmt::Display for SpiceParseError {
             }
             SpiceParseError::BadNumber { line, token } => {
                 write!(f, "bad numeric value {token:?} on line {line}")
+            }
+            SpiceParseError::NonFiniteValue { line, token } => {
+                write!(f, "non-finite value {token:?} on line {line}")
+            }
+            SpiceParseError::NonPositiveValue { line, token } => {
+                write!(f, "non-positive element value {token:?} on line {line}")
+            }
+            SpiceParseError::DuplicateDefinition { line, what } => {
+                write!(f, "duplicate definition of {what} on line {line}")
             }
             SpiceParseError::Invalid(e) => write!(f, "deck describes an invalid network: {e}"),
         }
@@ -226,6 +259,12 @@ pub fn parse_deck(deck: &str) -> Result<Network, SpiceParseError> {
                             detail: "expected `*! output <node>`".into(),
                         });
                     }
+                    if output_node.is_some() {
+                        return Err(SpiceParseError::DuplicateDefinition {
+                            line: lno,
+                            what: "output directive".into(),
+                        });
+                    }
                     output_node = Some(f[1].to_string());
                 }
                 _ => {
@@ -255,10 +294,39 @@ pub fn parse_deck(deck: &str) -> Result<Network, SpiceParseError> {
             }
         };
         let value = |tok: &str| -> Result<f64, SpiceParseError> {
-            parse_si_value(tok).ok_or_else(|| SpiceParseError::BadNumber {
+            let v = parse_si_value(tok).ok_or_else(|| SpiceParseError::BadNumber {
                 line: lno,
                 token: tok.to_string(),
-            })
+            })?;
+            if !v.is_finite() {
+                return Err(SpiceParseError::NonFiniteValue {
+                    line: lno,
+                    token: tok.to_string(),
+                });
+            }
+            Ok(v)
+        };
+        // Resistances and capacitances must be positive; sink loads may
+        // be zero (ideal probes) but not negative.
+        let positive = |tok: &str| -> Result<f64, SpiceParseError> {
+            let v = value(tok)?;
+            if v <= 0.0 {
+                return Err(SpiceParseError::NonPositiveValue {
+                    line: lno,
+                    token: tok.to_string(),
+                });
+            }
+            Ok(v)
+        };
+        let non_negative = |tok: &str| -> Result<f64, SpiceParseError> {
+            let v = value(tok)?;
+            if v < 0.0 {
+                return Err(SpiceParseError::NonPositiveValue {
+                    line: lno,
+                    token: tok.to_string(),
+                });
+            }
+            Ok(v)
         };
 
         if upper.starts_with("VDRV") {
@@ -275,19 +343,25 @@ pub fn parse_deck(deck: &str) -> Result<Network, SpiceParseError> {
                     detail: format!("driver {name:?} references undeclared net {idx}"),
                 });
             }
-            raw_nets[idx].driver_node = Some((fields[2].to_string(), value(fields[3])?));
+            if raw_nets[idx].driver_node.is_some() {
+                return Err(SpiceParseError::DuplicateDefinition {
+                    line: lno,
+                    what: format!("driver card for net {idx}"),
+                });
+            }
+            raw_nets[idx].driver_node = Some((fields[2].to_string(), positive(fields[3])?));
         } else if upper.starts_with("CC") {
             need(4)?;
-            ccaps.push((fields[1].into(), fields[2].into(), value(fields[3])?));
+            ccaps.push((fields[1].into(), fields[2].into(), positive(fields[3])?));
         } else if upper.starts_with("CL") {
             need(4)?;
-            sinks.push((fields[1].into(), value(fields[3])?));
+            sinks.push((fields[1].into(), non_negative(fields[3])?));
         } else if upper.starts_with('C') {
             need(4)?;
-            gcaps.push((fields[1].into(), value(fields[3])?));
+            gcaps.push((fields[1].into(), positive(fields[3])?));
         } else if upper.starts_with('R') {
             need(4)?;
-            resistors.push((fields[1].into(), fields[2].into(), value(fields[3])?));
+            resistors.push((fields[1].into(), fields[2].into(), positive(fields[3])?));
         } else {
             return Err(SpiceParseError::Malformed {
                 line: lno,
@@ -304,7 +378,12 @@ pub fn parse_deck(deck: &str) -> Result<Network, SpiceParseError> {
             line: 0,
             detail: format!("net {i} has no RDRV card"),
         })?;
-        node_net.insert(node.clone(), i);
+        if node_net.insert(node.clone(), i).is_some() {
+            return Err(SpiceParseError::DuplicateDefinition {
+                line: 0,
+                what: format!("node {node:?} (driver node of two different nets)"),
+            });
+        }
     }
     let mut changed = true;
     while changed {
@@ -524,6 +603,85 @@ mod tests {
         assert!(matches!(
             parse_deck(bad),
             Err(SpiceParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_values_rejected() {
+        // Tokens that parse numerically but are not finite: literals the
+        // f64 parser accepts, and SI-suffix overflow.
+        for tok in ["infinity", "-infinity", "1e999", "1e308k"] {
+            let bad = format!("*! net 0 victim v\nRDRV0 src0 n0 {tok}\nCL0 n0 0 1f\n");
+            match parse_deck(&bad) {
+                Err(SpiceParseError::NonFiniteValue { line, token }) => {
+                    assert_eq!(line, 2);
+                    assert_eq!(token, tok);
+                }
+                other => panic!("{tok}: expected non-finite error, got {other:?}"),
+            }
+        }
+        // `nan`/`inf` happen to end in SI-suffix letters, so they fail one
+        // step earlier as unparseable numbers — still a typed rejection.
+        for tok in ["nan", "inf"] {
+            let bad = format!("*! net 0 victim v\nRDRV0 src0 n0 {tok}\nCL0 n0 0 1f\n");
+            assert!(matches!(
+                parse_deck(&bad),
+                Err(SpiceParseError::BadNumber { line: 2, .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn negative_and_zero_element_values_rejected() {
+        // Zero driver resistance.
+        let bad = "*! net 0 victim v\nRDRV0 src0 n0 0\nCL0 n0 0 1f\n";
+        assert!(matches!(
+            parse_deck(bad),
+            Err(SpiceParseError::NonPositiveValue { line: 2, .. })
+        ));
+        // Negative coupling capacitor.
+        let bad = "*! net 0 victim v\n*! net 1 aggressor a\nRDRV0 src0 n0 10\nRDRV1 src1 n1 10\nCL0 n0 0 1f\nCL1 n1 0 1f\nCC0 n0 n1 -2f\n";
+        assert!(matches!(
+            parse_deck(bad),
+            Err(SpiceParseError::NonPositiveValue { line: 7, .. })
+        ));
+        // Negative sink load (zero stays legal: an ideal probe).
+        let bad = "*! net 0 victim v\nRDRV0 src0 n0 10\nCL0 n0 0 -1f\n";
+        assert!(matches!(
+            parse_deck(bad),
+            Err(SpiceParseError::NonPositiveValue { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_driver_card_rejected() {
+        let bad = "*! net 0 victim v\nRDRV0 src0 n0 10\nRDRV0 src0 n0 20\nCL0 n0 0 1f\n";
+        match parse_deck(bad) {
+            Err(SpiceParseError::DuplicateDefinition { line, what }) => {
+                assert_eq!(line, 3);
+                assert!(what.contains("net 0"), "{what}");
+            }
+            other => panic!("expected duplicate-definition error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_driven_by_two_nets_rejected() {
+        let bad = "*! net 0 victim v\n*! net 1 aggressor a\nRDRV0 src0 n0 10\nRDRV1 src1 n0 10\nCL0 n0 0 1f\n";
+        match parse_deck(bad) {
+            Err(SpiceParseError::DuplicateDefinition { what, .. }) => {
+                assert!(what.contains("n0"), "{what}");
+            }
+            other => panic!("expected duplicate-definition error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_output_directive_rejected() {
+        let bad = "*! net 0 victim v\n*! output n0\n*! output n0\nRDRV0 src0 n0 10\nCL0 n0 0 1f\n";
+        assert!(matches!(
+            parse_deck(bad),
+            Err(SpiceParseError::DuplicateDefinition { line: 3, .. })
         ));
     }
 

@@ -1,6 +1,8 @@
 //! Property-based tests: SPICE round-tripping and structural invariants
 //! over randomized networks.
 
+#![allow(clippy::unwrap_used)] // test code; helpers sit outside #[test] fns
+
 use proptest::prelude::*;
 use xtalk_circuit::{spice, NetRole, Network, NetworkBuilder, NodeId};
 

@@ -75,6 +75,9 @@ pub struct Invocation {
     pub reduce_tau: Option<f64>,
     /// Restrict the noise report to one aggressor net by name.
     pub aggressor: Option<String>,
+    /// Fail hard instead of degrading: reject decks with validation
+    /// warnings and refuse metric fallback.
+    pub strict: bool,
 }
 
 /// Result of parsing: either run an analysis or print help.
@@ -93,7 +96,7 @@ USAGE:
     xtalk info  <deck.sp>
     xtalk noise <deck.sp> [--slew T] [--arrival T] [--shape ramp|exp|step]
                           [--metric one|two|closed] [--golden] [--threshold V]
-                          [--aggressor NAME]
+                          [--aggressor NAME] [--strict]
     xtalk delay <deck.sp> [--delay-metric elmore|d2m|two-pole]
     xtalk reduce <deck.sp> [--tau T]
 
@@ -105,6 +108,12 @@ metric II.
     --golden      also run the transient simulator and report errors
     --threshold V flag aggressors whose peak exceeds V (x Vdd)
     --tau T       reduction time-constant threshold (default: b1/1000)
+    --strict      error out instead of degrading (no metric fallback,
+                  validation warnings become fatal)
+
+Without --strict, noise analysis falls back along a chain of simpler
+metrics when the preferred one fails; a run that used any fallback
+completes normally but exits with code 2 and prints what degraded.
 ";
 
 /// Parses `argv` (program name excluded).
@@ -142,6 +151,7 @@ pub fn parse(argv: &[String]) -> Result<ParseOutcome, Box<dyn Error>> {
         threshold: None,
         reduce_tau: None,
         aggressor: None,
+        strict: false,
     };
 
     while let Some(flag) = it.next() {
@@ -182,6 +192,7 @@ pub fn parse(argv: &[String]) -> Result<ParseOutcome, Box<dyn Error>> {
                 };
             }
             "--golden" => inv.golden = true,
+            "--strict" => inv.strict = true,
             "--aggressor" => inv.aggressor = Some(value()?.to_string()),
             "--tau" => {
                 inv.reduce_tau = Some(
@@ -225,6 +236,7 @@ mod tests {
         assert_eq!(inv.metric, MetricArg::Two);
         assert!(!inv.golden);
         assert!(inv.threshold.is_none());
+        assert!(!inv.strict);
     }
 
     #[test]
@@ -238,11 +250,12 @@ mod tests {
     fn all_flags_parse() {
         let inv = parse_ok(&[
             "noise", "d.sp", "--shape", "exp", "--metric", "closed", "--golden",
-            "--threshold", "0.15",
+            "--threshold", "0.15", "--strict",
         ]);
         assert_eq!(inv.shape, ShapeArg::Exp);
         assert_eq!(inv.metric, MetricArg::Closed);
         assert!(inv.golden);
+        assert!(inv.strict);
         assert_eq!(inv.threshold, Some(0.15));
         let inv = parse_ok(&["delay", "d.sp", "--delay-metric", "elmore"]);
         assert_eq!(inv.delay_metric, DelayMetricArg::Elmore);

@@ -26,25 +26,48 @@ pub use report::{delay_report, info_report, noise_report};
 
 use std::error::Error;
 
+/// A finished run: the report text plus whether any analysis degraded
+/// (fallback metrics used, rows dropped). Degraded runs succeed but the
+/// binary exits with code 2 so scripts can tell the difference.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Report text for stdout.
+    pub report: String,
+    /// True when the run completed only by degrading.
+    pub degraded: bool,
+}
+
+impl RunOutcome {
+    fn clean(report: String) -> Self {
+        RunOutcome {
+            report,
+            degraded: false,
+        }
+    }
+}
+
 /// Runs the tool: parses `argv` (without the program name) and returns
-/// the report text.
+/// the report text plus the degradation flag.
 ///
 /// # Errors
 ///
 /// Propagates argument, I/O, parse and analysis errors as boxed errors
 /// with user-readable messages.
-pub fn run(argv: &[String]) -> Result<String, Box<dyn Error>> {
+pub fn run(argv: &[String]) -> Result<RunOutcome, Box<dyn Error>> {
     match args::parse(argv)? {
-        ParseOutcome::Help(text) => Ok(text),
+        ParseOutcome::Help(text) => Ok(RunOutcome::clean(text)),
         ParseOutcome::Run(cmd) => {
             let deck = std::fs::read_to_string(&cmd.deck_path)
                 .map_err(|e| format!("cannot read {}: {e}", cmd.deck_path))?;
             let network = xtalk_circuit::spice::parse_deck(&deck)?;
             match cmd.command {
-                Command::Info => Ok(info_report(&network)),
-                Command::Noise => noise_report(&network, &cmd),
-                Command::Delay => delay_report(&network, &cmd),
-                Command::Reduce => report::reduce_report(&network, &cmd),
+                Command::Info => Ok(RunOutcome::clean(info_report(&network))),
+                Command::Noise => {
+                    let (report, degraded) = noise_report(&network, &cmd)?;
+                    Ok(RunOutcome { report, degraded })
+                }
+                Command::Delay => Ok(RunOutcome::clean(delay_report(&network, &cmd)?)),
+                Command::Reduce => Ok(RunOutcome::clean(report::reduce_report(&network, &cmd)?)),
             }
         }
     }

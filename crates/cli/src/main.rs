@@ -5,7 +5,12 @@
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match xtalk_cli::run(&argv) {
-        Ok(report) => print!("{report}"),
+        Ok(outcome) => {
+            print!("{}", outcome.report);
+            if outcome.degraded {
+                std::process::exit(2);
+            }
+        }
         Err(e) => {
             eprintln!("xtalk: {e}");
             std::process::exit(1);

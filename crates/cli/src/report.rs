@@ -1,8 +1,11 @@
 use crate::args::{DelayMetricArg, Invocation, MetricArg, ShapeArg};
 use std::error::Error;
 use std::fmt::Write as _;
-use xtalk_circuit::{signal::InputSignal, NetId, Network};
-use xtalk_core::{MetricKind, NoiseAnalyzer, NoiseEstimate};
+use xtalk_circuit::{signal::InputSignal, NetId, Network, Severity};
+use xtalk_core::{
+    FallbackPolicy, MetricError, MetricKind, NoiseAnalyzer, NoiseEstimate, Provenance,
+    RobustAnalyzer, RobustError, RungError, RungFailure,
+};
 use xtalk_delay::{DelayAnalyzer, DelayMetric};
 use xtalk_sim::{measure_noise, SimOptions, TransientSim};
 
@@ -66,24 +69,73 @@ fn analyze(
     }
 }
 
+/// What one aggressor row resolved to after the analysis attempt.
+enum RowOutcome {
+    /// An estimate, with fallback provenance when metric II ran through
+    /// the robust chain.
+    Estimate(NoiseEstimate, Option<Provenance>),
+    /// The aggressor does not couple into the victim output.
+    NoCoupling,
+    /// Analysis failed on every permitted path (non-strict mode only).
+    Failed(String),
+}
+
+/// True when the robust chain failed only because the aggressor has no
+/// coupling path — a benign condition, not a degradation.
+fn only_no_noise(e: &RobustError) -> bool {
+    let no_noise =
+        |f: &RungFailure| matches!(f.error, RungError::Metric(MetricError::NoNoise));
+    match e {
+        RobustError::Engine(MetricError::NoNoise) => true,
+        RobustError::StrictDegradation(f) => no_noise(f),
+        RobustError::Exhausted(fails) => !fails.is_empty() && fails.iter().all(no_noise),
+        _ => false,
+    }
+}
+
 /// `noise` sub-command: per-aggressor estimates (each aggressor switching
 /// alone), optional golden cross-check and budget flags.
 ///
+/// The default metric II path runs through [`RobustAnalyzer`]: when the
+/// preferred metric fails, the report degrades rung by rung instead of
+/// aborting, annotates each degraded row, and the returned flag tells the
+/// binary to exit with code 2. Under `--strict` any degradation (including
+/// deck validation warnings) is a hard error instead.
+///
 /// # Errors
 ///
-/// Propagates analysis/simulation failures.
-pub fn noise_report(network: &Network, inv: &Invocation) -> Result<String, Box<dyn Error>> {
-    let analyzer = NoiseAnalyzer::new(network)?;
+/// Propagates analysis/simulation failures; under `--strict`, also any
+/// condition that would otherwise merely degrade the run.
+pub fn noise_report(network: &Network, inv: &Invocation) -> Result<(String, bool), Box<dyn Error>> {
+    let policy = if inv.strict {
+        FallbackPolicy::strict()
+    } else {
+        FallbackPolicy::default()
+    };
+    let robust = RobustAnalyzer::with_policy(network, policy)?;
     let input = input_for(inv);
     let mut out = String::new();
+    let mut degraded = false;
     let _ = writeln!(
         out,
-        "noise at victim output {} ({:?} input, slew {:.0} ps, metric {:?}):",
+        "noise at victim output {} ({:?} input, slew {:.0} ps, metric {:?}{}):",
         network.node_name(network.victim_output()),
         inv.shape,
         inv.slew * 1e12,
-        inv.metric
+        inv.metric,
+        if inv.strict { ", strict" } else { "" }
     );
+    let warnings: Vec<String> = robust
+        .validation()
+        .with_severity(Severity::Warning)
+        .map(ToString::to_string)
+        .collect();
+    if !warnings.is_empty() {
+        let _ = writeln!(out, "deck validation: {} warning(s)", warnings.len());
+        for w in &warnings {
+            let _ = writeln!(out, "  - {w}");
+        }
+    }
     let _ = writeln!(
         out,
         "{:<14} {:>8} {:>10} {:>10} {:>10} {:>9}",
@@ -97,8 +149,28 @@ pub fn noise_report(network: &Network, inv: &Invocation) -> Result<String, Box<d
                 continue;
             }
         }
-        match analyze(&analyzer, agg, &input, inv.metric) {
-            Ok(est) => {
+        let outcome = match inv.metric {
+            // The default metric runs through the fallback chain.
+            MetricArg::Two => match robust.analyze(agg, &input) {
+                Ok(re) => RowOutcome::Estimate(re.estimate, Some(re.provenance)),
+                Err(e) if only_no_noise(&e) => RowOutcome::NoCoupling,
+                Err(e) if inv.strict => return Err(e.into()),
+                Err(e) => RowOutcome::Failed(e.to_string()),
+            },
+            // Explicitly requested metrics run as asked, with no
+            // fallback — but a per-aggressor failure still only
+            // degrades the report unless --strict.
+            MetricArg::One | MetricArg::Closed => {
+                match analyze(robust.inner(), agg, &input, inv.metric) {
+                    Ok(est) => RowOutcome::Estimate(est, None),
+                    Err(MetricError::NoNoise) => RowOutcome::NoCoupling,
+                    Err(e) if inv.strict => return Err(e.into()),
+                    Err(e) => RowOutcome::Failed(e.to_string()),
+                }
+            }
+        };
+        match outcome {
+            RowOutcome::Estimate(est, provenance) => {
                 any = true;
                 let flag = match inv.threshold {
                     Some(budget) if est.vp > budget => "VIOLATION",
@@ -115,6 +187,12 @@ pub fn noise_report(network: &Network, inv: &Invocation) -> Result<String, Box<d
                     est.t1 * 1e12,
                     flag
                 );
+                if let Some(p) = provenance {
+                    if p.degraded() {
+                        degraded = true;
+                        let _ = writeln!(out, "  warning: {p}");
+                    }
+                }
                 if inv.golden {
                     let sim = TransientSim::new(network)?;
                     let stim = [(agg, input)];
@@ -136,7 +214,7 @@ pub fn noise_report(network: &Network, inv: &Invocation) -> Result<String, Box<d
                     );
                 }
             }
-            Err(xtalk_core::MetricError::NoNoise) => {
+            RowOutcome::NoCoupling => {
                 let _ = writeln!(
                     out,
                     "{:<14} {:>8} (no coupling into the victim output)",
@@ -144,7 +222,11 @@ pub fn noise_report(network: &Network, inv: &Invocation) -> Result<String, Box<d
                     "-"
                 );
             }
-            Err(e) => return Err(e.into()),
+            RowOutcome::Failed(msg) => {
+                any = true;
+                degraded = true;
+                let _ = writeln!(out, "{:<14} {:>8} analysis failed: {msg}", net.name(), "-");
+            }
         }
     }
     if !any {
@@ -157,7 +239,13 @@ pub fn noise_report(network: &Network, inv: &Invocation) -> Result<String, Box<d
                 .unwrap_or_default()
         );
     }
-    Ok(out)
+    if degraded {
+        let _ = writeln!(
+            out,
+            "NOTE: run degraded (fallback metrics or failed rows above); exit code 2"
+        );
+    }
+    Ok((out, degraded))
 }
 
 /// `delay` sub-command: victim delay window under switch factors.
@@ -239,6 +327,7 @@ mod tests {
         b.add_driver(v, v0, 300.0).unwrap();
         b.add_driver(a, a0, 150.0).unwrap();
         b.add_resistor(v0, v1, 60.0).unwrap();
+        b.add_ground_cap(v0, 2e-15).unwrap();
         b.add_ground_cap(v1, 8e-15).unwrap();
         b.add_sink(v1, 12e-15).unwrap();
         b.add_sink(a0, 10e-15).unwrap();
@@ -259,6 +348,7 @@ mod tests {
             threshold: None,
             reduce_tau: None,
             aggressor: None,
+            strict: false,
         }
     }
 
@@ -274,10 +364,12 @@ mod tests {
     #[test]
     fn noise_report_contains_estimates() {
         let net = sample_network();
-        let report = noise_report(&net, &invocation(Command::Noise)).unwrap();
+        let (report, degraded) = noise_report(&net, &invocation(Command::Noise)).unwrap();
         assert!(report.contains("agg0"));
         assert!(report.contains("Vp"));
         assert!(!report.contains("VIOLATION"));
+        assert!(!degraded, "healthy deck must not be flagged degraded");
+        assert!(!report.contains("warning:"));
     }
 
     #[test]
@@ -285,10 +377,10 @@ mod tests {
         let net = sample_network();
         let mut inv = invocation(Command::Noise);
         inv.threshold = Some(1e-6); // everything violates
-        let report = noise_report(&net, &inv).unwrap();
+        let (report, _) = noise_report(&net, &inv).unwrap();
         assert!(report.contains("VIOLATION"));
         inv.threshold = Some(0.99); // nothing violates
-        let report = noise_report(&net, &inv).unwrap();
+        let (report, _) = noise_report(&net, &inv).unwrap();
         assert!(report.contains("ok"));
     }
 
@@ -297,7 +389,7 @@ mod tests {
         let net = sample_network();
         let mut inv = invocation(Command::Noise);
         inv.golden = true;
-        let report = noise_report(&net, &inv).unwrap();
+        let (report, _) = noise_report(&net, &inv).unwrap();
         assert!(report.contains("(simulated)"));
         assert!(report.contains('%'));
     }
@@ -307,8 +399,9 @@ mod tests {
         let net = sample_network();
         let mut inv = invocation(Command::Noise);
         inv.metric = MetricArg::Closed;
-        let report = noise_report(&net, &inv).unwrap();
+        let (report, degraded) = noise_report(&net, &inv).unwrap();
         assert!(report.contains("agg0"));
+        assert!(!degraded);
     }
 
     #[test]
@@ -316,11 +409,35 @@ mod tests {
         let net = sample_network();
         let mut inv = invocation(Command::Noise);
         inv.aggressor = Some("agg0".into());
-        let report = noise_report(&net, &inv).unwrap();
+        let (report, _) = noise_report(&net, &inv).unwrap();
         assert!(report.contains("agg0"));
         inv.aggressor = Some("nonexistent".into());
-        let report = noise_report(&net, &inv).unwrap();
+        let (report, _) = noise_report(&net, &inv).unwrap();
         assert!(report.contains("no coupled aggressors found matching"));
+    }
+
+    #[test]
+    fn step_input_degrades_and_annotates_the_row() {
+        // An ideal step defeats metric II's eq.-54 seeding; the robust
+        // chain falls back to the symmetric metric I rung and the run is
+        // flagged degraded so the binary can exit with code 2.
+        let net = sample_network();
+        let mut inv = invocation(Command::Noise);
+        inv.shape = ShapeArg::Step;
+        let (report, degraded) = noise_report(&net, &inv).unwrap();
+        assert!(degraded, "fallback must flag the run degraded");
+        assert!(report.contains("warning: degraded to metric I"), "{report}");
+        assert!(report.contains("exit code 2"), "{report}");
+    }
+
+    #[test]
+    fn strict_mode_refuses_to_degrade() {
+        let net = sample_network();
+        let mut inv = invocation(Command::Noise);
+        inv.shape = ShapeArg::Step;
+        inv.strict = true;
+        let err = noise_report(&net, &inv).unwrap_err().to_string();
+        assert!(err.contains("strict"), "{err}");
     }
 
     #[test]

@@ -68,6 +68,7 @@ mod metric1;
 mod metric2;
 mod output;
 pub mod receiver;
+pub mod resilience;
 pub mod superpose;
 pub mod template;
 
@@ -77,3 +78,7 @@ pub use estimate::{NoiseBounds, NoiseEstimate};
 pub use metric1::MetricOne;
 pub use metric2::{MetricTwo, LAMBDA};
 pub use output::{shape_ratio_m, OutputMoments};
+pub use resilience::{
+    FallbackPolicy, Provenance, RobustAnalyzer, RobustError, RobustEstimate, Rung, RungError,
+    RungFailure, SanityError,
+};

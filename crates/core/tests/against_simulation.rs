@@ -11,6 +11,8 @@
 //! * the area (first moment) of the simulated pulse matches `f1` — the
 //!   quantity both metrics preserve exactly.
 
+#![allow(clippy::unwrap_used)] // test code; helpers sit outside #[test] fns
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use xtalk_circuit::{signal::InputSignal, NetId, NetRole, Network, NetworkBuilder};

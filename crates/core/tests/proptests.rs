@@ -10,8 +10,10 @@
 //! 3. **Invariants** — `tp = t0 + t1`, `wn = t1 + t2`, area preservation.
 
 use proptest::prelude::*;
+use xtalk_circuit::signal::InputSignal;
+use xtalk_circuit::{NetRole, NetworkBuilder};
 use xtalk_core::template::{LinExpTemplate, PwlTemplate};
-use xtalk_core::{MetricOne, MetricTwo, OutputMoments, LAMBDA};
+use xtalk_core::{MetricOne, MetricTwo, OutputMoments, RobustAnalyzer, LAMBDA};
 
 /// Realistic interconnect parameter ranges (seconds, normalized volts).
 fn params() -> impl Strategy<Value = (f64, f64, f64, f64)> {
@@ -21,6 +23,66 @@ fn params() -> impl Strategy<Value = (f64, f64, f64, f64)> {
         0.05..20.0f64,    // m
         0.01..0.8f64,     // vp
     )
+}
+
+/// A resistance that is usually plausible but sometimes corrupt.
+fn resistance() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => 0.1..1e5f64,
+        1 => Just(0.0),
+        1 => -1e3..0.0f64,
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+    ]
+}
+
+/// A capacitance that is usually plausible but sometimes corrupt.
+fn capacitance() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => 1e-18..1e-12f64,
+        1 => Just(0.0),
+        1 => -1e-13..0.0f64,
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+    ]
+}
+
+/// Random aggressor input: mostly ramps, sometimes steps or exponentials,
+/// over a wide arrival/transition range.
+fn input() -> impl Strategy<Value = InputSignal> {
+    (-1e-9..1e-9f64, 1e-13..1e-8f64, 0..4u8).prop_map(|(arrival, tr, shape)| match shape {
+        0 => InputSignal::step(arrival),
+        1 => InputSignal::rising_exp(arrival, tr),
+        2 => InputSignal::falling_ramp(arrival, tr),
+        _ => InputSignal::rising_ramp(arrival, tr),
+    })
+}
+
+/// A structurally complete two-pin pair with arbitrary (possibly corrupt)
+/// element values, built permissively so corruption reaches the analyzer.
+fn degenerate_pair(
+    rd_v: f64,
+    rd_a: f64,
+    rw: f64,
+    cg: f64,
+    cl: f64,
+    cc: f64,
+) -> Result<xtalk_circuit::Network, xtalk_circuit::CircuitError> {
+    let mut b = NetworkBuilder::permissive();
+    let v = b.add_net("victim", NetRole::Victim);
+    let a = b.add_net("agg0", NetRole::Aggressor);
+    let v0 = b.add_node(v, "v0");
+    let v1 = b.add_node(v, "v1");
+    let a0 = b.add_node(a, "a0");
+    b.add_driver(v, v0, rd_v)?;
+    b.add_driver(a, a0, rd_a)?;
+    b.add_resistor(v0, v1, rw)?;
+    b.add_ground_cap(v0, cg)?;
+    b.add_ground_cap(v1, cg)?;
+    b.add_sink(v1, cl)?;
+    b.add_sink(a0, cl)?;
+    b.add_coupling_cap(a0, v1, cc)?;
+    b.build()
 }
 
 proptest! {
@@ -89,6 +151,43 @@ proptest! {
         let f = OutputMoments::from_raw(e1, e2, e3, 1.0).unwrap();
         let est = MetricOne::estimate(&f, m_guess).unwrap();
         prop_assert!((est.area() - f.f1()).abs() < 1e-9 * f.f1());
+    }
+
+    #[test]
+    fn robust_analyzer_never_panics_and_clamps(
+        rd_v in resistance(),
+        rd_a in resistance(),
+        rw in resistance(),
+        cg in capacitance(),
+        cl in capacitance(),
+        cc in capacitance(),
+        input in input(),
+    ) {
+        // Random two-pin pairs whose element values are sometimes corrupt
+        // (zero, negative, NaN, infinite): the robust pipeline must return
+        // a structured error or an estimate that is finite everywhere with
+        // vp clamped into [0, 1] — and must never panic.
+        let Ok(network) = degenerate_pair(rd_v, rd_a, rw, cg, cl, cc) else {
+            return Ok(()); // rejected at build time: structured
+        };
+        let Ok(robust) = RobustAnalyzer::new(&network) else {
+            return Ok(()); // rejected by validation: structured
+        };
+        for (agg, _) in network.aggressor_nets() {
+            match robust.analyze(agg, &input) {
+                Ok(re) => {
+                    let e = &re.estimate;
+                    prop_assert!(
+                        [e.vp, e.t0, e.t1, e.t2, e.tp, e.wn].iter().all(|x| x.is_finite()),
+                        "non-finite accepted estimate: {e:?} ({})",
+                        re.provenance
+                    );
+                    prop_assert!((0.0..=1.0).contains(&e.vp), "unclamped vp {}", e.vp);
+                    prop_assert!(e.t1 > 0.0 && e.t2 > 0.0);
+                }
+                Err(e) => drop(e.to_string()), // structured, and Display works
+            }
+        }
     }
 
     #[test]

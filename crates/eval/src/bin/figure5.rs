@@ -32,7 +32,10 @@ fn main() {
             }
         }
     }
-    let rows = run_figure5(&Technology::p25(), points);
+    let rows = run_figure5(&Technology::p25(), points).unwrap_or_else(|e| {
+        eprintln!("figure5: sweep failed: {e}");
+        std::process::exit(1);
+    });
     println!("{}", render_figure5(&rows));
 
     // ASCII rendition of the figure itself.

@@ -18,7 +18,11 @@ fn main() {
         config.cases = 300; // plenty for the ablation trend
     }
     let tech = Technology::p25();
-    let cases = two_pin_cases(&tech, CouplingDirection::NearEnd, &config);
+    let run = two_pin_cases(&tech, CouplingDirection::NearEnd, &config);
+    if !run.is_complete() {
+        eprintln!("lambda_sweep: degraded generation: {}", run.summary());
+    }
+    let cases = run.cases;
     let lambdas = [
         1.5,
         2.0,

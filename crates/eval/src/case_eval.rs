@@ -217,7 +217,7 @@ mod tests {
             seed: 11,
             corner_fraction: 0.0,
         };
-        let cases = two_pin_cases(&tech, CouplingDirection::FarEnd, &cfg);
+        let cases = two_pin_cases(&tech, CouplingDirection::FarEnd, &cfg).cases;
         let outcome = evaluate_case(&cases[0]).expect("case evaluates");
         // New metrics always report everything.
         for p in ALL_PARAMS {

@@ -44,7 +44,11 @@ fn simulated_delay(net: &Network, agg: NetId, scenario: &str) -> Option<f64> {
 /// Runs the delay evaluation: `config.cases` random two-pin circuits,
 /// three metrics × three scenarios.
 pub fn run_delay_table(tech: &Technology, config: &SweepConfig) -> Vec<DelayRow> {
-    let cases = two_pin_cases(tech, CouplingDirection::FarEnd, config);
+    let run = two_pin_cases(tech, CouplingDirection::FarEnd, config);
+    if !run.is_complete() {
+        eprintln!("warning: delay sweep degraded: {}", run.summary());
+    }
+    let cases = run.cases;
     let scenarios: [(&'static str, SwitchFactor); 3] = [
         ("along", SwitchFactor::SameDirection),
         ("quiet", SwitchFactor::Quiet),

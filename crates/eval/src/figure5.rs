@@ -26,26 +26,32 @@ pub struct Figure5Row {
 /// receiver, the distributed metrics track the trend, and the lumped-π
 /// model reports the same value everywhere.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any sweep point fails to evaluate (fixed benign parameters —
-/// failure would be a harness bug).
-pub fn run_figure5(tech: &Technology, points: usize) -> Vec<Figure5Row> {
-    figure5_cases(tech, points)
+/// Returns a description of the first sweep point that failed to build or
+/// evaluate (fixed benign parameters — only a degenerate [`Technology`]
+/// gets here) instead of panicking mid-sweep.
+pub fn run_figure5(tech: &Technology, points: usize) -> Result<Vec<Figure5Row>, String> {
+    let cases = figure5_cases(tech, points).map_err(|f| f.to_string())?;
+    cases
         .into_iter()
         .map(|(l1, case)| {
-            let outcome = evaluate_case(&case).expect("figure-5 case evaluates");
-            Figure5Row {
+            let outcome =
+                evaluate_case(&case).map_err(|e| format!("{}: {e}", case.label))?;
+            let vp = |method| {
+                outcome
+                    .predicted(method, crate::Param::Vp)
+                    .ok_or_else(|| format!("{}: {method} produced no Vp", case.label))
+            };
+            Ok(Figure5Row {
                 l1,
                 golden_vp: outcome.golden.vp,
-                new1_vp: outcome
-                    .predicted(crate::Method::NewOne, crate::Param::Vp)
-                    .expect("new metric I always reports Vp"),
-                new2_vp: outcome
-                    .predicted(crate::Method::NewTwo, crate::Param::Vp)
-                    .expect("new metric II always reports Vp"),
-                lumped_vp: outcome.lumped_vp.expect("lumped model evaluates"),
-            }
+                new1_vp: vp(crate::Method::NewOne)?,
+                new2_vp: vp(crate::Method::NewTwo)?,
+                lumped_vp: outcome
+                    .lumped_vp
+                    .ok_or_else(|| format!("{}: lumped model unstable", case.label))?,
+            })
         })
         .collect()
 }

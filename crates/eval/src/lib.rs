@@ -35,7 +35,7 @@ pub use lambda::{lambda_sweep, render_lambda, LambdaRow};
 pub use stats::{ErrorStats, TableStats};
 pub use table::render_table;
 
-use xtalk_tech::sweep::{tree_cases, two_pin_cases, SweepCase, SweepConfig};
+use xtalk_tech::sweep::{tree_cases, two_pin_cases, SweepCase, SweepConfig, SweepRun};
 use xtalk_tech::{CouplingDirection, Technology};
 
 /// Runs a Table 1/2-style evaluation: `config.cases` random two-pin
@@ -46,15 +46,24 @@ pub fn run_two_pin_table(
     config: &SweepConfig,
     progress: bool,
 ) -> TableStats {
-    let cases = two_pin_cases(tech, direction, config);
-    evaluate_cases(&cases, progress)
+    evaluate_run(&two_pin_cases(tech, direction, config), progress)
 }
 
 /// Runs the Table 3-style evaluation over random coupled RC trees
 /// (far-end, as in the paper).
 pub fn run_tree_table(tech: &Technology, config: &SweepConfig, progress: bool) -> TableStats {
-    let cases = tree_cases(tech, true, config);
-    evaluate_cases(&cases, progress)
+    evaluate_run(&tree_cases(tech, true, config), progress)
+}
+
+/// Evaluates a sweep run: cases that failed to generate are folded into
+/// the statistics (and the rendered summary) instead of aborting the
+/// batch.
+pub fn evaluate_run(run: &SweepRun, progress: bool) -> TableStats {
+    let mut stats = evaluate_cases(&run.cases, progress);
+    for failure in &run.failures {
+        stats.record_generation_failure(&failure.to_string());
+    }
+    stats
 }
 
 /// Evaluates a pre-generated case list.

@@ -36,8 +36,7 @@ impl ErrorStats {
         } else {
             // Deterministic reservoir: pseudo-index from a Weyl sequence
             // over the running count.
-            let idx = (self.count.wrapping_mul(0x9e3779b97f4a7c15) >> 32) as usize
-                % self.count;
+            let idx = (self.count.wrapping_mul(0x9e3779b97f4a7c15) >> 32) % self.count;
             if idx < SAMPLE_CAP {
                 self.sample[idx] = pct.abs();
             }
@@ -113,6 +112,7 @@ pub struct TableStats {
     scored: usize,
     skipped: usize,
     skip_reasons: BTreeMap<String, usize>,
+    generation_failures: Vec<String>,
 }
 
 impl TableStats {
@@ -153,6 +153,18 @@ impl TableStats {
             .trim()
             .to_string();
         *self.skip_reasons.entry(key).or_insert(0) += 1;
+    }
+
+    /// Records a case that never became a network: its spec failed to
+    /// build during sweep generation. The batch keeps going; the failure
+    /// shows up in the rendered summary.
+    pub fn record_generation_failure(&mut self, description: &str) {
+        self.generation_failures.push(description.to_string());
+    }
+
+    /// Descriptions of the cases that failed to generate.
+    pub fn generation_failures(&self) -> &[String] {
+        &self.generation_failures
     }
 
     /// Statistics of one table cell, if any samples landed there.

@@ -61,6 +61,17 @@ pub fn render_table(title: &str, stats: &TableStats) -> String {
     for (reason, count) in stats.skip_reasons() {
         let _ = writeln!(out, "  skipped {count}: {reason}");
     }
+    let failures = stats.generation_failures();
+    if !failures.is_empty() {
+        let _ = writeln!(
+            out,
+            "  WARNING: {} case(s) failed to generate (results cover the rest):",
+            failures.len()
+        );
+        for failure in failures {
+            let _ = writeln!(out, "    {failure}");
+        }
+    }
     out
 }
 
@@ -116,5 +127,41 @@ mod tests {
         assert!(s.contains("20"));
         // Methods with no estimates at all get a footnote.
         assert!(s.contains("no estimate on 1 cases"));
+    }
+
+    #[test]
+    fn degraded_sweep_completes_remaining_cases_and_reports_failures() {
+        use crate::evaluate_run;
+        use xtalk_circuit::{NetRole, NetworkBuilder};
+        use xtalk_tech::sweep::{two_pin_cases, SweepConfig, SweepFailure};
+        use xtalk_tech::{CouplingDirection, Technology};
+
+        let tech = Technology::p25();
+        let cfg = SweepConfig {
+            cases: 3,
+            ..SweepConfig::default()
+        };
+        let mut run = two_pin_cases(&tech, CouplingDirection::FarEnd, &cfg);
+        assert_eq!(run.cases.len(), 3);
+        // Inject one case that failed to build (a real CircuitError).
+        let error = {
+            let mut b = NetworkBuilder::new();
+            let v = b.add_net("v", NetRole::Victim);
+            let n = b.add_node(v, "n");
+            b.add_ground_cap(n, -1.0).unwrap_err()
+        };
+        run.failures.push(SweepFailure {
+            label: "two_pin[corrupt]".into(),
+            error,
+        });
+
+        let stats = evaluate_run(&run, false);
+        // All valid cases were still processed …
+        assert_eq!(stats.scored() + stats.skipped(), 3);
+        assert_eq!(stats.generation_failures().len(), 1);
+        // … and the summary names the failed one.
+        let rendered = render_table("T", &stats);
+        assert!(rendered.contains("1 case(s) failed to generate"));
+        assert!(rendered.contains("two_pin[corrupt]"));
     }
 }

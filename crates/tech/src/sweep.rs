@@ -10,7 +10,8 @@
 use crate::{random_tree, CouplingDirection, Technology, TwoPinSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use xtalk_circuit::{signal::InputSignal, NetId, Network};
+use std::fmt;
+use xtalk_circuit::{signal::InputSignal, CircuitError, NetId, Network};
 
 /// One generated validation case.
 #[derive(Debug)]
@@ -23,6 +24,57 @@ pub struct SweepCase {
     pub aggressor: NetId,
     /// The aggressor input.
     pub input: InputSignal,
+}
+
+/// A case whose generated spec failed to build into a network. The sweep
+/// keeps going; the failure is reported in the run summary instead of
+/// aborting the batch.
+#[derive(Debug)]
+pub struct SweepFailure {
+    /// Label of the failed case.
+    pub label: String,
+    /// Why the spec did not build.
+    pub error: CircuitError,
+}
+
+impl fmt::Display for SweepFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.label, self.error)
+    }
+}
+
+/// The outcome of a case-generation sweep: every case that built, plus a
+/// record of every case that did not.
+#[derive(Debug, Default)]
+pub struct SweepRun {
+    /// Successfully built cases.
+    pub cases: Vec<SweepCase>,
+    /// Cases whose spec failed to build (degraded batch).
+    pub failures: Vec<SweepFailure>,
+}
+
+impl SweepRun {
+    /// `true` when every requested case was generated.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line human-readable summary of the run.
+    pub fn summary(&self) -> String {
+        if self.is_complete() {
+            format!("{} cases generated", self.cases.len())
+        } else {
+            let mut s = format!(
+                "{} cases generated, {} failed:",
+                self.cases.len(),
+                self.failures.len()
+            );
+            for failure in &self.failures {
+                s.push_str(&format!(" [{failure}]"));
+            }
+            s
+        }
+    }
 }
 
 /// Sweep configuration.
@@ -116,17 +168,16 @@ fn draw_driver(rng: &mut StdRng, tech: &Technology, corner: Corner) -> (f64, f64
 
 /// Generates two-pin coupling cases (Tables 1 and 2).
 ///
-/// # Panics
-///
-/// Panics if internal generation produces an invalid spec (a bug, not an
-/// input condition).
+/// A spec that fails to build (possible with a degenerate [`Technology`],
+/// e.g. from a corrupt config file) lands in [`SweepRun::failures`]
+/// instead of aborting the sweep.
 pub fn two_pin_cases(
     tech: &Technology,
     direction: CouplingDirection,
     config: &SweepConfig,
-) -> Vec<SweepCase> {
+) -> SweepRun {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut out = Vec::with_capacity(config.cases);
+    let mut out = SweepRun::default();
     for i in 0..config.cases {
         let corner = draw_corner(&mut rng, config.corner_fraction);
         let l2: f64 = rng.random_range(0.1e-3..2.0e-3);
@@ -158,31 +209,36 @@ pub fn two_pin_cases(
             aggressor_load: rng.random_range(tech.load_range.0..tech.load_range.1),
             segments_per_mm: 8,
         };
-        let (network, aggressor) = spec.build(tech).expect("generated spec is valid");
-        out.push(SweepCase {
-            label: format!(
-                "two_pin[{i}]{} l1={:.2}mm l2={:.2}mm l3={:.2}mm",
-                if corner != Corner::None { " corner" } else { "" },
-                l1 * 1e3,
-                l2 * 1e3,
-                l3 * 1e3
-            ),
-            network,
-            aggressor,
-            input: draw_input(&mut rng, tech, corner == Corner::StrongFast),
-        });
+        let label = format!(
+            "two_pin[{i}]{} l1={:.2}mm l2={:.2}mm l3={:.2}mm",
+            if corner != Corner::None { " corner" } else { "" },
+            l1 * 1e3,
+            l2 * 1e3,
+            l3 * 1e3
+        );
+        // Draw the input unconditionally so a failed build does not shift
+        // the RNG stream of the remaining cases.
+        let input = draw_input(&mut rng, tech, corner == Corner::StrongFast);
+        match spec.build(tech) {
+            Ok((network, aggressor)) => out.cases.push(SweepCase {
+                label,
+                network,
+                aggressor,
+                input,
+            }),
+            Err(error) => out.failures.push(SweepFailure { label, error }),
+        }
     }
     out
 }
 
 /// Generates coupled RC-tree cases (Table 3).
 ///
-/// # Panics
-///
-/// Panics if internal generation produces an invalid spec (a bug).
-pub fn tree_cases(tech: &Technology, far_end: bool, config: &SweepConfig) -> Vec<SweepCase> {
+/// As [`two_pin_cases`], specs that fail to build are collected in
+/// [`SweepRun::failures`] rather than aborting the batch.
+pub fn tree_cases(tech: &Technology, far_end: bool, config: &SweepConfig) -> SweepRun {
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7ee_1000);
-    let mut out = Vec::with_capacity(config.cases);
+    let mut out = SweepRun::default();
     for i in 0..config.cases {
         let corner = draw_corner(&mut rng, config.corner_fraction);
         let mut spec = random_tree(&mut rng, tech, far_end);
@@ -191,16 +247,20 @@ pub fn tree_cases(tech: &Technology, far_end: bool, config: &SweepConfig) -> Vec
             spec.victim_driver = vd;
             spec.aggressor_driver = ad;
         }
-        let (network, aggressor) = spec.build(tech).expect("generated spec is valid");
-        out.push(SweepCase {
-            label: format!(
-                "tree[{i}]{}",
-                if corner != Corner::None { " corner" } else { "" }
-            ),
-            network,
-            aggressor,
-            input: draw_input(&mut rng, tech, corner == Corner::StrongFast),
-        });
+        let label = format!(
+            "tree[{i}]{}",
+            if corner != Corner::None { " corner" } else { "" }
+        );
+        let input = draw_input(&mut rng, tech, corner == Corner::StrongFast);
+        match spec.build(tech) {
+            Ok((network, aggressor)) => out.cases.push(SweepCase {
+                label,
+                network,
+                aggressor,
+                input,
+            }),
+            Err(error) => out.failures.push(SweepFailure { label, error }),
+        }
     }
     out
 }
@@ -208,7 +268,19 @@ pub fn tree_cases(tech: &Technology, far_end: bool, config: &SweepConfig) -> Vec
 /// The Figure 5 sweep: `L2 = 0.5 mm`, `L3 = 1.5 mm`,
 /// `L1 = 0.1 … 1.0 mm` in `points` steps, far-end, fixed mid-range
 /// drivers and loads, 100 ps rising ramp.
-pub fn figure5_cases(tech: &Technology, points: usize) -> Vec<(f64, SweepCase)> {
+///
+/// # Errors
+///
+/// Returns the first [`SweepFailure`] when a sweep point fails to build
+/// (possible only with a degenerate [`Technology`]).
+///
+/// # Panics
+///
+/// Panics when `points < 2` (a caller bug, not a data condition).
+pub fn figure5_cases(
+    tech: &Technology,
+    points: usize,
+) -> Result<Vec<(f64, SweepCase)>, SweepFailure> {
     assert!(points >= 2, "need at least two sweep points");
     let mut out = Vec::with_capacity(points);
     for k in 0..points {
@@ -224,18 +296,24 @@ pub fn figure5_cases(tech: &Technology, points: usize) -> Vec<(f64, SweepCase)> 
             aggressor_load: 20e-15,
             segments_per_mm: 10,
         };
-        let (network, aggressor) = spec.build(tech).expect("figure-5 spec is valid");
+        let label = format!("figure5 L1={:.2}mm", l1 * 1e3);
+        let (network, aggressor) = spec
+            .build(tech)
+            .map_err(|error| SweepFailure {
+                label: label.clone(),
+                error,
+            })?;
         out.push((
             l1,
             SweepCase {
-                label: format!("figure5 L1={:.2}mm", l1 * 1e3),
+                label,
                 network,
                 aggressor,
                 input: InputSignal::rising_ramp(0.0, 100e-12),
             },
         ));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -251,6 +329,8 @@ mod tests {
         };
         let a = two_pin_cases(&tech, CouplingDirection::FarEnd, &cfg);
         let b = two_pin_cases(&tech, CouplingDirection::FarEnd, &cfg);
+        assert!(a.is_complete() && b.is_complete());
+        let (a, b) = (a.cases, b.cases);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.label, y.label);
             assert_eq!(x.network.node_count(), y.network.node_count());
@@ -266,7 +346,7 @@ mod tests {
             seed: 42,
             corner_fraction: 0.5,
         };
-        let cases = two_pin_cases(&tech, CouplingDirection::NearEnd, &cfg);
+        let cases = two_pin_cases(&tech, CouplingDirection::NearEnd, &cfg).cases;
         let corners = cases.iter().filter(|c| c.label.contains("corner")).count();
         assert!(
             (90..210).contains(&corners),
@@ -281,7 +361,9 @@ mod tests {
             cases: 30,
             ..SweepConfig::default()
         };
-        for case in tree_cases(&tech, true, &cfg) {
+        let run = tree_cases(&tech, true, &cfg);
+        assert!(run.is_complete(), "{}", run.summary());
+        for case in run.cases {
             assert!(case.network.node_count() > 4, "{}", case.label);
             assert!(case
                 .network
@@ -293,7 +375,7 @@ mod tests {
     #[test]
     fn figure5_sweep_spans_the_paper_range() {
         let tech = Technology::p25();
-        let pts = figure5_cases(&tech, 10);
+        let pts = figure5_cases(&tech, 10).unwrap();
         assert_eq!(pts.len(), 10);
         assert!((pts[0].0 - 0.1e-3).abs() < 1e-9);
         assert!((pts[9].0 - 1.0e-3).abs() < 1e-9);
@@ -304,6 +386,28 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_technology_degrades_instead_of_panicking() {
+        // A negated wire capacitance (e.g. from a corrupt tech file) makes
+        // every spec fail to build; the sweep must collect the failures
+        // and report them rather than panic.
+        let mut tech = Technology::p25();
+        tech.c_per_m = -tech.c_per_m;
+        let cfg = SweepConfig {
+            cases: 5,
+            ..SweepConfig::default()
+        };
+        let run = two_pin_cases(&tech, CouplingDirection::FarEnd, &cfg);
+        assert!(run.cases.is_empty());
+        assert_eq!(run.failures.len(), 5);
+        assert!(!run.is_complete());
+        assert!(run.summary().contains("5 failed"), "{}", run.summary());
+        let trees = tree_cases(&tech, true, &cfg);
+        assert_eq!(trees.cases.len() + trees.failures.len(), 5);
+        assert!(!trees.is_complete());
+        assert!(figure5_cases(&tech, 3).is_err());
+    }
+
+    #[test]
     fn inputs_mix_shapes_and_polarities() {
         let tech = Technology::p25();
         let cfg = SweepConfig {
@@ -311,7 +415,7 @@ mod tests {
             seed: 9,
             corner_fraction: 0.1,
         };
-        let cases = two_pin_cases(&tech, CouplingDirection::FarEnd, &cfg);
+        let cases = two_pin_cases(&tech, CouplingDirection::FarEnd, &cfg).cases;
         let falling = cases
             .iter()
             .filter(|c| c.input.noise_polarity() < 0.0)

@@ -22,9 +22,13 @@ fn write_sample_deck(dir: &std::path::Path) -> std::path::PathBuf {
     path
 }
 
-fn run(args: &[&str]) -> Result<String, String> {
+fn run_full(args: &[&str]) -> Result<xtalk_cli::RunOutcome, String> {
     xtalk_cli::run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
         .map_err(|e| e.to_string())
+}
+
+fn run(args: &[&str]) -> Result<String, String> {
+    run_full(args).map(|outcome| outcome.report)
 }
 
 #[test]
@@ -70,6 +74,32 @@ fn cli_reports_friendly_errors() {
     assert!(run(&["frobnicate"]).unwrap_err().contains("unknown command"));
     let help = run(&["--help"]).unwrap();
     assert!(help.contains("USAGE"));
+}
+
+#[test]
+fn degraded_and_strict_modes_round_trip_through_the_cli() {
+    let dir = std::env::temp_dir().join("xtalk-cli-test3");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let deck = write_sample_deck(&dir);
+    let deck_str = deck.to_str().expect("utf-8 path");
+
+    // A healthy ramp-driven run is not degraded (exit code 0).
+    let clean = run_full(&["noise", deck_str]).expect("clean run");
+    assert!(!clean.degraded);
+
+    // An ideal step defeats metric II's eq.-54 seeding: the run completes
+    // on a fallback rung, says so, and flags itself for exit code 2.
+    let fallback = run_full(&["noise", deck_str, "--shape", "step"]).expect("degraded run");
+    assert!(fallback.degraded);
+    assert!(fallback.report.contains("degraded to metric I"), "{}", fallback.report);
+
+    // --strict turns the same degradation into a hard error (exit code 1).
+    let err = run_full(&["noise", deck_str, "--shape", "step", "--strict"]).unwrap_err();
+    assert!(err.contains("strict policy forbids degradation"), "{err}");
+
+    // --strict parses and stays clean on the healthy run.
+    let strict_clean = run_full(&["noise", deck_str, "--strict"]).expect("strict clean run");
+    assert!(!strict_clean.degraded);
 }
 
 #[test]

@@ -8,7 +8,7 @@
 //! 3. the new metrics characterize all five waveform parameters, while
 //!    every baseline leaves gaps.
 
-use xtalk::eval::{evaluate_cases, Method, Param, ALL_PARAMS};
+use xtalk::eval::{evaluate_run, Method, Param, ALL_PARAMS};
 use xtalk::tech::sweep::{tree_cases, two_pin_cases, SweepConfig};
 use xtalk::tech::{CouplingDirection, Technology};
 
@@ -28,8 +28,9 @@ fn metric_two_is_conservative_on_all_three_workloads() {
         ("near-end", two_pin_cases(&tech, CouplingDirection::NearEnd, &config())),
         ("trees", tree_cases(&tech, true, &config())),
     ];
-    for (name, cases) in workloads {
-        let stats = evaluate_cases(&cases, false);
+    for (name, run) in workloads {
+        assert!(run.is_complete(), "{name}: {}", run.summary());
+        let stats = evaluate_run(&run, false);
         assert!(stats.scored() > 10, "{name}: too few scored cases");
         let cell = stats.cell(Method::NewTwo, Param::Vp).expect("cell filled");
         assert!(
@@ -43,8 +44,8 @@ fn metric_two_is_conservative_on_all_three_workloads() {
 #[test]
 fn devgan_is_absolute_but_loose() {
     let tech = Technology::p25();
-    let cases = two_pin_cases(&tech, CouplingDirection::FarEnd, &config());
-    let stats = evaluate_cases(&cases, false);
+    let run = two_pin_cases(&tech, CouplingDirection::FarEnd, &config());
+    let stats = evaluate_run(&run, false);
     let cell = stats.cell(Method::Devgan, Param::Vp).expect("cell filled");
     assert!(cell.conservative_above(-5.0), "Devgan must never underestimate");
     // ... and be far looser than new II on average.
@@ -60,8 +61,8 @@ fn devgan_is_absolute_but_loose() {
 #[test]
 fn only_the_new_metrics_characterize_every_parameter() {
     let tech = Technology::p25();
-    let cases = two_pin_cases(&tech, CouplingDirection::FarEnd, &config());
-    let stats = evaluate_cases(&cases, false);
+    let run = two_pin_cases(&tech, CouplingDirection::FarEnd, &config());
+    let stats = evaluate_run(&run, false);
     for p in ALL_PARAMS {
         assert!(stats.cell(Method::NewOne, p).is_some(), "new I misses {p}");
         assert!(stats.cell(Method::NewTwo, p).is_some(), "new II misses {p}");
@@ -79,8 +80,8 @@ fn only_the_new_metrics_characterize_every_parameter() {
 fn near_end_noise_tends_larger_than_far_end() {
     // Matched seeds: the same circuits, opposite coupling directions.
     let tech = Technology::p25();
-    let far = two_pin_cases(&tech, CouplingDirection::FarEnd, &config());
-    let near = two_pin_cases(&tech, CouplingDirection::NearEnd, &config());
+    let far = two_pin_cases(&tech, CouplingDirection::FarEnd, &config()).cases;
+    let near = two_pin_cases(&tech, CouplingDirection::NearEnd, &config()).cases;
     let mut larger = 0usize;
     let mut total = 0usize;
     for (f, n) in far.iter().zip(&near) {
