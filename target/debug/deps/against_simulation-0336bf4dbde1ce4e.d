@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/against_simulation-0336bf4dbde1ce4e.d: /root/repo/clippy.toml crates/delay/tests/against_simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagainst_simulation-0336bf4dbde1ce4e.rmeta: /root/repo/clippy.toml crates/delay/tests/against_simulation.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/delay/tests/against_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/against_simulation-59da7ad0656c73bd.d: crates/core/tests/against_simulation.rs
+
+/root/repo/target/debug/deps/against_simulation-59da7ad0656c73bd: crates/core/tests/against_simulation.rs
+
+crates/core/tests/against_simulation.rs:

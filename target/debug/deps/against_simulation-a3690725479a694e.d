@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/against_simulation-a3690725479a694e.d: crates/delay/tests/against_simulation.rs
+
+/root/repo/target/debug/deps/against_simulation-a3690725479a694e: crates/delay/tests/against_simulation.rs
+
+crates/delay/tests/against_simulation.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bounds-4a4b855af4b8e60f.d: /root/repo/clippy.toml crates/bench/benches/bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbounds-4a4b855af4b8e60f.rmeta: /root/repo/clippy.toml crates/bench/benches/bounds.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bounds-c8ea13f61f74cd95.d: crates/bench/benches/bounds.rs
+
+/root/repo/target/debug/deps/bounds-c8ea13f61f74cd95: crates/bench/benches/bounds.rs
+
+crates/bench/benches/bounds.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bus_workflow-8e6df07dc2ba8b4d.d: /root/repo/clippy.toml tests/bus_workflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbus_workflow-8e6df07dc2ba8b4d.rmeta: /root/repo/clippy.toml tests/bus_workflow.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/bus_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bus_workflow-f97cf470a27677b5.d: tests/bus_workflow.rs
+
+/root/repo/target/debug/deps/bus_workflow-f97cf470a27677b5: tests/bus_workflow.rs
+
+tests/bus_workflow.rs:

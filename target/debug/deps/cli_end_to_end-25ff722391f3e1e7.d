@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cli_end_to_end-25ff722391f3e1e7.d: tests/cli_end_to_end.rs
+
+/root/repo/target/debug/deps/cli_end_to_end-25ff722391f3e1e7: tests/cli_end_to_end.rs
+
+tests/cli_end_to_end.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_end_to_end-d882522fb81d9628.d: /root/repo/clippy.toml tests/cli_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_end_to_end-d882522fb81d9628.rmeta: /root/repo/clippy.toml tests/cli_end_to_end.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/cli_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

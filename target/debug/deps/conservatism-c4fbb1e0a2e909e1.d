@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conservatism-c4fbb1e0a2e909e1.d: tests/conservatism.rs
+
+/root/repo/target/debug/deps/conservatism-c4fbb1e0a2e909e1: tests/conservatism.rs
+
+tests/conservatism.rs:

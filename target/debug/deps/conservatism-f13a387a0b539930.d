@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/conservatism-f13a387a0b539930.d: /root/repo/clippy.toml tests/conservatism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconservatism-f13a387a0b539930.rmeta: /root/repo/clippy.toml tests/conservatism.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/conservatism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

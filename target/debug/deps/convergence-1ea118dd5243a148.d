@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convergence-1ea118dd5243a148.d: crates/sim/tests/convergence.rs
+
+/root/repo/target/debug/deps/convergence-1ea118dd5243a148: crates/sim/tests/convergence.rs
+
+crates/sim/tests/convergence.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/convergence-684e4fa3bf9bae5d.d: /root/repo/clippy.toml crates/sim/tests/convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconvergence-684e4fa3bf9bae5d.rmeta: /root/repo/clippy.toml crates/sim/tests/convergence.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/sim/tests/convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_check-eac0d52028f3e674.d: crates/moments/tests/cross_check.rs
+
+/root/repo/target/debug/deps/cross_check-eac0d52028f3e674: crates/moments/tests/cross_check.rs
+
+crates/moments/tests/cross_check.rs:

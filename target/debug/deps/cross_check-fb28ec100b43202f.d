@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cross_check-fb28ec100b43202f.d: /root/repo/clippy.toml crates/moments/tests/cross_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_check-fb28ec100b43202f.rmeta: /root/repo/clippy.toml crates/moments/tests/cross_check.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/moments/tests/cross_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

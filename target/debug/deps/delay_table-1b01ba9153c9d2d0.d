@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delay_table-1b01ba9153c9d2d0.d: crates/eval/src/bin/delay_table.rs
+
+/root/repo/target/debug/deps/delay_table-1b01ba9153c9d2d0: crates/eval/src/bin/delay_table.rs
+
+crates/eval/src/bin/delay_table.rs:

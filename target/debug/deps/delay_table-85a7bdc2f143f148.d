@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delay_table-85a7bdc2f143f148.d: crates/eval/src/bin/delay_table.rs
+
+/root/repo/target/debug/deps/delay_table-85a7bdc2f143f148: crates/eval/src/bin/delay_table.rs
+
+crates/eval/src/bin/delay_table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/delay_table-c8785185f35e0f7a.d: /root/repo/clippy.toml crates/eval/src/bin/delay_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelay_table-c8785185f35e0f7a.rmeta: /root/repo/clippy.toml crates/eval/src/bin/delay_table.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/eval/src/bin/delay_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

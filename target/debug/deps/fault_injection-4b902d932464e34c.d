@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-4b902d932464e34c.d: crates/core/tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-4b902d932464e34c: crates/core/tests/fault_injection.rs
+
+crates/core/tests/fault_injection.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fault_injection-a07c98b96ec1e69f.d: /root/repo/clippy.toml crates/core/tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-a07c98b96ec1e69f.rmeta: /root/repo/clippy.toml crates/core/tests/fault_injection.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

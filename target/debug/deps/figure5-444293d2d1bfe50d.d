@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/figure5-444293d2d1bfe50d.d: /root/repo/clippy.toml crates/bench/benches/figure5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5-444293d2d1bfe50d.rmeta: /root/repo/clippy.toml crates/bench/benches/figure5.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/figure5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

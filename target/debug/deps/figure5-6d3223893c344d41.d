@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-6d3223893c344d41.d: crates/bench/benches/figure5.rs
+
+/root/repo/target/debug/deps/figure5-6d3223893c344d41: crates/bench/benches/figure5.rs
+
+crates/bench/benches/figure5.rs:

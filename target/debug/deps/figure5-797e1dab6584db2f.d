@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/figure5-797e1dab6584db2f.d: /root/repo/clippy.toml crates/eval/src/bin/figure5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5-797e1dab6584db2f.rmeta: /root/repo/clippy.toml crates/eval/src/bin/figure5.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/eval/src/bin/figure5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/figure5-b703f61aa8c73b0e.d: /root/repo/clippy.toml crates/eval/src/bin/figure5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5-b703f61aa8c73b0e.rmeta: /root/repo/clippy.toml crates/eval/src/bin/figure5.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/eval/src/bin/figure5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-c129503e381559dc.d: crates/eval/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-c129503e381559dc: crates/eval/src/bin/figure5.rs
+
+crates/eval/src/bin/figure5.rs:

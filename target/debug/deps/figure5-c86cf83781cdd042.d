@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-c86cf83781cdd042.d: crates/eval/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-c86cf83781cdd042: crates/eval/src/bin/figure5.rs
+
+crates/eval/src/bin/figure5.rs:

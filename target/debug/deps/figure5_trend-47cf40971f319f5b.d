@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5_trend-47cf40971f319f5b.d: tests/figure5_trend.rs
+
+/root/repo/target/debug/deps/figure5_trend-47cf40971f319f5b: tests/figure5_trend.rs
+
+tests/figure5_trend.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/figure5_trend-c09039503e54ae48.d: /root/repo/clippy.toml tests/figure5_trend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5_trend-c09039503e54ae48.rmeta: /root/repo/clippy.toml tests/figure5_trend.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/figure5_trend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

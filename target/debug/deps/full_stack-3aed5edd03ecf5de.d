@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-3aed5edd03ecf5de.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-3aed5edd03ecf5de: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/full_stack-406c81e8b9bf0883.d: /root/repo/clippy.toml tests/full_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_stack-406c81e8b9bf0883.rmeta: /root/repo/clippy.toml tests/full_stack.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/full_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

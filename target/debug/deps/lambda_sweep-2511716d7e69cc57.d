@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lambda_sweep-2511716d7e69cc57.d: /root/repo/clippy.toml crates/eval/src/bin/lambda_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblambda_sweep-2511716d7e69cc57.rmeta: /root/repo/clippy.toml crates/eval/src/bin/lambda_sweep.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/eval/src/bin/lambda_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lambda_sweep-4404ca5c1c96ca6b.d: crates/eval/src/bin/lambda_sweep.rs
+
+/root/repo/target/debug/deps/lambda_sweep-4404ca5c1c96ca6b: crates/eval/src/bin/lambda_sweep.rs
+
+crates/eval/src/bin/lambda_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lambda_sweep-5e3133109705787d.d: crates/eval/src/bin/lambda_sweep.rs
+
+/root/repo/target/debug/deps/lambda_sweep-5e3133109705787d: crates/eval/src/bin/lambda_sweep.rs
+
+crates/eval/src/bin/lambda_sweep.rs:

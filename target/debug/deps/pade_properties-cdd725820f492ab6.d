@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pade_properties-cdd725820f492ab6.d: /root/repo/clippy.toml crates/moments/tests/pade_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpade_properties-cdd725820f492ab6.rmeta: /root/repo/clippy.toml crates/moments/tests/pade_properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/moments/tests/pade_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pade_properties-d793ed51d4ee4175.d: crates/moments/tests/pade_properties.rs
+
+/root/repo/target/debug/deps/pade_properties-d793ed51d4ee4175: crates/moments/tests/pade_properties.rs
+
+crates/moments/tests/pade_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-11f6b1c3e9b9203b.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-11f6b1c3e9b9203b: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

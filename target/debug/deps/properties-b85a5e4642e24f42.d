@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-b85a5e4642e24f42.d: /root/repo/clippy.toml crates/sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-b85a5e4642e24f42.rmeta: /root/repo/clippy.toml crates/sim/tests/properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

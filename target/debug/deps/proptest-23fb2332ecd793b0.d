@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-23fb2332ecd793b0.d: /root/repo/clippy.toml crates/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-23fb2332ecd793b0.rmeta: /root/repo/clippy.toml crates/proptest/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3a48c56ef00b8bb9.d: crates/linalg/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3a48c56ef00b8bb9: crates/linalg/tests/proptests.rs
+
+crates/linalg/tests/proptests.rs:

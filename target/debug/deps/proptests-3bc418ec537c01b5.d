@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3bc418ec537c01b5.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3bc418ec537c01b5: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptests-3c5f8cf036ed0a69.d: /root/repo/clippy.toml crates/core/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-3c5f8cf036ed0a69.rmeta: /root/repo/clippy.toml crates/core/tests/proptests.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7c72ccfb8e8117f0.d: crates/circuit/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7c72ccfb8e8117f0: crates/circuit/tests/proptests.rs
+
+crates/circuit/tests/proptests.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptests-82eea76f1260d8fb.d: /root/repo/clippy.toml crates/linalg/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-82eea76f1260d8fb.rmeta: /root/repo/clippy.toml crates/linalg/tests/proptests.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/linalg/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptests-e1c51d23bf3ecf04.d: /root/repo/clippy.toml crates/circuit/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e1c51d23bf3ecf04.rmeta: /root/repo/clippy.toml crates/circuit/tests/proptests.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/circuit/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-d2e65106dc2c1544.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-d2e65106dc2c1544: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-fb3dd6f996bbf260.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-fb3dd6f996bbf260.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-fb3dd6f996bbf260.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/reduction-51a5f118c908894f.d: /root/repo/clippy.toml tests/reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreduction-51a5f118c908894f.rmeta: /root/repo/clippy.toml tests/reduction.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

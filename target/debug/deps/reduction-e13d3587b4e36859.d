@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reduction-e13d3587b4e36859.d: tests/reduction.rs
+
+/root/repo/target/debug/deps/reduction-e13d3587b4e36859: tests/reduction.rs
+
+tests/reduction.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scaling_trend-309a06aa10bb576a.d: /root/repo/clippy.toml tests/scaling_trend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling_trend-309a06aa10bb576a.rmeta: /root/repo/clippy.toml tests/scaling_trend.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/scaling_trend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

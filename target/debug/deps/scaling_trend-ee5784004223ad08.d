@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_trend-ee5784004223ad08.d: tests/scaling_trend.rs
+
+/root/repo/target/debug/deps/scaling_trend-ee5784004223ad08: tests/scaling_trend.rs
+
+tests/scaling_trend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/superposition-606141a9992175a2.d: tests/superposition.rs
+
+/root/repo/target/debug/deps/superposition-606141a9992175a2: tests/superposition.rs
+
+tests/superposition.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/superposition-b492df9298865c2f.d: /root/repo/clippy.toml tests/superposition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuperposition-b492df9298865c2f.rmeta: /root/repo/clippy.toml tests/superposition.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/superposition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-19ae25f5d53457c6.d: crates/eval/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-19ae25f5d53457c6: crates/eval/src/bin/sweep.rs
+
+crates/eval/src/bin/sweep.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sweep-3169575d4365c32e.d: /root/repo/clippy.toml crates/eval/src/bin/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep-3169575d4365c32e.rmeta: /root/repo/clippy.toml crates/eval/src/bin/sweep.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/eval/src/bin/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

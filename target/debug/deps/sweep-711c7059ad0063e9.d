@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-711c7059ad0063e9.d: crates/eval/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-711c7059ad0063e9: crates/eval/src/bin/sweep.rs
+
+crates/eval/src/bin/sweep.rs:

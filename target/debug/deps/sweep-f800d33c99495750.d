@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sweep-f800d33c99495750.d: /root/repo/clippy.toml crates/eval/src/bin/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep-f800d33c99495750.rmeta: /root/repo/clippy.toml crates/eval/src/bin/sweep.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/eval/src/bin/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

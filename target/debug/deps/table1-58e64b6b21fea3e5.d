@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table1-58e64b6b21fea3e5.d: /root/repo/clippy.toml crates/eval/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-58e64b6b21fea3e5.rmeta: /root/repo/clippy.toml crates/eval/src/bin/table1.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/eval/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

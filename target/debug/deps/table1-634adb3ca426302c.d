@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-634adb3ca426302c.d: crates/bench/benches/table1.rs
+
+/root/repo/target/debug/deps/table1-634adb3ca426302c: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

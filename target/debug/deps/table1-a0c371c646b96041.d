@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a0c371c646b96041.d: crates/eval/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-a0c371c646b96041: crates/eval/src/bin/table1.rs
+
+crates/eval/src/bin/table1.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table1-aaf238c765e491e9.d: /root/repo/clippy.toml crates/bench/benches/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-aaf238c765e491e9.rmeta: /root/repo/clippy.toml crates/bench/benches/table1.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

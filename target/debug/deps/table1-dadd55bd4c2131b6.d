@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-dadd55bd4c2131b6.d: crates/eval/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-dadd55bd4c2131b6: crates/eval/src/bin/table1.rs
+
+crates/eval/src/bin/table1.rs:

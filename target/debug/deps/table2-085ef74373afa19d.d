@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table2-085ef74373afa19d.d: /root/repo/clippy.toml crates/bench/benches/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-085ef74373afa19d.rmeta: /root/repo/clippy.toml crates/bench/benches/table2.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

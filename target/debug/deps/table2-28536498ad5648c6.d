@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table2-28536498ad5648c6.d: /root/repo/clippy.toml crates/eval/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-28536498ad5648c6.rmeta: /root/repo/clippy.toml crates/eval/src/bin/table2.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/eval/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3883e6f285fb0d52.d: crates/eval/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-3883e6f285fb0d52: crates/eval/src/bin/table2.rs
+
+crates/eval/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-8d9822e7f0b33051.d: crates/eval/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-8d9822e7f0b33051: crates/eval/src/bin/table2.rs
+
+crates/eval/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a5cebc0145ee1155.d: crates/bench/benches/table2.rs
+
+/root/repo/target/debug/deps/table2-a5cebc0145ee1155: crates/bench/benches/table2.rs
+
+crates/bench/benches/table2.rs:

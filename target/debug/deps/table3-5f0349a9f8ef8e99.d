@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-5f0349a9f8ef8e99.d: crates/eval/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-5f0349a9f8ef8e99: crates/eval/src/bin/table3.rs
+
+crates/eval/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-7b0225b5492dbcb2.d: crates/eval/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-7b0225b5492dbcb2: crates/eval/src/bin/table3.rs
+
+crates/eval/src/bin/table3.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table3-95231124f4c58ba1.d: /root/repo/clippy.toml crates/bench/benches/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-95231124f4c58ba1.rmeta: /root/repo/clippy.toml crates/bench/benches/table3.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

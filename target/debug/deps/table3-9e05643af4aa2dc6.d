@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table3-9e05643af4aa2dc6.d: /root/repo/clippy.toml crates/eval/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-9e05643af4aa2dc6.rmeta: /root/repo/clippy.toml crates/eval/src/bin/table3.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/eval/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

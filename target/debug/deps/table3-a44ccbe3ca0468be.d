@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-a44ccbe3ca0468be.d: crates/bench/benches/table3.rs
+
+/root/repo/target/debug/deps/table3-a44ccbe3ca0468be: crates/bench/benches/table3.rs
+
+crates/bench/benches/table3.rs:

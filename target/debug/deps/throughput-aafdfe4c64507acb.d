@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/throughput-aafdfe4c64507acb.d: /root/repo/clippy.toml crates/bench/benches/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthroughput-aafdfe4c64507acb.rmeta: /root/repo/clippy.toml crates/bench/benches/throughput.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

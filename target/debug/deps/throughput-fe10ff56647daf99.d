@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-fe10ff56647daf99.d: crates/bench/benches/throughput.rs
+
+/root/repo/target/debug/deps/throughput-fe10ff56647daf99: crates/bench/benches/throughput.rs
+
+crates/bench/benches/throughput.rs:

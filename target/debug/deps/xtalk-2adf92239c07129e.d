@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xtalk-2adf92239c07129e.d: /root/repo/clippy.toml crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtalk-2adf92239c07129e.rmeta: /root/repo/clippy.toml crates/cli/src/main.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtalk-49701ff3be0dddb9.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/xtalk-49701ff3be0dddb9: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

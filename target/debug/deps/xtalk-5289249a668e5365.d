@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xtalk-5289249a668e5365.d: src/lib.rs
+
+/root/repo/target/debug/deps/libxtalk-5289249a668e5365.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libxtalk-5289249a668e5365.rmeta: src/lib.rs
+
+src/lib.rs:

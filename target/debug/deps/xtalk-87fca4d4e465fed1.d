@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtalk-87fca4d4e465fed1.d: src/lib.rs
+
+/root/repo/target/debug/deps/xtalk-87fca4d4e465fed1: src/lib.rs
+
+src/lib.rs:

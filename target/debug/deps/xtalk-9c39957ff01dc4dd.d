@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtalk-9c39957ff01dc4dd.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/xtalk-9c39957ff01dc4dd: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

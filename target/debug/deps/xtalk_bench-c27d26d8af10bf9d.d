@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xtalk_bench-c27d26d8af10bf9d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxtalk_bench-c27d26d8af10bf9d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxtalk_bench-c27d26d8af10bf9d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtalk_bench-c9806a879560c99e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/xtalk_bench-c9806a879560c99e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xtalk_bench-f2beaa39b56e02f3.d: /root/repo/clippy.toml crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtalk_bench-f2beaa39b56e02f3.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

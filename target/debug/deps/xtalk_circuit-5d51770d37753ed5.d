@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/xtalk_circuit-5d51770d37753ed5.d: crates/circuit/src/lib.rs crates/circuit/src/builder.rs crates/circuit/src/elements.rs crates/circuit/src/error.rs crates/circuit/src/ids.rs crates/circuit/src/network.rs crates/circuit/src/reduce.rs crates/circuit/src/signal.rs crates/circuit/src/spice.rs crates/circuit/src/tree.rs crates/circuit/src/units.rs crates/circuit/src/validate.rs
+
+/root/repo/target/debug/deps/libxtalk_circuit-5d51770d37753ed5.rlib: crates/circuit/src/lib.rs crates/circuit/src/builder.rs crates/circuit/src/elements.rs crates/circuit/src/error.rs crates/circuit/src/ids.rs crates/circuit/src/network.rs crates/circuit/src/reduce.rs crates/circuit/src/signal.rs crates/circuit/src/spice.rs crates/circuit/src/tree.rs crates/circuit/src/units.rs crates/circuit/src/validate.rs
+
+/root/repo/target/debug/deps/libxtalk_circuit-5d51770d37753ed5.rmeta: crates/circuit/src/lib.rs crates/circuit/src/builder.rs crates/circuit/src/elements.rs crates/circuit/src/error.rs crates/circuit/src/ids.rs crates/circuit/src/network.rs crates/circuit/src/reduce.rs crates/circuit/src/signal.rs crates/circuit/src/spice.rs crates/circuit/src/tree.rs crates/circuit/src/units.rs crates/circuit/src/validate.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/builder.rs:
+crates/circuit/src/elements.rs:
+crates/circuit/src/error.rs:
+crates/circuit/src/ids.rs:
+crates/circuit/src/network.rs:
+crates/circuit/src/reduce.rs:
+crates/circuit/src/signal.rs:
+crates/circuit/src/spice.rs:
+crates/circuit/src/tree.rs:
+crates/circuit/src/units.rs:
+crates/circuit/src/validate.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xtalk_circuit-a4719836dbc1019f.d: crates/circuit/src/lib.rs crates/circuit/src/builder.rs crates/circuit/src/elements.rs crates/circuit/src/error.rs crates/circuit/src/ids.rs crates/circuit/src/network.rs crates/circuit/src/reduce.rs crates/circuit/src/signal.rs crates/circuit/src/spice.rs crates/circuit/src/tree.rs crates/circuit/src/units.rs crates/circuit/src/validate.rs
+
+/root/repo/target/debug/deps/xtalk_circuit-a4719836dbc1019f: crates/circuit/src/lib.rs crates/circuit/src/builder.rs crates/circuit/src/elements.rs crates/circuit/src/error.rs crates/circuit/src/ids.rs crates/circuit/src/network.rs crates/circuit/src/reduce.rs crates/circuit/src/signal.rs crates/circuit/src/spice.rs crates/circuit/src/tree.rs crates/circuit/src/units.rs crates/circuit/src/validate.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/builder.rs:
+crates/circuit/src/elements.rs:
+crates/circuit/src/error.rs:
+crates/circuit/src/ids.rs:
+crates/circuit/src/network.rs:
+crates/circuit/src/reduce.rs:
+crates/circuit/src/signal.rs:
+crates/circuit/src/spice.rs:
+crates/circuit/src/tree.rs:
+crates/circuit/src/units.rs:
+crates/circuit/src/validate.rs:

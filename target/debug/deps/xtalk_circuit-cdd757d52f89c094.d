@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/xtalk_circuit-cdd757d52f89c094.d: /root/repo/clippy.toml crates/circuit/src/lib.rs crates/circuit/src/builder.rs crates/circuit/src/elements.rs crates/circuit/src/error.rs crates/circuit/src/ids.rs crates/circuit/src/network.rs crates/circuit/src/reduce.rs crates/circuit/src/signal.rs crates/circuit/src/spice.rs crates/circuit/src/tree.rs crates/circuit/src/units.rs crates/circuit/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtalk_circuit-cdd757d52f89c094.rmeta: /root/repo/clippy.toml crates/circuit/src/lib.rs crates/circuit/src/builder.rs crates/circuit/src/elements.rs crates/circuit/src/error.rs crates/circuit/src/ids.rs crates/circuit/src/network.rs crates/circuit/src/reduce.rs crates/circuit/src/signal.rs crates/circuit/src/spice.rs crates/circuit/src/tree.rs crates/circuit/src/units.rs crates/circuit/src/validate.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/circuit/src/lib.rs:
+crates/circuit/src/builder.rs:
+crates/circuit/src/elements.rs:
+crates/circuit/src/error.rs:
+crates/circuit/src/ids.rs:
+crates/circuit/src/network.rs:
+crates/circuit/src/reduce.rs:
+crates/circuit/src/signal.rs:
+crates/circuit/src/spice.rs:
+crates/circuit/src/tree.rs:
+crates/circuit/src/units.rs:
+crates/circuit/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xtalk_cli-00899c6024d55fa9.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/report.rs
+
+/root/repo/target/debug/deps/xtalk_cli-00899c6024d55fa9: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/report.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/report.rs:

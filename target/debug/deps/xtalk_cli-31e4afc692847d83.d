@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xtalk_cli-31e4afc692847d83.d: /root/repo/clippy.toml crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtalk_cli-31e4afc692847d83.rmeta: /root/repo/clippy.toml crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/report.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

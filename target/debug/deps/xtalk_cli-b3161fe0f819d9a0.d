@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xtalk_cli-b3161fe0f819d9a0.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/report.rs
+
+/root/repo/target/debug/deps/libxtalk_cli-b3161fe0f819d9a0.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/report.rs
+
+/root/repo/target/debug/deps/libxtalk_cli-b3161fe0f819d9a0.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/report.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/report.rs:

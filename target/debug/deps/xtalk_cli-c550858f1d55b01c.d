@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xtalk_cli-c550858f1d55b01c.d: /root/repo/clippy.toml crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtalk_cli-c550858f1d55b01c.rmeta: /root/repo/clippy.toml crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/report.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/xtalk_core-9e46b23163c14716.d: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/devgan.rs crates/core/src/baselines/lumped.rs crates/core/src/baselines/vittal.rs crates/core/src/baselines/yu.rs crates/core/src/error.rs crates/core/src/estimate.rs crates/core/src/metric1.rs crates/core/src/metric2.rs crates/core/src/output.rs crates/core/src/receiver.rs crates/core/src/resilience.rs crates/core/src/superpose.rs crates/core/src/template.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtalk_core-9e46b23163c14716.rmeta: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/devgan.rs crates/core/src/baselines/lumped.rs crates/core/src/baselines/vittal.rs crates/core/src/baselines/yu.rs crates/core/src/error.rs crates/core/src/estimate.rs crates/core/src/metric1.rs crates/core/src/metric2.rs crates/core/src/output.rs crates/core/src/receiver.rs crates/core/src/resilience.rs crates/core/src/superpose.rs crates/core/src/template.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/lib.rs:
+crates/core/src/analyzer.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/devgan.rs:
+crates/core/src/baselines/lumped.rs:
+crates/core/src/baselines/vittal.rs:
+crates/core/src/baselines/yu.rs:
+crates/core/src/error.rs:
+crates/core/src/estimate.rs:
+crates/core/src/metric1.rs:
+crates/core/src/metric2.rs:
+crates/core/src/output.rs:
+crates/core/src/receiver.rs:
+crates/core/src/resilience.rs:
+crates/core/src/superpose.rs:
+crates/core/src/template.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/xtalk_core-ad5e3a33d70786d1.d: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/devgan.rs crates/core/src/baselines/lumped.rs crates/core/src/baselines/vittal.rs crates/core/src/baselines/yu.rs crates/core/src/error.rs crates/core/src/estimate.rs crates/core/src/metric1.rs crates/core/src/metric2.rs crates/core/src/output.rs crates/core/src/receiver.rs crates/core/src/resilience.rs crates/core/src/superpose.rs crates/core/src/template.rs
+
+/root/repo/target/debug/deps/libxtalk_core-ad5e3a33d70786d1.rlib: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/devgan.rs crates/core/src/baselines/lumped.rs crates/core/src/baselines/vittal.rs crates/core/src/baselines/yu.rs crates/core/src/error.rs crates/core/src/estimate.rs crates/core/src/metric1.rs crates/core/src/metric2.rs crates/core/src/output.rs crates/core/src/receiver.rs crates/core/src/resilience.rs crates/core/src/superpose.rs crates/core/src/template.rs
+
+/root/repo/target/debug/deps/libxtalk_core-ad5e3a33d70786d1.rmeta: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/devgan.rs crates/core/src/baselines/lumped.rs crates/core/src/baselines/vittal.rs crates/core/src/baselines/yu.rs crates/core/src/error.rs crates/core/src/estimate.rs crates/core/src/metric1.rs crates/core/src/metric2.rs crates/core/src/output.rs crates/core/src/receiver.rs crates/core/src/resilience.rs crates/core/src/superpose.rs crates/core/src/template.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analyzer.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/devgan.rs:
+crates/core/src/baselines/lumped.rs:
+crates/core/src/baselines/vittal.rs:
+crates/core/src/baselines/yu.rs:
+crates/core/src/error.rs:
+crates/core/src/estimate.rs:
+crates/core/src/metric1.rs:
+crates/core/src/metric2.rs:
+crates/core/src/output.rs:
+crates/core/src/receiver.rs:
+crates/core/src/resilience.rs:
+crates/core/src/superpose.rs:
+crates/core/src/template.rs:

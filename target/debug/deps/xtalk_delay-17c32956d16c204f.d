@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xtalk_delay-17c32956d16c204f.d: crates/delay/src/lib.rs crates/delay/src/analyzer.rs crates/delay/src/error.rs crates/delay/src/metrics.rs crates/delay/src/switch.rs
+
+/root/repo/target/debug/deps/xtalk_delay-17c32956d16c204f: crates/delay/src/lib.rs crates/delay/src/analyzer.rs crates/delay/src/error.rs crates/delay/src/metrics.rs crates/delay/src/switch.rs
+
+crates/delay/src/lib.rs:
+crates/delay/src/analyzer.rs:
+crates/delay/src/error.rs:
+crates/delay/src/metrics.rs:
+crates/delay/src/switch.rs:

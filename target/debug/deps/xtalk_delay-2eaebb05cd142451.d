@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xtalk_delay-2eaebb05cd142451.d: /root/repo/clippy.toml crates/delay/src/lib.rs crates/delay/src/analyzer.rs crates/delay/src/error.rs crates/delay/src/metrics.rs crates/delay/src/switch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtalk_delay-2eaebb05cd142451.rmeta: /root/repo/clippy.toml crates/delay/src/lib.rs crates/delay/src/analyzer.rs crates/delay/src/error.rs crates/delay/src/metrics.rs crates/delay/src/switch.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/delay/src/lib.rs:
+crates/delay/src/analyzer.rs:
+crates/delay/src/error.rs:
+crates/delay/src/metrics.rs:
+crates/delay/src/switch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xtalk_delay-ed0e5b0c6a449ffe.d: crates/delay/src/lib.rs crates/delay/src/analyzer.rs crates/delay/src/error.rs crates/delay/src/metrics.rs crates/delay/src/switch.rs
+
+/root/repo/target/debug/deps/libxtalk_delay-ed0e5b0c6a449ffe.rlib: crates/delay/src/lib.rs crates/delay/src/analyzer.rs crates/delay/src/error.rs crates/delay/src/metrics.rs crates/delay/src/switch.rs
+
+/root/repo/target/debug/deps/libxtalk_delay-ed0e5b0c6a449ffe.rmeta: crates/delay/src/lib.rs crates/delay/src/analyzer.rs crates/delay/src/error.rs crates/delay/src/metrics.rs crates/delay/src/switch.rs
+
+crates/delay/src/lib.rs:
+crates/delay/src/analyzer.rs:
+crates/delay/src/error.rs:
+crates/delay/src/metrics.rs:
+crates/delay/src/switch.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xtalk_eval-4ca7b5a24690bf64.d: crates/eval/src/lib.rs crates/eval/src/case_eval.rs crates/eval/src/cli.rs crates/eval/src/delay_eval.rs crates/eval/src/figure5.rs crates/eval/src/lambda.rs crates/eval/src/plot.rs crates/eval/src/stats.rs crates/eval/src/table.rs
+
+/root/repo/target/debug/deps/xtalk_eval-4ca7b5a24690bf64: crates/eval/src/lib.rs crates/eval/src/case_eval.rs crates/eval/src/cli.rs crates/eval/src/delay_eval.rs crates/eval/src/figure5.rs crates/eval/src/lambda.rs crates/eval/src/plot.rs crates/eval/src/stats.rs crates/eval/src/table.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/case_eval.rs:
+crates/eval/src/cli.rs:
+crates/eval/src/delay_eval.rs:
+crates/eval/src/figure5.rs:
+crates/eval/src/lambda.rs:
+crates/eval/src/plot.rs:
+crates/eval/src/stats.rs:
+crates/eval/src/table.rs:

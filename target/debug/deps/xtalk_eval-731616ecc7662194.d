@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/xtalk_eval-731616ecc7662194.d: /root/repo/clippy.toml crates/eval/src/lib.rs crates/eval/src/case_eval.rs crates/eval/src/cli.rs crates/eval/src/delay_eval.rs crates/eval/src/figure5.rs crates/eval/src/lambda.rs crates/eval/src/plot.rs crates/eval/src/stats.rs crates/eval/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtalk_eval-731616ecc7662194.rmeta: /root/repo/clippy.toml crates/eval/src/lib.rs crates/eval/src/case_eval.rs crates/eval/src/cli.rs crates/eval/src/delay_eval.rs crates/eval/src/figure5.rs crates/eval/src/lambda.rs crates/eval/src/plot.rs crates/eval/src/stats.rs crates/eval/src/table.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/eval/src/lib.rs:
+crates/eval/src/case_eval.rs:
+crates/eval/src/cli.rs:
+crates/eval/src/delay_eval.rs:
+crates/eval/src/figure5.rs:
+crates/eval/src/lambda.rs:
+crates/eval/src/plot.rs:
+crates/eval/src/stats.rs:
+crates/eval/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xtalk_linalg-127efeaabfc5ada4.d: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/sparse.rs crates/linalg/src/vec_ops.rs
+
+/root/repo/target/debug/deps/xtalk_linalg-127efeaabfc5ada4: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/sparse.rs crates/linalg/src/vec_ops.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/sparse.rs:
+crates/linalg/src/vec_ops.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xtalk_linalg-33c633063dfee272.d: /root/repo/clippy.toml crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/sparse.rs crates/linalg/src/vec_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtalk_linalg-33c633063dfee272.rmeta: /root/repo/clippy.toml crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/sparse.rs crates/linalg/src/vec_ops.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/linalg/src/lib.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/sparse.rs:
+crates/linalg/src/vec_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xtalk_linalg-7a4801ecf6fb4f33.d: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/sparse.rs crates/linalg/src/vec_ops.rs
+
+/root/repo/target/debug/deps/libxtalk_linalg-7a4801ecf6fb4f33.rlib: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/sparse.rs crates/linalg/src/vec_ops.rs
+
+/root/repo/target/debug/deps/libxtalk_linalg-7a4801ecf6fb4f33.rmeta: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/sparse.rs crates/linalg/src/vec_ops.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/sparse.rs:
+crates/linalg/src/vec_ops.rs:

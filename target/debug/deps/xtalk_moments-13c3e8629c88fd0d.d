@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xtalk_moments-13c3e8629c88fd0d.d: /root/repo/clippy.toml crates/moments/src/lib.rs crates/moments/src/engine.rs crates/moments/src/error.rs crates/moments/src/pade.rs crates/moments/src/three_pole.rs crates/moments/src/tree.rs crates/moments/src/tree_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtalk_moments-13c3e8629c88fd0d.rmeta: /root/repo/clippy.toml crates/moments/src/lib.rs crates/moments/src/engine.rs crates/moments/src/error.rs crates/moments/src/pade.rs crates/moments/src/three_pole.rs crates/moments/src/tree.rs crates/moments/src/tree_engine.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/moments/src/lib.rs:
+crates/moments/src/engine.rs:
+crates/moments/src/error.rs:
+crates/moments/src/pade.rs:
+crates/moments/src/three_pole.rs:
+crates/moments/src/tree.rs:
+crates/moments/src/tree_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xtalk_moments-7b7d21f4ba6704a3.d: crates/moments/src/lib.rs crates/moments/src/engine.rs crates/moments/src/error.rs crates/moments/src/pade.rs crates/moments/src/three_pole.rs crates/moments/src/tree.rs crates/moments/src/tree_engine.rs
+
+/root/repo/target/debug/deps/xtalk_moments-7b7d21f4ba6704a3: crates/moments/src/lib.rs crates/moments/src/engine.rs crates/moments/src/error.rs crates/moments/src/pade.rs crates/moments/src/three_pole.rs crates/moments/src/tree.rs crates/moments/src/tree_engine.rs
+
+crates/moments/src/lib.rs:
+crates/moments/src/engine.rs:
+crates/moments/src/error.rs:
+crates/moments/src/pade.rs:
+crates/moments/src/three_pole.rs:
+crates/moments/src/tree.rs:
+crates/moments/src/tree_engine.rs:

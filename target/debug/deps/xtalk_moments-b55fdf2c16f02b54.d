@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xtalk_moments-b55fdf2c16f02b54.d: crates/moments/src/lib.rs crates/moments/src/engine.rs crates/moments/src/error.rs crates/moments/src/pade.rs crates/moments/src/three_pole.rs crates/moments/src/tree.rs crates/moments/src/tree_engine.rs
+
+/root/repo/target/debug/deps/libxtalk_moments-b55fdf2c16f02b54.rlib: crates/moments/src/lib.rs crates/moments/src/engine.rs crates/moments/src/error.rs crates/moments/src/pade.rs crates/moments/src/three_pole.rs crates/moments/src/tree.rs crates/moments/src/tree_engine.rs
+
+/root/repo/target/debug/deps/libxtalk_moments-b55fdf2c16f02b54.rmeta: crates/moments/src/lib.rs crates/moments/src/engine.rs crates/moments/src/error.rs crates/moments/src/pade.rs crates/moments/src/three_pole.rs crates/moments/src/tree.rs crates/moments/src/tree_engine.rs
+
+crates/moments/src/lib.rs:
+crates/moments/src/engine.rs:
+crates/moments/src/error.rs:
+crates/moments/src/pade.rs:
+crates/moments/src/three_pole.rs:
+crates/moments/src/tree.rs:
+crates/moments/src/tree_engine.rs:

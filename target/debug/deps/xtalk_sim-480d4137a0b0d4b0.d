@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xtalk_sim-480d4137a0b0d4b0.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/measure.rs crates/sim/src/waveform.rs
+
+/root/repo/target/debug/deps/libxtalk_sim-480d4137a0b0d4b0.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/measure.rs crates/sim/src/waveform.rs
+
+/root/repo/target/debug/deps/libxtalk_sim-480d4137a0b0d4b0.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/measure.rs crates/sim/src/waveform.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/measure.rs:
+crates/sim/src/waveform.rs:

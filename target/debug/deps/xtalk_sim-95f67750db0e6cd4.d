@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xtalk_sim-95f67750db0e6cd4.d: /root/repo/clippy.toml crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/measure.rs crates/sim/src/waveform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtalk_sim-95f67750db0e6cd4.rmeta: /root/repo/clippy.toml crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/measure.rs crates/sim/src/waveform.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/measure.rs:
+crates/sim/src/waveform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xtalk_sim-cf38e420cac15bd2.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/measure.rs crates/sim/src/waveform.rs
+
+/root/repo/target/debug/deps/xtalk_sim-cf38e420cac15bd2: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/measure.rs crates/sim/src/waveform.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/measure.rs:
+crates/sim/src/waveform.rs:

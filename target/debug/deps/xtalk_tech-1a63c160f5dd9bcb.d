@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xtalk_tech-1a63c160f5dd9bcb.d: crates/tech/src/lib.rs crates/tech/src/bus.rs crates/tech/src/technology.rs crates/tech/src/tree.rs crates/tech/src/two_pin.rs crates/tech/src/sweep.rs
+
+/root/repo/target/debug/deps/libxtalk_tech-1a63c160f5dd9bcb.rlib: crates/tech/src/lib.rs crates/tech/src/bus.rs crates/tech/src/technology.rs crates/tech/src/tree.rs crates/tech/src/two_pin.rs crates/tech/src/sweep.rs
+
+/root/repo/target/debug/deps/libxtalk_tech-1a63c160f5dd9bcb.rmeta: crates/tech/src/lib.rs crates/tech/src/bus.rs crates/tech/src/technology.rs crates/tech/src/tree.rs crates/tech/src/two_pin.rs crates/tech/src/sweep.rs
+
+crates/tech/src/lib.rs:
+crates/tech/src/bus.rs:
+crates/tech/src/technology.rs:
+crates/tech/src/tree.rs:
+crates/tech/src/two_pin.rs:
+crates/tech/src/sweep.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xtalk_tech-bb31f2fd1c8df9b7.d: /root/repo/clippy.toml crates/tech/src/lib.rs crates/tech/src/bus.rs crates/tech/src/technology.rs crates/tech/src/tree.rs crates/tech/src/two_pin.rs crates/tech/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtalk_tech-bb31f2fd1c8df9b7.rmeta: /root/repo/clippy.toml crates/tech/src/lib.rs crates/tech/src/bus.rs crates/tech/src/technology.rs crates/tech/src/tree.rs crates/tech/src/two_pin.rs crates/tech/src/sweep.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/tech/src/lib.rs:
+crates/tech/src/bus.rs:
+crates/tech/src/technology.rs:
+crates/tech/src/tree.rs:
+crates/tech/src/two_pin.rs:
+crates/tech/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xtalk_tech-d4c68f3548c41ef8.d: crates/tech/src/lib.rs crates/tech/src/bus.rs crates/tech/src/technology.rs crates/tech/src/tree.rs crates/tech/src/two_pin.rs crates/tech/src/sweep.rs
+
+/root/repo/target/debug/deps/xtalk_tech-d4c68f3548c41ef8: crates/tech/src/lib.rs crates/tech/src/bus.rs crates/tech/src/technology.rs crates/tech/src/tree.rs crates/tech/src/two_pin.rs crates/tech/src/sweep.rs
+
+crates/tech/src/lib.rs:
+crates/tech/src/bus.rs:
+crates/tech/src/technology.rs:
+crates/tech/src/tree.rs:
+crates/tech/src/two_pin.rs:
+crates/tech/src/sweep.rs:

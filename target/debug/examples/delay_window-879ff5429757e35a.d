@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/delay_window-879ff5429757e35a.d: examples/delay_window.rs
+
+/root/repo/target/debug/examples/delay_window-879ff5429757e35a: examples/delay_window.rs
+
+examples/delay_window.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/delay_window-b29cfa5d45eb6dd0.d: /root/repo/clippy.toml examples/delay_window.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdelay_window-b29cfa5d45eb6dd0.rmeta: /root/repo/clippy.toml examples/delay_window.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/delay_window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/multi_aggressor-298b5bba0ad30cc9.d: /root/repo/clippy.toml examples/multi_aggressor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_aggressor-298b5bba0ad30cc9.rmeta: /root/repo/clippy.toml examples/multi_aggressor.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/multi_aggressor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_aggressor-c17d515ec95202d4.d: examples/multi_aggressor.rs
+
+/root/repo/target/debug/examples/multi_aggressor-c17d515ec95202d4: examples/multi_aggressor.rs
+
+examples/multi_aggressor.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/noise_screen-370e94649e519729.d: /root/repo/clippy.toml examples/noise_screen.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnoise_screen-370e94649e519729.rmeta: /root/repo/clippy.toml examples/noise_screen.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/noise_screen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

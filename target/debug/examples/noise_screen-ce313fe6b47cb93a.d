@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noise_screen-ce313fe6b47cb93a.d: examples/noise_screen.rs
+
+/root/repo/target/debug/examples/noise_screen-ce313fe6b47cb93a: examples/noise_screen.rs
+
+examples/noise_screen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b3b9d47340ac3ce7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b3b9d47340ac3ce7: examples/quickstart.rs
+
+examples/quickstart.rs:

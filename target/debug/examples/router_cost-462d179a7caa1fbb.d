@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/router_cost-462d179a7caa1fbb.d: /root/repo/clippy.toml examples/router_cost.rs Cargo.toml
+
+/root/repo/target/debug/examples/librouter_cost-462d179a7caa1fbb.rmeta: /root/repo/clippy.toml examples/router_cost.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/router_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/router_cost-694ebb033d96c41e.d: examples/router_cost.rs
+
+/root/repo/target/debug/examples/router_cost-694ebb033d96c41e: examples/router_cost.rs
+
+examples/router_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/signoff_flow-1d233e30f5b0f55e.d: examples/signoff_flow.rs
+
+/root/repo/target/debug/examples/signoff_flow-1d233e30f5b0f55e: examples/signoff_flow.rs
+
+examples/signoff_flow.rs:

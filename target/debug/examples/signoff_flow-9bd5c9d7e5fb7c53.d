@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/signoff_flow-9bd5c9d7e5fb7c53.d: /root/repo/clippy.toml examples/signoff_flow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsignoff_flow-9bd5c9d7e5fb7c53.rmeta: /root/repo/clippy.toml examples/signoff_flow.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/signoff_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

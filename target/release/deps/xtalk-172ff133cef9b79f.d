@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xtalk-172ff133cef9b79f.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/xtalk-172ff133cef9b79f: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

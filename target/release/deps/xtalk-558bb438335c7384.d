@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xtalk-558bb438335c7384.d: src/lib.rs
+
+/root/repo/target/release/deps/libxtalk-558bb438335c7384.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libxtalk-558bb438335c7384.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/xtalk_cli-5720490f5e3f4a63.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/report.rs
+
+/root/repo/target/release/deps/libxtalk_cli-5720490f5e3f4a63.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/report.rs
+
+/root/repo/target/release/deps/libxtalk_cli-5720490f5e3f4a63.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/report.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/report.rs:

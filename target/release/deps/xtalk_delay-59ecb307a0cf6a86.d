@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xtalk_delay-59ecb307a0cf6a86.d: crates/delay/src/lib.rs crates/delay/src/analyzer.rs crates/delay/src/error.rs crates/delay/src/metrics.rs crates/delay/src/switch.rs
+
+/root/repo/target/release/deps/libxtalk_delay-59ecb307a0cf6a86.rlib: crates/delay/src/lib.rs crates/delay/src/analyzer.rs crates/delay/src/error.rs crates/delay/src/metrics.rs crates/delay/src/switch.rs
+
+/root/repo/target/release/deps/libxtalk_delay-59ecb307a0cf6a86.rmeta: crates/delay/src/lib.rs crates/delay/src/analyzer.rs crates/delay/src/error.rs crates/delay/src/metrics.rs crates/delay/src/switch.rs
+
+crates/delay/src/lib.rs:
+crates/delay/src/analyzer.rs:
+crates/delay/src/error.rs:
+crates/delay/src/metrics.rs:
+crates/delay/src/switch.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/xtalk_eval-546f33a4cef95a08.d: crates/eval/src/lib.rs crates/eval/src/case_eval.rs crates/eval/src/cli.rs crates/eval/src/delay_eval.rs crates/eval/src/figure5.rs crates/eval/src/lambda.rs crates/eval/src/plot.rs crates/eval/src/stats.rs crates/eval/src/table.rs
+
+/root/repo/target/release/deps/libxtalk_eval-546f33a4cef95a08.rlib: crates/eval/src/lib.rs crates/eval/src/case_eval.rs crates/eval/src/cli.rs crates/eval/src/delay_eval.rs crates/eval/src/figure5.rs crates/eval/src/lambda.rs crates/eval/src/plot.rs crates/eval/src/stats.rs crates/eval/src/table.rs
+
+/root/repo/target/release/deps/libxtalk_eval-546f33a4cef95a08.rmeta: crates/eval/src/lib.rs crates/eval/src/case_eval.rs crates/eval/src/cli.rs crates/eval/src/delay_eval.rs crates/eval/src/figure5.rs crates/eval/src/lambda.rs crates/eval/src/plot.rs crates/eval/src/stats.rs crates/eval/src/table.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/case_eval.rs:
+crates/eval/src/cli.rs:
+crates/eval/src/delay_eval.rs:
+crates/eval/src/figure5.rs:
+crates/eval/src/lambda.rs:
+crates/eval/src/plot.rs:
+crates/eval/src/stats.rs:
+crates/eval/src/table.rs:

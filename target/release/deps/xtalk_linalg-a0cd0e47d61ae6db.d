@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xtalk_linalg-a0cd0e47d61ae6db.d: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/sparse.rs crates/linalg/src/vec_ops.rs
+
+/root/repo/target/release/deps/libxtalk_linalg-a0cd0e47d61ae6db.rlib: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/sparse.rs crates/linalg/src/vec_ops.rs
+
+/root/repo/target/release/deps/libxtalk_linalg-a0cd0e47d61ae6db.rmeta: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/sparse.rs crates/linalg/src/vec_ops.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/sparse.rs:
+crates/linalg/src/vec_ops.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/xtalk_moments-a1c9e0efdd3e0c94.d: crates/moments/src/lib.rs crates/moments/src/engine.rs crates/moments/src/error.rs crates/moments/src/pade.rs crates/moments/src/three_pole.rs crates/moments/src/tree.rs crates/moments/src/tree_engine.rs
+
+/root/repo/target/release/deps/libxtalk_moments-a1c9e0efdd3e0c94.rlib: crates/moments/src/lib.rs crates/moments/src/engine.rs crates/moments/src/error.rs crates/moments/src/pade.rs crates/moments/src/three_pole.rs crates/moments/src/tree.rs crates/moments/src/tree_engine.rs
+
+/root/repo/target/release/deps/libxtalk_moments-a1c9e0efdd3e0c94.rmeta: crates/moments/src/lib.rs crates/moments/src/engine.rs crates/moments/src/error.rs crates/moments/src/pade.rs crates/moments/src/three_pole.rs crates/moments/src/tree.rs crates/moments/src/tree_engine.rs
+
+crates/moments/src/lib.rs:
+crates/moments/src/engine.rs:
+crates/moments/src/error.rs:
+crates/moments/src/pade.rs:
+crates/moments/src/three_pole.rs:
+crates/moments/src/tree.rs:
+crates/moments/src/tree_engine.rs:

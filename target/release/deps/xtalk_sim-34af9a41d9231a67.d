@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xtalk_sim-34af9a41d9231a67.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/measure.rs crates/sim/src/waveform.rs
+
+/root/repo/target/release/deps/libxtalk_sim-34af9a41d9231a67.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/measure.rs crates/sim/src/waveform.rs
+
+/root/repo/target/release/deps/libxtalk_sim-34af9a41d9231a67.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/measure.rs crates/sim/src/waveform.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/measure.rs:
+crates/sim/src/waveform.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xtalk_tech-faf86b88d872a5bb.d: crates/tech/src/lib.rs crates/tech/src/bus.rs crates/tech/src/technology.rs crates/tech/src/tree.rs crates/tech/src/two_pin.rs crates/tech/src/sweep.rs
+
+/root/repo/target/release/deps/libxtalk_tech-faf86b88d872a5bb.rlib: crates/tech/src/lib.rs crates/tech/src/bus.rs crates/tech/src/technology.rs crates/tech/src/tree.rs crates/tech/src/two_pin.rs crates/tech/src/sweep.rs
+
+/root/repo/target/release/deps/libxtalk_tech-faf86b88d872a5bb.rmeta: crates/tech/src/lib.rs crates/tech/src/bus.rs crates/tech/src/technology.rs crates/tech/src/tree.rs crates/tech/src/two_pin.rs crates/tech/src/sweep.rs
+
+crates/tech/src/lib.rs:
+crates/tech/src/bus.rs:
+crates/tech/src/technology.rs:
+crates/tech/src/tree.rs:
+crates/tech/src/two_pin.rs:
+crates/tech/src/sweep.rs:
