@@ -1,0 +1,75 @@
+//! End-to-end sweep throughput: serial vs parallel Table-1 evaluation.
+//!
+//! Runs the same seeded two-pin far-end sweep twice — once pinned to one
+//! worker (the serial reference path) and once on the auto-detected
+//! worker count — asserts the rendered tables are byte-identical, and
+//! writes the timings to `BENCH_sweep.json` at the repo root:
+//!
+//! ```json
+//! {"cases":500,"jobs":8,"serial_s":12.3,"parallel_s":2.9,"speedup":4.24}
+//! ```
+//!
+//! Case count defaults to 500 and is overridable with the
+//! `XTALK_BENCH_CASES` env var; `-- --test` runs a tiny smoke sweep and
+//! skips the JSON export.
+
+use std::time::Instant;
+use xtalk_eval::{render_table, run_two_pin_table_jobs, TableStats};
+use xtalk_exec::Jobs;
+use xtalk_tech::sweep::SweepConfig;
+use xtalk_tech::{CouplingDirection, Technology};
+
+fn timed_run(tech: &Technology, config: &SweepConfig, jobs: Jobs) -> (TableStats, f64) {
+    let start = Instant::now();
+    let stats = run_two_pin_table_jobs(tech, CouplingDirection::FarEnd, config, false, jobs);
+    (stats, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let cases = std::env::var("XTALK_BENCH_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if test_mode { 8 } else { 500 });
+    let config = SweepConfig {
+        cases,
+        ..SweepConfig::default()
+    };
+    let tech = Technology::p25();
+    let jobs = Jobs::Auto.resolve();
+
+    eprintln!("sweep_throughput: {cases} cases, serial then {jobs} worker(s)");
+    let (serial_stats, serial_s) = timed_run(&tech, &config, Jobs::Count(1));
+    let (parallel_stats, parallel_s) = timed_run(&tech, &config, Jobs::Auto);
+
+    // The whole point of the executor: same bytes out, regardless of jobs.
+    let serial_table = render_table("Table 1 (two-pin, far-end)", &serial_stats);
+    let parallel_table = render_table("Table 1 (two-pin, far-end)", &parallel_stats);
+    assert_eq!(
+        serial_table, parallel_table,
+        "parallel sweep must render the identical table"
+    );
+
+    let speedup = serial_s / parallel_s;
+    println!(
+        "sweep_throughput/serial            {serial_s:>10.3} s  ({cases} cases, 1 worker)"
+    );
+    println!(
+        "sweep_throughput/parallel          {parallel_s:>10.3} s  ({cases} cases, {jobs} workers)"
+    );
+    println!("sweep_throughput/speedup           {speedup:>10.2} x  (tables byte-identical)");
+
+    if test_mode {
+        println!("sweep_throughput: test passed");
+        return;
+    }
+    // Hand-rolled JSON (no serde in the offline workspace); the repo root
+    // is two levels above this crate's manifest.
+    let json = format!(
+        "{{\"cases\":{cases},\"jobs\":{jobs},\"serial_s\":{serial_s:.6},\
+         \"parallel_s\":{parallel_s:.6},\"speedup\":{speedup:.4}}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(path, json).expect("write BENCH_sweep.json");
+    eprintln!("wrote {path}");
+}

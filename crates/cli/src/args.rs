@@ -1,5 +1,6 @@
 use std::error::Error;
 use xtalk_circuit::spice::parse_si_value;
+use xtalk_exec::Jobs;
 
 /// Which analysis to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +79,10 @@ pub struct Invocation {
     /// Fail hard instead of degrading: reject decks with validation
     /// warnings and refuse metric fallback.
     pub strict: bool,
+    /// Worker-count policy for the per-aggressor noise loop. The report
+    /// is byte-identical for every value; `--jobs 1` is the serial
+    /// reference path.
+    pub jobs: Jobs,
 }
 
 /// Result of parsing: either run an analysis or print help.
@@ -96,7 +101,7 @@ USAGE:
     xtalk info  <deck.sp>
     xtalk noise <deck.sp> [--slew T] [--arrival T] [--shape ramp|exp|step]
                           [--metric one|two|closed] [--golden] [--threshold V]
-                          [--aggressor NAME] [--strict]
+                          [--aggressor NAME] [--strict] [--jobs N|auto]
     xtalk delay <deck.sp> [--delay-metric elmore|d2m|two-pole]
     xtalk reduce <deck.sp> [--tau T]
 
@@ -110,6 +115,9 @@ metric II.
     --tau T       reduction time-constant threshold (default: b1/1000)
     --strict      error out instead of degrading (no metric fallback,
                   validation warnings become fatal)
+    --jobs N      analyze aggressors on N worker threads (default auto:
+                  XTALK_JOBS env var, then hardware parallelism); the
+                  report is identical for every value
 
 Without --strict, noise analysis falls back along a chain of simpler
 metrics when the preferred one fails; a run that used any fallback
@@ -152,6 +160,7 @@ pub fn parse(argv: &[String]) -> Result<ParseOutcome, Box<dyn Error>> {
         reduce_tau: None,
         aggressor: None,
         strict: false,
+        jobs: Jobs::Auto,
     };
 
     while let Some(flag) = it.next() {
@@ -193,6 +202,7 @@ pub fn parse(argv: &[String]) -> Result<ParseOutcome, Box<dyn Error>> {
             }
             "--golden" => inv.golden = true,
             "--strict" => inv.strict = true,
+            "--jobs" => inv.jobs = Jobs::parse(value()?)?,
             "--aggressor" => inv.aggressor = Some(value()?.to_string()),
             "--tau" => {
                 inv.reduce_tau = Some(
@@ -259,6 +269,23 @@ mod tests {
         assert_eq!(inv.threshold, Some(0.15));
         let inv = parse_ok(&["delay", "d.sp", "--delay-metric", "elmore"]);
         assert_eq!(inv.delay_metric, DelayMetricArg::Elmore);
+    }
+
+    #[test]
+    fn jobs_flag_parses() {
+        let inv = parse_ok(&["noise", "d.sp"]);
+        assert_eq!(inv.jobs, Jobs::Auto);
+        let inv = parse_ok(&["noise", "d.sp", "--jobs", "4"]);
+        assert_eq!(inv.jobs, Jobs::Count(4));
+        let inv = parse_ok(&["noise", "d.sp", "--jobs", "auto"]);
+        assert_eq!(inv.jobs, Jobs::Auto);
+        assert!(parse(&[
+            "noise".to_string(),
+            "d.sp".to_string(),
+            "--jobs".to_string(),
+            "0".to_string()
+        ])
+        .is_err());
     }
 
     #[test]

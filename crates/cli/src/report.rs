@@ -7,7 +7,8 @@ use xtalk_core::{
     RobustAnalyzer, RobustError, RungError, RungFailure,
 };
 use xtalk_delay::{DelayAnalyzer, DelayMetric};
-use xtalk_sim::{measure_noise, SimOptions, TransientSim};
+use xtalk_exec::par_map;
+use xtalk_sim::{measure_noise, NoiseWaveformParams, SimOptions, TransientSim};
 
 /// `info` sub-command: structure summary.
 pub fn info_report(network: &Network) -> String {
@@ -142,19 +143,27 @@ pub fn noise_report(network: &Network, inv: &Invocation) -> Result<(String, bool
         "aggressor", "Vp(Vdd)", "Tp (ps)", "Wn (ps)", "T1 (ps)", "flag"
     );
 
-    let mut any = false;
-    for (agg, net) in network.aggressor_nets() {
-        if let Some(wanted) = &inv.aggressor {
-            if net.name() != wanted {
-                continue;
-            }
-        }
+    // Per-aggressor analysis is independent, so it fans out over the
+    // workers; rows are rendered serially in net order afterwards, which
+    // keeps the report byte-identical for every --jobs value. A strict
+    // failure or golden-sim error aborts with the lowest-index error, as
+    // the serial loop would.
+    let targets: Vec<(NetId, &str)> = network
+        .aggressor_nets()
+        .filter(|(_, net)| match &inv.aggressor {
+            Some(wanted) => net.name() == wanted,
+            None => true,
+        })
+        .map(|(agg, net)| (agg, net.name()))
+        .collect();
+    type Row = (RowOutcome, Option<NoiseWaveformParams>);
+    let rows: Vec<Result<Row, String>> = par_map(&targets, inv.jobs, |&(agg, _)| {
         let outcome = match inv.metric {
             // The default metric runs through the fallback chain.
             MetricArg::Two => match robust.analyze(agg, &input) {
                 Ok(re) => RowOutcome::Estimate(re.estimate, Some(re.provenance)),
                 Err(e) if only_no_noise(&e) => RowOutcome::NoCoupling,
-                Err(e) if inv.strict => return Err(e.into()),
+                Err(e) if inv.strict => return Err(e.to_string()),
                 Err(e) => RowOutcome::Failed(e.to_string()),
             },
             // Explicitly requested metrics run as asked, with no
@@ -164,11 +173,33 @@ pub fn noise_report(network: &Network, inv: &Invocation) -> Result<(String, bool
                 match analyze(robust.inner(), agg, &input, inv.metric) {
                     Ok(est) => RowOutcome::Estimate(est, None),
                     Err(MetricError::NoNoise) => RowOutcome::NoCoupling,
-                    Err(e) if inv.strict => return Err(e.into()),
+                    Err(e) if inv.strict => return Err(e.to_string()),
                     Err(e) => RowOutcome::Failed(e.to_string()),
                 }
             }
         };
+        let golden = match (&outcome, inv.golden) {
+            (RowOutcome::Estimate(..), true) => {
+                let sim = TransientSim::new(network).map_err(|e| e.to_string())?;
+                let stim = [(agg, input)];
+                let opts = SimOptions::auto(network, &stim);
+                let run = sim.run(&stim, &opts).map_err(|e| e.to_string())?;
+                Some(
+                    measure_noise(
+                        run.probe(network.victim_output()).expect("victim probed"),
+                        input.noise_polarity(),
+                    )
+                    .map_err(|e| e.to_string())?,
+                )
+            }
+            _ => None,
+        };
+        Ok((outcome, golden))
+    })?;
+
+    let mut any = false;
+    for ((_, name), row) in targets.iter().zip(rows) {
+        let (outcome, golden) = row.map_err(|e| -> Box<dyn Error> { e.into() })?;
         match outcome {
             RowOutcome::Estimate(est, provenance) => {
                 any = true;
@@ -180,7 +211,7 @@ pub fn noise_report(network: &Network, inv: &Invocation) -> Result<(String, bool
                 let _ = writeln!(
                     out,
                     "{:<14} {:>8.4} {:>10.1} {:>10.1} {:>10.1} {:>9}",
-                    net.name(),
+                    name,
                     est.vp,
                     est.tp * 1e12,
                     est.wn * 1e12,
@@ -193,15 +224,7 @@ pub fn noise_report(network: &Network, inv: &Invocation) -> Result<(String, bool
                         let _ = writeln!(out, "  warning: {p}");
                     }
                 }
-                if inv.golden {
-                    let sim = TransientSim::new(network)?;
-                    let stim = [(agg, input)];
-                    let opts = SimOptions::auto(network, &stim);
-                    let run = sim.run(&stim, &opts)?;
-                    let golden = measure_noise(
-                        run.probe(network.victim_output()).expect("victim probed"),
-                        input.noise_polarity(),
-                    )?;
+                if let Some(golden) = golden {
                     let _ = writeln!(
                         out,
                         "{:<14} {:>8.4} {:>10.1} {:>10.1} {:>10.1} {:>9}",
@@ -218,14 +241,14 @@ pub fn noise_report(network: &Network, inv: &Invocation) -> Result<(String, bool
                 let _ = writeln!(
                     out,
                     "{:<14} {:>8} (no coupling into the victim output)",
-                    net.name(),
+                    name,
                     "-"
                 );
             }
             RowOutcome::Failed(msg) => {
                 any = true;
                 degraded = true;
-                let _ = writeln!(out, "{:<14} {:>8} analysis failed: {msg}", net.name(), "-");
+                let _ = writeln!(out, "{:<14} {:>8} analysis failed: {msg}", name, "-");
             }
         }
     }
@@ -349,6 +372,7 @@ mod tests {
             reduce_tau: None,
             aggressor: None,
             strict: false,
+            jobs: xtalk_exec::Jobs::Auto,
         }
     }
 

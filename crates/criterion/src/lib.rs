@@ -21,15 +21,33 @@ use std::time::Instant;
 pub use std::hint::black_box;
 
 /// Top-level benchmark driver.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Honors upstream criterion's `--test` CLI flag: in test mode each
+    /// benchmark runs its routine once to prove it works, skipping
+    /// calibration and sampling — what `cargo bench -- --test` smoke
+    /// jobs rely on.
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 100 }
+        let test_mode = self.test_mode;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            test_mode,
+        }
     }
 }
 
@@ -39,6 +57,7 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -56,9 +75,17 @@ impl BenchmarkGroup<'_> {
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let id = id.into();
-        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+        };
         f(&mut bencher);
-        bencher.report(&format!("{}/{}", self.name, id));
+        if self.test_mode {
+            println!("{}/{}: test passed", self.name, id);
+        } else {
+            bencher.report(&format!("{}/{}", self.name, id));
+        }
         self
     }
 
@@ -71,12 +98,18 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     samples: Vec<f64>,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Times `routine`, collecting one wall-time sample per configured
     /// sample-size slot (each sample averages a small iteration batch).
+    /// In `--test` mode the routine runs exactly once, untimed.
     pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
         // Calibrate a batch size so one sample takes roughly >= 1 ms.
         let mut batch = 1u64;
         loop {

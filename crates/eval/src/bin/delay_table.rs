@@ -11,7 +11,7 @@ use xtalk_eval::{cli, render_delay_table, run_delay_table};
 use xtalk_tech::Technology;
 
 fn main() {
-    let mut config = cli::config_from_args("delay_table");
+    let mut config = cli::config_from_args("delay_table").config;
     if config.cases > 300 {
         config.cases = 300;
     }

@@ -9,16 +9,17 @@
 //! ```
 
 use xtalk_eval::{cli, lambda_sweep, render_lambda};
-use xtalk_tech::sweep::two_pin_cases;
+use xtalk_tech::sweep::two_pin_cases_jobs;
 use xtalk_tech::{CouplingDirection, Technology};
 
 fn main() {
-    let mut config = cli::config_from_args("lambda_sweep");
+    let args = cli::config_from_args("lambda_sweep");
+    let mut config = args.config;
     if config.cases > 300 {
         config.cases = 300; // plenty for the ablation trend
     }
     let tech = Technology::p25();
-    let run = two_pin_cases(&tech, CouplingDirection::NearEnd, &config);
+    let run = two_pin_cases_jobs(&tech, CouplingDirection::NearEnd, &config, args.jobs);
     if !run.is_complete() {
         eprintln!("lambda_sweep: degraded generation: {}", run.summary());
     }

@@ -3,11 +3,11 @@
 //! prints the three tables plus the conservatism summary for new metric II.
 //!
 //! ```text
-//! cargo run --release -p xtalk-eval --bin sweep -- --cases 13000
+//! cargo run --release -p xtalk-eval --bin sweep -- --cases 13000 [--jobs N|auto]
 //! ```
 //! (three workloads × `--cases` ≈ the paper's volume at 13–14k each.)
 
-use xtalk_eval::{render_table, run_tree_table, run_two_pin_table, Method, Param};
+use xtalk_eval::{render_table, run_tree_table_jobs, run_two_pin_table_jobs, Method, Param};
 use xtalk_eval::{cli, TableStats};
 use xtalk_tech::{CouplingDirection, Technology};
 
@@ -23,21 +23,22 @@ fn conservatism_line(name: &str, stats: &TableStats) {
 }
 
 fn main() {
-    let config = cli::config_from_args("sweep");
+    let args = cli::config_from_args("sweep");
+    let config = args.config;
     let tech = Technology::p25();
 
-    eprintln!("sweep: 3 workloads x {} cases", config.cases);
-    let t1 = run_two_pin_table(&tech, CouplingDirection::FarEnd, &config, true);
+    eprintln!("sweep: 3 workloads x {} cases, jobs {}", config.cases, args.jobs);
+    let t1 = run_two_pin_table_jobs(&tech, CouplingDirection::FarEnd, &config, true, args.jobs);
     println!(
         "{}",
         render_table("Table 1: two-pin nets, far-end coupling — error %", &t1)
     );
-    let t2 = run_two_pin_table(&tech, CouplingDirection::NearEnd, &config, true);
+    let t2 = run_two_pin_table_jobs(&tech, CouplingDirection::NearEnd, &config, true, args.jobs);
     println!(
         "{}",
         render_table("Table 2: two-pin nets, near-end coupling — error %", &t2)
     );
-    let t3 = run_tree_table(&tech, &config, true);
+    let t3 = run_tree_table_jobs(&tech, &config, true, args.jobs);
     println!(
         "{}",
         render_table("Table 3: tree structures, far-end coupling — error %", &t3)

@@ -2,20 +2,21 @@
 //! coupling.
 //!
 //! ```text
-//! cargo run --release -p xtalk-eval --bin table1 -- [--cases N] [--seed S] [--corners F]
+//! cargo run --release -p xtalk-eval --bin table1 -- [--cases N] [--seed S] [--corners F] [--jobs N|auto]
 //! ```
 
-use xtalk_eval::{cli, render_table, run_two_pin_table};
+use xtalk_eval::{cli, render_table, run_two_pin_table_jobs};
 use xtalk_tech::{CouplingDirection, Technology};
 
 fn main() {
-    let config = cli::config_from_args("table1");
+    let args = cli::config_from_args("table1");
+    let config = args.config;
     let tech = Technology::p25();
     eprintln!(
-        "table1: two-pin far-end, {} cases, seed {}",
-        config.cases, config.seed
+        "table1: two-pin far-end, {} cases, seed {}, jobs {}",
+        config.cases, config.seed, args.jobs
     );
-    let stats = run_two_pin_table(&tech, CouplingDirection::FarEnd, &config, true);
+    let stats = run_two_pin_table_jobs(&tech, CouplingDirection::FarEnd, &config, true, args.jobs);
     println!(
         "{}",
         render_table("Table 1: two-pin nets, far-end coupling — error %", &stats)

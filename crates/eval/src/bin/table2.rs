@@ -3,20 +3,22 @@
 //! `Vp` upper bound.
 //!
 //! ```text
-//! cargo run --release -p xtalk-eval --bin table2 -- [--cases N] [--seed S] [--corners F]
+//! cargo run --release -p xtalk-eval --bin table2 -- [--cases N] [--seed S] [--corners F] [--jobs N|auto]
 //! ```
 
-use xtalk_eval::{cli, render_table, run_two_pin_table};
+use xtalk_eval::{cli, render_table, run_two_pin_table_jobs};
 use xtalk_tech::{CouplingDirection, Technology};
 
 fn main() {
-    let config = cli::config_from_args("table2");
+    let args = cli::config_from_args("table2");
+    let config = args.config;
     let tech = Technology::p25();
     eprintln!(
-        "table2: two-pin near-end, {} cases, seed {}",
-        config.cases, config.seed
+        "table2: two-pin near-end, {} cases, seed {}, jobs {}",
+        config.cases, config.seed, args.jobs
     );
-    let stats = run_two_pin_table(&tech, CouplingDirection::NearEnd, &config, true);
+    let stats =
+        run_two_pin_table_jobs(&tech, CouplingDirection::NearEnd, &config, true, args.jobs);
     println!(
         "{}",
         render_table("Table 2: two-pin nets, near-end coupling — error %", &stats)

@@ -2,20 +2,21 @@
 //! structures, far-end coupling.
 //!
 //! ```text
-//! cargo run --release -p xtalk-eval --bin table3 -- [--cases N] [--seed S] [--corners F]
+//! cargo run --release -p xtalk-eval --bin table3 -- [--cases N] [--seed S] [--corners F] [--jobs N|auto]
 //! ```
 
-use xtalk_eval::{cli, render_table, run_tree_table};
+use xtalk_eval::{cli, render_table, run_tree_table_jobs};
 use xtalk_tech::Technology;
 
 fn main() {
-    let config = cli::config_from_args("table3");
+    let args = cli::config_from_args("table3");
+    let config = args.config;
     let tech = Technology::p25();
     eprintln!(
-        "table3: tree structures far-end, {} cases, seed {}",
-        config.cases, config.seed
+        "table3: tree structures far-end, {} cases, seed {}, jobs {}",
+        config.cases, config.seed, args.jobs
     );
-    let stats = run_tree_table(&tech, &config, true);
+    let stats = run_tree_table_jobs(&tech, &config, true, args.jobs);
     println!(
         "{}",
         render_table("Table 3: tree structures, far-end coupling — error %", &stats)

@@ -2,7 +2,7 @@ use std::fmt;
 use xtalk_core::baselines::{devgan, lumped_pi, vittal, yu_one_pole, yu_two_pole, BaselineEstimate};
 use xtalk_core::{MetricError, MetricKind, NoiseAnalyzer};
 use xtalk_moments::{tree, TwoPoleFit};
-use xtalk_sim::{measure_noise, NoiseWaveformParams, SimOptions, TransientSim};
+use xtalk_sim::{measure_noise, NoiseWaveformParams, SimOptions, SimWorkspace, TransientSim};
 use xtalk_tech::sweep::SweepCase;
 
 /// The analytical metrics compared in the paper's tables, column order.
@@ -139,6 +139,23 @@ fn full(e: xtalk_core::NoiseEstimate) -> BaselineEstimate {
 ///
 /// Returns a human-readable skip reason (not a failure of the harness).
 pub fn evaluate_case(case: &SweepCase) -> Result<CaseOutcome, String> {
+    evaluate_case_with(case, &mut SimWorkspace::new())
+}
+
+/// [`evaluate_case`] reusing a caller-provided simulation workspace.
+///
+/// Batch evaluation keeps one [`SimWorkspace`] per worker thread so
+/// consecutive cases recycle the solver buffers (and the horizon-retry
+/// loop within a case reuses its factorization). Results are
+/// bit-identical to [`evaluate_case`].
+///
+/// # Errors
+///
+/// As [`evaluate_case`].
+pub fn evaluate_case_with(
+    case: &SweepCase,
+    workspace: &mut SimWorkspace,
+) -> Result<CaseOutcome, String> {
     let net = &case.network;
     let agg = case.aggressor;
     let input = &case.input;
@@ -149,7 +166,7 @@ pub fn evaluate_case(case: &SweepCase) -> Result<CaseOutcome, String> {
     let mut opts = SimOptions::auto(net, &[(agg, *input)]);
     let golden = loop {
         let res = sim
-            .run(&[(agg, *input)], &opts)
+            .run_with(&[(agg, *input)], &opts, workspace)
             .map_err(|e| format!("sim run: {e}"))?;
         match measure_noise(
             res.probe(net.victim_output()).expect("victim probed"),

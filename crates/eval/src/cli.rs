@@ -1,12 +1,27 @@
 //! Minimal shared argument parsing for the experiment binaries
-//! (`--cases N`, `--seed S`, `--corners F`). Unknown flags abort with a
-//! usage message; no dependency on an argument-parsing crate.
+//! (`--cases N`, `--seed S`, `--corners F`, `--jobs N|auto`). Unknown
+//! flags abort with a usage message; no dependency on an
+//! argument-parsing crate.
 
+use xtalk_exec::Jobs;
 use xtalk_tech::sweep::SweepConfig;
 
+/// Parsed standard sweep flags.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepArgs {
+    /// Case count / seed / corner fraction.
+    pub config: SweepConfig,
+    /// Worker-count policy for generation + evaluation (`--jobs`,
+    /// default auto: `XTALK_JOBS` env var, then the hardware
+    /// parallelism). Results are identical for every value; `--jobs 1`
+    /// is the serial reference path.
+    pub jobs: Jobs,
+}
+
 /// Parses the standard sweep flags from `std::env::args`.
-pub fn config_from_args(bin: &str) -> SweepConfig {
+pub fn config_from_args(bin: &str) -> SweepArgs {
     let mut config = SweepConfig::default();
+    let mut jobs = Jobs::Auto;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut take = |what: &str| -> String {
@@ -34,8 +49,14 @@ pub fn config_from_args(bin: &str) -> SweepConfig {
                     std::process::exit(2);
                 })
             }
+            "--jobs" => {
+                jobs = Jobs::parse(&take("count or \"auto\"")).unwrap_or_else(|e| {
+                    eprintln!("{bin}: {e}");
+                    std::process::exit(2);
+                })
+            }
             "--help" | "-h" => {
-                eprintln!("usage: {bin} [--cases N] [--seed S] [--corners F]");
+                eprintln!("usage: {bin} [--cases N] [--seed S] [--corners F] [--jobs N|auto]");
                 std::process::exit(0);
             }
             other => {
@@ -44,5 +65,5 @@ pub fn config_from_args(bin: &str) -> SweepConfig {
             }
         }
     }
-    config
+    SweepArgs { config, jobs }
 }

@@ -28,54 +28,126 @@ pub mod plot;
 mod stats;
 mod table;
 
-pub use case_eval::{evaluate_case, CaseOutcome, Method, Param, ALL_METHODS, ALL_PARAMS};
+pub use case_eval::{
+    evaluate_case, evaluate_case_with, CaseOutcome, Method, Param, ALL_METHODS, ALL_PARAMS,
+};
 pub use delay_eval::{render_delay_table, run_delay_table, DelayRow};
 pub use figure5::{render_figure5, run_figure5, Figure5Row};
 pub use lambda::{lambda_sweep, render_lambda, LambdaRow};
 pub use stats::{ErrorStats, TableStats};
 pub use table::render_table;
 
-use xtalk_tech::sweep::{tree_cases, two_pin_cases, SweepCase, SweepConfig, SweepRun};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use xtalk_exec::{par_map_indexed_with, Jobs};
+use xtalk_sim::SimWorkspace;
+use xtalk_tech::sweep::{tree_cases_jobs, two_pin_cases_jobs, SweepCase, SweepConfig, SweepRun};
 use xtalk_tech::{CouplingDirection, Technology};
 
 /// Runs a Table 1/2-style evaluation: `config.cases` random two-pin
-/// circuits with the given coupling direction.
+/// circuits with the given coupling direction. Equivalent to
+/// [`run_two_pin_table_jobs`] with [`Jobs::Auto`].
 pub fn run_two_pin_table(
     tech: &Technology,
     direction: CouplingDirection,
     config: &SweepConfig,
     progress: bool,
 ) -> TableStats {
-    evaluate_run(&two_pin_cases(tech, direction, config), progress)
+    run_two_pin_table_jobs(tech, direction, config, progress, Jobs::Auto)
+}
+
+/// [`run_two_pin_table`] with an explicit worker-count policy.
+///
+/// Case generation draws serially (seed-reproducible) and builds in
+/// parallel; case evaluation — the dominant cost, one golden transient
+/// simulation per case — fans out over the workers. The resulting
+/// statistics, and the table rendered from them, are bit-identical for
+/// every `jobs` value.
+pub fn run_two_pin_table_jobs(
+    tech: &Technology,
+    direction: CouplingDirection,
+    config: &SweepConfig,
+    progress: bool,
+    jobs: Jobs,
+) -> TableStats {
+    evaluate_run_jobs(
+        &two_pin_cases_jobs(tech, direction, config, jobs),
+        progress,
+        jobs,
+    )
 }
 
 /// Runs the Table 3-style evaluation over random coupled RC trees
-/// (far-end, as in the paper).
+/// (far-end, as in the paper). Equivalent to [`run_tree_table_jobs`]
+/// with [`Jobs::Auto`].
 pub fn run_tree_table(tech: &Technology, config: &SweepConfig, progress: bool) -> TableStats {
-    evaluate_run(&tree_cases(tech, true, config), progress)
+    run_tree_table_jobs(tech, config, progress, Jobs::Auto)
+}
+
+/// [`run_tree_table`] with an explicit worker-count policy (see
+/// [`run_two_pin_table_jobs`] for the determinism contract).
+pub fn run_tree_table_jobs(
+    tech: &Technology,
+    config: &SweepConfig,
+    progress: bool,
+    jobs: Jobs,
+) -> TableStats {
+    evaluate_run_jobs(&tree_cases_jobs(tech, true, config, jobs), progress, jobs)
 }
 
 /// Evaluates a sweep run: cases that failed to generate are folded into
 /// the statistics (and the rendered summary) instead of aborting the
 /// batch.
 pub fn evaluate_run(run: &SweepRun, progress: bool) -> TableStats {
-    let mut stats = evaluate_cases(&run.cases, progress);
+    evaluate_run_jobs(run, progress, Jobs::Auto)
+}
+
+/// [`evaluate_run`] with an explicit worker-count policy. Generation
+/// failures keep their sweep ordering regardless of `jobs`.
+pub fn evaluate_run_jobs(run: &SweepRun, progress: bool, jobs: Jobs) -> TableStats {
+    let mut stats = evaluate_cases_jobs(&run.cases, progress, jobs);
     for failure in &run.failures {
         stats.record_generation_failure(&failure.to_string());
     }
     stats
 }
 
-/// Evaluates a pre-generated case list.
+/// Evaluates a pre-generated case list. Equivalent to
+/// [`evaluate_cases_jobs`] with [`Jobs::Auto`].
 pub fn evaluate_cases(cases: &[SweepCase], progress: bool) -> TableStats {
-    let mut stats = TableStats::new();
-    for (i, case) in cases.iter().enumerate() {
-        if progress && i % 50 == 0 {
-            eprintln!("  case {i}/{} …", cases.len());
+    evaluate_cases_jobs(cases, progress, Jobs::Auto)
+}
+
+/// Evaluates a pre-generated case list on up to `jobs` workers.
+///
+/// Each worker reuses one [`SimWorkspace`] across its cases; outcomes
+/// are folded into the statistics in case order, so the accumulated
+/// `TableStats` (extremes, means, reservoir quantiles, skip ordering)
+/// are bit-identical to a serial run.
+///
+/// # Panics
+///
+/// Panics when a case evaluation itself panics (a harness bug, not a
+/// data condition — data problems surface as skip reasons); the panic
+/// message names the lowest offending case index.
+pub fn evaluate_cases_jobs(cases: &[SweepCase], progress: bool, jobs: Jobs) -> TableStats {
+    let done = AtomicUsize::new(0);
+    let outcomes = par_map_indexed_with(cases, jobs, SimWorkspace::new, |ws, _, case| {
+        let result = evaluate_case_with(case, ws);
+        if progress {
+            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if k % 50 == 0 || k == cases.len() {
+                eprintln!("  case {k}/{} …", cases.len());
+            }
         }
-        match evaluate_case(case) {
-            Ok(outcome) => stats.record(&outcome),
-            Err(reason) => stats.record_skip(&reason),
+        result
+    })
+    .unwrap_or_else(|e| panic!("case evaluation failed: {e}"));
+
+    let mut stats = TableStats::new();
+    for outcome in &outcomes {
+        match outcome {
+            Ok(outcome) => stats.record(outcome),
+            Err(reason) => stats.record_skip(reason),
         }
     }
     stats

@@ -1,0 +1,111 @@
+//! The parallel table pipeline must be a pure speedup: for one seed, the
+//! rendered table is byte-identical whatever the worker count — through
+//! generation, evaluation, statistics, and rendering, healthy or faulty.
+
+use xtalk_eval::{evaluate_run_jobs, render_table, run_tree_table_jobs, run_two_pin_table_jobs};
+use xtalk_exec::Jobs;
+use xtalk_tech::sweep::{two_pin_cases_jobs, SweepConfig};
+use xtalk_tech::{CouplingDirection, Technology};
+
+const JOB_GRID: [Jobs; 3] = [Jobs::Count(1), Jobs::Count(4), Jobs::Count(7)];
+
+fn cfg(cases: usize) -> SweepConfig {
+    SweepConfig {
+        cases,
+        seed: 20020304,
+        corner_fraction: 0.25,
+    }
+}
+
+#[test]
+fn two_pin_table_renders_identically_for_every_worker_count() {
+    let tech = Technology::p25();
+    let config = cfg(24);
+    let reference = render_table(
+        "Table 1",
+        &run_two_pin_table_jobs(&tech, CouplingDirection::FarEnd, &config, false, Jobs::Count(1)),
+    );
+    for jobs in JOB_GRID {
+        let table = render_table(
+            "Table 1",
+            &run_two_pin_table_jobs(&tech, CouplingDirection::FarEnd, &config, false, jobs),
+        );
+        assert_eq!(table, reference, "two-pin table diverged at jobs {jobs}");
+    }
+}
+
+#[test]
+fn tree_table_renders_identically_for_every_worker_count() {
+    let tech = Technology::p25();
+    let config = cfg(12);
+    let reference = render_table(
+        "Table 3",
+        &run_tree_table_jobs(&tech, &config, false, Jobs::Count(1)),
+    );
+    for jobs in JOB_GRID {
+        let table = render_table("Table 3", &run_tree_table_jobs(&tech, &config, false, jobs));
+        assert_eq!(table, reference, "tree table diverged at jobs {jobs}");
+    }
+}
+
+#[test]
+fn injected_generation_faults_keep_sweep_ordering_and_identical_tables() {
+    // A corrupt technology makes every case fail to build; the failures
+    // must keep their sweep ordering (so the rendered summary is stable)
+    // for any worker count.
+    let mut tech = Technology::p25();
+    tech.c_per_m = -tech.c_per_m;
+    let config = cfg(16);
+
+    let reference_run =
+        two_pin_cases_jobs(&tech, CouplingDirection::FarEnd, &config, Jobs::Count(1));
+    assert_eq!(reference_run.failures.len(), 16, "fault injection misfired");
+    let reference = render_table(
+        "Table 1 (faulty)",
+        &evaluate_run_jobs(&reference_run, false, Jobs::Count(1)),
+    );
+
+    for jobs in JOB_GRID {
+        let run = two_pin_cases_jobs(&tech, CouplingDirection::FarEnd, &config, jobs);
+        let labels: Vec<&str> = run.failures.iter().map(|f| f.label.as_str()).collect();
+        let expected: Vec<&str> = reference_run
+            .failures
+            .iter()
+            .map(|f| f.label.as_str())
+            .collect();
+        assert_eq!(labels, expected, "failure ordering diverged at jobs {jobs}");
+
+        let table = render_table("Table 1 (faulty)", &evaluate_run_jobs(&run, false, jobs));
+        assert_eq!(table, reference, "faulty table diverged at jobs {jobs}");
+    }
+}
+
+#[test]
+fn injected_evaluation_faults_degrade_identically_for_every_worker_count() {
+    // Sabotage generated cases so *evaluation* (not generation) fails on
+    // some of them: a zeroed input slew defeats the metric templates.
+    // Skip accounting must land in the same rendered bytes regardless of
+    // the worker count.
+    let tech = Technology::p25();
+    let config = cfg(12);
+
+    let sabotage = |jobs: Jobs| {
+        let mut run = two_pin_cases_jobs(&tech, CouplingDirection::FarEnd, &config, jobs);
+        for case in run.cases.iter_mut().skip(1).step_by(3) {
+            case.input = xtalk_circuit::signal::InputSignal::step(0.0);
+        }
+        run
+    };
+
+    let reference = render_table(
+        "Table 1 (sabotaged)",
+        &evaluate_run_jobs(&sabotage(Jobs::Count(1)), false, Jobs::Count(1)),
+    );
+    for jobs in JOB_GRID {
+        let table = render_table(
+            "Table 1 (sabotaged)",
+            &evaluate_run_jobs(&sabotage(jobs), false, jobs),
+        );
+        assert_eq!(table, reference, "sabotaged table diverged at jobs {jobs}");
+    }
+}

@@ -1,0 +1,376 @@
+//! Deterministic parallel batch execution.
+//!
+//! Per-net crosstalk analysis is embarrassingly parallel: the paper's
+//! table sweeps evaluate tens of thousands of independent cases, each
+//! gated on a millisecond-scale golden transient simulation. This crate
+//! provides the one primitive the rest of the workspace parallelizes
+//! with — an order-preserving chunked work queue on
+//! [`std::thread::scope`] — without any external dependency.
+//!
+//! Guarantees:
+//!
+//! * **Order preservation** — `par_map_indexed(items, …)[i]` is exactly
+//!   `f(i, &items[i])`; the output order never depends on scheduling.
+//! * **Determinism** — for a pure `f`, the result is bit-identical to
+//!   the serial map, whatever the worker count (workers only decide
+//!   *when* an item runs, never *what* it computes).
+//! * **Structured panics** — a panicking worker does not tear down the
+//!   process; the panic is caught and surfaced as
+//!   [`ExecError::WorkerPanic`] for the *lowest* panicking index, so
+//!   failure reports are stable run to run.
+//! * **Auto-sizing** — [`Jobs::Auto`] uses [`std::thread::available_parallelism`],
+//!   overridable with the `XTALK_JOBS` environment variable (the CLIs
+//!   expose it as `--jobs`); `jobs = 1` is the serial path, with no
+//!   threads spawned at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::thread;
+
+/// Worker-count policy for a parallel batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Jobs {
+    /// Use `XTALK_JOBS` when set (and valid), else
+    /// [`std::thread::available_parallelism`].
+    #[default]
+    Auto,
+    /// Exactly this many workers (clamped to ≥ 1); `Count(1)` is the
+    /// serial reference path.
+    Count(usize),
+}
+
+impl Jobs {
+    /// Parses a `--jobs` style value: `"auto"` or a positive integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-readable message for zero or non-numeric values.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s.eq_ignore_ascii_case("auto") {
+            return Ok(Jobs::Auto);
+        }
+        match s.parse::<usize>() {
+            Ok(0) => Err("--jobs must be at least 1 (or \"auto\")".to_string()),
+            Ok(n) => Ok(Jobs::Count(n)),
+            Err(_) => Err(format!("bad jobs value {s:?}; expected a count or \"auto\"")),
+        }
+    }
+
+    /// The concrete worker count this policy resolves to on this host.
+    ///
+    /// `Auto` consults the `XTALK_JOBS` environment variable first
+    /// (ignored when unset or malformed), then the hardware parallelism;
+    /// on platforms where that is unavailable it falls back to 1.
+    pub fn resolve(self) -> usize {
+        match self {
+            Jobs::Count(n) => n.max(1),
+            Jobs::Auto => {
+                if let Ok(v) = std::env::var("XTALK_JOBS") {
+                    if let Ok(Jobs::Count(n)) = Jobs::parse(&v) {
+                        return n;
+                    }
+                }
+                thread::available_parallelism().map_or(1, |n| n.get())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Jobs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Jobs::Auto => write!(f, "auto({})", self.resolve()),
+            Jobs::Count(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A batch execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A worker panicked while mapping one item. When several items
+    /// panic in one batch, the lowest index is reported (stable across
+    /// schedules).
+    WorkerPanic {
+        /// Index of the (first) panicking item.
+        index: usize,
+        /// The panic payload, when it was a string; `"non-string panic
+        /// payload"` otherwise.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::WorkerPanic { index, detail } => {
+                write!(f, "worker panicked on item {index}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Chunk size for the work queue: a few chunks per worker amortizes the
+/// atomic claim while keeping the tail balanced.
+fn chunk_size(items: usize, workers: usize) -> usize {
+    (items / (workers * 4)).max(1)
+}
+
+/// Maps `f` over `items` in parallel, preserving input order.
+///
+/// Equivalent to `items.iter().enumerate().map(|(i, t)| f(i, t))` but
+/// executed on up to [`Jobs::resolve`] worker threads. See the crate
+/// docs for the determinism and panic contract.
+///
+/// # Errors
+///
+/// [`ExecError::WorkerPanic`] when `f` panicked on some item; the
+/// lowest panicking index is reported and the remaining items may not
+/// have run.
+pub fn par_map_indexed<T, R, F>(items: &[T], jobs: Jobs, f: F) -> Result<Vec<R>, ExecError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed_with(items, jobs, || (), |(), i, t| f(i, t))
+}
+
+/// Like [`par_map_indexed`], with a per-worker scratch state.
+///
+/// `init` runs once per worker (once total on the serial path) and the
+/// resulting state is threaded through every call that worker makes —
+/// the hook for reusing expensive buffers (e.g. a simulation workspace)
+/// across items. `f` must not let the state influence its *result*,
+/// only its speed, or determinism is lost.
+///
+/// # Errors
+///
+/// As [`par_map_indexed`].
+pub fn par_map_indexed_with<S, T, R, I, F>(
+    items: &[T],
+    jobs: Jobs,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, ExecError>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.resolve().min(n);
+    if workers <= 1 {
+        // Serial reference path: no threads, no catch_unwind — a panic
+        // unwinds normally, as a plain `map` would.
+        let mut state = init();
+        let mut out = Vec::with_capacity(n);
+        for (i, item) in items.iter().enumerate() {
+            out.push(f(&mut state, i, item));
+        }
+        return Ok(out);
+    }
+
+    let chunk = chunk_size(n, workers);
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    type WorkerLog<R> = Vec<(usize, Result<R, String>)>;
+
+    let logs: Vec<WorkerLog<R>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local: WorkerLog<R> = Vec::with_capacity(n / workers + chunk);
+                    'queue: while !abort.load(Ordering::Relaxed) {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            if abort.load(Ordering::Relaxed) {
+                                break 'queue;
+                            }
+                            match catch_unwind(AssertUnwindSafe(|| f(&mut state, i, item))) {
+                                Ok(r) => local.push((i, Ok(r))),
+                                Err(payload) => {
+                                    local.push((i, Err(panic_detail(payload))));
+                                    abort.store(true, Ordering::Relaxed);
+                                    break 'queue;
+                                }
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panics are caught inside the worker"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut first_panic: Option<(usize, String)> = None;
+    for (i, entry) in logs.into_iter().flatten() {
+        match entry {
+            Ok(r) => slots[i] = Some(r),
+            Err(detail) => {
+                let lowest_so_far = match &first_panic {
+                    None => true,
+                    Some((j, _)) => i < *j,
+                };
+                if lowest_so_far {
+                    first_panic = Some((i, detail));
+                }
+            }
+        }
+    }
+    if let Some((index, detail)) = first_panic {
+        return Err(ExecError::WorkerPanic { index, detail });
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("every index is claimed exactly once"))
+        .collect())
+}
+
+/// Maps `f` over `items` in parallel, preserving order (no index).
+///
+/// # Errors
+///
+/// As [`par_map_indexed`].
+pub fn par_map<T, R, F>(items: &[T], jobs: Jobs, f: F) -> Result<Vec<R>, ExecError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items, jobs, |_, t| f(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for jobs in [Jobs::Count(1), Jobs::Count(3), Jobs::Count(8), Jobs::Auto] {
+            let out = par_map_indexed(&items, jobs, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            })
+            .expect("no panics");
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u8> = Vec::new();
+        let out = par_map(&items, Jobs::Count(4), |x| *x).expect("no panics");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let items = [10, 20];
+        let out = par_map(&items, Jobs::Count(64), |x| x + 1).expect("no panics");
+        assert_eq!(out, vec![11, 21]);
+    }
+
+    #[test]
+    fn panic_is_reported_with_lowest_index() {
+        let items: Vec<usize> = (0..200).collect();
+        let err = par_map_indexed(&items, Jobs::Count(4), |i, _| {
+            if i >= 50 {
+                panic!("boom at {i}");
+            }
+            i
+        })
+        .expect_err("must propagate the panic");
+        match err {
+            ExecError::WorkerPanic { index, detail } => {
+                // Exactly which indices ran depends on scheduling, but the
+                // reported one is the lowest that panicked, and no index
+                // below 50 can panic at all.
+                assert!(index >= 50, "index {index}");
+                assert!(detail.contains("boom"), "{detail}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_path_unwinds_like_a_plain_map() {
+        let items = [1, 2, 3];
+        let caught = std::panic::catch_unwind(|| {
+            let _ = par_map(&items, Jobs::Count(1), |&x| {
+                if x == 2 {
+                    panic!("serial boom");
+                }
+                x
+            });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn worker_state_is_reused_within_a_worker() {
+        let items: Vec<usize> = (0..64).collect();
+        // Each worker's scratch buffer grows once and is reused; results
+        // stay independent of the state.
+        let out = par_map_indexed_with(
+            &items,
+            Jobs::Count(3),
+            Vec::<usize>::new,
+            |scratch, i, &x| {
+                scratch.push(i);
+                x + 1
+            },
+        )
+        .expect("no panics");
+        assert_eq!(out, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_parse_and_resolve() {
+        assert_eq!(Jobs::parse("auto").expect("auto parses"), Jobs::Auto);
+        assert_eq!(Jobs::parse("4").expect("4 parses"), Jobs::Count(4));
+        assert!(Jobs::parse("0").is_err());
+        assert!(Jobs::parse("many").is_err());
+        assert_eq!(Jobs::Count(7).resolve(), 7);
+        assert!(Jobs::Auto.resolve() >= 1);
+        assert_eq!(Jobs::Count(0).resolve(), 1);
+    }
+
+    #[test]
+    fn chunking_covers_all_items() {
+        for n in [1usize, 2, 7, 63, 64, 65, 1000] {
+            for workers in [1usize, 2, 5, 16] {
+                let c = chunk_size(n, workers);
+                assert!(c >= 1);
+                assert!(c <= n);
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Proves the per-iteration analysis hot paths are allocation-free.
+//!
+//! The `metric_formulas/*` benches claim tens-of-nanoseconds cost, which
+//! only holds if evaluating a metric from precomputed moments touches the
+//! allocator zero times. This test swaps in a counting global allocator,
+//! warms the paths up, then asserts the allocation count does not move
+//! across many iterations of metric I, metric II, and the bounds.
+//!
+//! This file holds exactly one `#[test]` — the counter is process-global,
+//! and a sibling test allocating on another thread would false-positive.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use xtalk_circuit::signal::InputSignal;
+use xtalk_circuit::{NetRole, NetworkBuilder};
+use xtalk_core::{MetricOne, MetricTwo, NoiseAnalyzer};
+
+/// Delegates to the system allocator, counting every alloc/realloc.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: pure delegation to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn coupled_pair() -> (xtalk_circuit::Network, xtalk_circuit::NetId) {
+    let mut b = NetworkBuilder::new();
+    let v = b.add_net("victim", NetRole::Victim);
+    let a = b.add_net("agg", NetRole::Aggressor);
+    let v0 = b.add_node(v, "v0");
+    let v1 = b.add_node(v, "v1");
+    let a0 = b.add_node(a, "a0");
+    b.add_driver(v, v0, 250.0).expect("driver");
+    b.add_driver(a, a0, 120.0).expect("driver");
+    b.add_resistor(v0, v1, 80.0).expect("resistor");
+    b.add_ground_cap(v0, 3e-15).expect("cap");
+    b.add_ground_cap(v1, 6e-15).expect("cap");
+    b.add_sink(v1, 10e-15).expect("sink");
+    b.add_sink(a0, 8e-15).expect("sink");
+    b.add_coupling_cap(a0, v1, 30e-15).expect("coupling");
+    (b.build().expect("network builds"), a)
+}
+
+#[test]
+fn metric_formulas_do_not_allocate() {
+    let (network, aggressor) = coupled_pair();
+    let analyzer = NoiseAnalyzer::new(&network).expect("analyzer builds");
+    let input = InputSignal::rising_ramp(0.0, 100e-12);
+    let moments = analyzer
+        .output_moments(aggressor, &input)
+        .expect("moments exist");
+    let t_r = input.effective_rise_time();
+    let metric_two = MetricTwo::default();
+
+    // Warm-up: fault in any lazily allocated statics (panic machinery,
+    // fmt buffers) before counting starts.
+    for _ in 0..16 {
+        black_box(MetricOne::estimate_auto(black_box(&moments), black_box(t_r)))
+            .expect("metric I evaluates");
+        black_box(metric_two.estimate_auto(black_box(&moments), black_box(t_r)))
+            .expect("metric II evaluates");
+        black_box(MetricOne::bounds(black_box(&moments))).expect("bounds evaluate");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        black_box(MetricOne::estimate_auto(black_box(&moments), black_box(t_r)))
+            .expect("metric I evaluates");
+        black_box(metric_two.estimate_auto(black_box(&moments), black_box(t_r)))
+            .expect("metric II evaluates");
+        black_box(MetricOne::bounds(black_box(&moments))).expect("bounds evaluate");
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "metric formula hot paths allocated {} time(s) over 10k iterations",
+        after - before
+    );
+}

@@ -1,0 +1,70 @@
+//! Property tests: the parallel executor is observationally identical to
+//! a serial map for every worker count, input size, and chunking shape.
+
+use proptest::prelude::*;
+use xtalk_exec::{par_map_indexed, par_map_indexed_with, Jobs};
+
+proptest! {
+    #[test]
+    fn parallel_map_equals_serial_map(
+        items in prop::collection::vec(-1.0e6..1.0e6f64, 0..200),
+        workers in 1usize..9,
+    ) {
+        let f = |i: usize, x: &f64| (i as f64).mul_add(0.5, x.sin() * x);
+        let serial: Vec<f64> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        let parallel = par_map_indexed(&items, Jobs::Count(workers), f)
+            .expect("pure map never fails");
+        // Bit-for-bit, not approximately: same code on same inputs.
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(s.to_bits(), p.to_bits());
+        }
+    }
+
+    #[test]
+    fn worker_state_never_leaks_into_results(
+        items in prop::collection::vec(0u64..1000, 1..120),
+        workers in 1usize..9,
+    ) {
+        // Worker-local scratch (here: a counter) must affect only speed,
+        // never output — the SimWorkspace contract in miniature.
+        let out = par_map_indexed_with(
+            &items,
+            Jobs::Count(workers),
+            || 0u64,
+            |scratch, i, x| {
+                *scratch += 1; // distinct per worker, order-dependent
+                x * 3 + i as u64
+            },
+        )
+        .expect("pure map never fails");
+        let expect: Vec<u64> = items.iter().enumerate().map(|(i, x)| x * 3 + i as u64).collect();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn single_fault_is_attributed_exactly(
+        len in 2usize..64,
+        bad_seed in 0usize..64,
+        workers in 2usize..9,
+    ) {
+        // With exactly one faulty item, the abort flag can only be raised
+        // by that item, so it is always observed and always the index the
+        // error names — whatever the schedule.
+        let bad = bad_seed % len;
+        let items: Vec<usize> = (0..len).collect();
+        let err = par_map_indexed(&items, Jobs::Count(workers), |i, _x| {
+            if i == bad {
+                panic!("boom at {i}");
+            }
+            i
+        });
+        match err {
+            Err(xtalk_exec::ExecError::WorkerPanic { index, detail }) => {
+                prop_assert_eq!(index, bad);
+                prop_assert!(detail.contains("boom"), "{}", detail);
+            }
+            other => prop_assert!(false, "expected WorkerPanic, got {:?}", other.map(|_| ())),
+        }
+    }
+}

@@ -182,6 +182,23 @@ impl Csr {
             });
         }
         let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Sparse matrix-vector product into a caller-provided buffer —
+    /// the allocation-free variant for per-timestep inner loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on a length mismatch.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                found: format!("x of length {}, y of length {}", x.len(), y.len()),
+                expected: format!("x of length {}, y of length {}", self.cols, self.rows),
+            });
+        }
         for r in 0..self.rows {
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
@@ -189,7 +206,24 @@ impl Csr {
             }
             y[r] = acc;
         }
-        Ok(y)
+        Ok(())
+    }
+
+    /// Compresses a dense matrix, dropping exact zeros. Row sums in
+    /// [`Csr::mul_vec`] visit the surviving columns in the same ascending
+    /// order as a dense row loop, so swapping a dense matvec for the CSR
+    /// one does not reorder the floating-point accumulation.
+    pub fn from_dense(m: &Matrix) -> Csr {
+        let mut t = Triplets::new(m.rows(), m.cols());
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let v = m[(r, c)];
+                if v != 0.0 {
+                    t.push(r, c, v);
+                }
+            }
+        }
+        t.to_csr()
     }
 
     /// Densifies into a [`Matrix`].
@@ -260,6 +294,30 @@ mod tests {
         let a = t.to_csr();
         let row: Vec<_> = a.row(0).collect();
         assert_eq!(row, vec![(1, 1.0), (3, 3.0)]);
+    }
+
+    #[test]
+    fn from_dense_round_trips_and_drops_zeros() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 0.0, 0.0], &[3.0, 4.0, 0.0]])
+            .unwrap();
+        let a = Csr::from_dense(&m);
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.to_dense(), m);
+        let x = [1.0, 10.0, 100.0];
+        let mut y = [f64::NAN; 3];
+        a.mul_vec_into(&x, &mut y).unwrap();
+        assert_eq!(y.to_vec(), m.mul_vec(&x).unwrap());
+    }
+
+    #[test]
+    fn mul_vec_into_rejects_bad_shapes() {
+        let mut t = Triplets::new(2, 3);
+        t.push(0, 0, 1.0);
+        let a = t.to_csr();
+        let mut y = [0.0; 2];
+        assert!(a.mul_vec_into(&[1.0, 2.0], &mut y).is_err());
+        let mut short = [0.0; 1];
+        assert!(a.mul_vec_into(&[1.0, 2.0, 3.0], &mut short).is_err());
     }
 
     #[test]

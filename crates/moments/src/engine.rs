@@ -1,6 +1,7 @@
 #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
 use crate::MomentError;
 use xtalk_circuit::{NetId, NetRole, Network, NodeId};
+use xtalk_linalg::sparse::Csr;
 use xtalk_linalg::{LuFactors, Matrix};
 
 /// Exact MNA moment engine for a coupled RC network.
@@ -27,6 +28,10 @@ pub struct MomentEngine {
     n: usize,
     lu: LuFactors,
     c: Matrix,
+    /// Sparse view of `c` for the recursion matvec `−C·m_{k−1}` — C has
+    /// only a few entries per row, so the per-order cost drops from
+    /// O(n²) to O(nnz).
+    c_csr: Csr,
     /// Per net: (driver node index, driver conductance).
     driver: Vec<(usize, f64)>,
     roles: Vec<NetRole>,
@@ -78,10 +83,12 @@ impl MomentEngine {
         }
 
         let lu = g.lu()?;
+        let c_csr = Csr::from_dense(&c);
         Ok(MomentEngine {
             n,
             lu,
             c,
+            c_csr,
             driver,
             roles,
         })
@@ -122,20 +129,19 @@ impl MomentEngine {
         }
         let mut out = Vec::with_capacity(order);
         out.push(self.dc_response(net)?);
+        // One reusable rhs buffer across all orders; each m_k is solved
+        // directly into its own (returned) vector.
         let mut rhs = vec![0.0; self.n];
-        let mut next = vec![0.0; self.n];
         for _ in 1..order {
             let prev = out.last().expect("at least m0 present");
-            // rhs = -C * prev
-            for i in 0..self.n {
-                let mut acc = 0.0;
-                for j in 0..self.n {
-                    acc += self.c[(i, j)] * prev[j];
-                }
-                rhs[i] = -acc;
+            // rhs = -C * prev, over the stored entries of sparse C.
+            self.c_csr.mul_vec_into(prev, &mut rhs)?;
+            for r in &mut rhs {
+                *r = -*r;
             }
+            let mut next = vec![0.0; self.n];
             self.lu.solve_into(&rhs, &mut next)?;
-            out.push(next.clone());
+            out.push(next);
         }
         Ok(out)
     }

@@ -1,8 +1,10 @@
 #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
 use crate::{SimError, Waveform};
-use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use xtalk_circuit::{signal::InputSignal, NetId, NetRole, Network, NodeId};
-use xtalk_linalg::Matrix;
+use xtalk_linalg::sparse::Csr;
+use xtalk_linalg::{LuFactors, Matrix};
 use xtalk_moments::tree;
 
 /// Time-integration scheme.
@@ -135,16 +137,88 @@ impl SimResult {
     }
 }
 
+/// Monotonic simulator identity, used to key [`SimWorkspace`] caches so a
+/// workspace handed a *different* simulator never reuses a stale
+/// factorization (addresses can recycle; these ids cannot).
+static NEXT_SIM_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Cache key of a prepared stepping system: which simulator, which step,
+/// which scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StepKey {
+    sim_id: u64,
+    dt_bits: u64,
+    method: IntegrationMethod,
+}
+
+/// Reusable scratch state for transient runs.
+///
+/// [`TransientSim::run`] allocates right-hand-side/solution buffers and
+/// factors the stepping matrix on every call. In batch workloads (table
+/// sweeps, multi-aggressor screens) thousands of runs execute back to
+/// back, so a worker thread keeps one `SimWorkspace` and passes it to
+/// [`TransientSim::run_with`]: buffers are recycled across runs, and the
+/// stepping factorization plus the sparse stepping matrix are reused
+/// whenever consecutive runs share a simulator, step and scheme (e.g.
+/// the horizon-retry loop of a sweep evaluation, or repeated runs with
+/// different stimuli on one network).
+///
+/// A workspace never changes *what* is computed — only how much is
+/// reallocated and re-factorized — so results are bit-identical with and
+/// without one. Contents are invalidated automatically when the
+/// simulator, `dt` or integration method changes.
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    key: Option<StepKey>,
+    /// Factorization of the stepping LHS for `key`.
+    lu: Option<LuFactors>,
+    /// Sparse stepping matrix: trapezoidal `(C/dt − G/2)`, or `C/dt` for
+    /// backward Euler (the per-step matvec operand in either scheme).
+    step: Option<Csr>,
+    b_now: Vec<f64>,
+    b_next: Vec<f64>,
+    rhs: Vec<f64>,
+    v: Vec<f64>,
+    v_next: Vec<f64>,
+}
+
+impl SimWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        SimWorkspace::default()
+    }
+
+    /// Grows the per-node buffers to `n`, reusing prior capacity.
+    fn resize(&mut self, n: usize) {
+        for buf in [
+            &mut self.b_now,
+            &mut self.b_next,
+            &mut self.rhs,
+            &mut self.v,
+            &mut self.v_next,
+        ] {
+            buf.clear();
+            buf.resize(n, 0.0);
+        }
+    }
+}
+
 /// Fixed-step transient MNA simulator over a validated [`Network`].
 ///
-/// Construction stamps `G` and `C` once; each [`TransientSim::run`]
-/// factors the stepping matrix for its `dt` and integrates. See the
-/// [crate-level example](crate).
+/// Construction stamps `G` and `C` and factors `G` (for the DC initial
+/// condition) once; each [`TransientSim::run`] factors the stepping
+/// matrix for its `dt` and integrates — or reuses a [`SimWorkspace`] via
+/// [`TransientSim::run_with`] to skip the per-run allocations and
+/// repeated factorizations. See the [crate-level example](crate).
 #[derive(Debug)]
 pub struct TransientSim<'a> {
     network: &'a Network,
+    id: u64,
     g: Matrix,
     c: Matrix,
+    /// Factorization of `G`, reused for the DC initial condition of every
+    /// run.
+    g_lu: LuFactors,
 }
 
 impl<'a> TransientSim<'a> {
@@ -152,8 +226,8 @@ impl<'a> TransientSim<'a> {
     ///
     /// # Errors
     ///
-    /// Currently infallible for validated networks; the `Result` guards
-    /// future stamping extensions (controlled sources etc.).
+    /// [`SimError::Numerical`] when `G` cannot be factored (conditioning
+    /// pathology; structurally impossible for a validated network).
     pub fn new(network: &'a Network) -> Result<Self, SimError> {
         let n = network.node_count();
         let mut g = Matrix::zeros(n, n);
@@ -182,7 +256,14 @@ impl<'a> TransientSim<'a> {
             c.add_at(a, b, -cc.farads);
             c.add_at(b, a, -cc.farads);
         }
-        Ok(TransientSim { network, g, c })
+        let g_lu = g.lu()?;
+        Ok(TransientSim {
+            network,
+            id: NEXT_SIM_ID.fetch_add(1, Ordering::Relaxed),
+            g,
+            c,
+            g_lu,
+        })
     }
 
     /// Integrates `C·dv/dt + G·v = B·u(t)` with the given stimuli and
@@ -204,12 +285,28 @@ impl<'a> TransientSim<'a> {
         stimuli: &[(NetId, InputSignal)],
         options: &SimOptions,
     ) -> Result<SimResult, SimError> {
+        self.run_with(stimuli, options, &mut SimWorkspace::new())
+    }
+
+    /// Like [`TransientSim::run`], reusing `workspace` buffers and any
+    /// still-valid stepping factorization — the batch-workload entry
+    /// point (one workspace per worker thread).
+    ///
+    /// # Errors
+    ///
+    /// As [`TransientSim::run`].
+    pub fn run_with(
+        &self,
+        stimuli: &[(NetId, InputSignal)],
+        options: &SimOptions,
+        workspace: &mut SimWorkspace,
+    ) -> Result<SimResult, SimError> {
         for (net, _) in stimuli {
             if self.network.net(*net).role() != NetRole::Aggressor {
                 return Err(SimError::StimulusOnNonAggressor(*net));
             }
         }
-        self.run_full(stimuli, options)
+        self.run_full_with(stimuli, options, workspace)
     }
 
     /// Like [`TransientSim::run`], but any net — the victim included — may
@@ -226,15 +323,65 @@ impl<'a> TransientSim<'a> {
         stimuli: &[(NetId, InputSignal)],
         options: &SimOptions,
     ) -> Result<SimResult, SimError> {
+        self.run_full_with(stimuli, options, &mut SimWorkspace::new())
+    }
+
+    /// Ensures `ws` holds the stepping factorization and sparse stepping
+    /// matrix for `(self, dt, method)`, rebuilding them only on a cache
+    /// miss, and sizes the per-node buffers.
+    fn prepare(&self, options: &SimOptions, ws: &mut SimWorkspace) -> Result<(), SimError> {
+        let key = StepKey {
+            sim_id: self.id,
+            dt_bits: options.dt.to_bits(),
+            method: options.method,
+        };
+        if ws.key != Some(key) {
+            ws.key = None; // stays invalid if a step below fails
+            let dt = options.dt;
+            let (lhs, step) = match options.method {
+                IntegrationMethod::Trapezoidal => {
+                    // (C/dt + G/2) v1 = (C/dt - G/2) v0 + (b0 + b1)/2
+                    let lhs = self.c.add_scaled(&self.g, 0.5 * dt).expect("same shape");
+                    let rhs = self.c.add_scaled(&self.g, -0.5 * dt).expect("same shape");
+                    (lhs.scaled(1.0 / dt), rhs.scaled(1.0 / dt))
+                }
+                IntegrationMethod::BackwardEuler => {
+                    // (C/dt + G) v1 = (C/dt) v0 + b1
+                    let lhs = self.c.add_scaled(&self.g, dt).expect("same shape");
+                    (lhs.scaled(1.0 / dt), self.c.scaled(1.0 / dt))
+                }
+            };
+            ws.lu = Some(lhs.lu()?);
+            // MNA stepping matrices of RC interconnect are sparse (a few
+            // entries per row); the per-step matvec runs over the stored
+            // entries only instead of the dense O(n²) row loops.
+            ws.step = Some(Csr::from_dense(&step));
+            ws.key = Some(key);
+        }
+        ws.resize(self.network.node_count());
+        Ok(())
+    }
+
+    /// Like [`TransientSim::run_full`], reusing `workspace` (see
+    /// [`SimWorkspace`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`TransientSim::run_full`].
+    pub fn run_full_with(
+        &self,
+        stimuli: &[(NetId, InputSignal)],
+        options: &SimOptions,
+        workspace: &mut SimWorkspace,
+    ) -> Result<SimResult, SimError> {
         options.validate()?;
-        let mut seen: HashMap<NetId, ()> = HashMap::new();
+        let mut seen: HashSet<NetId> = HashSet::with_capacity(stimuli.len());
         for (net, _) in stimuli {
-            if seen.insert(*net, ()).is_some() {
+            if !seen.insert(*net) {
                 return Err(SimError::DuplicateStimulus(*net));
             }
         }
 
-        let n = self.network.node_count();
         let dt = options.dt;
         let steps = (options.t_stop / dt).ceil() as usize;
 
@@ -254,75 +401,53 @@ impl<'a> TransientSim<'a> {
             }
         };
 
-        // Stepping matrices.
-        let (lhs, rhs_mat) = match options.method {
-            IntegrationMethod::Trapezoidal => {
-                // (C/dt + G/2) v1 = (C/dt - G/2) v0 + (b0 + b1)/2
-                let lhs = self.c.add_scaled(&self.g, 0.5 * dt).expect("same shape");
-                let rhs = self.c.add_scaled(&self.g, -0.5 * dt).expect("same shape");
-                (lhs.scaled(1.0 / dt), Some(rhs.scaled(1.0 / dt)))
-            }
-            IntegrationMethod::BackwardEuler => {
-                // (C/dt + G) v1 = C/dt v0 + b1
-                let lhs = self.c.add_scaled(&self.g, dt).expect("same shape");
-                (lhs.scaled(1.0 / dt), None)
-            }
-        };
-        let lu = lhs.lu()?;
+        self.prepare(options, workspace)?;
+        let ws = workspace;
+        let lu = ws.lu.as_ref().expect("prepared above");
+        let step = ws.step.as_ref().expect("prepared above");
 
-        // Initial condition: DC solution at t = 0.
-        let mut b_now = vec![0.0; n];
-        rhs_inputs(0.0, &mut b_now);
-        let g_lu = self.g.lu()?;
-        let mut v = g_lu.solve(&b_now)?;
+        // Initial condition: DC solution at t = 0 (G factored once at
+        // construction).
+        rhs_inputs(0.0, &mut ws.b_now);
+        self.g_lu.solve_into(&ws.b_now, &mut ws.v)?;
 
-        // Probe bookkeeping.
+        // Probe bookkeeping: resolve the probe set and reserve every
+        // trace to its final length up front, before the stepping loop.
         let probe_nodes: Vec<NodeId> = if options.probes.is_empty() {
             vec![self.network.victim_output()]
         } else {
             options.probes.clone()
         };
-        let mut traces: Vec<Vec<f64>> = probe_nodes
-            .iter()
-            .map(|node| {
-                let mut t = Vec::with_capacity(steps + 1);
-                t.push(v[node.index()]);
-                t
-            })
-            .collect();
+        let mut traces: Vec<Vec<f64>> = Vec::with_capacity(probe_nodes.len());
+        for node in &probe_nodes {
+            let mut t = Vec::with_capacity(steps + 1);
+            t.push(ws.v[node.index()]);
+            traces.push(t);
+        }
 
-        let mut b_next = vec![0.0; n];
-        let mut rhs = vec![0.0; n];
-        let mut v_next = vec![0.0; n];
         for k in 0..steps {
             let t1 = (k + 1) as f64 * dt;
-            rhs_inputs(t1, &mut b_next);
+            rhs_inputs(t1, &mut ws.b_next);
+            // rhs = step·v (+ input terms); `step` already carries the
+            // 1/dt scaling in either scheme.
+            step.mul_vec_into(&ws.v, &mut ws.rhs)?;
             match options.method {
                 IntegrationMethod::Trapezoidal => {
-                    let m = rhs_mat.as_ref().expect("trapezoidal rhs matrix");
-                    for i in 0..n {
-                        let mut acc = 0.0;
-                        for j in 0..n {
-                            acc += m[(i, j)] * v[j];
-                        }
-                        rhs[i] = acc + 0.5 * (b_now[i] + b_next[i]);
+                    for (r, (b0, b1)) in ws.rhs.iter_mut().zip(ws.b_now.iter().zip(&ws.b_next)) {
+                        *r += 0.5 * (b0 + b1);
                     }
                 }
                 IntegrationMethod::BackwardEuler => {
-                    for i in 0..n {
-                        let mut acc = 0.0;
-                        for j in 0..n {
-                            acc += self.c[(i, j)] * v[j];
-                        }
-                        rhs[i] = acc / dt + b_next[i];
+                    for (r, b1) in ws.rhs.iter_mut().zip(&ws.b_next) {
+                        *r += b1;
                     }
                 }
             }
-            lu.solve_into(&rhs, &mut v_next)?;
-            std::mem::swap(&mut v, &mut v_next);
-            std::mem::swap(&mut b_now, &mut b_next);
+            lu.solve_into(&ws.rhs, &mut ws.v_next)?;
+            std::mem::swap(&mut ws.v, &mut ws.v_next);
+            std::mem::swap(&mut ws.b_now, &mut ws.b_next);
             for (trace, node) in traces.iter_mut().zip(&probe_nodes) {
-                trace.push(v[node.index()]);
+                trace.push(ws.v[node.index()]);
             }
         }
 
@@ -445,6 +570,45 @@ mod tests {
                 sim.run(&[(agg, sig)], &bad),
                 Err(SimError::BadOptions { .. })
             ));
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_across_runs_and_networks() {
+        // One workspace threaded through runs on two different networks
+        // and two different steps must reproduce the fresh-workspace
+        // samples exactly: the cache key has to invalidate on any change
+        // of simulator or options.
+        let (net_a, agg_a) = coupled_pair(100.0, 10e-15, 5e-15);
+        let (net_b, agg_b) = coupled_pair(350.0, 22e-15, 9e-15);
+        let sim_a = TransientSim::new(&net_a).unwrap();
+        let sim_b = TransientSim::new(&net_b).unwrap();
+        let stim_a = [(agg_a, InputSignal::rising_ramp(0.0, 1e-10))];
+        let stim_b = [(agg_b, InputSignal::falling_ramp(5e-11, 2e-10))];
+        let opts = SimOptions {
+            dt: 1e-12,
+            t_stop: 1e-9,
+            method: IntegrationMethod::Trapezoidal,
+            probes: vec![],
+        };
+        let opts_coarse = opts.clone().with_dt(4e-12);
+        let opts_be = opts.clone().with_method(IntegrationMethod::BackwardEuler);
+
+        let mut ws = SimWorkspace::new();
+        for (sim, net, stim, o) in [
+            (&sim_a, &net_a, &stim_a[..], &opts),
+            (&sim_b, &net_b, &stim_b[..], &opts),
+            (&sim_a, &net_a, &stim_a[..], &opts_coarse),
+            (&sim_a, &net_a, &stim_a[..], &opts),
+            (&sim_a, &net_a, &stim_a[..], &opts_be),
+        ] {
+            let reused = sim.run_with(stim, o, &mut ws).unwrap();
+            let fresh = sim.run(stim, o).unwrap();
+            let out = net.victim_output();
+            assert_eq!(
+                reused.probe(out).unwrap().samples(),
+                fresh.probe(out).unwrap().samples(),
+            );
         }
     }
 

@@ -57,7 +57,7 @@ mod error;
 pub mod measure;
 mod waveform;
 
-pub use engine::{IntegrationMethod, SimOptions, SimResult, TransientSim};
+pub use engine::{IntegrationMethod, SimOptions, SimResult, SimWorkspace, TransientSim};
 pub use error::SimError;
 pub use measure::{measure_noise, NoiseWaveformParams};
 pub use waveform::Waveform;

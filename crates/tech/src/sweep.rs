@@ -6,12 +6,21 @@
 //! against the victim driver or receiver, coupling lengths 0.1–2.0 mm.
 //! [`two_pin_cases`] and [`tree_cases`] reproduce those distributions at a
 //! configurable case count with a fixed seed (tables are bit-reproducible).
+//!
+//! Generation is split into two passes so the sweep parallelizes without
+//! touching the RNG stream: a **serial** pass makes every random draw
+//! (specs, labels, inputs) in case order, then a **parallel** pass builds
+//! the drawn specs into networks with [`xtalk_exec::par_map_indexed`].
+//! Same seed → same draws → same cases, whatever the worker count, and
+//! [`SweepRun::cases`]/[`SweepRun::failures`] keep their case-index
+//! ordering.
 
-use crate::{random_tree, CouplingDirection, Technology, TwoPinSpec};
+use crate::{random_tree, CouplingDirection, Technology, TreeSpec, TwoPinSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
 use xtalk_circuit::{signal::InputSignal, CircuitError, NetId, Network};
+use xtalk_exec::{par_map_indexed, Jobs};
 
 /// One generated validation case.
 #[derive(Debug)]
@@ -166,18 +175,69 @@ fn draw_driver(rng: &mut StdRng, tech: &Technology, corner: Corner) -> (f64, f64
     }
 }
 
+/// A fully drawn (but not yet built) case: the output of the serial RNG
+/// pass, the input of the parallel build pass.
+#[derive(Debug, Clone)]
+struct DrawnCase<S> {
+    label: String,
+    spec: S,
+    input: InputSignal,
+}
+
+/// Builds drawn specs into networks in parallel and folds the outcomes —
+/// in case-index order — into a [`SweepRun`].
+fn build_drawn<S: Sync + Send>(
+    drawn: Vec<DrawnCase<S>>,
+    tech: &Technology,
+    jobs: Jobs,
+    build: impl Fn(&S, &Technology) -> Result<(Network, NetId), CircuitError> + Sync,
+) -> SweepRun {
+    let built = par_map_indexed(&drawn, jobs, |_, case| build(&case.spec, tech))
+        .unwrap_or_else(|e| panic!("sweep build worker failed: {e}"));
+    let mut out = SweepRun::default();
+    for (case, result) in drawn.into_iter().zip(built) {
+        match result {
+            Ok((network, aggressor)) => out.cases.push(SweepCase {
+                label: case.label,
+                network,
+                aggressor,
+                input: case.input,
+            }),
+            Err(error) => out.failures.push(SweepFailure {
+                label: case.label,
+                error,
+            }),
+        }
+    }
+    out
+}
+
 /// Generates two-pin coupling cases (Tables 1 and 2).
 ///
 /// A spec that fails to build (possible with a degenerate [`Technology`],
 /// e.g. from a corrupt config file) lands in [`SweepRun::failures`]
 /// instead of aborting the sweep.
+///
+/// Equivalent to [`two_pin_cases_jobs`] with [`Jobs::Auto`].
 pub fn two_pin_cases(
     tech: &Technology,
     direction: CouplingDirection,
     config: &SweepConfig,
 ) -> SweepRun {
+    two_pin_cases_jobs(tech, direction, config, Jobs::Auto)
+}
+
+/// [`two_pin_cases`] with an explicit worker-count policy for the
+/// network-build pass. The RNG pass is always serial, so the generated
+/// cases are bit-identical for every `jobs` value.
+pub fn two_pin_cases_jobs(
+    tech: &Technology,
+    direction: CouplingDirection,
+    config: &SweepConfig,
+    jobs: Jobs,
+) -> SweepRun {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut out = SweepRun::default();
+    let mut drawn = Vec::with_capacity(config.cases);
     for i in 0..config.cases {
         let corner = draw_corner(&mut rng, config.corner_fraction);
         let l2: f64 = rng.random_range(0.1e-3..2.0e-3);
@@ -219,26 +279,31 @@ pub fn two_pin_cases(
         // Draw the input unconditionally so a failed build does not shift
         // the RNG stream of the remaining cases.
         let input = draw_input(&mut rng, tech, corner == Corner::StrongFast);
-        match spec.build(tech) {
-            Ok((network, aggressor)) => out.cases.push(SweepCase {
-                label,
-                network,
-                aggressor,
-                input,
-            }),
-            Err(error) => out.failures.push(SweepFailure { label, error }),
-        }
+        drawn.push(DrawnCase { label, spec, input });
     }
-    out
+    build_drawn(drawn, tech, jobs, TwoPinSpec::build)
 }
 
 /// Generates coupled RC-tree cases (Table 3).
 ///
 /// As [`two_pin_cases`], specs that fail to build are collected in
 /// [`SweepRun::failures`] rather than aborting the batch.
+///
+/// Equivalent to [`tree_cases_jobs`] with [`Jobs::Auto`].
 pub fn tree_cases(tech: &Technology, far_end: bool, config: &SweepConfig) -> SweepRun {
+    tree_cases_jobs(tech, far_end, config, Jobs::Auto)
+}
+
+/// [`tree_cases`] with an explicit worker-count policy for the
+/// network-build pass (the RNG pass stays serial; see [`two_pin_cases_jobs`]).
+pub fn tree_cases_jobs(
+    tech: &Technology,
+    far_end: bool,
+    config: &SweepConfig,
+    jobs: Jobs,
+) -> SweepRun {
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7ee_1000);
-    let mut out = SweepRun::default();
+    let mut drawn = Vec::with_capacity(config.cases);
     for i in 0..config.cases {
         let corner = draw_corner(&mut rng, config.corner_fraction);
         let mut spec = random_tree(&mut rng, tech, far_end);
@@ -252,17 +317,9 @@ pub fn tree_cases(tech: &Technology, far_end: bool, config: &SweepConfig) -> Swe
             if corner != Corner::None { " corner" } else { "" }
         );
         let input = draw_input(&mut rng, tech, corner == Corner::StrongFast);
-        match spec.build(tech) {
-            Ok((network, aggressor)) => out.cases.push(SweepCase {
-                label,
-                network,
-                aggressor,
-                input,
-            }),
-            Err(error) => out.failures.push(SweepFailure { label, error }),
-        }
+        drawn.push(DrawnCase { label, spec, input });
     }
-    out
+    build_drawn(drawn, tech, jobs, TreeSpec::build)
 }
 
 /// The Figure 5 sweep: `L2 = 0.5 mm`, `L3 = 1.5 mm`,
@@ -335,6 +392,53 @@ mod tests {
             assert_eq!(x.label, y.label);
             assert_eq!(x.network.node_count(), y.network.node_count());
             assert_eq!(x.input, y.input);
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_build_exactly() {
+        let tech = Technology::p25();
+        let cfg = SweepConfig {
+            cases: 40,
+            ..SweepConfig::default()
+        };
+        let serial = two_pin_cases_jobs(&tech, CouplingDirection::FarEnd, &cfg, Jobs::Count(1));
+        let par = two_pin_cases_jobs(&tech, CouplingDirection::FarEnd, &cfg, Jobs::Count(4));
+        assert_eq!(serial.cases.len(), par.cases.len());
+        for (a, b) in serial.cases.iter().zip(&par.cases) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.input, b.input);
+            assert_eq!(a.network.node_count(), b.network.node_count());
+        }
+        let ts = tree_cases_jobs(&tech, true, &cfg, Jobs::Count(1));
+        let tp = tree_cases_jobs(&tech, true, &cfg, Jobs::Count(5));
+        assert_eq!(ts.cases.len(), tp.cases.len());
+        for (a, b) in ts.cases.iter().zip(&tp.cases) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.network.node_count(), b.network.node_count());
+        }
+    }
+
+    #[test]
+    fn failure_ordering_is_stable_under_parallel_build() {
+        // Every case fails against a corrupt technology; the failures
+        // must come back in case-index order for any worker count.
+        let mut tech = Technology::p25();
+        tech.c_per_m = -tech.c_per_m;
+        let cfg = SweepConfig {
+            cases: 12,
+            ..SweepConfig::default()
+        };
+        for jobs in [Jobs::Count(1), Jobs::Count(3), Jobs::Count(8)] {
+            let run = two_pin_cases_jobs(&tech, CouplingDirection::FarEnd, &cfg, jobs);
+            assert_eq!(run.failures.len(), 12);
+            for (i, f) in run.failures.iter().enumerate() {
+                assert!(
+                    f.label.starts_with(&format!("two_pin[{i}]")),
+                    "failure {i} out of order: {}",
+                    f.label
+                );
+            }
         }
     }
 
