@@ -1,0 +1,552 @@
+//! Per-case invariant checking: what the paper's closed forms promise,
+//! verified against a golden transient simulation.
+//!
+//! Each audited case runs the full differential pipeline — generate a
+//! randomized coupled network from `(family, seed)`, simulate it, evaluate
+//! Metric I, Metric II and the closed-form bounds — and then checks:
+//!
+//! * **Finiteness** — golden and estimated waveform fields are finite.
+//! * **Identities** — `Tp = T0 + T1`, `Wn = T1 + T2`, `m = T2/T1` to
+//!   `1e-9` relative (they hold by construction; a violation means a
+//!   metric leaked inconsistent fields).
+//! * **Moment match** — the fitted template's own first three moments
+//!   reproduce the circuit moments `f1..f3` (the defining property of
+//!   both metrics, eqs. 30–36 and 48–53) to a cancellation-aware `1e-6`.
+//! * **Bound structure** — Metric I's point estimate lies inside the
+//!   closed-form parameter bounds (eqs. 37–40); Metric II's peak exceeds
+//!   the PWL upper bound by at most `√72/4` (its `α → ∞` limit).
+//! * **Conservatism** — Metric II's peak (the paper's conservative
+//!   estimator) dominates the *simulated* peak up to the configured
+//!   margin. Note the PWL parameter bound `2f1/T_W` itself is *not*
+//!   conservative vs simulation: a long exponential tail inflates the
+//!   second-moment width `T_W`, deflating the bound (a pure exponential
+//!   has `T_W = √18·τ`, putting `2f1/T_W` at `0.47×` the true peak).
+//! * **Superposition** — the worst-case combination operator is
+//!   consistent with the single-pulse estimate: one pinned contribution
+//!   reproduces it, two fully-flexible copies align to exactly twice it,
+//!   and the combined envelope evaluated at the reported alignment time
+//!   equals the reported peak.
+//! * **Error envelopes** — `Vp`/`Tp`/`Wn` relative errors against the
+//!   golden waveform stay inside the calibrated per-metric envelopes
+//!   (see [`crate::ErrorEnvelopes`]).
+
+use crate::report::Finding;
+use crate::{ErrorEnvelopes, MetricEnvelope};
+use xtalk_core::superpose::{combined_value_at, worst_case, TimingWindow};
+use xtalk_core::template::{LinExpTemplate, PwlTemplate};
+use xtalk_core::{
+    MetricKind, NoiseAnalyzer, NoiseEstimate, OutputMoments, RobustAnalyzer, LAMBDA,
+};
+use xtalk_sim::{golden_noise_with, NoiseWaveformParams, SimWorkspace};
+use xtalk_tech::sweep::{single_case, CaseFamily};
+use xtalk_tech::Technology;
+
+/// Metric II's peak may exceed the piecewise-linear upper bound
+/// `2·f1/T_W` by at most this factor — its `α → ∞` (pure-exponential
+/// decay) limit: `Vp₂ = 2f1·√poly/((2α+1)²·T_W)` and
+/// `√poly/(2α+1)² ↗ √72/4 ≈ 2.1213`.
+pub const METRIC_TWO_VP_BOUND_FACTOR: f64 = 2.1213203435596424; // sqrt(72)/4
+
+/// Relative tolerance for the construction identities.
+const IDENTITY_TOL: f64 = 1e-9;
+
+/// Relative tolerance for the template-moment residuals (against a
+/// cancellation-aware scale, not the possibly-tiny raw moment).
+const MOMENT_TOL: f64 = 1e-6;
+
+/// Golden pulses below this fraction of the supply are screened out, like
+/// the paper's evaluation flow: relative errors on them measure only
+/// numerical noise.
+pub const NEGLIGIBLE_VP: f64 = 5e-3;
+
+/// The audit outcome of one case.
+#[derive(Debug)]
+pub(crate) struct CaseAudit {
+    pub index: usize,
+    pub seed: u64,
+    pub family: CaseFamily,
+    pub outcome: CaseOutcome,
+}
+
+#[derive(Debug)]
+pub(crate) enum CaseOutcome {
+    /// The case could not be scored (generation/simulation failure or a
+    /// negligible pulse).
+    Skipped(String),
+    /// The case was scored.
+    Checked {
+        findings: Vec<Finding>,
+        /// `(evaluation, reason)` for metrics that declined with a
+        /// structured error — designed behavior, not a violation.
+        declined: Vec<(&'static str, String)>,
+        /// `(metric, param, signed relative error)` observations for the
+        /// run's worst-error tracking.
+        errors: Vec<(&'static str, &'static str, f64)>,
+    },
+}
+
+/// Identity of the case under audit, for stamping findings.
+struct CaseId<'a> {
+    index: usize,
+    seed: u64,
+    family: &'static str,
+    label: &'a str,
+    rung: &'static str,
+}
+
+impl CaseId<'_> {
+    fn finding(
+        &self,
+        metric: &'static str,
+        invariant: &'static str,
+        observed: f64,
+        expected: f64,
+        detail: String,
+    ) -> Finding {
+        Finding {
+            case_index: self.index,
+            seed: self.seed,
+            family: self.family,
+            label: self.label.to_string(),
+            metric,
+            invariant,
+            observed,
+            expected,
+            detail,
+            rung: self.rung,
+        }
+    }
+}
+
+/// Runs the full differential pipeline on one `(family, seed)` case.
+pub(crate) fn audit_case(
+    tech: &Technology,
+    index: usize,
+    seed: u64,
+    family: CaseFamily,
+    envelopes: &ErrorEnvelopes,
+    workspace: &mut SimWorkspace,
+) -> CaseAudit {
+    let outcome = match check_case(tech, index, seed, family, envelopes, workspace) {
+        Ok(outcome) => outcome,
+        Err(reason) => CaseOutcome::Skipped(reason),
+    };
+    CaseAudit {
+        index,
+        seed,
+        family,
+        outcome,
+    }
+}
+
+fn check_case(
+    tech: &Technology,
+    index: usize,
+    seed: u64,
+    family: CaseFamily,
+    envelopes: &ErrorEnvelopes,
+    workspace: &mut SimWorkspace,
+) -> Result<CaseOutcome, String> {
+    let case = single_case(tech, family, seed).map_err(|e| format!("generation: {e}"))?;
+    let net = &case.network;
+    let agg = case.aggressor;
+    let input = &case.input;
+
+    let golden = golden_noise_with(net, &[(agg, *input)], net.victim_output(), workspace)
+        .map_err(|e| format!("golden simulation: {e}"))?;
+    if golden.vp < NEGLIGIBLE_VP {
+        return Err(format!("negligible pulse ({:.1e} Vdd)", golden.vp));
+    }
+
+    // Provenance context: which rung the degraded-mode pipeline lands on
+    // for this case (triage info on findings, not itself audited here).
+    let rung = RobustAnalyzer::new(net)
+        .ok()
+        .and_then(|ra| {
+            ra.analyze(agg, input)
+                .ok()
+                .map(|r| r.provenance.rung().name())
+        })
+        .unwrap_or("none");
+
+    let id = CaseId {
+        index,
+        seed,
+        family: family.name(),
+        label: &case.label,
+        rung,
+    };
+
+    let analyzer = NoiseAnalyzer::new(net).map_err(|e| format!("analyzer: {e}"))?;
+    let moments = analyzer
+        .output_moments(agg, input)
+        .map_err(|e| format!("moments: {e}"))?;
+
+    let mut findings = Vec::new();
+    let mut declined = Vec::new();
+    let mut errors = Vec::new();
+
+    for (name, v) in [
+        ("vp", golden.vp),
+        ("tp", golden.tp),
+        ("t1", golden.t1),
+        ("t2", golden.t2),
+        ("wn", golden.wn),
+    ] {
+        if !v.is_finite() {
+            findings.push(id.finding(
+                "golden",
+                "finite",
+                v,
+                0.0,
+                format!("golden {name} is not finite"),
+            ));
+        }
+    }
+
+    let m1 = analyzer.analyze(agg, input, MetricKind::One);
+    let m2 = analyzer.analyze(agg, input, MetricKind::Two);
+    let bounds = analyzer.bounds(agg, input);
+
+    match &m1 {
+        Ok(e) => {
+            let pwl = PwlTemplate::new(e.t0, e.t1, e.m, e.vp);
+            check_estimate(
+                &id,
+                "metric_one",
+                e,
+                pwl.moments(),
+                &moments,
+                &golden,
+                &envelopes.metric_one,
+                &mut findings,
+                &mut errors,
+            );
+        }
+        Err(err) => declined.push(("metric_one", err.to_string())),
+    }
+    match &m2 {
+        Ok(e) => {
+            let lin_exp = LinExpTemplate::new(e.t0, e.t1, e.m, LAMBDA, e.vp);
+            check_estimate(
+                &id,
+                "metric_two",
+                e,
+                lin_exp.moments(),
+                &moments,
+                &golden,
+                &envelopes.metric_two,
+                &mut findings,
+                &mut errors,
+            );
+        }
+        Err(err) => declined.push(("metric_two", err.to_string())),
+    }
+
+    // Conservatism against the *simulated* waveform — the property
+    // physical-design flows rely on when they screen with a bound instead
+    // of a point estimate. The conservative estimator is Metric II's peak
+    // (the paper's claim for the default λ); the PWL parameter bound
+    // `2f1/T_W` is NOT conservative vs simulation, because a long
+    // exponential tail inflates the second-moment width T_W (a pure
+    // exponential has T_W = √18·τ, putting 2f1/T_W at 0.47× the true
+    // peak). Eqs. 37–40 bound the template parameters over m, not the
+    // physical waveform.
+    if let Ok(e) = &m2 {
+        let floor = golden.vp * (1.0 - envelopes.bound_margin);
+        if e.vp < floor {
+            findings.push(id.finding(
+                "metric_two",
+                "vp_conservatism",
+                e.vp,
+                golden.vp,
+                format!(
+                    "metric II peak falls short of the simulated peak by more than {:.1}%",
+                    envelopes.bound_margin * 100.0
+                ),
+            ));
+        }
+    }
+
+    match &bounds {
+        Ok(b) => {
+            // Metric I's point estimate lies inside the closed-form
+            // parameter bounds (eqs. 37–40 are its own m-extremes).
+            if let Ok(e) = &m1 {
+                if !b.contains(e) {
+                    findings.push(id.finding(
+                        "bounds",
+                        "metric_one_within_bounds",
+                        e.vp,
+                        b.vp.1,
+                        format!(
+                            "metric I estimate escapes its parameter bounds \
+                             (vp {} ∉ [{}, {}] or a timing field out of range)",
+                            e.vp, b.vp.0, b.vp.1
+                        ),
+                    ));
+                }
+            }
+            // Metric II's peak vs the PWL upper bound, relaxed by its
+            // α → ∞ limit factor.
+            if let Ok(e) = &m2 {
+                let cap = b.vp.1 * METRIC_TWO_VP_BOUND_FACTOR;
+                if e.vp > cap * (1.0 + IDENTITY_TOL) {
+                    findings.push(id.finding(
+                        "bounds",
+                        "metric_two_vp_bound",
+                        e.vp,
+                        cap,
+                        "metric II peak exceeds the PWL upper bound by more than √72/4".into(),
+                    ));
+                }
+            }
+        }
+        Err(err) => declined.push(("bounds", err.to_string())),
+    }
+
+    // Superposition consistency, on the best available estimate.
+    if let Some(e) = m2.as_ref().ok().or(m1.as_ref().ok()) {
+        check_superposition(&id, e, &mut findings);
+    }
+
+    Ok(CaseOutcome::Checked {
+        findings,
+        declined,
+        errors,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_estimate(
+    id: &CaseId<'_>,
+    metric: &'static str,
+    e: &NoiseEstimate,
+    template_moments: [f64; 3],
+    f: &OutputMoments,
+    golden: &NoiseWaveformParams,
+    envelope: &MetricEnvelope,
+    findings: &mut Vec<Finding>,
+    errors: &mut Vec<(&'static str, &'static str, f64)>,
+) {
+    for (name, v) in [
+        ("vp", e.vp),
+        ("t0", e.t0),
+        ("t1", e.t1),
+        ("t2", e.t2),
+        ("tp", e.tp),
+        ("wn", e.wn),
+        ("m", e.m),
+    ] {
+        if !v.is_finite() {
+            findings.push(id.finding(
+                metric,
+                "finite",
+                v,
+                0.0,
+                format!("estimate field {name} is not finite"),
+            ));
+        }
+    }
+
+    // Construction identities.
+    let tp_scale = e.tp.abs().max(e.t1.abs()).max(f64::MIN_POSITIVE);
+    if (e.tp - (e.t0 + e.t1)).abs() > IDENTITY_TOL * tp_scale {
+        findings.push(id.finding(
+            metric,
+            "identity_tp",
+            e.tp,
+            e.t0 + e.t1,
+            "Tp = T0 + T1 violated beyond 1e-9 relative".into(),
+        ));
+    }
+    let wn_scale = e.wn.abs().max(f64::MIN_POSITIVE);
+    if (e.wn - (e.t1 + e.t2)).abs() > IDENTITY_TOL * wn_scale {
+        findings.push(id.finding(
+            metric,
+            "identity_wn",
+            e.wn,
+            e.t1 + e.t2,
+            "Wn = T1 + T2 violated beyond 1e-9 relative".into(),
+        ));
+    }
+    if e.t1 > 0.0 && (e.m - e.t2 / e.t1).abs() > IDENTITY_TOL * e.m.abs().max(f64::MIN_POSITIVE) {
+        findings.push(id.finding(
+            metric,
+            "identity_m",
+            e.m,
+            e.t2 / e.t1,
+            "m = T2/T1 violated beyond 1e-9 relative".into(),
+        ));
+    }
+
+    // Moment-match residuals. The template's moments are polynomial in
+    // (t0, t1, m) and the circuit's f2/f3 can be small differences of
+    // large terms, so residuals are scaled by the natural magnitude
+    // f1·(|t0| + wn)^k of the k-th moment rather than the raw |f_k|.
+    let extent = e.t0.abs() + e.wn.abs();
+    let scales = [
+        f.f1().abs(),
+        f.f1().abs() * extent,
+        f.f1().abs() * extent * extent,
+    ];
+    let circuit = [f.f1(), f.f2(), f.f3()];
+    let names = ["moment_residual_f1", "moment_residual_f2", "moment_residual_f3"];
+    for k in 0..3 {
+        let scale = scales[k]
+            .max(circuit[k].abs())
+            .max(template_moments[k].abs())
+            .max(f64::MIN_POSITIVE);
+        if (template_moments[k] - circuit[k]).abs() > MOMENT_TOL * scale {
+            findings.push(id.finding(
+                metric,
+                names[k],
+                template_moments[k],
+                circuit[k],
+                format!(
+                    "template does not reproduce the matched moment f{} within 1e-6",
+                    k + 1
+                ),
+            ));
+        }
+    }
+
+    // Accuracy envelopes vs the golden waveform.
+    let params = [
+        ("vp", "error_envelope_vp", e.vp, golden.vp, envelope.vp),
+        ("tp", "error_envelope_tp", e.tp, golden.tp, envelope.tp),
+        ("wn", "error_envelope_wn", e.wn, golden.wn, envelope.wn),
+    ];
+    for (param, invariant, est, gold, limit) in params {
+        if gold.abs() < f64::MIN_POSITIVE {
+            continue;
+        }
+        let rel = (est - gold) / gold;
+        errors.push((metric, param, rel));
+        if rel.abs() > limit {
+            findings.push(id.finding(
+                metric,
+                invariant,
+                rel,
+                limit,
+                format!(
+                    "relative {param} error vs golden outside the ±{:.0}% envelope",
+                    limit * 100.0
+                ),
+            ));
+        }
+    }
+}
+
+fn check_superposition(id: &CaseId<'_>, e: &NoiseEstimate, findings: &mut Vec<Finding>) {
+    let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(f64::MIN_POSITIVE);
+
+    // One pinned contribution is the pulse itself.
+    let single = worst_case(&[(*e, TimingWindow::pinned())]);
+    if rel(single.vp, e.vp) > IDENTITY_TOL {
+        findings.push(id.finding(
+            "superpose",
+            "single_pinned_vp",
+            single.vp,
+            e.vp,
+            "worst_case of one pinned pulse must reproduce its own peak".into(),
+        ));
+    }
+    if (single.at - e.tp).abs() > IDENTITY_TOL * e.tp.abs().max(e.wn) {
+        findings.push(id.finding(
+            "superpose",
+            "single_pinned_at",
+            single.at,
+            e.tp,
+            "worst_case of one pinned pulse must peak at its own Tp".into(),
+        ));
+    }
+
+    // Two copies with fully flexible windows align to exactly double.
+    let wide = TimingWindow::new(0.0, 2.0 * e.wn);
+    let double = worst_case(&[(*e, wide), (*e, wide)]);
+    if rel(double.vp, 2.0 * e.vp) > IDENTITY_TOL {
+        findings.push(id.finding(
+            "superpose",
+            "double_aligned_vp",
+            double.vp,
+            2.0 * e.vp,
+            "two fully-flexible copies must align to twice the single peak".into(),
+        ));
+    }
+    if double.aligned != 2 {
+        findings.push(id.finding(
+            "superpose",
+            "double_aligned_count",
+            double.aligned as f64,
+            2.0,
+            "both copies must be reported as aligned at the worst case".into(),
+        ));
+    }
+
+    // The combined envelope evaluated at the reported time must equal the
+    // reported peak (worst_case maximizes exactly this function).
+    let value = combined_value_at(&[(*e, wide), (*e, wide)], double.at);
+    if rel(value, double.vp) > IDENTITY_TOL {
+        findings.push(id.finding(
+            "superpose",
+            "envelope_value_at_peak",
+            value,
+            double.vp,
+            "combined envelope at the worst-case time must equal the reported peak".into(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_two_bound_factor_is_sqrt72_over_4() {
+        assert!((METRIC_TWO_VP_BOUND_FACTOR - 72f64.sqrt() / 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn healthy_case_produces_no_findings() {
+        let tech = Technology::p25();
+        let mut ws = SimWorkspace::new();
+        let audit = audit_case(
+            &tech,
+            0,
+            0x5eed,
+            CaseFamily::TwoPinFar,
+            &ErrorEnvelopes::default(),
+            &mut ws,
+        );
+        match audit.outcome {
+            CaseOutcome::Checked { ref findings, .. } => {
+                assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+            }
+            CaseOutcome::Skipped(ref reason) => {
+                // A negligible pulse is a legitimate outcome for an
+                // arbitrary seed; anything else is a harness bug.
+                assert!(reason.contains("negligible"), "unexpected skip: {reason}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_technology_is_a_skip_not_a_panic() {
+        let mut tech = Technology::p25();
+        tech.c_per_m = -tech.c_per_m;
+        let mut ws = SimWorkspace::new();
+        let audit = audit_case(
+            &tech,
+            3,
+            7,
+            CaseFamily::Tree,
+            &ErrorEnvelopes::default(),
+            &mut ws,
+        );
+        match audit.outcome {
+            CaseOutcome::Skipped(reason) => assert!(reason.contains("generation")),
+            other => panic!("expected skip, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Differential accuracy audit for the closed-form crosstalk metrics.
+//!
+//! The paper's validation is statistical: thousands of randomized coupled
+//! RC circuits, each evaluated by the closed-form metrics *and* by a
+//! golden transient simulation, with the relative errors summarized in
+//! Tables 1–3. This crate turns that methodology into an executable,
+//! reproducible audit:
+//!
+//! 1. Every case is generated from its own seed, derived from the master
+//!    seed by a splitmix64 mix — so a flagged case is reproducible from
+//!    `(family, seed)` alone, and the case set is independent of the
+//!    worker count.
+//! 2. Case families rotate over the paper's three table regimes
+//!    (two-pin far-end, two-pin near-end, coupled trees).
+//! 3. Each case runs the full differential pipeline and invariant checks
+//!    of [`mod@invariants`] — finiteness, construction identities,
+//!    template/moment consistency, bound structure and conservatism,
+//!    superposition consistency, and calibrated accuracy envelopes.
+//! 4. Violations come back as structured [`Finding`]s inside a
+//!    deterministic [`AuditReport`] whose JSON bytes are identical for
+//!    any `--jobs` value.
+//!
+//! The default [`ErrorEnvelopes`] are calibrated from a 500-case deep run
+//! (see `EXPERIMENTS.md`): they sit above the worst error observed there
+//! with margin, so a violation indicates a genuine accuracy regression,
+//! not sampling noise.
+//!
+//! # Examples
+//!
+//! ```
+//! use xtalk_audit::{run_audit, AuditConfig};
+//!
+//! let report = run_audit(&AuditConfig {
+//!     cases: 6,
+//!     ..AuditConfig::default()
+//! });
+//! assert_eq!(report.cases, 6);
+//! assert!(report.clean(), "{report}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod invariants;
+pub mod report;
+
+pub use report::{AuditReport, DeclinedEvaluation, Finding, SkippedCase, WorstError};
+
+use invariants::{audit_case, CaseOutcome};
+use xtalk_exec::{par_map_indexed_with, Jobs};
+use xtalk_sim::SimWorkspace;
+use xtalk_tech::sweep::CaseFamily;
+use xtalk_tech::Technology;
+
+/// Maximum allowed |relative error| against the golden waveform for one
+/// metric, per waveform parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricEnvelope {
+    /// Peak amplitude envelope.
+    pub vp: f64,
+    /// Peak-time envelope.
+    pub tp: f64,
+    /// Pulse-width envelope.
+    pub wn: f64,
+}
+
+/// Accuracy envelopes the audit checks estimates against, plus the
+/// allowed fractional shortfall of Metric II's peak — the paper's
+/// conservative estimator — against the simulated peak.
+///
+/// The defaults are calibrated from the deep audit run documented in
+/// `EXPERIMENTS.md` (500 cases, master seed 1): each limit is the worst
+/// observed error of that `(metric, parameter)` pair with headroom, in
+/// the spirit of the paper's Tables 1–3 (which report average errors in
+/// the 2–15% range and singular worst cases well beyond).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorEnvelopes {
+    /// Envelope for Metric I (piecewise-linear template).
+    pub metric_one: MetricEnvelope,
+    /// Envelope for Metric II (linear-rise/exponential-decay template).
+    pub metric_two: MetricEnvelope,
+    /// Allowed fractional shortfall of Metric II's peak against the
+    /// simulated peak (`0.0` = the estimate must strictly dominate).
+    pub bound_margin: f64,
+}
+
+impl Default for ErrorEnvelopes {
+    fn default() -> Self {
+        // Worst signed errors observed in the 500-case deep run
+        // (seed 1; see EXPERIMENTS.md), with ~1.3–1.5× headroom:
+        //   metric I : vp ∈ [−0.56, +0.43], tp ∈ [−3.30, −0.11],
+        //              wn ∈ [+0.08, +0.68]
+        //   metric II: vp ∈ [−0.08, +0.84], tp ∈ [−0.57, +0.13],
+        //              wn ∈ [−0.25, +0.19]
+        // Metric II's worst *under*estimate (−8.3%, a coupled-tree case)
+        // sets the conservatism margin.
+        ErrorEnvelopes {
+            metric_one: MetricEnvelope {
+                vp: 0.85,
+                tp: 4.50,
+                wn: 1.00,
+            },
+            metric_two: MetricEnvelope {
+                vp: 1.25,
+                tp: 0.85,
+                wn: 0.40,
+            },
+            bound_margin: 0.15,
+        }
+    }
+}
+
+/// Audit configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditConfig {
+    /// Number of randomized cases (rotating over [`CaseFamily::ALL`]).
+    /// The default is a CI-friendly sample; deep runs use 500+.
+    pub cases: usize,
+    /// Master seed; per-case seeds derive from it via [`derive_case_seed`].
+    pub seed: u64,
+    /// Worker-count policy. The report is byte-identical for every value.
+    pub jobs: Jobs,
+    /// Accuracy envelopes to check against.
+    pub envelopes: ErrorEnvelopes,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            cases: 48,
+            seed: 1,
+            jobs: Jobs::Auto,
+            envelopes: ErrorEnvelopes::default(),
+        }
+    }
+}
+
+/// Derives the generation seed of case `index` from the master seed via
+/// two rounds of splitmix64 — decorrelated per-case streams without any
+/// sequential RNG state, so cases can be generated independently on any
+/// worker.
+pub fn derive_case_seed(master: u64, index: usize) -> u64 {
+    splitmix64(master.wrapping_add(splitmix64(index as u64 + 1)))
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The family of case `index`: rotation over [`CaseFamily::ALL`], so all
+/// three table regimes are covered at any case count ≥ 3.
+pub fn case_family(index: usize) -> CaseFamily {
+    CaseFamily::ALL[index % CaseFamily::ALL.len()]
+}
+
+/// Re-audits one flagged case from the `(family, seed)` pair printed in a
+/// [`Finding`] (or a JSON report entry), returning a one-case report.
+///
+/// This is the reproduction path: `audit_seed(seed, family, &envelopes)`
+/// re-generates exactly the circuit a deep run flagged, independent of
+/// the run's master seed, case count or worker count.
+pub fn audit_seed(seed: u64, family: CaseFamily, envelopes: &ErrorEnvelopes) -> AuditReport {
+    let tech = Technology::p25();
+    let mut workspace = SimWorkspace::new();
+    let audit = audit_case(&tech, 0, seed, family, envelopes, &mut workspace);
+    fold_report(1, seed, *envelopes, vec![audit])
+}
+
+/// Runs the audit: generates, simulates and checks `config.cases`
+/// randomized cases in parallel, then folds the per-case outcomes — in
+/// case-index order — into a deterministic [`AuditReport`].
+///
+/// # Panics
+///
+/// Panics only when a worker thread itself panics (a harness bug, not a
+/// data condition — every per-case failure is a recorded skip).
+pub fn run_audit(config: &AuditConfig) -> AuditReport {
+    let tech = Technology::p25();
+    let indices: Vec<usize> = (0..config.cases).collect();
+    let audits = par_map_indexed_with(
+        &indices,
+        config.jobs,
+        SimWorkspace::new,
+        |workspace, _, &index| {
+            audit_case(
+                &tech,
+                index,
+                derive_case_seed(config.seed, index),
+                case_family(index),
+                &config.envelopes,
+                workspace,
+            )
+        },
+    )
+    .unwrap_or_else(|e| panic!("audit worker failed: {e}"));
+
+    fold_report(config.cases, config.seed, config.envelopes, audits)
+}
+
+/// Folds per-case outcomes — already in case-index order — into the
+/// deterministic report.
+fn fold_report(
+    cases: usize,
+    seed: u64,
+    envelopes: ErrorEnvelopes,
+    audits: Vec<invariants::CaseAudit>,
+) -> AuditReport {
+    let mut report = AuditReport {
+        cases,
+        seed,
+        envelopes,
+        checked: 0,
+        skipped: Vec::new(),
+        declined: Vec::new(),
+        worst: Vec::new(),
+        findings: Vec::new(),
+    };
+    // (metric, param) -> running worst, in fixed emission order.
+    let mut worst: Vec<(&'static str, &'static str, Option<WorstError>)> = [
+        ("metric_one", "vp"),
+        ("metric_one", "tp"),
+        ("metric_one", "wn"),
+        ("metric_two", "vp"),
+        ("metric_two", "tp"),
+        ("metric_two", "wn"),
+    ]
+    .into_iter()
+    .map(|(m, p)| (m, p, None))
+    .collect();
+
+    for audit in audits {
+        match audit.outcome {
+            CaseOutcome::Skipped(reason) => report.skipped.push(SkippedCase {
+                case_index: audit.index,
+                seed: audit.seed,
+                family: audit.family.name(),
+                reason,
+            }),
+            CaseOutcome::Checked {
+                findings,
+                declined,
+                errors,
+            } => {
+                report.checked += 1;
+                report.findings.extend(findings);
+                report
+                    .declined
+                    .extend(declined.into_iter().map(|(metric, reason)| {
+                        DeclinedEvaluation {
+                            case_index: audit.index,
+                            seed: audit.seed,
+                            metric,
+                            reason,
+                        }
+                    }));
+                for (metric, param, error) in errors {
+                    if let Some(slot) = worst
+                        .iter_mut()
+                        .find(|(m, p, _)| *m == metric && *p == param)
+                    {
+                        let beats = slot
+                            .2
+                            .map_or(true, |current| error.abs() > current.error.abs());
+                        if beats {
+                            slot.2 = Some(WorstError {
+                                metric,
+                                param,
+                                error,
+                                case_index: audit.index,
+                                seed: audit.seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report.worst = worst.into_iter().filter_map(|(_, _, w)| w).collect();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_case_seeds_are_decorrelated() {
+        let a = derive_case_seed(1, 0);
+        let b = derive_case_seed(1, 1);
+        let c = derive_case_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Stable across calls (pure function).
+        assert_eq!(a, derive_case_seed(1, 0));
+    }
+
+    #[test]
+    fn families_rotate_over_all_three_regimes() {
+        assert_eq!(case_family(0), CaseFamily::TwoPinFar);
+        assert_eq!(case_family(1), CaseFamily::TwoPinNear);
+        assert_eq!(case_family(2), CaseFamily::Tree);
+        assert_eq!(case_family(3), CaseFamily::TwoPinFar);
+    }
+
+    #[test]
+    fn report_is_deterministic_across_worker_counts() {
+        let base = AuditConfig {
+            cases: 9,
+            seed: 0xa0d1,
+            ..AuditConfig::default()
+        };
+        let serial = run_audit(&AuditConfig {
+            jobs: Jobs::Count(1),
+            ..base
+        });
+        let parallel = run_audit(&AuditConfig {
+            jobs: Jobs::Count(4),
+            ..base
+        });
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    /// Calibration instrument for the default [`ErrorEnvelopes`]: runs the
+    /// deep 500-case audit with effectively-disabled envelopes and prints
+    /// the signed error extremes per `(metric, parameter)` plus the
+    /// conservatism extreme. Run explicitly with
+    /// `cargo test -p xtalk-audit -- --ignored calibrate --nocapture`.
+    #[test]
+    #[ignore = "calibration instrument, not a check — run with --ignored"]
+    fn calibrate_envelopes_deep_run() {
+        use invariants::CaseOutcome;
+        let tech = Technology::p25();
+        let envelopes = ErrorEnvelopes {
+            metric_one: MetricEnvelope {
+                vp: f64::INFINITY,
+                tp: f64::INFINITY,
+                wn: f64::INFINITY,
+            },
+            metric_two: MetricEnvelope {
+                vp: f64::INFINITY,
+                tp: f64::INFINITY,
+                wn: f64::INFINITY,
+            },
+            bound_margin: f64::INFINITY,
+        };
+        let indices: Vec<usize> = (0..500).collect();
+        let audits = par_map_indexed_with(
+            &indices,
+            Jobs::Auto,
+            SimWorkspace::new,
+            |workspace, _, &index| {
+                audit_case(
+                    &tech,
+                    index,
+                    derive_case_seed(1, index),
+                    case_family(index),
+                    &envelopes,
+                    workspace,
+                )
+            },
+        )
+        .expect("calibration workers");
+
+        let mut extremes: std::collections::BTreeMap<(&str, &str), (f64, usize, f64, usize)> =
+            std::collections::BTreeMap::new();
+        let (mut checked, mut skipped, mut declines, mut other_findings) = (0, 0, 0, 0);
+        for audit in &audits {
+            match &audit.outcome {
+                CaseOutcome::Skipped(_) => skipped += 1,
+                CaseOutcome::Checked {
+                    findings,
+                    declined,
+                    errors,
+                } => {
+                    checked += 1;
+                    declines += declined.len();
+                    other_findings += findings.len();
+                    for &(metric, param, rel) in errors {
+                        let slot = extremes
+                            .entry((metric, param))
+                            .or_insert((f64::INFINITY, 0, f64::NEG_INFINITY, 0));
+                        if rel < slot.0 {
+                            slot.0 = rel;
+                            slot.1 = audit.index;
+                        }
+                        if rel > slot.2 {
+                            slot.2 = rel;
+                            slot.3 = audit.index;
+                        }
+                    }
+                }
+            }
+        }
+        println!("checked {checked}, skipped {skipped}, declines {declines}, non-envelope findings {other_findings}");
+        for ((metric, param), (min, min_idx, max, max_idx)) in &extremes {
+            println!(
+                "{metric}/{param}: min {min:+.4} (case {min_idx}, seed {:#x}, {}), max {max:+.4} (case {max_idx}, seed {:#x}, {})",
+                derive_case_seed(1, *min_idx),
+                case_family(*min_idx),
+                derive_case_seed(1, *max_idx),
+                case_family(*max_idx),
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_run_is_clean_with_default_envelopes() {
+        let report = run_audit(&AuditConfig {
+            cases: 12,
+            ..AuditConfig::default()
+        });
+        assert!(report.clean(), "{report}");
+        assert!(report.checked + report.skipped.len() == 12);
+        assert!(report.checked > 0, "every case skipped: {report}");
+    }
+}

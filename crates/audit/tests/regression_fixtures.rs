@@ -1,0 +1,69 @@
+//! Regression fixtures: the worst cases flagged by the deep calibration
+//! run (500 cases, master seed 1 — see `EXPERIMENTS.md`), re-audited
+//! individually from their `(family, seed)` pairs.
+//!
+//! Each of these cases once sat at the edge of an accuracy envelope; the
+//! fixtures pin them so a metric/simulator change that pushes one past
+//! its envelope fails loudly here, with the reproduction seed in hand,
+//! instead of surfacing as a statistical blip in some future deep run.
+
+use xtalk_audit::{audit_seed, ErrorEnvelopes};
+use xtalk_tech::sweep::CaseFamily;
+
+fn assert_clean(seed: u64, family: CaseFamily) -> xtalk_audit::AuditReport {
+    let report = audit_seed(seed, family, &ErrorEnvelopes::default());
+    assert_eq!(report.checked, 1, "case skipped: {report}");
+    assert!(report.clean(), "{report}");
+    report
+}
+
+fn worst(report: &xtalk_audit::AuditReport, metric: &str, param: &str) -> f64 {
+    report
+        .worst
+        .iter()
+        .find(|w| w.metric == metric && w.param == param)
+        .unwrap_or_else(|| panic!("no {metric}/{param} error recorded"))
+        .error
+}
+
+/// Deep-run case 389: the hardest coupled tree — worst Metric I errors on
+/// every parameter and Metric II's worst *under*estimate of the peak
+/// (−8.3%, which sets the default conservatism margin).
+#[test]
+fn tree_with_worst_metric_one_errors_stays_inside_envelopes() {
+    let report = assert_clean(0xff7e497431e5c6a6, CaseFamily::Tree);
+    // Pin the headline error loosely: Metric I's peak-time error on this
+    // case is around −330%; if it drifts outside this window the accuracy
+    // landscape changed and the envelopes need recalibration.
+    let tp = worst(&report, "metric_one", "tp");
+    assert!((-4.2..=-2.4).contains(&tp), "metric I tp error drifted: {tp}");
+    let m2_vp = worst(&report, "metric_two", "vp");
+    assert!(m2_vp < 0.0, "metric II no longer underestimates here: {m2_vp}");
+}
+
+/// Deep-run case 137: worst Metric II peak overestimate (+84%).
+#[test]
+fn tree_with_worst_metric_two_vp_error_stays_inside_envelopes() {
+    let report = assert_clean(0xba405e7791858dad, CaseFamily::Tree);
+    let vp = worst(&report, "metric_two", "vp");
+    assert!((0.6..=1.1).contains(&vp), "metric II vp error drifted: {vp}");
+}
+
+/// Deep-run case 442: worst Metric II peak-time error (−57%).
+#[test]
+fn near_end_with_worst_metric_two_tp_error_stays_inside_envelopes() {
+    assert_clean(0x37807d9fbd2aadeb, CaseFamily::TwoPinNear);
+}
+
+/// Deep-run case 468: worst Metric II width error (−25%).
+#[test]
+fn far_end_with_worst_metric_two_wn_error_stays_inside_envelopes() {
+    assert_clean(0xb24b6dc3540ca545, CaseFamily::TwoPinFar);
+}
+
+/// Deep-run case 403: worst Metric I peak overestimate (+43%) and worst
+/// Metric II width overestimate (+19%) on the same near-end circuit.
+#[test]
+fn near_end_with_worst_overestimates_stays_inside_envelopes() {
+    assert_clean(0xfd039ad1fcb3e907, CaseFamily::TwoPinNear);
+}

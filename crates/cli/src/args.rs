@@ -15,6 +15,21 @@ pub enum Command {
     Reduce,
 }
 
+/// Parsed `xtalk audit` invocation — deck-free, so it is parsed apart
+/// from [`Invocation`].
+#[derive(Debug, Clone)]
+pub struct AuditArgs {
+    /// Number of randomized cases.
+    pub cases: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker-count policy (the report is identical for every value).
+    pub jobs: Jobs,
+    /// Write the JSON report to this path (the human summary always goes
+    /// to stdout).
+    pub json: Option<String>,
+}
+
 /// Noise metric selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MetricArg {
@@ -90,6 +105,8 @@ pub struct Invocation {
 pub enum ParseOutcome {
     /// Run this invocation.
     Run(Invocation),
+    /// Run the differential accuracy audit.
+    Audit(AuditArgs),
     /// Print this help text and exit successfully.
     Help(String),
 }
@@ -104,6 +121,7 @@ USAGE:
                           [--aggressor NAME] [--strict] [--jobs N|auto]
     xtalk delay <deck.sp> [--delay-metric elmore|d2m|two-pole]
     xtalk reduce <deck.sp> [--tau T]
+    xtalk audit [--cases N] [--seed S] [--jobs N|auto] [--json PATH]
 
 The deck must use the subset written by xtalk's SPICE exporter (element
 cards R/C/CC/CL/RDRV plus `*!` net-role directives). Times accept SPICE
@@ -122,6 +140,13 @@ metric II.
 Without --strict, noise analysis falls back along a chain of simpler
 metrics when the preferred one fails; a run that used any fallback
 completes normally but exits with code 2 and prints what degraded.
+
+`xtalk audit` needs no deck: it generates randomized coupled RC cases
+(--cases, default 48; --seed, default 1), checks the closed-form metrics
+against golden transient simulations and paper-level invariants, prints
+a human summary and exits with code 3 if any invariant was violated.
+--json PATH additionally writes the full deterministic report (identical
+bytes for every --jobs value). Deep runs use --cases 500.
 ";
 
 /// Parses `argv` (program name excluded).
@@ -140,6 +165,7 @@ pub fn parse(argv: &[String]) -> Result<ParseOutcome, Box<dyn Error>> {
         Some("noise") => Command::Noise,
         Some("delay") => Command::Delay,
         Some("reduce") => Command::Reduce,
+        Some("audit") => return parse_audit(it),
         Some(other) => return Err(format!("unknown command {other:?}; try --help").into()),
     };
     let deck_path = it
@@ -226,6 +252,42 @@ pub fn parse(argv: &[String]) -> Result<ParseOutcome, Box<dyn Error>> {
     Ok(ParseOutcome::Run(inv))
 }
 
+fn parse_audit(
+    mut it: std::iter::Peekable<std::slice::Iter<'_, String>>,
+) -> Result<ParseOutcome, Box<dyn Error>> {
+    let mut audit = AuditArgs {
+        cases: 48,
+        seed: 1,
+        jobs: Jobs::Auto,
+        json: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, Box<dyn Error>> {
+            it.next().ok_or_else(|| format!("{flag} needs a value").into())
+        };
+        match flag.as_str() {
+            "--cases" => {
+                audit.cases = value()?
+                    .parse()
+                    .map_err(|_| "bad --cases value".to_string())?;
+                if audit.cases == 0 {
+                    return Err("--cases must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                audit.seed = value()?
+                    .parse()
+                    .map_err(|_| "bad --seed value".to_string())?;
+            }
+            "--jobs" => audit.jobs = Jobs::parse(value()?)?,
+            "--json" => audit.json = Some(value()?.to_string()),
+            "--help" | "-h" => return Ok(ParseOutcome::Help(HELP.to_string())),
+            other => return Err(format!("unknown flag {other:?}; try --help").into()),
+        }
+    }
+    Ok(ParseOutcome::Audit(audit))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +348,36 @@ mod tests {
             "0".to_string()
         ])
         .is_err());
+    }
+
+    #[test]
+    fn audit_flags_parse() {
+        let audit = match parse(&["audit".to_string()]).unwrap() {
+            ParseOutcome::Audit(a) => a,
+            other => panic!("expected Audit, got {other:?}"),
+        };
+        assert_eq!(audit.cases, 48);
+        assert_eq!(audit.seed, 1);
+        assert_eq!(audit.jobs, Jobs::Auto);
+        assert!(audit.json.is_none());
+
+        let argv: Vec<String> = ["audit", "--cases", "500", "--seed", "7", "--jobs", "2",
+            "--json", "out.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let audit = match parse(&argv).unwrap() {
+            ParseOutcome::Audit(a) => a,
+            other => panic!("expected Audit, got {other:?}"),
+        };
+        assert_eq!(audit.cases, 500);
+        assert_eq!(audit.seed, 7);
+        assert_eq!(audit.jobs, Jobs::Count(2));
+        assert_eq!(audit.json.as_deref(), Some("out.json"));
+
+        assert!(parse(&["audit".to_string(), "--cases".to_string(), "0".to_string()]).is_err());
+        assert!(parse(&["audit".to_string(), "--seed".to_string(), "x".to_string()]).is_err());
+        assert!(parse(&["audit".to_string(), "deck.sp".to_string()]).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!             [--metric one|two|closed] [--golden] [--threshold 0.1]
 //! xtalk delay <deck.sp> [--metric elmore|d2m|two-pole]
 //! xtalk reduce <deck.sp> [--tau T]        # reduced deck on stdout
+//! xtalk audit [--cases N] [--seed S] [--jobs N|auto] [--json PATH]
 //! ```
 //!
 //! All analysis goes through the same public APIs a library user would
@@ -21,20 +22,23 @@
 mod args;
 mod report;
 
-pub use args::{Command, DelayMetricArg, MetricArg, ParseOutcome, ShapeArg};
+pub use args::{AuditArgs, Command, DelayMetricArg, MetricArg, ParseOutcome, ShapeArg};
 pub use report::{delay_report, info_report, noise_report};
 
 use std::error::Error;
 
 /// A finished run: the report text plus whether any analysis degraded
-/// (fallback metrics used, rows dropped). Degraded runs succeed but the
-/// binary exits with code 2 so scripts can tell the difference.
+/// (fallback metrics used, rows dropped) or any audit invariant was
+/// violated. Degraded runs succeed but the binary exits with code 2;
+/// audit violations exit with code 3.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
     /// Report text for stdout.
     pub report: String,
     /// True when the run completed only by degrading.
     pub degraded: bool,
+    /// True when an audit run found invariant violations.
+    pub violations: bool,
 }
 
 impl RunOutcome {
@@ -42,6 +46,7 @@ impl RunOutcome {
         RunOutcome {
             report,
             degraded: false,
+            violations: false,
         }
     }
 }
@@ -56,6 +61,23 @@ impl RunOutcome {
 pub fn run(argv: &[String]) -> Result<RunOutcome, Box<dyn Error>> {
     match args::parse(argv)? {
         ParseOutcome::Help(text) => Ok(RunOutcome::clean(text)),
+        ParseOutcome::Audit(audit) => {
+            let report = xtalk_audit::run_audit(&xtalk_audit::AuditConfig {
+                cases: audit.cases,
+                seed: audit.seed,
+                jobs: audit.jobs,
+                envelopes: xtalk_audit::ErrorEnvelopes::default(),
+            });
+            if let Some(path) = &audit.json {
+                std::fs::write(path, report.to_json())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            Ok(RunOutcome {
+                report: report.to_string(),
+                degraded: false,
+                violations: !report.clean(),
+            })
+        }
         ParseOutcome::Run(cmd) => {
             let deck = std::fs::read_to_string(&cmd.deck_path)
                 .map_err(|e| format!("cannot read {}: {e}", cmd.deck_path))?;
@@ -64,7 +86,11 @@ pub fn run(argv: &[String]) -> Result<RunOutcome, Box<dyn Error>> {
                 Command::Info => Ok(RunOutcome::clean(info_report(&network))),
                 Command::Noise => {
                     let (report, degraded) = noise_report(&network, &cmd)?;
-                    Ok(RunOutcome { report, degraded })
+                    Ok(RunOutcome {
+                        report,
+                        degraded,
+                        violations: false,
+                    })
                 }
                 Command::Delay => Ok(RunOutcome::clean(delay_report(&network, &cmd)?)),
                 Command::Reduce => Ok(RunOutcome::clean(report::reduce_report(&network, &cmd)?)),

@@ -7,6 +7,9 @@ fn main() {
     match xtalk_cli::run(&argv) {
         Ok(outcome) => {
             print!("{}", outcome.report);
+            if outcome.violations {
+                std::process::exit(3);
+            }
             if outcome.degraded {
                 std::process::exit(2);
             }

@@ -26,6 +26,33 @@ pub enum MetricError {
     /// The input transition time must be positive for the `m` estimate of
     /// eq. (54); use an explicit `m` for ideal steps.
     StepInputNeedsExplicitM,
+    /// The characteristic width `T_W` (eq. 34) degenerated to zero: the
+    /// radicand was non-positive but within floating-point cancellation
+    /// distance of zero, so it was clamped to zero rather than rejected as
+    /// non-physical — and a zero-width pulse cannot seed a template.
+    DegenerateWidth {
+        /// The (clamped) characteristic width (s).
+        t_w: f64,
+    },
+    /// A closed-form evaluation produced a NaN or infinite quantity
+    /// (overflow or underflow at an extreme — but individually valid —
+    /// shape ratio or moment combination). Returned instead of letting a
+    /// non-finite estimate propagate.
+    NonFiniteQuantity {
+        /// Name of the offending quantity (`"vp"`, `"t1"`, …).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A closed-form evaluation produced a waveform quantity that must be
+    /// positive (peak, transition time) but was not — the template
+    /// degenerated under extreme inputs.
+    DegenerateEstimate {
+        /// Name of the offending quantity.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
     /// Failure in the underlying moment computation.
     Moments(MomentError),
     /// The requested baseline cannot produce an estimate for this circuit
@@ -52,6 +79,16 @@ impl fmt::Display for MetricError {
             }
             MetricError::StepInputNeedsExplicitM => {
                 write!(f, "eq. (54) needs a positive input transition time; pass m explicitly for steps")
+            }
+            MetricError::DegenerateWidth { t_w } => write!(
+                f,
+                "characteristic width T_W = {t_w} degenerated to zero: pulse too narrow for template matching"
+            ),
+            MetricError::NonFiniteQuantity { field, value } => {
+                write!(f, "closed-form evaluation produced non-finite {field} = {value}")
+            }
+            MetricError::DegenerateEstimate { field, value } => {
+                write!(f, "closed-form evaluation produced degenerate {field} = {value} (must be positive)")
             }
             MetricError::Moments(e) => write!(f, "moment computation failed: {e}"),
             MetricError::BaselineUnstable { baseline } => {
@@ -89,5 +126,24 @@ mod tests {
         assert!(MetricError::BaselineUnstable { baseline: "yu2" }
             .to_string()
             .contains("yu2"));
+        assert!(MetricError::DegenerateWidth { t_w: 0.0 }
+            .to_string()
+            .contains("T_W"));
+        assert!(
+            MetricError::NonFiniteQuantity {
+                field: "vp",
+                value: f64::INFINITY,
+            }
+            .to_string()
+            .contains("vp = inf")
+        );
+        assert!(
+            MetricError::DegenerateEstimate {
+                field: "t1",
+                value: 0.0,
+            }
+            .to_string()
+            .contains("t1 = 0")
+        );
     }
 }

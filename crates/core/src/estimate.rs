@@ -1,3 +1,5 @@
+use crate::MetricError;
+
 /// A complete closed-form characterization of a noise pulse — the output
 /// of [`crate::MetricOne`] / [`crate::MetricTwo`].
 ///
@@ -78,6 +80,35 @@ impl NoiseEstimate {
     /// ```
     pub fn violates(&self, threshold: f64) -> bool {
         self.vp > threshold
+    }
+
+    /// Post-evaluation validation gate shared by the metric entry points:
+    /// every waveform field must be finite, and the peak and transition
+    /// times strictly positive. The closed forms satisfy this for all
+    /// physical inputs, but extreme — individually valid — shape ratios
+    /// or moments can overflow (`vp → ∞`) or underflow (`t1 → 0`) the
+    /// intermediate arithmetic; this turns such escapes into structured
+    /// errors instead of letting non-finite estimates propagate.
+    pub(crate) fn validated(self) -> Result<Self, MetricError> {
+        for (field, value) in [
+            ("vp", self.vp),
+            ("t0", self.t0),
+            ("t1", self.t1),
+            ("t2", self.t2),
+            ("tp", self.tp),
+            ("wn", self.wn),
+            ("m", self.m),
+        ] {
+            if !value.is_finite() {
+                return Err(MetricError::NonFiniteQuantity { field, value });
+            }
+        }
+        for (field, value) in [("vp", self.vp), ("t1", self.t1), ("t2", self.t2)] {
+            if value <= 0.0 {
+                return Err(MetricError::DegenerateEstimate { field, value });
+            }
+        }
+        Ok(self)
     }
 }
 

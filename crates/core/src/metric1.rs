@@ -41,18 +41,28 @@ impl MetricOne {
     /// # Errors
     ///
     /// * [`MetricError::BadShapeRatio`] — `m` not positive/finite.
-    /// * [`MetricError::NonPhysicalMoments`] — `T_W² ≤ 0` (eq. 34).
+    /// * [`MetricError::NonPhysicalMoments`] — `T_W²` negative beyond
+    ///   cancellation distance (eq. 34).
+    /// * [`MetricError::DegenerateWidth`] — `T_W` clamped to zero
+    ///   (cancellation-negative radicand): no template fits a zero-width
+    ///   pulse.
+    /// * [`MetricError::NonFiniteQuantity`] /
+    ///   [`MetricError::DegenerateEstimate`] — the arithmetic overflowed
+    ///   or underflowed at an extreme `m`/moment combination.
     pub fn estimate(f: &OutputMoments, m: f64) -> Result<NoiseEstimate, MetricError> {
         if !(m.is_finite() && m > 0.0) {
             return Err(MetricError::BadShapeRatio { m });
         }
         let tw = f.t_w()?;
+        if tw <= 0.0 {
+            return Err(MetricError::DegenerateWidth { t_w: tw });
+        }
         let root = (m * m + m + 1.0).sqrt();
         let vp = root / (m + 1.0) * 2.0 * f.f1() / tw;
         let t1 = tw / root;
         let t2 = m * t1;
         let t0 = f.centroid() - (m + 2.0) / (3.0 * root) * tw;
-        Ok(NoiseEstimate {
+        NoiseEstimate {
             vp,
             t0,
             t1,
@@ -61,7 +71,8 @@ impl MetricOne {
             wn: (m + 1.0) * t1,
             m,
             polarity: f.polarity(),
-        })
+        }
+        .validated()
     }
 
     /// Evaluates the metric with `m` estimated from the input transition
@@ -90,11 +101,22 @@ impl MetricOne {
     ///
     /// # Errors
     ///
-    /// Propagates the `T_W` computation errors.
+    /// Propagates the `T_W` computation errors;
+    /// [`MetricError::DegenerateWidth`] when `T_W` clamped to zero;
+    /// [`MetricError::NonFiniteQuantity`] when `2·f1/T_W` overflows.
     pub fn bounds(f: &OutputMoments) -> Result<NoiseBounds, MetricError> {
         let tw = f.t_w()?;
+        if tw <= 0.0 {
+            return Err(MetricError::DegenerateWidth { t_w: tw });
+        }
         let c = f.centroid();
         let base = 2.0 * f.f1() / tw;
+        if !base.is_finite() {
+            return Err(MetricError::NonFiniteQuantity {
+                field: "vp_bound",
+                value: base,
+            });
+        }
         Ok(NoiseBounds {
             vp: (3.0f64.sqrt() / 2.0 * base, base),
             t0: (c - 2.0 / 3.0 * tw, c - 1.0 / 3.0 * tw),
@@ -218,6 +240,56 @@ mod tests {
                 Err(MetricError::BadShapeRatio { .. })
             ));
         }
+    }
+
+    #[test]
+    fn zero_width_moments_are_a_structured_degenerate_error() {
+        // Cancellation-clamped T_W = 0 (radicand a hair below zero): the
+        // estimate, bounds and auto paths all return DegenerateWidth
+        // instead of dividing by zero.
+        let (area, c) = (2e-11, 3e-10);
+        let f3 = area * c * c / 2.0 * (1.0 - 1e-13);
+        let f = OutputMoments::from_raw(area, -area * c, f3, 1.0).unwrap();
+        assert_eq!(f.t_w().unwrap(), 0.0);
+        assert!(matches!(
+            MetricOne::estimate(&f, 1.0),
+            Err(MetricError::DegenerateWidth { .. })
+        ));
+        assert!(matches!(
+            MetricOne::bounds(&f),
+            Err(MetricError::DegenerateWidth { .. })
+        ));
+        assert!(matches!(
+            MetricOne::estimate_auto(&f, 1e-10),
+            Err(MetricError::DegenerateWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn genuinely_negative_radicand_still_rejected_as_non_physical() {
+        // The other branch of the discriminant guard: far-negative T_W².
+        let f = OutputMoments::from_raw(1e-11, -1e-21, 1e-33, 1.0).unwrap();
+        assert!(matches!(
+            MetricOne::estimate(&f, 1.0),
+            Err(MetricError::NonPhysicalMoments { .. })
+        ));
+    }
+
+    #[test]
+    fn overflowing_arithmetic_is_a_structured_error_not_nan() {
+        // m = 1e300 is finite and positive — it passes the shape-ratio
+        // gate — but m² overflows: root = inf, t1 = 0, vp = inf. The
+        // post-validation gate must catch it.
+        let tpl = PwlTemplate::new(0.0, 1e-10, 1.0, 0.2);
+        let f = moments_of(&tpl);
+        let err = MetricOne::estimate(&f, 1e300).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MetricError::NonFiniteQuantity { .. } | MetricError::DegenerateEstimate { .. }
+            ),
+            "unexpected error: {err:?}"
+        );
     }
 
     #[test]

@@ -75,12 +75,23 @@ impl MetricTwo {
     /// # Errors
     ///
     /// * [`MetricError::BadShapeRatio`] — `m` not positive/finite.
-    /// * [`MetricError::NonPhysicalMoments`] — `T_W² ≤ 0`.
+    /// * [`MetricError::NonPhysicalMoments`] — `T_W²` negative beyond
+    ///   cancellation distance.
+    /// * [`MetricError::DegenerateWidth`] — `T_W` clamped to zero.
+    /// * [`MetricError::NonFiniteQuantity`] /
+    ///   [`MetricError::DegenerateEstimate`] — `T1` underflowed to zero or
+    ///   the quartic `m` polynomial overflowed, which would otherwise emit
+    ///   infinite `Vp`/`T1`/`T2`; callers like
+    ///   [`crate::RobustAnalyzer`] route these through the fallback chain
+    ///   with the failure recorded in the provenance.
     pub fn estimate(&self, f: &OutputMoments, m: f64) -> Result<NoiseEstimate, MetricError> {
         if !(m.is_finite() && m > 0.0) {
             return Err(MetricError::BadShapeRatio { m });
         }
         let tw = f.t_w()?;
+        if tw <= 0.0 {
+            return Err(MetricError::DegenerateWidth { t_w: tw });
+        }
         let a = m / self.lambda;
         let poly = 72.0 * a.powi(4) + 72.0 * a.powi(3) + 24.0 * a * a + 6.0 * a + 1.0;
         let t1 = (2.0 * a + 1.0) / poly.sqrt() * tw;
@@ -89,7 +100,7 @@ impl MetricTwo {
         let t0 = c - (6.0 * a * a + 6.0 * a + 2.0) / (6.0 * a + 3.0) * t1;
         let tp = c - (6.0 * a * a - 1.0) / (6.0 * a + 3.0) * t1;
         let t2 = m * t1;
-        Ok(NoiseEstimate {
+        NoiseEstimate {
             vp,
             t0,
             t1,
@@ -98,7 +109,8 @@ impl MetricTwo {
             wn: (m + 1.0) * t1,
             m,
             polarity: f.polarity(),
-        })
+        }
+        .validated()
     }
 
     /// Evaluates the metric with `m` from eq. (54) seeded by the input
@@ -208,5 +220,39 @@ mod tests {
     #[should_panic(expected = "lambda must be positive")]
     fn zero_lambda_panics() {
         MetricTwo::with_lambda(0.0);
+    }
+
+    #[test]
+    fn overflowing_shape_ratio_is_a_structured_error_not_inf() {
+        // m = 1e300 passes the positivity gate but a⁴ overflows: poly =
+        // inf, t1 = 0, vp = inf — the pre-fix escape. The validation gate
+        // must return a structured error instead of non-finite metrics.
+        let tpl = LinExpTemplate::new(0.0, 1e-10, 1.0, LAMBDA, 0.2);
+        let f = moments_of(&tpl);
+        let err = MetricTwo::default().estimate(&f, 1e300).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MetricError::NonFiniteQuantity { .. } | MetricError::DegenerateEstimate { .. }
+            ),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_width_moments_are_a_structured_degenerate_error() {
+        // Cancellation-clamped T_W = 0: vp = 2·f1/((2a+1)·t1) would divide
+        // by zero; the guard returns DegenerateWidth first.
+        let (area, c) = (2e-11, 3e-10);
+        let f3 = area * c * c / 2.0 * (1.0 - 1e-13);
+        let f = OutputMoments::from_raw(area, -area * c, f3, 1.0).unwrap();
+        assert!(matches!(
+            MetricTwo::default().estimate(&f, 1.0),
+            Err(MetricError::DegenerateWidth { .. })
+        ));
+        assert!(matches!(
+            MetricTwo::default().estimate_auto(&f, 1e-10),
+            Err(MetricError::DegenerateWidth { .. })
+        ));
     }
 }

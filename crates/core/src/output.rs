@@ -45,6 +45,13 @@ pub struct OutputMoments {
 /// 1e-30.
 const F1_FLOOR: f64 = 1e-30;
 
+/// Relative tolerance classifying a non-positive `T_W²` radicand as
+/// floating-point cancellation (clamped to zero) rather than genuinely
+/// non-physical moments (rejected). The radicand's two terms each carry a
+/// handful of ulp of rounding error; 1e-12 of their magnitude covers that
+/// with two orders of margin.
+const CANCELLATION_TOL: f64 = 1e-12;
+
 impl OutputMoments {
     /// Combines transfer-function Taylor coefficients `h = [h0, h1, h2, h3]`
     /// with an input signal (eqs. 11–14). `h0` must be 0 (noise transfer);
@@ -70,10 +77,18 @@ impl OutputMoments {
     /// # Errors
     ///
     /// [`MetricError::NoNoise`] when `f1` is not positive (the
-    /// rising-equivalent pulse must have positive area).
+    /// rising-equivalent pulse must have positive area);
+    /// [`MetricError::NonFiniteQuantity`] when `f2` or `f3` is NaN or
+    /// infinite (corrupt external moments must not propagate).
     pub fn from_raw(f1: f64, f2: f64, f3: f64, polarity: f64) -> Result<Self, MetricError> {
         if !(f1.is_finite() && f1 > F1_FLOOR) {
             return Err(MetricError::NoNoise);
+        }
+        if !f2.is_finite() {
+            return Err(MetricError::NonFiniteQuantity { field: "f2", value: f2 });
+        }
+        if !f3.is_finite() {
+            return Err(MetricError::NonFiniteQuantity { field: "f3", value: f3 });
         }
         Ok(OutputMoments {
             f1,
@@ -111,15 +126,32 @@ impl OutputMoments {
     /// Characteristic pulse width `T_W = √(36·f3/f1 − 18·(f2/f1)²)`
     /// (eq. 34).
     ///
+    /// The radicand is a difference of two like-sized positive terms, so
+    /// exact moments of a vanishingly narrow pulse can land a few ulp
+    /// *below* zero from cancellation alone. Such values are clamped to
+    /// zero (returning `T_W = 0`) instead of being rejected; radicands
+    /// negative beyond cancellation distance remain a hard error. Callers
+    /// that divide by `T_W` must treat zero as degenerate — the metric
+    /// entry points return [`MetricError::DegenerateWidth`] for it.
+    ///
     /// # Errors
     ///
-    /// [`MetricError::NonPhysicalMoments`] when the radicand is not
-    /// positive.
+    /// [`MetricError::NonPhysicalMoments`] when the radicand is negative
+    /// beyond floating-point cancellation distance, or not finite.
     pub fn t_w(&self) -> Result<f64, MetricError> {
         let r = self.f2 / self.f1;
-        let tw2 = 36.0 * self.f3 / self.f1 - 18.0 * r * r;
+        let positive_term = 36.0 * self.f3 / self.f1;
+        let negative_term = 18.0 * r * r;
+        let tw2 = positive_term - negative_term;
         if tw2 > 0.0 && tw2.is_finite() {
-            Ok(tw2.sqrt())
+            return Ok(tw2.sqrt());
+        }
+        // Cancellation guard: each term carries O(eps) relative error, so
+        // a radicand within eps-distance of zero (relative to the terms'
+        // magnitude) is "zero" — clamp rather than reject.
+        let scale = positive_term.abs().max(negative_term);
+        if tw2.is_finite() && tw2.abs() <= CANCELLATION_TOL * scale {
+            Ok(0.0)
         } else {
             Err(MetricError::NonPhysicalMoments { tw_squared: tw2 })
         }
@@ -160,7 +192,11 @@ pub fn shape_ratio_m(t_w: f64, t_r: f64) -> Result<f64, MetricError> {
     }
     let ratio = t_w / t_r;
     let disc = 4.0 * ratio * ratio - 3.0;
-    let m = if disc <= 1.0 {
+    let m = if !disc.is_finite() {
+        // ratio² overflowed (huge T_W against a denormal t_r): the
+        // step-like end of the range, same as any ratio past the cap.
+        M_MAX
+    } else if disc <= 1.0 {
         // T_W ≤ t_r: the PWL seed gives m ≤ 0; degenerate to a sharp fall.
         M_MIN
     } else {
@@ -220,12 +256,54 @@ mod tests {
 
     #[test]
     fn non_physical_moments_rejected() {
-        // Variance would be negative.
+        // Variance would be negative — far beyond cancellation distance.
         let f = OutputMoments::from_raw(1e-11, -1e-21, 1e-33, 1.0).unwrap();
         assert!(matches!(
             f.t_w(),
             Err(MetricError::NonPhysicalMoments { .. })
         ));
+    }
+
+    #[test]
+    fn cancellation_negative_radicand_clamps_to_zero_width() {
+        // A zero-variance pulse: f3 = f1·c²/2 exactly, so the radicand is
+        // 36·c²/2 − 18·c² = 0 analytically. Perturb f3 down by one part in
+        // 1e13 — well above rounding noise, still inside the cancellation
+        // tolerance — and the radicand lands a hair below zero. That must
+        // clamp, not reject.
+        let (area, c) = (2e-11, 3e-10);
+        let f3 = area * c * c / 2.0 * (1.0 - 1e-13);
+        let f = OutputMoments::from_raw(area, -area * c, f3, 1.0).unwrap();
+        assert_eq!(f.t_w().unwrap(), 0.0);
+        // One part in 1e6 is genuinely negative: rejected.
+        let f3 = area * c * c / 2.0 * (1.0 - 1e-6);
+        let f = OutputMoments::from_raw(area, -area * c, f3, 1.0).unwrap();
+        assert!(matches!(
+            f.t_w(),
+            Err(MetricError::NonPhysicalMoments { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_higher_moments_rejected_up_front() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                OutputMoments::from_raw(1e-11, bad, 1e-31, 1.0),
+                Err(MetricError::NonFiniteQuantity { field: "f2", .. })
+            ));
+            assert!(matches!(
+                OutputMoments::from_raw(1e-11, -1e-21, bad, 1.0),
+                Err(MetricError::NonFiniteQuantity { field: "f3", .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn shape_ratio_overflow_clamps_to_cap() {
+        // T_W/t_r overflows f64 when squared: eq. (54) degenerates to the
+        // step-like cap instead of propagating an infinite discriminant.
+        let m = shape_ratio_m(1e200, 1e-200).unwrap();
+        assert_eq!(m, 1e3);
     }
 
     #[test]

@@ -206,6 +206,15 @@ pub struct FallbackPolicy {
     /// clamping `vp` into `[0, 1]` (recorded in the provenance). When
     /// `false`, such estimates fail [`SanityError::PeakOutOfRange`].
     pub clamp_vp: bool,
+    /// Clamp a noise arrival `t0` that precedes both the input arrival
+    /// and `t = 0` up to that floor, re-deriving `t1`/`t2` so the
+    /// identities `tp = t0 + t1` and `wn = t1 + t2` (and the physical
+    /// `tp`, `wn` themselves) are preserved. Every clamp is recorded in
+    /// [`Provenance::timing_clamps`]. A slightly early `t0` is a template
+    /// artifact the paper accepts — clamping keeps downstream consumers
+    /// (timing windows, report tables) free of negative times without
+    /// changing the peak or width.
+    pub clamp_timing: bool,
     /// The lowest-fidelity rung the chain may descend to.
     pub floor: Rung,
 }
@@ -215,6 +224,7 @@ impl Default for FallbackPolicy {
         FallbackPolicy {
             strict: false,
             clamp_vp: true,
+            clamp_timing: true,
             floor: Rung::LumpedPi,
         }
     }
@@ -227,6 +237,7 @@ impl FallbackPolicy {
         FallbackPolicy {
             strict: true,
             clamp_vp: false,
+            clamp_timing: false,
             floor: Rung::MetricTwo,
         }
     }
@@ -239,6 +250,7 @@ pub struct Provenance {
     rung: Rung,
     failures: Vec<RungFailure>,
     clamped: bool,
+    timing_clamps: Vec<&'static str>,
     validation_warnings: usize,
 }
 
@@ -256,6 +268,15 @@ impl Provenance {
     /// `true` when the peak was clamped into `[0, 1]`.
     pub fn clamped(&self) -> bool {
         self.clamped
+    }
+
+    /// Names of the timing quantities adjusted by the post-hoc timing
+    /// clamp (see [`FallbackPolicy::clamp_timing`]), in the order they
+    /// were applied; empty when nothing was clamped. Like validation
+    /// warnings, timing clamps alone do not count as degradation — a
+    /// slightly early template `t0` is routine.
+    pub fn timing_clamps(&self) -> &[&'static str] {
+        &self.timing_clamps
     }
 
     /// Number of validation *warnings* on the analyzed network (errors
@@ -284,6 +305,9 @@ impl fmt::Display for Provenance {
             for failure in &self.failures {
                 write!(f, "; {failure}")?;
             }
+        }
+        if !self.timing_clamps.is_empty() {
+            write!(f, "; timing clamped: {}", self.timing_clamps.join(", "))?;
         }
         if self.validation_warnings > 0 {
             write!(f, "; {} validation warning(s)", self.validation_warnings)?;
@@ -471,7 +495,7 @@ impl<'a> RobustAnalyzer<'a> {
             match attempt {
                 Ok(mut estimate) => match sanity_check(&estimate, input) {
                     Ok(()) => {
-                        return Ok(self.accept(estimate, rung, failures, false));
+                        return Ok(self.accept(estimate, rung, failures, false, input));
                     }
                     // The range check runs last, so an out-of-range peak
                     // means everything else about the estimate is sane.
@@ -479,7 +503,7 @@ impl<'a> RobustAnalyzer<'a> {
                         if self.policy.clamp_vp && !self.policy.strict =>
                     {
                         estimate.vp = estimate.vp.clamp(0.0, 1.0);
-                        return Ok(self.accept(estimate, rung, failures, true));
+                        return Ok(self.accept(estimate, rung, failures, true, input));
                     }
                     Err(sanity) => failures.push(RungFailure {
                         rung,
@@ -501,17 +525,24 @@ impl<'a> RobustAnalyzer<'a> {
 
     fn accept(
         &self,
-        estimate: NoiseEstimate,
+        mut estimate: NoiseEstimate,
         rung: Rung,
         failures: Vec<RungFailure>,
         clamped: bool,
+        input: &InputSignal,
     ) -> RobustEstimate {
+        let timing_clamps = if self.policy.clamp_timing {
+            clamp_timing(&mut estimate, input.arrival().min(0.0))
+        } else {
+            Vec::new()
+        };
         RobustEstimate {
             estimate,
             provenance: Provenance {
                 rung,
                 failures,
                 clamped,
+                timing_clamps,
                 validation_warnings: self
                     .validation
                     .with_severity(Severity::Warning)
@@ -588,6 +619,34 @@ fn envelope_estimate(bounds: &NoiseBounds, polarity: f64) -> NoiseEstimate {
         m: 1.0,
         polarity,
     }
+}
+
+/// Clamps a noise arrival that precedes `floor` (`min(arrival, 0)`) up to
+/// it, recording which fields changed. The physical quantities — peak
+/// time `tp` and width `wn` — are preserved to within one rounding step;
+/// `t1` and `t2` are re-derived (`t1' = tp − floor`, `t2' = wn − t1'`) and
+/// `tp`/`wn` recomputed from the parts so `tp = t0 + t1` and
+/// `wn = t1 + t2` hold *exactly* post-clamp. Since `t0 < floor ≤ tp`
+/// implies `0 < t1' < t1` and `t2' > t2 > 0`, the adjusted transition
+/// times stay positive; the one unclampable corner (`tp` exactly at the
+/// floor, which would need `t1' = 0`) is left untouched.
+fn clamp_timing(e: &mut NoiseEstimate, floor: f64) -> Vec<&'static str> {
+    let mut clamps = Vec::new();
+    if e.t0 < floor {
+        let t1 = e.tp - floor;
+        if t1 > 0.0 {
+            e.t0 = floor;
+            e.t1 = t1;
+            e.t2 = e.wn - t1;
+            e.tp = floor + t1;
+            e.wn = t1 + e.t2;
+            e.m = e.t2 / e.t1;
+            clamps.push("t0");
+            clamps.push("t1");
+            clamps.push("t2");
+        }
+    }
+    clamps
 }
 
 /// Post-hoc checks, ordered so the recoverable failure (peak out of
@@ -680,7 +739,13 @@ mod tests {
             r.provenance.failures()[0].error,
             RungError::Metric(MetricError::StepInputNeedsExplicitM)
         ));
-        assert!((r.estimate.m - 1.0).abs() < 1e-12);
+        // The symmetric rung emits m = 1; the timing clamp may re-derive m
+        // from the clamped flanks, but the identities must stay exact.
+        if r.provenance.timing_clamps().is_empty() {
+            assert!((r.estimate.m - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(r.estimate.tp, r.estimate.t0 + r.estimate.t1);
+        assert_eq!(r.estimate.wn, r.estimate.t1 + r.estimate.t2);
     }
 
     #[test]
@@ -764,6 +829,78 @@ mod tests {
         assert!(r.provenance.clamped());
         assert!(r.provenance.degraded());
         assert_eq!(r.provenance.rung(), Rung::MetricTwo);
+    }
+
+    #[test]
+    fn early_template_arrival_is_clamped_with_identities_preserved() {
+        // Moments whose centroid sits close to t = 0 put the template's
+        // extrapolated t0 before the input switches. The default policy
+        // clamps t0 up to 0, preserving tp and wn and re-deriving t1/t2 so
+        // the identities hold exactly — and records the clamp.
+        let (net, agg) = coupled_network();
+        let analyzer = RobustAnalyzer::new(&net).unwrap();
+        let input = InputSignal::rising_ramp(0.0, 1e-10);
+        let f1 = 1e-11;
+        let c = 6e-11; // centroid barely after the arrival
+        let tw = 3e-10; // wide pulse: t0 = c − extent lands negative
+        let f3 = (tw * tw / 18.0 + c * c) * f1 / 2.0;
+        let moments = OutputMoments::from_raw(f1, -f1 * c, f3, 1.0);
+        let r = analyzer.chain(moments, agg, &input).unwrap();
+        let e = &r.estimate;
+        assert_eq!(e.t0, 0.0, "t0 clamped to the arrival floor");
+        assert!(r.provenance.timing_clamps().contains(&"t0"));
+        assert!(e.t1 > 0.0 && e.t2 > 0.0);
+        assert_eq!(e.tp, e.t0 + e.t1, "tp identity exact post-clamp");
+        assert_eq!(e.wn, e.t1 + e.t2, "wn identity exact post-clamp");
+        assert!((e.m - e.t2 / e.t1).abs() <= 1e-12 * e.m);
+        // A timing clamp alone is not degradation (like validation
+        // warnings) — the estimate still came from the best rung.
+        assert!(!r.provenance.degraded());
+        assert!(r.provenance.to_string().contains("timing clamped: t0"));
+
+        // The same moments with clamping disabled keep the raw template.
+        let policy = FallbackPolicy {
+            clamp_timing: false,
+            ..FallbackPolicy::default()
+        };
+        let analyzer = RobustAnalyzer::with_policy(&net, policy).unwrap();
+        let moments = OutputMoments::from_raw(f1, -f1 * c, f3, 1.0);
+        let raw = analyzer.chain(moments, agg, &input).unwrap();
+        assert!(raw.estimate.t0 < 0.0);
+        assert!(raw.provenance.timing_clamps().is_empty());
+    }
+
+    #[test]
+    fn causal_arrival_is_not_touched_by_the_timing_clamp() {
+        // A centroid far past the arrival with a narrow pulse keeps t0
+        // comfortably positive — the clamp must be a no-op.
+        let (net, agg) = coupled_network();
+        let analyzer = RobustAnalyzer::new(&net).unwrap();
+        let input = InputSignal::rising_ramp(0.0, 1e-10);
+        let f1 = 1e-11;
+        let c = 5e-10;
+        let tw = 1e-10;
+        let f3 = (tw * tw / 18.0 + c * c) * f1 / 2.0;
+        let moments = OutputMoments::from_raw(f1, -f1 * c, f3, 1.0);
+        let r = analyzer.chain(moments, agg, &input).unwrap();
+        assert!(r.estimate.t0 > 0.0);
+        assert!(r.provenance.timing_clamps().is_empty());
+        assert!(!r.provenance.to_string().contains("timing clamped"));
+        assert!(r.estimate.t1 > 0.0 && r.estimate.t2 > 0.0);
+        assert!((r.estimate.tp - (r.estimate.t0 + r.estimate.t1)).abs() <= 1e-12 * r.estimate.t1);
+    }
+
+    #[test]
+    fn negative_arrival_keeps_its_own_floor() {
+        // An input switching at t = −50 ps may legitimately produce noise
+        // before t = 0; the floor is min(arrival, 0), not 0.
+        let (net, agg) = coupled_network();
+        let analyzer = RobustAnalyzer::new(&net).unwrap();
+        let r = analyzer
+            .analyze(agg, &InputSignal::rising_ramp(-5e-11, 1e-10))
+            .unwrap();
+        assert!(r.estimate.t0 >= -5e-11 - 1e-24);
+        assert!(r.estimate.t1 > 0.0 && r.estimate.t2 > 0.0);
     }
 
     #[test]

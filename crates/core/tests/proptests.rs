@@ -191,6 +191,93 @@ proptest! {
     }
 
     #[test]
+    fn metric_two_peak_never_exceeds_pwl_bound_times_factor(
+        (t0, t1, m, vp) in params(),
+        m_guess in 1e-3..1e3f64,
+        linexp_source in any::<bool>(),
+    ) {
+        // The closed-form upper Vp bound (eq. 40) is the PWL template's
+        // m → extremes; metric II's peak may exceed it by at most √72/4
+        // (its α → ∞, pure-exponential-decay limit) for ANY moment
+        // source — PWL- or LinExp-shaped.
+        let [e1, e2, e3] = if linexp_source {
+            LinExpTemplate::new(t0, t1, m, LAMBDA, vp).moments()
+        } else {
+            PwlTemplate::new(t0, t1, m, vp).moments()
+        };
+        let f = OutputMoments::from_raw(e1, e2, e3, 1.0).unwrap();
+        let bounds = MetricOne::bounds(&f).unwrap();
+        let est2 = MetricTwo::default().estimate(&f, m_guess).unwrap();
+        let cap = bounds.vp.1 * (72f64.sqrt() / 4.0);
+        prop_assert!(
+            est2.vp <= cap * (1.0 + 1e-9),
+            "metric II vp {} exceeds PWL bound {} × √72/4 = {cap}",
+            est2.vp,
+            bounds.vp.1,
+        );
+    }
+
+    #[test]
+    fn metric_one_stays_in_bounds_for_linexp_moments(
+        (t0, t1, m, vp) in params(),
+        m_guess in 1e-3..1e3f64,
+    ) {
+        // Bound domination must not depend on the moments coming from the
+        // metric's own template family.
+        let [e1, e2, e3] = LinExpTemplate::new(t0, t1, m, LAMBDA, vp).moments();
+        let f = OutputMoments::from_raw(e1, e2, e3, 1.0).unwrap();
+        let bounds = MetricOne::bounds(&f).unwrap();
+        let est = MetricOne::estimate(&f, m_guess).unwrap();
+        prop_assert!(bounds.contains(&est), "m_guess={m_guess}: {est:?} vs {bounds:?}");
+    }
+
+    #[test]
+    fn robust_estimates_preserve_identities_even_when_clamped(
+        rd_v in 1.0..1e4f64,
+        rd_a in 1.0..1e4f64,
+        rw in 0.1..1e4f64,
+        cg in 1e-17..1e-13f64,
+        cl in 1e-16..1e-13f64,
+        cc in 1e-16..1e-13f64,
+        input in input(),
+    ) {
+        // Healthy-element circuits: whatever rung the robust pipeline lands
+        // on — including runs where the non-causal timing clamp rewrote
+        // t0/t1/t2 — the accepted estimate keeps the construction
+        // identities to 1e-9 relative and every field finite.
+        let Ok(network) = degenerate_pair(rd_v, rd_a, rw, cg, cl, cc) else {
+            return Ok(());
+        };
+        let Ok(robust) = RobustAnalyzer::new(&network) else {
+            return Ok(());
+        };
+        for (agg, _) in network.aggressor_nets() {
+            let Ok(re) = robust.analyze(agg, &input) else { continue };
+            let e = &re.estimate;
+            prop_assert!(
+                [e.vp, e.t0, e.t1, e.t2, e.tp, e.wn, e.m].iter().all(|x| x.is_finite()),
+                "non-finite field: {e:?} ({})",
+                re.provenance
+            );
+            prop_assert!(
+                (e.tp - (e.t0 + e.t1)).abs() <= 1e-9 * e.tp.abs().max(e.t1),
+                "tp identity broken ({}): {e:?}",
+                re.provenance
+            );
+            prop_assert!(
+                (e.wn - (e.t1 + e.t2)).abs() <= 1e-9 * e.wn,
+                "wn identity broken ({}): {e:?}",
+                re.provenance
+            );
+            prop_assert!(
+                (e.m - e.t2 / e.t1).abs() <= 1e-9 * e.m,
+                "m identity broken ({}): {e:?}",
+                re.provenance
+            );
+        }
+    }
+
+    #[test]
     fn cross_template_estimates_agree_on_order_of_magnitude(
         (t0, t1, m, vp) in params(),
     ) {

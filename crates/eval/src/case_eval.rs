@@ -2,7 +2,7 @@ use std::fmt;
 use xtalk_core::baselines::{devgan, lumped_pi, vittal, yu_one_pole, yu_two_pole, BaselineEstimate};
 use xtalk_core::{MetricError, MetricKind, NoiseAnalyzer};
 use xtalk_moments::{tree, TwoPoleFit};
-use xtalk_sim::{measure_noise, NoiseWaveformParams, SimOptions, SimWorkspace, TransientSim};
+use xtalk_sim::{golden_noise_with, NoiseWaveformParams, SimWorkspace};
 use xtalk_tech::sweep::SweepCase;
 
 /// The analytical metrics compared in the paper's tables, column order.
@@ -160,26 +160,10 @@ pub fn evaluate_case_with(
     let agg = case.aggressor;
     let input = &case.input;
 
-    // Golden: transient simulation + waveform measurement, with one
-    // horizon retry for slow tails.
-    let sim = TransientSim::new(net).map_err(|e| format!("sim setup: {e}"))?;
-    let mut opts = SimOptions::auto(net, &[(agg, *input)]);
-    let golden = loop {
-        let res = sim
-            .run_with(&[(agg, *input)], &opts, workspace)
-            .map_err(|e| format!("sim run: {e}"))?;
-        match measure_noise(
-            res.probe(net.victim_output()).expect("victim probed"),
-            input.noise_polarity(),
-        ) {
-            Ok(p) => break p,
-            Err(xtalk_sim::SimError::Truncated) if opts.t_stop < 1e-6 => {
-                opts.t_stop *= 4.0;
-                opts.dt *= 4.0;
-            }
-            Err(e) => return Err(format!("golden measurement: {e}")),
-        }
-    };
+    // Golden: transient simulation + waveform measurement; the shared
+    // helper grows the horizon on slow tails.
+    let golden = golden_noise_with(net, &[(agg, *input)], net.victim_output(), workspace)
+        .map_err(|e| format!("golden measurement: {e}"))?;
     // Screening threshold: pulses below 0.5% of Vdd are what the standard
     // flow filters out before detailed analysis; scoring relative errors on
     // them only measures numerical noise.

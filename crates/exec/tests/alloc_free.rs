@@ -81,20 +81,28 @@ fn metric_formulas_do_not_allocate() {
         black_box(MetricOne::bounds(black_box(&moments))).expect("bounds evaluate");
     }
 
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
-    for _ in 0..10_000 {
-        black_box(MetricOne::estimate_auto(black_box(&moments), black_box(t_r)))
-            .expect("metric I evaluates");
-        black_box(metric_two.estimate_auto(black_box(&moments), black_box(t_r)))
-            .expect("metric II evaluates");
-        black_box(MetricOne::bounds(black_box(&moments))).expect("bounds evaluate");
+    // A per-iteration allocation shows up in every window; one-shot lazy
+    // inits that slipped past the warm-up (runtime/libstd internals, not
+    // the formulas) only dirty the first. Measure up to twice and demand
+    // a clean steady-state window.
+    let mut deltas = [0usize; 2];
+    for delta in &mut deltas {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for _ in 0..10_000 {
+            black_box(MetricOne::estimate_auto(black_box(&moments), black_box(t_r)))
+                .expect("metric I evaluates");
+            black_box(metric_two.estimate_auto(black_box(&moments), black_box(t_r)))
+                .expect("metric II evaluates");
+            black_box(MetricOne::bounds(black_box(&moments))).expect("bounds evaluate");
+        }
+        *delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+        if *delta == 0 {
+            return;
+        }
     }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
 
-    assert_eq!(
-        after - before,
-        0,
-        "metric formula hot paths allocated {} time(s) over 10k iterations",
-        after - before
+    panic!(
+        "metric formula hot paths allocated {}/{} time(s) over two 10k-iteration windows",
+        deltas[0], deltas[1]
     );
 }

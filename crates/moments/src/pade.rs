@@ -89,13 +89,14 @@ impl TwoPoleFit {
     ///
     /// [`MomentError::ZeroOrder`] when fewer than four coefficients are
     /// supplied; [`MomentError::DegenerateFit`] when `h1 ≈ 0` (no coupling
-    /// to the observed node).
+    /// to the observed node) or any coefficient is non-finite (a NaN `h2`
+    /// would otherwise poison `b1`/`b2` silently).
     pub fn from_taylor(h: &[f64]) -> Result<Self, MomentError> {
         if h.len() < 4 {
             return Err(MomentError::ZeroOrder);
         }
         let (h1, h2, h3) = (h[1], h[2], h[3]);
-        if h1.abs() < DEGENERATE_H1 {
+        if h1.abs() < DEGENERATE_H1 || !(h1.is_finite() && h2.is_finite() && h3.is_finite()) {
             return Err(MomentError::DegenerateFit);
         }
         let b1 = -h2 / h1;
@@ -343,6 +344,21 @@ mod tests {
             TwoPoleFit::from_taylor(&[0.0, 1.0]),
             Err(MomentError::ZeroOrder)
         ));
+    }
+
+    #[test]
+    fn non_finite_taylor_coefficients_rejected() {
+        // A NaN h2 with a healthy h1 would silently poison b1 = −h2/h1.
+        for bad in [
+            [0.0, f64::NAN, -2e-21, 3.75e-31],
+            [0.0, 1e-11, f64::NAN, 3.75e-31],
+            [0.0, 1e-11, -2e-21, f64::INFINITY],
+        ] {
+            assert!(matches!(
+                TwoPoleFit::from_taylor(&bad),
+                Err(MomentError::DegenerateFit)
+            ));
+        }
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! One-call golden measurement: simulate, measure, retry the horizon.
+//!
+//! Every consumer that wants a golden (simulated) waveform measurement —
+//! the paper-table evaluation harness, the differential audit, ad-hoc
+//! comparisons — needs the same three steps: build a [`TransientSim`],
+//! run it with [`SimOptions::auto`], and extract the waveform parameters
+//! with [`measure_noise`]. Slowly decaying tails need one extra wrinkle:
+//! when the pulse has not fallen back below the 50% crossing by the end
+//! of the auto horizon, [`measure_noise`] reports [`SimError::Truncated`]
+//! and the horizon (and step, keeping the point count constant) must grow
+//! until the tail fits. This module packages that loop so the retry
+//! policy cannot drift between callers.
+
+use crate::{measure_noise, NoiseWaveformParams, SimError, SimOptions, SimWorkspace, TransientSim};
+use xtalk_circuit::{signal::InputSignal, NetId, Network, NodeId};
+
+/// Longest horizon the retry loop grows to before giving up: 1 µs, three
+/// orders of magnitude beyond any realistic on-chip noise tail. A pulse
+/// still truncated at this horizon is reported as [`SimError::Truncated`].
+pub const MAX_HORIZON: f64 = 1e-6;
+
+/// Factor the horizon (and step) grow by on each truncation retry.
+const HORIZON_GROWTH: f64 = 4.0;
+
+/// Golden waveform parameters at the victim output for a single
+/// aggressor, with a fresh workspace. See [`golden_noise_with`].
+///
+/// # Errors
+///
+/// As [`golden_noise_with`].
+///
+/// # Examples
+///
+/// ```
+/// use xtalk_circuit::{signal::InputSignal, NetRole, NetworkBuilder};
+/// use xtalk_sim::golden::golden_noise;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetworkBuilder::new();
+/// let v = b.add_net("v", NetRole::Victim);
+/// let a = b.add_net("a", NetRole::Aggressor);
+/// let vn = b.add_node(v, "v0");
+/// let an = b.add_node(a, "a0");
+/// b.add_driver(v, vn, 1000.0)?;
+/// b.add_driver(a, an, 1000.0)?;
+/// b.add_sink(vn, 20e-15)?;
+/// b.add_sink(an, 20e-15)?;
+/// b.add_coupling_cap(vn, an, 40e-15)?;
+/// let network = b.build()?;
+///
+/// let golden = golden_noise(&network, a, &InputSignal::rising_ramp(0.0, 1e-10))?;
+/// assert!(golden.vp > 0.0 && golden.wn > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn golden_noise(
+    network: &Network,
+    aggressor: NetId,
+    input: &InputSignal,
+) -> Result<NoiseWaveformParams, SimError> {
+    golden_noise_with(
+        network,
+        &[(aggressor, *input)],
+        network.victim_output(),
+        &mut SimWorkspace::new(),
+    )
+}
+
+/// Golden waveform parameters at `node`, reusing a caller-provided
+/// workspace (one per worker thread in batch flows; the retries within a
+/// case recycle the factorization buffers).
+///
+/// The measured polarity is taken from the first stimulus — callers with
+/// several simultaneous aggressors must switch them in the same
+/// direction, which is the worst-case alignment the paper analyzes.
+///
+/// # Errors
+///
+/// Any [`SimError`] from setup, integration, or measurement.
+/// [`SimError::Truncated`] is retried with a `4×` longer horizon (and
+/// proportionally coarser step) until [`MAX_HORIZON`]; it escapes only
+/// when even that horizon cannot contain the pulse.
+pub fn golden_noise_with(
+    network: &Network,
+    stimuli: &[(NetId, InputSignal)],
+    node: NodeId,
+    workspace: &mut SimWorkspace,
+) -> Result<NoiseWaveformParams, SimError> {
+    let polarity = match stimuli.first() {
+        Some((_, input)) => input.noise_polarity(),
+        None => {
+            return Err(SimError::BadOptions {
+                detail: "golden measurement needs at least one stimulus".into(),
+            })
+        }
+    };
+    let sim = TransientSim::new(network)?;
+    let mut opts = SimOptions::auto(network, stimuli);
+    loop {
+        let res = sim.run_with(stimuli, &opts, workspace)?;
+        let waveform = res.probe(node).ok_or_else(|| SimError::BadOptions {
+            detail: format!("probe node {node:?} is not part of the simulated network"),
+        })?;
+        match measure_noise(waveform, polarity) {
+            Ok(params) => return Ok(params),
+            Err(SimError::Truncated) if opts.t_stop < MAX_HORIZON => {
+                opts.t_stop *= HORIZON_GROWTH;
+                opts.dt *= HORIZON_GROWTH;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_circuit::{NetRole, NetworkBuilder};
+
+    fn coupled() -> (Network, NetId) {
+        let mut b = NetworkBuilder::new();
+        let v = b.add_net("v", NetRole::Victim);
+        let a = b.add_net("a", NetRole::Aggressor);
+        let vn = b.add_node(v, "v0");
+        let an = b.add_node(a, "a0");
+        b.add_driver(v, vn, 1000.0).unwrap();
+        b.add_driver(a, an, 1000.0).unwrap();
+        b.add_sink(vn, 20e-15).unwrap();
+        b.add_sink(an, 20e-15).unwrap();
+        b.add_coupling_cap(vn, an, 40e-15).unwrap();
+        (b.build().unwrap(), a)
+    }
+
+    #[test]
+    fn matches_the_manual_simulate_and_measure_path() {
+        let (net, agg) = coupled();
+        let input = InputSignal::rising_ramp(0.0, 1e-10);
+        let golden = golden_noise(&net, agg, &input).unwrap();
+
+        let sim = TransientSim::new(&net).unwrap();
+        let stim = [(agg, input)];
+        let opts = SimOptions::auto(&net, &stim);
+        let res = sim.run(&stim, &opts).unwrap();
+        let manual =
+            measure_noise(res.probe(net.victim_output()).unwrap(), 1.0).unwrap();
+        assert_eq!(golden.vp, manual.vp);
+        assert_eq!(golden.wn, manual.wn);
+        assert_eq!(golden.tp, manual.tp);
+    }
+
+    #[test]
+    fn empty_stimuli_is_a_structured_error() {
+        let (net, _) = coupled();
+        let err = golden_noise_with(
+            &net,
+            &[],
+            net.victim_output(),
+            &mut SimWorkspace::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::BadOptions { .. }));
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let (net, agg) = coupled();
+        let input = InputSignal::rising_ramp(0.0, 1e-10);
+        let mut ws = SimWorkspace::new();
+        let first = golden_noise_with(&net, &[(agg, input)], net.victim_output(), &mut ws).unwrap();
+        let second =
+            golden_noise_with(&net, &[(agg, input)], net.victim_output(), &mut ws).unwrap();
+        assert_eq!(first.vp, second.vp);
+        assert_eq!(first.t0, second.t0);
+    }
+}

@@ -54,10 +54,12 @@
 
 mod engine;
 mod error;
+pub mod golden;
 pub mod measure;
 mod waveform;
 
 pub use engine::{IntegrationMethod, SimOptions, SimResult, SimWorkspace, TransientSim};
 pub use error::SimError;
+pub use golden::{golden_noise, golden_noise_with};
 pub use measure::{measure_noise, NoiseWaveformParams};
 pub use waveform::Waveform;

@@ -322,6 +322,82 @@ pub fn tree_cases_jobs(
     build_drawn(drawn, tech, jobs, TreeSpec::build)
 }
 
+/// A family of randomized case topologies, used by callers (like the
+/// audit harness) that draw one case at a time from an explicit per-case
+/// seed instead of walking a shared RNG stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaseFamily {
+    /// Two coupled pin-to-pin lines, far-end coupling (Table 1 regime).
+    TwoPinFar,
+    /// Two coupled pin-to-pin lines, near-end coupling (Table 2 regime).
+    TwoPinNear,
+    /// Coupled RC trees (Table 3 regime).
+    Tree,
+}
+
+impl CaseFamily {
+    /// All families, in rotation order.
+    pub const ALL: [CaseFamily; 3] = [
+        CaseFamily::TwoPinFar,
+        CaseFamily::TwoPinNear,
+        CaseFamily::Tree,
+    ];
+
+    /// Short machine-readable name (stable; used in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            CaseFamily::TwoPinFar => "two_pin_far",
+            CaseFamily::TwoPinNear => "two_pin_near",
+            CaseFamily::Tree => "tree",
+        }
+    }
+}
+
+impl fmt::Display for CaseFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generates exactly one case of `family` from its own `seed`, with the
+/// same parameter distributions as the batch sweeps (25% corner cases).
+///
+/// Differential harnesses use this to give every audit case an
+/// independent seed: a flagged case is then reproducible from `(family,
+/// seed)` alone, without regenerating the rest of the batch.
+///
+/// # Errors
+///
+/// The [`SweepFailure`] of the drawn spec when it fails to build
+/// (possible only with a degenerate [`Technology`]).
+pub fn single_case(
+    tech: &Technology,
+    family: CaseFamily,
+    seed: u64,
+) -> Result<SweepCase, SweepFailure> {
+    let config = SweepConfig {
+        cases: 1,
+        seed,
+        corner_fraction: 0.25,
+    };
+    let mut run = match family {
+        CaseFamily::TwoPinFar => {
+            two_pin_cases_jobs(tech, CouplingDirection::FarEnd, &config, Jobs::Count(1))
+        }
+        CaseFamily::TwoPinNear => {
+            two_pin_cases_jobs(tech, CouplingDirection::NearEnd, &config, Jobs::Count(1))
+        }
+        CaseFamily::Tree => tree_cases_jobs(tech, true, &config, Jobs::Count(1)),
+    };
+    match run.failures.pop() {
+        Some(failure) => Err(failure),
+        None => Ok(run
+            .cases
+            .pop()
+            .expect("a one-case sweep without failures yields one case")),
+    }
+}
+
 /// The Figure 5 sweep: `L2 = 0.5 mm`, `L3 = 1.5 mm`,
 /// `L1 = 0.1 … 1.0 mm` in `points` steps, far-end, fixed mid-range
 /// drivers and loads, 100 ps rising ramp.
@@ -474,6 +550,28 @@ mod tests {
                 .couplings_between(case.aggressor, case.network.victim())
                 .count() > 0);
         }
+    }
+
+    #[test]
+    fn single_case_is_reproducible_from_family_and_seed() {
+        let tech = Technology::p25();
+        for family in CaseFamily::ALL {
+            let a = single_case(&tech, family, 0xfeed).unwrap();
+            let b = single_case(&tech, family, 0xfeed).unwrap();
+            assert_eq!(a.label, b.label, "{family}");
+            assert_eq!(a.input, b.input);
+            assert_eq!(a.network.node_count(), b.network.node_count());
+            // A different seed draws a different case.
+            let c = single_case(&tech, family, 0xfeed + 1).unwrap();
+            assert!(a.input != c.input || a.network.node_count() != c.network.node_count());
+        }
+    }
+
+    #[test]
+    fn single_case_reports_build_failures() {
+        let mut tech = Technology::p25();
+        tech.c_per_m = -tech.c_per_m;
+        assert!(single_case(&tech, CaseFamily::TwoPinFar, 7).is_err());
     }
 
     #[test]

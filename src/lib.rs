@@ -22,6 +22,9 @@
 //!   factors; Elmore/D2M/two-pole 50% delay and output slew).
 //! * Validate against the golden transient simulator in [`sim`].
 //! * Reproduce the paper's tables and figures with [`eval`].
+//! * Audit the closed forms differentially against simulation with
+//!   [`audit`] (randomized cases, paper-level invariants, deterministic
+//!   reports).
 //!
 //! # Example
 //!
@@ -55,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use xtalk_audit as audit;
 pub use xtalk_circuit as circuit;
 pub use xtalk_core as core;
 pub use xtalk_delay as delay;
