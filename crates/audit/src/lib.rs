@@ -178,6 +178,7 @@ pub fn audit_seed(seed: u64, family: CaseFamily, envelopes: &ErrorEnvelopes) -> 
 /// Panics only when a worker thread itself panics (a harness bug, not a
 /// data condition — every per-case failure is a recorded skip).
 pub fn run_audit(config: &AuditConfig) -> AuditReport {
+    let _span = xtalk_obs::span!("audit.run");
     let tech = Technology::p25();
     let indices: Vec<usize> = (0..config.cases).collect();
     let audits = par_map_indexed_with(
@@ -185,6 +186,7 @@ pub fn run_audit(config: &AuditConfig) -> AuditReport {
         config.jobs,
         SimWorkspace::new,
         |workspace, _, &index| {
+            let _case_span = xtalk_obs::span!("audit.case");
             audit_case(
                 &tech,
                 index,
@@ -279,6 +281,10 @@ fn fold_report(
         }
     }
     report.worst = worst.into_iter().filter_map(|(_, _, w)| w).collect();
+    xtalk_obs::counter!("audit.cases.checked").add(report.checked as u64);
+    xtalk_obs::counter!("audit.cases.skipped").add(report.skipped.len() as u64);
+    xtalk_obs::counter!("audit.declined").add(report.declined.len() as u64);
+    xtalk_obs::counter!("audit.findings.total").add(report.findings.len() as u64);
     report
 }
 

@@ -100,6 +100,71 @@ pub struct Invocation {
     pub jobs: Jobs,
 }
 
+/// Observability switches — accepted by every sub-command, extracted in
+/// a pre-pass so `--metrics-out` works identically on `noise`, `sweep`
+/// and `audit`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsArgs {
+    /// Write the deterministic metrics snapshot (JSON) here.
+    pub metrics_out: Option<String>,
+    /// Write the Chrome-trace span timeline (JSON) here.
+    pub trace_out: Option<String>,
+    /// Print a human metrics/timings table to stderr at exit.
+    pub stats: bool,
+    /// Silence warnings and progress chatter (they are still counted in
+    /// `warnings.total`).
+    pub quiet: bool,
+}
+
+impl ObsArgs {
+    /// True when any metric recording must be switched on.
+    pub fn wants_metrics(&self) -> bool {
+        self.metrics_out.is_some() || self.stats
+    }
+}
+
+/// Which randomized case family `xtalk sweep` draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepFamily {
+    /// Two-pin, far-end coupling (Table 1 regime) — the default.
+    #[default]
+    Far,
+    /// Two-pin, near-end coupling (Table 2 regime).
+    Near,
+    /// Random coupled RC trees (Table 3 regime).
+    Tree,
+    /// All three families in sequence.
+    All,
+}
+
+impl SweepFamily {
+    /// Family name as accepted on the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepFamily::Far => "far",
+            SweepFamily::Near => "near",
+            SweepFamily::Tree => "tree",
+            SweepFamily::All => "all",
+        }
+    }
+}
+
+/// Parsed `xtalk sweep` invocation: an instrumented randomized accuracy
+/// sweep (generation + degradation scan + golden evaluation).
+#[derive(Debug, Clone)]
+pub struct SweepCmdArgs {
+    /// Number of randomized cases per family.
+    pub cases: usize,
+    /// RNG seed (same seed → same cases → same deterministic metrics).
+    pub seed: u64,
+    /// Fraction of cases forced into extreme corners.
+    pub corners: f64,
+    /// Worker-count policy (deterministic outputs for every value).
+    pub jobs: Jobs,
+    /// Case family selection.
+    pub family: SweepFamily,
+}
+
 /// Result of parsing: either run an analysis or print help.
 #[derive(Debug, Clone)]
 pub enum ParseOutcome {
@@ -107,6 +172,8 @@ pub enum ParseOutcome {
     Run(Invocation),
     /// Run the differential accuracy audit.
     Audit(AuditArgs),
+    /// Run the instrumented randomized sweep.
+    Sweep(SweepCmdArgs),
     /// Print this help text and exit successfully.
     Help(String),
 }
@@ -122,6 +189,8 @@ USAGE:
     xtalk delay <deck.sp> [--delay-metric elmore|d2m|two-pole]
     xtalk reduce <deck.sp> [--tau T]
     xtalk audit [--cases N] [--seed S] [--jobs N|auto] [--json PATH]
+    xtalk sweep [--cases N] [--seed S] [--corners F]
+                [--family far|near|tree|all] [--jobs N|auto]
 
 The deck must use the subset written by xtalk's SPICE exporter (element
 cards R/C/CC/CL/RDRV plus `*!` net-role directives). Times accept SPICE
@@ -147,15 +216,60 @@ against golden transient simulations and paper-level invariants, prints
 a human summary and exits with code 3 if any invariant was violated.
 --json PATH additionally writes the full deterministic report (identical
 bytes for every --jobs value). Deep runs use --cases 500.
+
+`xtalk sweep` generates randomized coupled cases (--cases, default 48;
+--seed; --corners corner fraction, default 0.2; --family far|near|tree|all,
+default far), runs the fallback-chain degradation scan and the golden
+evaluation, and prints accuracy tables. It exits with code 2 when any
+case needed a fallback metric.
+
+Observability (accepted by every command):
+    --metrics-out PATH  write the metrics snapshot as deterministic JSON
+                        (byte-identical for every --jobs value)
+    --trace-out PATH    write the span timeline as Chrome-trace JSON
+                        (load in chrome://tracing or ui.perfetto.dev)
+    --stats             print a metrics and timings table to stderr
+    --quiet             silence warnings and progress (still counted in
+                        the warnings.total metric)
 ";
 
-/// Parses `argv` (program name excluded).
+/// Parses `argv` (program name excluded), returning the command outcome
+/// plus the observability switches (which any command accepts anywhere
+/// on the line).
 ///
 /// # Errors
 ///
 /// Returns a user-readable message for unknown commands/flags or
 /// malformed values.
-pub fn parse(argv: &[String]) -> Result<ParseOutcome, Box<dyn Error>> {
+pub fn parse(argv: &[String]) -> Result<(ParseOutcome, ObsArgs), Box<dyn Error>> {
+    let (rest, obs) = extract_obs(argv)?;
+    Ok((parse_command(&rest)?, obs))
+}
+
+/// Pre-pass: strips the observability flags out of `argv` so the
+/// per-command parsers never see them.
+fn extract_obs(argv: &[String]) -> Result<(Vec<String>, ObsArgs), Box<dyn Error>> {
+    let mut obs = ObsArgs::default();
+    let mut rest = Vec::with_capacity(argv.len());
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<String, Box<dyn Error>> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} needs a value").into())
+        };
+        match arg.as_str() {
+            "--metrics-out" => obs.metrics_out = Some(value()?),
+            "--trace-out" => obs.trace_out = Some(value()?),
+            "--stats" => obs.stats = true,
+            "--quiet" => obs.quiet = true,
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((rest, obs))
+}
+
+fn parse_command(argv: &[String]) -> Result<ParseOutcome, Box<dyn Error>> {
     let mut it = argv.iter().peekable();
     let command = match it.next().map(String::as_str) {
         None | Some("--help") | Some("-h") | Some("help") => {
@@ -166,6 +280,7 @@ pub fn parse(argv: &[String]) -> Result<ParseOutcome, Box<dyn Error>> {
         Some("delay") => Command::Delay,
         Some("reduce") => Command::Reduce,
         Some("audit") => return parse_audit(it),
+        Some("sweep") => return parse_sweep(it),
         Some(other) => return Err(format!("unknown command {other:?}; try --help").into()),
     };
     let deck_path = it
@@ -288,12 +403,69 @@ fn parse_audit(
     Ok(ParseOutcome::Audit(audit))
 }
 
+fn parse_sweep(
+    mut it: std::iter::Peekable<std::slice::Iter<'_, String>>,
+) -> Result<ParseOutcome, Box<dyn Error>> {
+    let mut sweep = SweepCmdArgs {
+        cases: 48,
+        seed: 0x2002_da7e,
+        corners: 0.2,
+        jobs: Jobs::Auto,
+        family: SweepFamily::default(),
+    };
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, Box<dyn Error>> {
+            it.next().ok_or_else(|| format!("{flag} needs a value").into())
+        };
+        match flag.as_str() {
+            "--cases" => {
+                sweep.cases = value()?
+                    .parse()
+                    .map_err(|_| "bad --cases value".to_string())?;
+                if sweep.cases == 0 {
+                    return Err("--cases must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                sweep.seed = value()?
+                    .parse()
+                    .map_err(|_| "bad --seed value".to_string())?;
+            }
+            "--corners" => {
+                sweep.corners = value()?
+                    .parse()
+                    .map_err(|_| "bad --corners value".to_string())?;
+                if !(0.0..=1.0).contains(&sweep.corners) {
+                    return Err("--corners must be a fraction in [0, 1]".into());
+                }
+            }
+            "--family" => {
+                sweep.family = match value()?.as_str() {
+                    "far" => SweepFamily::Far,
+                    "near" => SweepFamily::Near,
+                    "tree" => SweepFamily::Tree,
+                    "all" => SweepFamily::All,
+                    other => return Err(format!("unknown sweep family {other:?}").into()),
+                };
+            }
+            "--jobs" => sweep.jobs = Jobs::parse(value()?)?,
+            "--help" | "-h" => return Ok(ParseOutcome::Help(HELP.to_string())),
+            other => return Err(format!("unknown flag {other:?}; try --help").into()),
+        }
+    }
+    Ok(ParseOutcome::Sweep(sweep))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn parse_outcome(args: &[&str]) -> Result<(ParseOutcome, ObsArgs), Box<dyn Error>> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
     fn parse_ok(args: &[&str]) -> Invocation {
-        match parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap() {
+        match parse_outcome(args).unwrap().0 {
             ParseOutcome::Run(inv) => inv,
             other => panic!("expected Run, got {other:?}"),
         }
@@ -341,18 +513,12 @@ mod tests {
         assert_eq!(inv.jobs, Jobs::Count(4));
         let inv = parse_ok(&["noise", "d.sp", "--jobs", "auto"]);
         assert_eq!(inv.jobs, Jobs::Auto);
-        assert!(parse(&[
-            "noise".to_string(),
-            "d.sp".to_string(),
-            "--jobs".to_string(),
-            "0".to_string()
-        ])
-        .is_err());
+        assert!(parse_outcome(&["noise", "d.sp", "--jobs", "0"]).is_err());
     }
 
     #[test]
     fn audit_flags_parse() {
-        let audit = match parse(&["audit".to_string()]).unwrap() {
+        let audit = match parse_outcome(&["audit"]).unwrap().0 {
             ParseOutcome::Audit(a) => a,
             other => panic!("expected Audit, got {other:?}"),
         };
@@ -361,12 +527,12 @@ mod tests {
         assert_eq!(audit.jobs, Jobs::Auto);
         assert!(audit.json.is_none());
 
-        let argv: Vec<String> = ["audit", "--cases", "500", "--seed", "7", "--jobs", "2",
-            "--json", "out.json"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let audit = match parse(&argv).unwrap() {
+        let audit = match parse_outcome(&[
+            "audit", "--cases", "500", "--seed", "7", "--jobs", "2", "--json", "out.json",
+        ])
+        .unwrap()
+        .0
+        {
             ParseOutcome::Audit(a) => a,
             other => panic!("expected Audit, got {other:?}"),
         };
@@ -375,32 +541,85 @@ mod tests {
         assert_eq!(audit.jobs, Jobs::Count(2));
         assert_eq!(audit.json.as_deref(), Some("out.json"));
 
-        assert!(parse(&["audit".to_string(), "--cases".to_string(), "0".to_string()]).is_err());
-        assert!(parse(&["audit".to_string(), "--seed".to_string(), "x".to_string()]).is_err());
-        assert!(parse(&["audit".to_string(), "deck.sp".to_string()]).is_err());
+        assert!(parse_outcome(&["audit", "--cases", "0"]).is_err());
+        assert!(parse_outcome(&["audit", "--seed", "x"]).is_err());
+        assert!(parse_outcome(&["audit", "deck.sp"]).is_err());
+    }
+
+    #[test]
+    fn sweep_flags_parse() {
+        let sweep = match parse_outcome(&["sweep"]).unwrap().0 {
+            ParseOutcome::Sweep(s) => s,
+            other => panic!("expected Sweep, got {other:?}"),
+        };
+        assert_eq!(sweep.cases, 48);
+        assert_eq!(sweep.family, SweepFamily::Far);
+        assert!((sweep.corners - 0.2).abs() < 1e-12);
+        assert_eq!(sweep.jobs, Jobs::Auto);
+
+        let sweep = match parse_outcome(&[
+            "sweep", "--cases", "12", "--seed", "9", "--corners", "0.5", "--family", "tree",
+            "--jobs", "3",
+        ])
+        .unwrap()
+        .0
+        {
+            ParseOutcome::Sweep(s) => s,
+            other => panic!("expected Sweep, got {other:?}"),
+        };
+        assert_eq!(sweep.cases, 12);
+        assert_eq!(sweep.seed, 9);
+        assert!((sweep.corners - 0.5).abs() < 1e-12);
+        assert_eq!(sweep.family, SweepFamily::Tree);
+        assert_eq!(sweep.jobs, Jobs::Count(3));
+
+        assert!(parse_outcome(&["sweep", "--cases", "0"]).is_err());
+        assert!(parse_outcome(&["sweep", "--corners", "1.5"]).is_err());
+        assert!(parse_outcome(&["sweep", "--family", "wide"]).is_err());
+        assert!(parse_outcome(&["sweep", "deck.sp"]).is_err());
+    }
+
+    #[test]
+    fn obs_flags_extracted_from_any_command() {
+        let (outcome, obs) = parse_outcome(&[
+            "noise", "d.sp", "--metrics-out", "m.json", "--golden", "--stats", "--quiet",
+        ])
+        .unwrap();
+        let inv = match outcome {
+            ParseOutcome::Run(inv) => inv,
+            other => panic!("expected Run, got {other:?}"),
+        };
+        assert!(inv.golden);
+        assert_eq!(obs.metrics_out.as_deref(), Some("m.json"));
+        assert!(obs.trace_out.is_none());
+        assert!(obs.stats);
+        assert!(obs.quiet);
+        assert!(obs.wants_metrics());
+
+        // Position-independent: obs flags may precede the command.
+        let (outcome, obs) =
+            parse_outcome(&["--trace-out", "t.json", "sweep", "--cases", "4"]).unwrap();
+        assert!(matches!(outcome, ParseOutcome::Sweep(_)));
+        assert_eq!(obs.trace_out.as_deref(), Some("t.json"));
+        assert!(!obs.wants_metrics());
+
+        assert!(parse_outcome(&["sweep", "--metrics-out"]).is_err());
+        assert!(parse_outcome(&["sweep", "--trace-out"]).is_err());
+
+        let (_, obs) = parse_outcome(&["audit", "--cases", "2"]).unwrap();
+        assert_eq!(obs, ObsArgs::default());
     }
 
     #[test]
     fn help_and_errors() {
         assert!(matches!(
-            parse(&["--help".to_string()]).unwrap(),
+            parse_outcome(&["--help"]).unwrap().0,
             ParseOutcome::Help(_)
         ));
-        assert!(matches!(parse(&[]).unwrap(), ParseOutcome::Help(_)));
-        assert!(parse(&["bogus".to_string()]).is_err());
-        assert!(parse(&["noise".to_string()]).is_err());
-        assert!(parse(&[
-            "noise".to_string(),
-            "d.sp".to_string(),
-            "--slew".to_string(),
-            "fast".to_string()
-        ])
-        .is_err());
-        assert!(parse(&[
-            "noise".to_string(),
-            "d.sp".to_string(),
-            "--wat".to_string()
-        ])
-        .is_err());
+        assert!(matches!(parse_outcome(&[]).unwrap().0, ParseOutcome::Help(_)));
+        assert!(parse_outcome(&["bogus"]).is_err());
+        assert!(parse_outcome(&["noise"]).is_err());
+        assert!(parse_outcome(&["noise", "d.sp", "--slew", "fast"]).is_err());
+        assert!(parse_outcome(&["noise", "d.sp", "--wat"]).is_err());
     }
 }

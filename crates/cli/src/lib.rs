@@ -10,7 +10,13 @@
 //! xtalk delay <deck.sp> [--metric elmore|d2m|two-pole]
 //! xtalk reduce <deck.sp> [--tau T]        # reduced deck on stdout
 //! xtalk audit [--cases N] [--seed S] [--jobs N|auto] [--json PATH]
+//! xtalk sweep [--cases N] [--seed S] [--corners F] [--family FAM]
 //! ```
+//!
+//! Every command additionally accepts the observability switches
+//! `--metrics-out PATH`, `--trace-out PATH`, `--stats` and `--quiet`
+//! (see [`xtalk_obs`]): metrics snapshots are deterministic JSON
+//! (byte-identical across `--jobs` values), traces are Chrome-trace JSON.
 //!
 //! All analysis goes through the same public APIs a library user would
 //! call; the CLI only parses arguments and formats reports. The library
@@ -21,8 +27,12 @@
 
 mod args;
 mod report;
+mod sweep;
 
-pub use args::{AuditArgs, Command, DelayMetricArg, MetricArg, ParseOutcome, ShapeArg};
+pub use args::{
+    AuditArgs, Command, DelayMetricArg, MetricArg, ObsArgs, ParseOutcome, ShapeArg, SweepCmdArgs,
+    SweepFamily,
+};
 pub use report::{delay_report, info_report, noise_report};
 
 use std::error::Error;
@@ -59,8 +69,53 @@ impl RunOutcome {
 /// Propagates argument, I/O, parse and analysis errors as boxed errors
 /// with user-readable messages.
 pub fn run(argv: &[String]) -> Result<RunOutcome, Box<dyn Error>> {
-    match args::parse(argv)? {
+    let (outcome, obs) = args::parse(argv)?;
+    apply_obs(&obs);
+    let result = dispatch(outcome);
+    // Outputs are written even when the command failed or degraded — a
+    // partial run's metrics are exactly the interesting ones. The command
+    // error wins over an output-write error.
+    match (result, finish_obs(&obs)) {
+        (Err(e), _) => Err(e),
+        (Ok(outcome), Ok(())) => Ok(outcome),
+        (Ok(_), Err(e)) => Err(e),
+    }
+}
+
+/// Switches the observability sinks on before any analysis runs.
+fn apply_obs(obs: &ObsArgs) {
+    xtalk_obs::set_quiet(obs.quiet);
+    if obs.wants_metrics() {
+        xtalk_obs::enable_metrics();
+    }
+    if obs.trace_out.is_some() {
+        xtalk_obs::enable_tracing();
+    }
+}
+
+/// Writes the requested observability outputs after the command finished.
+fn finish_obs(obs: &ObsArgs) -> Result<(), Box<dyn Error>> {
+    if obs.metrics_out.is_some() || obs.stats {
+        let snap = xtalk_obs::snapshot();
+        if let Some(path) = &obs.metrics_out {
+            std::fs::write(path, snap.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if obs.stats {
+            eprint!("{}", snap.stats_table());
+        }
+    }
+    if let Some(path) = &obs.trace_out {
+        std::fs::write(path, xtalk_obs::take_trace_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn dispatch(outcome: ParseOutcome) -> Result<RunOutcome, Box<dyn Error>> {
+    match outcome {
         ParseOutcome::Help(text) => Ok(RunOutcome::clean(text)),
+        ParseOutcome::Sweep(sweep) => sweep::run_sweep(&sweep),
         ParseOutcome::Audit(audit) => {
             let report = xtalk_audit::run_audit(&xtalk_audit::AuditConfig {
                 cases: audit.cases,

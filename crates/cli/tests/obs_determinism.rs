@@ -1,0 +1,70 @@
+//! Proves the observability acceptance contract end to end:
+//!
+//! * the deterministic metrics snapshot written by `--metrics-out` is
+//!   byte-identical for `--jobs 1` and `--jobs 4` on the same sweep, and
+//! * `--trace-out` emits structurally valid Chrome-trace JSON.
+//!
+//! This file holds exactly one `#[test]` — the metrics registry is
+//! process-global, and a sibling test recording metrics concurrently
+//! would make the two runs' snapshots diverge for reasons that have
+//! nothing to do with worker scheduling.
+
+use std::fs;
+
+fn run_xtalk(args: &[&str]) {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let outcome = xtalk_cli::run(&argv).expect("sweep runs");
+    assert!(!outcome.violations, "sweep never reports audit violations");
+}
+
+#[test]
+fn sweep_metrics_are_jobs_invariant_and_trace_is_valid() {
+    let dir = std::env::temp_dir().join(format!("xtalk-obs-det-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("temp dir");
+    let m1 = dir.join("m1.json");
+    let m4 = dir.join("m4.json");
+    let trace = dir.join("trace.json");
+    let m1s = m1.to_string_lossy().into_owned();
+    let m4s = m4.to_string_lossy().into_owned();
+    let ts = trace.to_string_lossy().into_owned();
+
+    run_xtalk(&[
+        "sweep", "--cases", "6", "--jobs", "1", "--quiet", "--metrics-out", &m1s, "--trace-out",
+        &ts,
+    ]);
+    let metrics1 = fs::read_to_string(&m1).expect("metrics written");
+    let trace_json = fs::read_to_string(&trace).expect("trace written");
+
+    // The snapshot carries the workload-determined counters.
+    assert!(metrics1.contains("\"sweep.cases.generated\": 6"));
+    assert!(metrics1.contains("\"sim.golden.runs\": 6"));
+    assert!(metrics1.contains("\"resilience.rung."));
+    // ...and none of the scheduling-dependent ones.
+    assert!(!metrics1.contains("exec.workers.spawned"));
+    assert!(!metrics1.contains("span."));
+
+    // Chrome-trace structural shape: a JSON object with a traceEvents
+    // array, leading process-name metadata, and complete ("X") spans
+    // carrying microsecond timestamps.
+    assert!(trace_json.starts_with('{'));
+    assert!(trace_json.contains("\"displayTimeUnit\": \"ms\""));
+    assert!(trace_json.contains("\"traceEvents\": ["));
+    assert!(trace_json.contains("\"process_name\""));
+    assert!(trace_json.contains("\"ph\": \"X\""));
+    assert!(trace_json.contains("\"name\": \"sim.golden\""));
+    assert!(trace_json.trim_end().ends_with('}'));
+
+    // Same workload on four workers: every deterministic counter must
+    // land on exactly the same value, byte for byte.
+    xtalk_obs::reset();
+    run_xtalk(&[
+        "sweep", "--cases", "6", "--jobs", "4", "--quiet", "--metrics-out", &m4s,
+    ]);
+    let metrics4 = fs::read_to_string(&m4).expect("metrics written");
+    assert_eq!(
+        metrics1, metrics4,
+        "deterministic metrics snapshot must not depend on --jobs"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}

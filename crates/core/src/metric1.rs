@@ -50,6 +50,7 @@ impl MetricOne {
     ///   [`MetricError::DegenerateEstimate`] — the arithmetic overflowed
     ///   or underflowed at an extreme `m`/moment combination.
     pub fn estimate(f: &OutputMoments, m: f64) -> Result<NoiseEstimate, MetricError> {
+        xtalk_obs::counter!("core.metric1.estimates").add(1);
         if !(m.is_finite() && m > 0.0) {
             return Err(MetricError::BadShapeRatio { m });
         }
@@ -105,6 +106,7 @@ impl MetricOne {
     /// [`MetricError::DegenerateWidth`] when `T_W` clamped to zero;
     /// [`MetricError::NonFiniteQuantity`] when `2·f1/T_W` overflows.
     pub fn bounds(f: &OutputMoments) -> Result<NoiseBounds, MetricError> {
+        xtalk_obs::counter!("core.metric1.bounds").add(1);
         let tw = f.t_w()?;
         if tw <= 0.0 {
             return Err(MetricError::DegenerateWidth { t_w: tw });

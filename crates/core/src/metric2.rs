@@ -85,6 +85,7 @@ impl MetricTwo {
     ///   [`crate::RobustAnalyzer`] route these through the fallback chain
     ///   with the failure recorded in the provenance.
     pub fn estimate(&self, f: &OutputMoments, m: f64) -> Result<NoiseEstimate, MetricError> {
+        xtalk_obs::counter!("core.metric2.estimates").add(1);
         if !(m.is_finite() && m > 0.0) {
             return Err(MetricError::BadShapeRatio { m });
         }

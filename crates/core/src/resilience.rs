@@ -517,9 +517,11 @@ impl<'a> RobustAnalyzer<'a> {
             }
             if self.policy.strict {
                 let first = failures.remove(0);
+                xtalk_obs::counter!("resilience.strict_refusals").add(1);
                 return Err(RobustError::StrictDegradation(first));
             }
         }
+        xtalk_obs::counter!("resilience.exhausted").add(1);
         Err(RobustError::Exhausted(failures))
     }
 
@@ -536,6 +538,23 @@ impl<'a> RobustAnalyzer<'a> {
         } else {
             Vec::new()
         };
+        // Which rung answered, and what was adjusted on the way out — the
+        // degradation-rate telemetry the CI health gate watches
+        // (`resilience.rung.lumped` must stay 0 on healthy fixtures).
+        match rung {
+            Rung::MetricTwo => xtalk_obs::counter!("resilience.rung.metric2").add(1),
+            Rung::MetricOneSymmetric => {
+                xtalk_obs::counter!("resilience.rung.metric1_m1").add(1);
+            }
+            Rung::Bounds => xtalk_obs::counter!("resilience.rung.bounds").add(1),
+            Rung::LumpedPi => xtalk_obs::counter!("resilience.rung.lumped").add(1),
+        }
+        if clamped {
+            xtalk_obs::counter!("resilience.vp_clamps").add(1);
+        }
+        if !timing_clamps.is_empty() {
+            xtalk_obs::counter!("resilience.timing_clamps").add(1);
+        }
         RobustEstimate {
             estimate,
             provenance: Provenance {

@@ -11,12 +11,15 @@ use xtalk_eval::{cli, render_delay_table, run_delay_table};
 use xtalk_tech::Technology;
 
 fn main() {
-    let mut config = cli::config_from_args("delay_table").config;
+    let args = cli::config_from_args("delay_table");
+    let mut config = args.config;
     if config.cases > 300 {
         config.cases = 300;
     }
     let tech = Technology::p25();
-    eprintln!("delay_table: {} two-pin cases x 3 scenarios", config.cases);
+    if !args.quiet {
+        eprintln!("delay_table: {} two-pin cases x 3 scenarios", config.cases);
+    }
     let rows = run_delay_table(&tech, &config);
     println!("{}", render_delay_table(&rows));
     println!("notes: metrics model step inputs; simulation uses 50 ps edges.");

@@ -21,7 +21,7 @@ fn main() {
     let tech = Technology::p25();
     let run = two_pin_cases_jobs(&tech, CouplingDirection::NearEnd, &config, args.jobs);
     if !run.is_complete() {
-        eprintln!("lambda_sweep: degraded generation: {}", run.summary());
+        xtalk_obs::warn!("lambda_sweep: degraded generation: {}", run.summary());
     }
     let cases = run.cases;
     let lambdas = [

@@ -27,7 +27,9 @@ fn main() {
     let config = args.config;
     let tech = Technology::p25();
 
-    eprintln!("sweep: 3 workloads x {} cases, jobs {}", config.cases, args.jobs);
+    if !args.quiet {
+        eprintln!("sweep: 3 workloads x {} cases, jobs {}", config.cases, args.jobs);
+    }
     let t1 = run_two_pin_table_jobs(&tech, CouplingDirection::FarEnd, &config, true, args.jobs);
     println!(
         "{}",

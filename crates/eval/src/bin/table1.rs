@@ -12,10 +12,12 @@ fn main() {
     let args = cli::config_from_args("table1");
     let config = args.config;
     let tech = Technology::p25();
-    eprintln!(
-        "table1: two-pin far-end, {} cases, seed {}, jobs {}",
-        config.cases, config.seed, args.jobs
-    );
+    if !args.quiet {
+        eprintln!(
+            "table1: two-pin far-end, {} cases, seed {}, jobs {}",
+            config.cases, config.seed, args.jobs
+        );
+    }
     let stats = run_two_pin_table_jobs(&tech, CouplingDirection::FarEnd, &config, true, args.jobs);
     println!(
         "{}",

@@ -13,10 +13,12 @@ fn main() {
     let args = cli::config_from_args("table2");
     let config = args.config;
     let tech = Technology::p25();
-    eprintln!(
-        "table2: two-pin near-end, {} cases, seed {}, jobs {}",
-        config.cases, config.seed, args.jobs
-    );
+    if !args.quiet {
+        eprintln!(
+            "table2: two-pin near-end, {} cases, seed {}, jobs {}",
+            config.cases, config.seed, args.jobs
+        );
+    }
     let stats =
         run_two_pin_table_jobs(&tech, CouplingDirection::NearEnd, &config, true, args.jobs);
     println!(

@@ -12,10 +12,12 @@ fn main() {
     let args = cli::config_from_args("table3");
     let config = args.config;
     let tech = Technology::p25();
-    eprintln!(
-        "table3: tree structures far-end, {} cases, seed {}, jobs {}",
-        config.cases, config.seed, args.jobs
-    );
+    if !args.quiet {
+        eprintln!(
+            "table3: tree structures far-end, {} cases, seed {}, jobs {}",
+            config.cases, config.seed, args.jobs
+        );
+    }
     let stats = run_tree_table_jobs(&tech, &config, true, args.jobs);
     println!(
         "{}",

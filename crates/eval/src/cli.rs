@@ -1,7 +1,7 @@
 //! Minimal shared argument parsing for the experiment binaries
-//! (`--cases N`, `--seed S`, `--corners F`, `--jobs N|auto`). Unknown
-//! flags abort with a usage message; no dependency on an
-//! argument-parsing crate.
+//! (`--cases N`, `--seed S`, `--corners F`, `--jobs N|auto`,
+//! `--quiet`). Unknown flags abort with a usage message; no dependency
+//! on an argument-parsing crate.
 
 use xtalk_exec::Jobs;
 use xtalk_tech::sweep::SweepConfig;
@@ -16,12 +16,17 @@ pub struct SweepArgs {
     /// parallelism). Results are identical for every value; `--jobs 1`
     /// is the serial reference path.
     pub jobs: Jobs,
+    /// Silence banners, progress and warnings (`--quiet`). Also flips
+    /// the process-wide [`xtalk_obs::set_quiet`] switch, so library-level
+    /// warnings are suppressed (but still counted in `warnings.total`).
+    pub quiet: bool,
 }
 
 /// Parses the standard sweep flags from `std::env::args`.
 pub fn config_from_args(bin: &str) -> SweepArgs {
     let mut config = SweepConfig::default();
     let mut jobs = Jobs::Auto;
+    let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut take = |what: &str| -> String {
@@ -55,8 +60,11 @@ pub fn config_from_args(bin: &str) -> SweepArgs {
                     std::process::exit(2);
                 })
             }
+            "--quiet" => quiet = true,
             "--help" | "-h" => {
-                eprintln!("usage: {bin} [--cases N] [--seed S] [--corners F] [--jobs N|auto]");
+                eprintln!(
+                    "usage: {bin} [--cases N] [--seed S] [--corners F] [--jobs N|auto] [--quiet]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -65,5 +73,6 @@ pub fn config_from_args(bin: &str) -> SweepArgs {
             }
         }
     }
-    SweepArgs { config, jobs }
+    xtalk_obs::set_quiet(quiet);
+    SweepArgs { config, jobs, quiet }
 }

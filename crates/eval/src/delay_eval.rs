@@ -46,7 +46,7 @@ fn simulated_delay(net: &Network, agg: NetId, scenario: &str) -> Option<f64> {
 pub fn run_delay_table(tech: &Technology, config: &SweepConfig) -> Vec<DelayRow> {
     let run = two_pin_cases(tech, CouplingDirection::FarEnd, config);
     if !run.is_complete() {
-        eprintln!("warning: delay sweep degraded: {}", run.summary());
+        xtalk_obs::warn!("delay sweep degraded: {}", run.summary());
     }
     let cases = run.cases;
     let scenarios: [(&'static str, SwitchFactor); 3] = [

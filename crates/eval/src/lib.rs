@@ -130,9 +130,13 @@ pub fn evaluate_cases(cases: &[SweepCase], progress: bool) -> TableStats {
 /// data condition — data problems surface as skip reasons); the panic
 /// message names the lowest offending case index.
 pub fn evaluate_cases_jobs(cases: &[SweepCase], progress: bool, jobs: Jobs) -> TableStats {
+    let _table_span = xtalk_obs::span!("eval.table");
     let done = AtomicUsize::new(0);
+    let progress = progress && !xtalk_obs::quiet();
     let outcomes = par_map_indexed_with(cases, jobs, SimWorkspace::new, |ws, _, case| {
+        let case_span = xtalk_obs::span!("eval.case");
         let result = evaluate_case_with(case, ws);
+        drop(case_span); // per-case latency excludes the progress I/O
         if progress {
             let k = done.fetch_add(1, Ordering::Relaxed) + 1;
             if k % 50 == 0 || k == cases.len() {
@@ -144,11 +148,17 @@ pub fn evaluate_cases_jobs(cases: &[SweepCase], progress: bool, jobs: Jobs) -> T
     .unwrap_or_else(|e| panic!("case evaluation failed: {e}"));
 
     let mut stats = TableStats::new();
+    let mut skipped = 0u64;
     for outcome in &outcomes {
         match outcome {
             Ok(outcome) => stats.record(outcome),
-            Err(reason) => stats.record_skip(reason),
+            Err(reason) => {
+                skipped += 1;
+                stats.record_skip(reason);
+            }
         }
     }
+    xtalk_obs::counter!("eval.cases.evaluated").add(outcomes.len() as u64 - skipped);
+    xtalk_obs::counter!("eval.cases.skipped").add(skipped);
     stats
 }

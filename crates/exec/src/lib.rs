@@ -177,6 +177,16 @@ where
 {
     let n = items.len();
     let workers = jobs.resolve().min(n);
+    let _batch_span = xtalk_obs::span!("exec.par_map");
+    // Workload counters are per-batch/per-item and thus identical at any
+    // worker count; everything scheduling-dependent below is Perf class.
+    xtalk_obs::counter!("exec.batches").add(1);
+    xtalk_obs::counter!("exec.items.total").add(n as u64);
+    // Sampled once per batch: probes inside the item loop stay free when
+    // observability is off (no clock reads — the alloc-free test relies
+    // on this path being inert).
+    let observe = xtalk_obs::metrics_enabled();
+
     if workers <= 1 {
         // Serial reference path: no threads, no catch_unwind — a panic
         // unwinds normally, as a plain `map` would.
@@ -187,6 +197,7 @@ where
         }
         return Ok(out);
     }
+    xtalk_obs::counter!(perf: "exec.workers.spawned").add(workers as u64);
 
     let chunk = chunk_size(n, workers);
     let next = AtomicUsize::new(0);
@@ -199,16 +210,26 @@ where
                 scope.spawn(|| {
                     let mut state = init();
                     let mut local: WorkerLog<R> = Vec::with_capacity(n / workers + chunk);
+                    // Merge-at-join telemetry: plain locals while the
+                    // worker runs, flushed once into the global Perf
+                    // histograms right before join. Zero cost when
+                    // observability is disabled.
+                    let worker_start = observe.then(std::time::Instant::now);
+                    let mut busy_ns = 0u64;
+                    let mut items_done = 0u64;
+                    let mut chunks_claimed = 0u64;
                     'queue: while !abort.load(Ordering::Relaxed) {
                         let start = next.fetch_add(chunk, Ordering::Relaxed);
                         if start >= n {
                             break;
                         }
                         let end = (start + chunk).min(n);
+                        chunks_claimed += 1;
                         for (i, item) in items.iter().enumerate().take(end).skip(start) {
                             if abort.load(Ordering::Relaxed) {
                                 break 'queue;
                             }
+                            let item_start = observe.then(std::time::Instant::now);
                             match catch_unwind(AssertUnwindSafe(|| f(&mut state, i, item))) {
                                 Ok(r) => local.push((i, Ok(r))),
                                 Err(payload) => {
@@ -217,7 +238,24 @@ where
                                     break 'queue;
                                 }
                             }
+                            if let Some(t0) = item_start {
+                                busy_ns = busy_ns.saturating_add(
+                                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                                );
+                            }
+                            items_done += 1;
                         }
+                    }
+                    if let Some(t0) = worker_start {
+                        let total_ns =
+                            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        xtalk_obs::histogram!(perf: "exec.worker.busy_ns").record(busy_ns);
+                        xtalk_obs::histogram!(perf: "exec.worker.wait_ns")
+                            .record(total_ns.saturating_sub(busy_ns));
+                        // Items/chunks per worker expose queue imbalance:
+                        // a wide spread means the tail is serialized.
+                        xtalk_obs::histogram!(perf: "exec.worker.items").record(items_done);
+                        xtalk_obs::histogram!(perf: "exec.worker.chunks").record(chunks_claimed);
                     }
                     local
                 })

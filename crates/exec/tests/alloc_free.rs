@@ -6,6 +6,12 @@
 //! warms the paths up, then asserts the allocation count does not move
 //! across many iterations of metric I, metric II, and the bounds.
 //!
+//! The windows also hammer disabled `xtalk_obs` probes (counter,
+//! histogram, span) directly: the observability layer instruments these
+//! same hot paths, and its contract is that the disabled fast path is
+//! one relaxed atomic load with no allocation — this test keeps that
+//! honest.
+//!
 //! This file holds exactly one `#[test]` — the counter is process-global,
 //! and a sibling test allocating on another thread would false-positive.
 
@@ -70,6 +76,9 @@ fn metric_formulas_do_not_allocate() {
         .expect("moments exist");
     let t_r = input.effective_rise_time();
     let metric_two = MetricTwo::default();
+    // Observability must stay off for this test's guarantee to hold; the
+    // probes below then exercise the disabled fast path.
+    assert!(!xtalk_obs::metrics_enabled());
 
     // Warm-up: fault in any lazily allocated statics (panic machinery,
     // fmt buffers) before counting starts.
@@ -88,12 +97,16 @@ fn metric_formulas_do_not_allocate() {
     let mut deltas = [0usize; 2];
     for delta in &mut deltas {
         let before = ALLOCATIONS.load(Ordering::Relaxed);
-        for _ in 0..10_000 {
+        for i in 0..10_000u64 {
             black_box(MetricOne::estimate_auto(black_box(&moments), black_box(t_r)))
                 .expect("metric I evaluates");
             black_box(metric_two.estimate_auto(black_box(&moments), black_box(t_r)))
                 .expect("metric II evaluates");
             black_box(MetricOne::bounds(black_box(&moments))).expect("bounds evaluate");
+            // Disabled observability probes: must be inert no-ops.
+            xtalk_obs::counter!("alloc_free.test.counter").add(black_box(1));
+            xtalk_obs::histogram!("alloc_free.test.hist").record(black_box(i));
+            drop(xtalk_obs::span!("alloc_free.test.stage"));
         }
         *delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
         if *delta == 0 {

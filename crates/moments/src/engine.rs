@@ -46,6 +46,8 @@ impl MomentEngine {
     /// (conditioning pathology; structurally impossible for a validated
     /// network).
     pub fn new(network: &Network) -> Result<Self, MomentError> {
+        let _span = xtalk_obs::span!("moments.mna_build");
+        xtalk_obs::counter!("moments.mna.builds").add(1);
         let n = network.node_count();
         let mut g = Matrix::zeros(n, n);
         let mut c = Matrix::zeros(n, n);
@@ -127,6 +129,7 @@ impl MomentEngine {
         if order == 0 {
             return Err(MomentError::ZeroOrder);
         }
+        xtalk_obs::counter!("moments.mna.moment_vectors").add(1);
         let mut out = Vec::with_capacity(order);
         out.push(self.dc_response(net)?);
         // One reusable rhs buffer across all orders; each m_k is solved

@@ -93,12 +93,15 @@ impl TwoPoleFit {
     /// would otherwise poison `b1`/`b2` silently).
     pub fn from_taylor(h: &[f64]) -> Result<Self, MomentError> {
         if h.len() < 4 {
+            xtalk_obs::counter!("moments.pade.rejections").add(1);
             return Err(MomentError::ZeroOrder);
         }
         let (h1, h2, h3) = (h[1], h[2], h[3]);
         if h1.abs() < DEGENERATE_H1 || !(h1.is_finite() && h2.is_finite() && h3.is_finite()) {
+            xtalk_obs::counter!("moments.pade.rejections").add(1);
             return Err(MomentError::DegenerateFit);
         }
+        xtalk_obs::counter!("moments.pade.fits").add(1);
         let b1 = -h2 / h1;
         let b2 = b1 * b1 - h3 / h1;
         Ok(Self::from_coeffs(h1, b1, b2))

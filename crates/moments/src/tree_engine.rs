@@ -62,6 +62,8 @@ pub struct TreeMomentEngine<'a> {
 impl<'a> TreeMomentEngine<'a> {
     /// Builds the traversal structures (no factorization — `O(n + k)`).
     pub fn new(network: &'a Network) -> Self {
+        let _span = xtalk_obs::span!("moments.tree_build");
+        xtalk_obs::counter!("moments.tree.builds").add(1);
         let n = network.node_count();
         let mut parent_res = vec![0.0; n];
         let mut parent = vec![usize::MAX; n];
@@ -142,6 +144,7 @@ impl<'a> TreeMomentEngine<'a> {
         if order == 0 {
             return Err(MomentError::ZeroOrder);
         }
+        xtalk_obs::counter!("moments.tree.moment_vectors").add(1);
         let n = self.network.node_count();
         let driver = self.network.net(net).driver();
         let mut rhs = vec![0.0; n];

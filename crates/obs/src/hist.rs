@@ -1,0 +1,93 @@
+//! Power-of-two bucketing for the fixed-size histograms.
+//!
+//! Forty buckets cover the full `u64` range with no configuration and no
+//! allocation: bucket 0 holds exactly the value 0, bucket `b` (for
+//! `1 ≤ b ≤ 38`) holds values in `[2^(b-1), 2^b)`, and bucket 39 is the
+//! overflow bucket for everything at or above `2^38` (≈ 4.6 minutes when
+//! the unit is nanoseconds — anything that slow deserves a flat bucket).
+
+/// Number of buckets in every [`crate::LazyHistogram`].
+pub const BUCKETS: usize = 40;
+
+/// Index of the final, open-ended bucket (`values ≥ 2^38`).
+pub const OVERFLOW_BUCKET: usize = BUCKETS - 1;
+
+/// Maps a value to its bucket index.
+///
+/// ```
+/// use xtalk_obs::{bucket_index, OVERFLOW_BUCKET};
+/// assert_eq!(bucket_index(0), 0);
+/// assert_eq!(bucket_index(1), 1);
+/// assert_eq!(bucket_index(2), 2);
+/// assert_eq!(bucket_index(3), 2);
+/// assert_eq!(bucket_index(u64::MAX), OVERFLOW_BUCKET);
+/// ```
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(OVERFLOW_BUCKET)
+    }
+}
+
+/// Inclusive upper edge of a bucket, or `None` for the open-ended
+/// overflow bucket. Used by the stats table's approximate quantiles.
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> Option<u64> {
+    match index {
+        0 => Some(0),
+        b if b < OVERFLOW_BUCKET => Some((1u64 << b) - 1),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lands_in_bucket_zero_alone() {
+        assert_eq!(bucket_index(0), 0);
+        // Nothing else maps to bucket 0.
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_upper_bound(0), Some(0));
+    }
+
+    #[test]
+    fn powers_of_two_open_their_bucket() {
+        for b in 1..=37u32 {
+            let lo = 1u64 << (b - 1);
+            assert_eq!(bucket_index(lo), b as usize, "lower edge of bucket {b}");
+            assert_eq!(
+                bucket_index((1u64 << b) - 1),
+                b as usize,
+                "upper edge of bucket {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_value_lands_in_overflow() {
+        assert_eq!(bucket_index(u64::MAX), OVERFLOW_BUCKET);
+        assert_eq!(bucket_upper_bound(OVERFLOW_BUCKET), None);
+    }
+
+    #[test]
+    fn overflow_threshold_is_exactly_two_pow_38() {
+        assert_eq!(bucket_index((1u64 << 38) - 1), OVERFLOW_BUCKET - 1);
+        assert_eq!(bucket_index(1u64 << 38), OVERFLOW_BUCKET);
+        assert_eq!(bucket_upper_bound(OVERFLOW_BUCKET - 1), Some((1u64 << 38) - 1));
+    }
+
+    #[test]
+    fn buckets_partition_the_range() {
+        // Every bucket's upper bound + 1 is the next bucket's first value.
+        for i in 0..OVERFLOW_BUCKET {
+            let hi = bucket_upper_bound(i).expect("closed bucket");
+            assert_eq!(bucket_index(hi), i);
+            assert_eq!(bucket_index(hi + 1), i + 1);
+        }
+    }
+}

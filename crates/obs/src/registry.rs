@@ -1,0 +1,183 @@
+//! The global metric registry and its lazily-registered primitives.
+//!
+//! Each `counter!`/`histogram!`/`span!` call site expands to a `static`
+//! [`LazyCounter`] or [`LazyHistogram`]; the atomics live inside that
+//! static, so recording never takes a lock or walks a map. The global
+//! registry is only a `Mutex<Vec<&'static …>>` of everything that has
+//! been touched at least once — pushed to exactly once per call site via
+//! `Once`, and read only by snapshots and [`crate::reset`].
+
+use crate::hist::{bucket_index, BUCKETS};
+use crate::Class;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, Once, PoisonError};
+use std::time::Duration;
+
+/// A reference to a registered metric.
+pub(crate) enum MetricRef {
+    Counter(&'static LazyCounter),
+    Histogram(&'static LazyHistogram),
+}
+
+static REGISTRY: Mutex<Vec<MetricRef>> = Mutex::new(Vec::new());
+
+pub(crate) fn with_registry<R>(f: impl FnOnce(&[MetricRef]) -> R) -> R {
+    let guard = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    f(&guard)
+}
+
+fn register(metric: MetricRef) {
+    REGISTRY
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(metric);
+}
+
+/// Zeroes the values of every registered metric (names stay registered).
+pub(crate) fn reset_values() {
+    let guard = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    for metric in guard.iter() {
+        match metric {
+            MetricRef::Counter(c) => c.value.store(0, Ordering::Relaxed),
+            MetricRef::Histogram(h) => {
+                h.count.store(0, Ordering::Relaxed);
+                h.sum.store(0, Ordering::Relaxed);
+                for bucket in &h.buckets {
+                    bucket.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// A named atomic counter that adds itself to the global registry the
+/// first time it records while metrics are enabled.
+///
+/// Built for `static` placement via the [`crate::counter!`] macro; the
+/// disabled fast path is a single relaxed load and an early return.
+pub struct LazyCounter {
+    name: &'static str,
+    class: Class,
+    registered: Once,
+    value: AtomicU64,
+}
+
+impl LazyCounter {
+    /// Creates an unregistered counter (const, for `static` items).
+    #[must_use]
+    pub const fn new(name: &'static str, class: Class) -> Self {
+        Self {
+            name,
+            class,
+            registered: Once::new(),
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Metric name as it appears in snapshots.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Determinism class.
+    #[must_use]
+    pub fn class(&self) -> Class {
+        self.class
+    }
+
+    /// Adds `n` to the counter. A no-op (one relaxed load) while metrics
+    /// are disabled; registers the counter on first enabled touch.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::metrics_enabled() {
+            return;
+        }
+        self.registered
+            .call_once(|| register(MetricRef::Counter(self)));
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named fixed-bucket histogram (see [`crate::bucket_index`] for the
+/// bucket layout) that registers itself on first enabled touch.
+///
+/// Alongside the buckets it tracks `count` and `sum`, so snapshots can
+/// report exact means next to bucketed quantiles.
+pub struct LazyHistogram {
+    name: &'static str,
+    class: Class,
+    registered: Once,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LazyHistogram {
+    // Array-repeat initializer for a non-Copy element; the interior
+    // mutability is exactly the point here (each array slot gets its own
+    // fresh atomic), so the lint does not apply.
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+
+    /// Creates an unregistered histogram (const, for `static` items).
+    #[must_use]
+    pub const fn new(name: &'static str, class: Class) -> Self {
+        Self {
+            name,
+            class,
+            registered: Once::new(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [Self::ZERO; BUCKETS],
+        }
+    }
+
+    /// Metric name as it appears in snapshots.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Determinism class.
+    #[must_use]
+    pub fn class(&self) -> Class {
+        self.class
+    }
+
+    /// Records one value. A no-op (one relaxed load) while metrics are
+    /// disabled; registers the histogram on first enabled touch.
+    #[inline]
+    pub fn record(&'static self, value: u64) {
+        if !crate::metrics_enabled() {
+            return;
+        }
+        self.registered
+            .call_once(|| register(MetricRef::Histogram(self)));
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&'static self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    pub(crate) fn read(&self) -> (u64, u64, [u64; BUCKETS]) {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        (
+            self.count.load(Ordering::Relaxed),
+            self.sum.load(Ordering::Relaxed),
+            buckets,
+        )
+    }
+}

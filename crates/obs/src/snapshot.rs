@@ -1,0 +1,415 @@
+//! Point-in-time metric snapshots and their serialized forms.
+//!
+//! A [`Snapshot`] is an owned copy of every registered metric, sorted by
+//! name and merged across duplicate registrations, so its serializations
+//! depend only on recorded values — never on registration order, thread
+//! scheduling, or worker count. [`Snapshot::to_json`] keeps only
+//! [`Class::Det`] metrics and is therefore byte-identical for a given
+//! workload at any `--jobs`; the stats table and [`Snapshot::to_json_full`]
+//! add the performance-class metrics for humans and profiling.
+
+use crate::hist::{bucket_upper_bound, BUCKETS, OVERFLOW_BUCKET};
+use crate::registry::{with_registry, MetricRef};
+use crate::Class;
+use std::fmt::Write as _;
+
+/// One counter's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnap {
+    /// Metric name.
+    pub name: String,
+    /// Determinism class.
+    pub class: Class,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnap {
+    /// Metric name.
+    pub name: String,
+    /// Determinism class.
+    pub class: Class,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (exact, for means).
+    pub sum: u64,
+    /// Sparse `(bucket_index, count)` pairs, ascending, zero counts
+    /// omitted. Bucket semantics are defined by [`crate::bucket_index`].
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnap {
+    /// Mean of recorded values, or 0 for an empty histogram.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: the inclusive upper edge of the first bucket
+    /// whose cumulative count reaches `q * count`, or `None` when empty
+    /// or when the quantile falls in the open-ended overflow bucket.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for &(index, count) in &self.buckets {
+            cumulative += count;
+            if cumulative >= target {
+                return bucket_upper_bound(index);
+            }
+        }
+        None
+    }
+}
+
+/// An owned, sorted, merge-deduplicated copy of all registered metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnap>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnap>,
+}
+
+/// Captures the current state of every registered metric.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    let (mut counters, mut histograms) = with_registry(|metrics| {
+        let mut counters = Vec::new();
+        let mut histograms = Vec::new();
+        for metric in metrics {
+            match metric {
+                MetricRef::Counter(c) => counters.push(CounterSnap {
+                    name: c.name().to_owned(),
+                    class: c.class(),
+                    value: c.get(),
+                }),
+                MetricRef::Histogram(h) => {
+                    let (count, sum, raw) = h.read();
+                    let buckets = raw
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &n)| n > 0)
+                        .map(|(i, &n)| (i, n))
+                        .collect();
+                    histograms.push(HistogramSnap {
+                        name: h.name().to_owned(),
+                        class: h.class(),
+                        count,
+                        sum,
+                        buckets,
+                    });
+                }
+            }
+        }
+        (counters, histograms)
+    });
+
+    counters.sort_by(|a, b| a.name.cmp(&b.name));
+    counters.dedup_by(|dup, keep| {
+        if dup.name == keep.name {
+            keep.value += dup.value;
+            true
+        } else {
+            false
+        }
+    });
+
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    histograms.dedup_by(|dup, keep| {
+        if dup.name != keep.name {
+            return false;
+        }
+        keep.count += dup.count;
+        keep.sum += dup.sum;
+        let mut merged = [0u64; BUCKETS];
+        for &(i, n) in keep.buckets.iter().chain(dup.buckets.iter()) {
+            merged[i.min(OVERFLOW_BUCKET)] += n;
+        }
+        keep.buckets = merged
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect();
+        true
+    });
+
+    Snapshot {
+        counters,
+        histograms,
+    }
+}
+
+impl Snapshot {
+    /// Looks up a counter's value by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnap> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Deterministic JSON: [`Class::Det`] metrics only, sorted by name.
+    /// For a fixed workload this is byte-identical at any worker count.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    /// Full JSON including performance-class metrics (wall-clock spans,
+    /// per-worker load). Not stable across runs — for profiling, not
+    /// diffing.
+    #[must_use]
+    pub fn to_json_full(&self) -> String {
+        self.render_json(true)
+    }
+
+    fn render_json(&self, include_perf: bool) -> String {
+        let keep = |class: Class| include_perf || class == Class::Det;
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        let counters: Vec<&CounterSnap> =
+            self.counters.iter().filter(|c| keep(c.class)).collect();
+        for (i, c) in counters.iter().enumerate() {
+            let sep = if i + 1 < counters.len() { "," } else { "" };
+            let _ = write!(out, "\n    \"{}\": {}{sep}", escape_json(&c.name), c.value);
+        }
+        if counters.is_empty() {
+            out.push_str("},\n");
+        } else {
+            out.push_str("\n  },\n");
+        }
+        out.push_str("  \"histograms\": {");
+        let histograms: Vec<&HistogramSnap> =
+            self.histograms.iter().filter(|h| keep(h.class)).collect();
+        for (i, h) in histograms.iter().enumerate() {
+            let sep = if i + 1 < histograms.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                escape_json(&h.name),
+                h.count,
+                h.sum
+            );
+            for (j, (index, count)) in h.buckets.iter().enumerate() {
+                let bsep = if j + 1 < h.buckets.len() { ", " } else { "" };
+                let _ = write!(out, "[{index}, {count}]{bsep}");
+            }
+            let _ = write!(out, "]}}{sep}");
+        }
+        if histograms.is_empty() {
+            out.push_str("}\n}\n");
+        } else {
+            out.push_str("\n  }\n}\n");
+        }
+        out
+    }
+
+    /// Human-readable summary table (all classes) for `--stats` output.
+    #[must_use]
+    pub fn stats_table(&self) -> String {
+        let mut out = String::new();
+        let name_width = self
+            .counters
+            .iter()
+            .map(|c| c.name.len())
+            .chain(self.histograms.iter().map(|h| h.name.len()))
+            .max()
+            .unwrap_or(0)
+            .max(20);
+
+        out.push_str("── xtalk stats ──\n");
+        let det: Vec<&CounterSnap> = self
+            .counters
+            .iter()
+            .filter(|c| c.class == Class::Det)
+            .collect();
+        if !det.is_empty() {
+            out.push_str("counters (deterministic):\n");
+            for c in det {
+                let _ = writeln!(out, "  {:<name_width$}  {}", c.name, c.value);
+            }
+        }
+        let perf: Vec<&CounterSnap> = self
+            .counters
+            .iter()
+            .filter(|c| c.class == Class::Perf)
+            .collect();
+        if !perf.is_empty() {
+            out.push_str("counters (perf):\n");
+            for c in perf {
+                let _ = writeln!(out, "  {:<name_width$}  {}", c.name, c.value);
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("distributions:\n");
+            for h in &self.histograms {
+                let is_ns = h.name.ends_with(".ns");
+                let fmt = |v: f64| {
+                    if is_ns {
+                        format_ns(v)
+                    } else {
+                        format_count(v)
+                    }
+                };
+                let p95 = h
+                    .quantile_upper_bound(0.95)
+                    .map_or_else(|| "overflow".to_owned(), |v| fmt(v as f64));
+                let _ = writeln!(
+                    out,
+                    "  {:<name_width$}  n={:<7} mean={:<10} p95≤{:<10} total={}",
+                    h.name,
+                    h.count,
+                    fmt(h.mean()),
+                    p95,
+                    fmt(h.sum as f64),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Formats a nanosecond quantity with a readable unit.
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+fn format_count(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![
+                CounterSnap {
+                    name: "a.det".into(),
+                    class: Class::Det,
+                    value: 7,
+                },
+                CounterSnap {
+                    name: "b.perf".into(),
+                    class: Class::Perf,
+                    value: 9,
+                },
+            ],
+            histograms: vec![
+                HistogramSnap {
+                    name: "h.det".into(),
+                    class: Class::Det,
+                    count: 3,
+                    sum: 12,
+                    buckets: vec![(1, 1), (3, 2)],
+                },
+                HistogramSnap {
+                    name: "span.x.ns".into(),
+                    class: Class::Perf,
+                    count: 2,
+                    sum: 2_000,
+                    buckets: vec![(10, 2)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn det_json_excludes_perf_metrics() {
+        let json = sample().to_json();
+        assert!(json.contains("\"a.det\": 7"));
+        assert!(json.contains("\"h.det\""));
+        assert!(!json.contains("b.perf"));
+        assert!(!json.contains("span.x.ns"));
+    }
+
+    #[test]
+    fn full_json_includes_everything() {
+        let json = sample().to_json_full();
+        assert!(json.contains("\"b.perf\": 9"));
+        assert!(json.contains("span.x.ns"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_shape() {
+        let json = Snapshot::default().to_json();
+        assert_eq!(json, "{\n  \"counters\": {},\n  \"histograms\": {}\n}\n");
+    }
+
+    #[test]
+    fn stats_table_mentions_all_sections() {
+        let table = sample().stats_table();
+        assert!(table.contains("counters (deterministic):"));
+        assert!(table.contains("counters (perf):"));
+        assert!(table.contains("distributions:"));
+        assert!(table.contains("a.det"));
+        assert!(table.contains("span.x.ns"));
+    }
+
+    #[test]
+    fn quantile_upper_bound_walks_buckets() {
+        let h = &sample().histograms[0]; // counts: bucket1=1, bucket3=2
+        assert_eq!(h.quantile_upper_bound(0.01), Some(1)); // first value
+        assert_eq!(h.quantile_upper_bound(1.0), Some(7)); // bucket 3 → ≤ 7
+        let empty = HistogramSnap {
+            name: "e".into(),
+            class: Class::Det,
+            count: 0,
+            sum: 0,
+            buckets: vec![],
+        };
+        assert_eq!(empty.quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

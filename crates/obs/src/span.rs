@@ -1,0 +1,144 @@
+//! Guard-based wall-time spans and the Chrome-trace event buffer.
+//!
+//! [`crate::span!`] hands out a [`SpanGuard`]; on drop, the elapsed time
+//! is recorded into the span's `span.<name>.ns` histogram and — when
+//! tracing is on — appended to a global event buffer as a Chrome-trace
+//! "complete" (`"ph": "X"`) event. [`take_trace_json`] drains that buffer
+//! into the JSON format `chrome://tracing` and Perfetto load directly.
+//!
+//! Timestamps are relative to the epoch pinned by
+//! [`crate::enable_tracing`]; thread ids are small dense integers
+//! assigned in thread-creation order, so worker lanes render compactly.
+
+use crate::registry::LazyHistogram;
+use crate::snapshot::escape_json;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static TRACE: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+struct TraceEvent {
+    name: &'static str,
+    ts_ns: u128,
+    dur_ns: u128,
+    tid: u64,
+}
+
+pub(crate) fn init_epoch() {
+    let _ = EPOCH.get_or_init(Instant::now);
+}
+
+pub(crate) fn clear_trace() {
+    TRACE
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+}
+
+/// Number of buffered trace events (for tests and the stats footer).
+#[must_use]
+pub fn trace_event_count() -> usize {
+    TRACE.lock().unwrap_or_else(PoisonError::into_inner).len()
+}
+
+/// Scope guard created by [`crate::span!`]. Inert (no clock read, no
+/// allocation) while both metrics and tracing are disabled.
+#[must_use = "a span measures the scope it lives in; dropping it immediately records nothing useful"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    hist: &'static LazyHistogram,
+    start: Instant,
+}
+
+/// Starts a span; prefer the [`crate::span!`] macro, which supplies the
+/// per-call-site histogram.
+#[inline]
+pub fn start_span(name: &'static str, hist: &'static LazyHistogram) -> SpanGuard {
+    if !crate::metrics_enabled() && !crate::tracing_enabled() {
+        return SpanGuard { active: None };
+    }
+    SpanGuard {
+        active: Some(ActiveSpan {
+            name,
+            hist,
+            start: Instant::now(),
+        }),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else {
+            return;
+        };
+        let elapsed = span.start.elapsed();
+        span.hist.record_duration(elapsed);
+        if crate::tracing_enabled() {
+            let epoch = *EPOCH.get_or_init(Instant::now);
+            let ts_ns = span.start.saturating_duration_since(epoch).as_nanos();
+            let event = TraceEvent {
+                name: span.name,
+                ts_ns,
+                dur_ns: elapsed.as_nanos(),
+                tid: TID.with(|t| *t),
+            };
+            TRACE
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(event);
+        }
+    }
+}
+
+/// Drains the trace buffer into Chrome-trace-format JSON.
+///
+/// The output is a single object with a `traceEvents` array of complete
+/// (`"ph": "X"`) events, timestamps and durations in microseconds —
+/// loadable as-is in `chrome://tracing` or <https://ui.perfetto.dev>.
+/// Events are sorted by timestamp (then thread, then name) so the file
+/// does not depend on the order worker threads reached the buffer.
+#[must_use]
+pub fn take_trace_json() -> String {
+    let mut events = {
+        let mut guard = TRACE.lock().unwrap_or_else(PoisonError::into_inner);
+        std::mem::take(&mut *guard)
+    };
+    events.sort_by(|a, b| {
+        a.ts_ns
+            .cmp(&b.ts_ns)
+            .then(a.tid.cmp(&b.tid))
+            .then(a.name.cmp(b.name))
+    });
+
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    out.push_str(
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+         \"args\": {\"name\": \"xtalk\"}}",
+    );
+    for e in &events {
+        let _ = write!(
+            out,
+            ",\n{{\"name\": \"{}\", \"cat\": \"xtalk\", \"ph\": \"X\", \
+             \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 1, \"tid\": {}}}",
+            escape_json(e.name),
+            e.ts_ns as f64 / 1e3,
+            e.dur_ns as f64 / 1e3,
+            e.tid,
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}

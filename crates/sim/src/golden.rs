@@ -94,6 +94,8 @@ pub fn golden_noise_with(
             })
         }
     };
+    let _span = xtalk_obs::span!("sim.golden");
+    xtalk_obs::counter!("sim.golden.runs").add(1);
     let sim = TransientSim::new(network)?;
     let mut opts = SimOptions::auto(network, stimuli);
     loop {
@@ -102,8 +104,15 @@ pub fn golden_noise_with(
             detail: format!("probe node {node:?} is not part of the simulated network"),
         })?;
         match measure_noise(waveform, polarity) {
-            Ok(params) => return Ok(params),
+            Ok(params) => {
+                // Step count = workload (horizon and dt are derived from
+                // the circuit, not from scheduling), so it is Det class.
+                xtalk_obs::histogram!("sim.golden.steps")
+                    .record((opts.t_stop / opts.dt).max(0.0) as u64);
+                return Ok(params);
+            }
             Err(SimError::Truncated) if opts.t_stop < MAX_HORIZON => {
+                xtalk_obs::counter!("sim.golden.horizon_retries").add(1);
                 opts.t_stop *= HORIZON_GROWTH;
                 opts.dt *= HORIZON_GROWTH;
             }

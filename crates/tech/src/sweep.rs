@@ -192,6 +192,7 @@ fn build_drawn<S: Sync + Send>(
     jobs: Jobs,
     build: impl Fn(&S, &Technology) -> Result<(Network, NetId), CircuitError> + Sync,
 ) -> SweepRun {
+    let _span = xtalk_obs::span!("sweep.build");
     let built = par_map_indexed(&drawn, jobs, |_, case| build(&case.spec, tech))
         .unwrap_or_else(|e| panic!("sweep build worker failed: {e}"));
     let mut out = SweepRun::default();
@@ -209,6 +210,8 @@ fn build_drawn<S: Sync + Send>(
             }),
         }
     }
+    xtalk_obs::counter!("sweep.cases.generated").add(out.cases.len() as u64);
+    xtalk_obs::counter!("sweep.cases.failed").add(out.failures.len() as u64);
     out
 }
 

@@ -25,6 +25,9 @@
 //! * Audit the closed forms differentially against simulation with
 //!   [`audit`] (randomized cases, paper-level invariants, deterministic
 //!   reports).
+//! * Observe any of the above with [`obs`] (deterministic metrics
+//!   registry, span timing, Chrome-trace export; disabled probes cost
+//!   one atomic load).
 //!
 //! # Example
 //!
@@ -65,5 +68,6 @@ pub use xtalk_delay as delay;
 pub use xtalk_eval as eval;
 pub use xtalk_linalg as linalg;
 pub use xtalk_moments as moments;
+pub use xtalk_obs as obs;
 pub use xtalk_sim as sim;
 pub use xtalk_tech as tech;
