@@ -1,6 +1,7 @@
 use std::error::Error;
 use xtalk_circuit::spice::parse_si_value;
 use xtalk_exec::Jobs;
+use xtalk_linalg::SolverKind;
 
 /// Which analysis to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +115,13 @@ pub struct ObsArgs {
     /// Silence warnings and progress chatter (they are still counted in
     /// `warnings.total`).
     pub quiet: bool,
+    /// Simulator solver backend override (`--solver auto|dense|sparse`).
+    /// `None` leaves the `XTALK_SOLVER` environment variable (then the
+    /// automatic per-matrix heuristic) in charge. Results are identical
+    /// either way up to factorization rounding; the flag exists for
+    /// performance comparisons and the dense/sparse equivalence gate in
+    /// CI.
+    pub solver: Option<SolverKind>,
 }
 
 impl ObsArgs {
@@ -231,6 +239,9 @@ Observability (accepted by every command):
     --stats             print a metrics and timings table to stderr
     --quiet             silence warnings and progress (still counted in
                         the warnings.total metric)
+    --solver KIND       simulator factorization backend: auto (default;
+                        per-matrix heuristic), dense (LU), sparse (LDL^T
+                        tree solver); overrides the XTALK_SOLVER env var
 ";
 
 /// Parses `argv` (program name excluded), returning the command outcome
@@ -263,6 +274,13 @@ fn extract_obs(argv: &[String]) -> Result<(Vec<String>, ObsArgs), Box<dyn Error>
             "--trace-out" => obs.trace_out = Some(value()?),
             "--stats" => obs.stats = true,
             "--quiet" => obs.quiet = true,
+            "--solver" => {
+                let v = value()?;
+                obs.solver = Some(
+                    SolverKind::parse(&v)
+                        .ok_or_else(|| format!("unknown solver {v:?}; expected auto|dense|sparse"))?,
+                );
+            }
             _ => rest.push(arg.clone()),
         }
     }
@@ -608,6 +626,21 @@ mod tests {
 
         let (_, obs) = parse_outcome(&["audit", "--cases", "2"]).unwrap();
         assert_eq!(obs, ObsArgs::default());
+    }
+
+    #[test]
+    fn solver_flag_parses_and_validates() {
+        let (_, obs) = parse_outcome(&["sweep", "--cases", "4", "--solver", "sparse"]).unwrap();
+        assert_eq!(obs.solver, Some(SolverKind::Sparse));
+        let (_, obs) = parse_outcome(&["--solver", "DENSE", "noise", "d.sp"]).unwrap();
+        assert_eq!(obs.solver, Some(SolverKind::Dense));
+        let (_, obs) = parse_outcome(&["audit", "--solver", "auto"]).unwrap();
+        assert_eq!(obs.solver, Some(SolverKind::Auto));
+        let (_, obs) = parse_outcome(&["audit"]).unwrap();
+        assert_eq!(obs.solver, None);
+
+        assert!(parse_outcome(&["sweep", "--solver"]).is_err());
+        assert!(parse_outcome(&["sweep", "--solver", "cholesky"]).is_err());
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! `--metrics-out PATH`, `--trace-out PATH`, `--stats` and `--quiet`
 //! (see [`xtalk_obs`]): metrics snapshots are deterministic JSON
 //! (byte-identical across `--jobs` values), traces are Chrome-trace JSON.
+//! A `--solver auto|dense|sparse` switch forces the simulator's
+//! factorization backend (normally chosen per matrix); results agree to
+//! factorization rounding (~1e-13 relative) and the deterministic
+//! metrics snapshot is byte-identical, so it exists for performance
+//! work and the dense/sparse equivalence gate in CI.
 //!
 //! All analysis goes through the same public APIs a library user would
 //! call; the CLI only parses arguments and formats reports. The library
@@ -85,6 +90,9 @@ pub fn run(argv: &[String]) -> Result<RunOutcome, Box<dyn Error>> {
 /// Switches the observability sinks on before any analysis runs.
 fn apply_obs(obs: &ObsArgs) {
     xtalk_obs::set_quiet(obs.quiet);
+    if let Some(kind) = obs.solver {
+        xtalk_sim::set_solver_override(kind);
+    }
     if obs.wants_metrics() {
         xtalk_obs::enable_metrics();
     }

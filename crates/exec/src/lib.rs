@@ -126,10 +126,44 @@ fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Chunk size for the work queue: a few chunks per worker amortizes the
-/// atomic claim while keeping the tail balanced.
-fn chunk_size(items: usize, workers: usize) -> usize {
-    (items / (workers * 4)).max(1)
+/// Upper bound on a guided chunk. Sweep items are milliseconds each (a
+/// golden transient sim), so even 64 of them amortize the claim many
+/// thousandfold; a larger grab only risks parking a heavy run of cases
+/// on one worker.
+const GUIDED_CHUNK_CAP: usize = 64;
+
+/// Chunk size under guided self-scheduling: half a worker's fair share
+/// of the *remaining* queue, clamped to `[1, GUIDED_CHUNK_CAP]`. Early
+/// chunks are large (claim amortization), tail chunks shrink to single
+/// items so a run of heavy cases near the end — common in sweeps, where
+/// case generators order by family and length — cannot serialize behind
+/// one worker. The fixed `items/(workers·4)` grain this replaces lost
+/// its whole parallel margin to exactly that tail imbalance.
+fn guided_chunk(remaining: usize, workers: usize) -> usize {
+    (remaining / (workers * 2)).clamp(1, GUIDED_CHUNK_CAP)
+}
+
+/// Claims the next guided chunk off the queue position `next`, returning
+/// the `[start, end)` item range or `None` when the queue is drained.
+/// The chunk size depends on how much is left, so the claim is a CAS
+/// loop rather than a blind `fetch_add`.
+fn claim_chunk(next: &AtomicUsize, n: usize, workers: usize) -> Option<(usize, usize)> {
+    let mut start = next.load(Ordering::Relaxed);
+    loop {
+        if start >= n {
+            return None;
+        }
+        let size = guided_chunk(n - start, workers);
+        match next.compare_exchange_weak(
+            start,
+            start + size,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return Some((start, start + size)),
+            Err(current) => start = current,
+        }
+    }
 }
 
 /// Maps `f` over `items` in parallel, preserving input order.
@@ -199,7 +233,6 @@ where
     }
     xtalk_obs::counter!(perf: "exec.workers.spawned").add(workers as u64);
 
-    let chunk = chunk_size(n, workers);
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     type WorkerLog<R> = Vec<(usize, Result<R, String>)>;
@@ -209,7 +242,7 @@ where
             .map(|_| {
                 scope.spawn(|| {
                     let mut state = init();
-                    let mut local: WorkerLog<R> = Vec::with_capacity(n / workers + chunk);
+                    let mut local: WorkerLog<R> = Vec::with_capacity(n / workers + GUIDED_CHUNK_CAP);
                     // Merge-at-join telemetry: plain locals while the
                     // worker runs, flushed once into the global Perf
                     // histograms right before join. Zero cost when
@@ -219,11 +252,9 @@ where
                     let mut items_done = 0u64;
                     let mut chunks_claimed = 0u64;
                     'queue: while !abort.load(Ordering::Relaxed) {
-                        let start = next.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
+                        let Some((start, end)) = claim_chunk(&next, n, workers) else {
                             break;
-                        }
-                        let end = (start + chunk).min(n);
+                        };
                         chunks_claimed += 1;
                         for (i, item) in items.iter().enumerate().take(end).skip(start) {
                             if abort.load(Ordering::Relaxed) {
@@ -402,12 +433,29 @@ mod tests {
     }
 
     #[test]
-    fn chunking_covers_all_items() {
-        for n in [1usize, 2, 7, 63, 64, 65, 1000] {
+    fn guided_chunks_cover_all_items_and_shrink() {
+        for n in [1usize, 2, 7, 63, 64, 65, 1000, 5000] {
             for workers in [1usize, 2, 5, 16] {
-                let c = chunk_size(n, workers);
-                assert!(c >= 1);
-                assert!(c <= n);
+                let next = AtomicUsize::new(0);
+                let mut covered = 0;
+                let mut last = usize::MAX;
+                while let Some((s, e)) = claim_chunk(&next, n, workers) {
+                    assert_eq!(s, covered, "chunks must tile the range");
+                    assert!(e > s && e <= n);
+                    let size = e - s;
+                    assert!(size <= GUIDED_CHUNK_CAP);
+                    // Sequential claims never grow: the tail is always
+                    // finer-grained than the head.
+                    assert!(size <= last, "chunk grew from {last} to {size}");
+                    last = size;
+                    covered = e;
+                }
+                assert_eq!(covered, n, "queue must drain exactly");
+                // The final chunk is a single item whenever more than one
+                // chunk was claimed — the load-balancing property.
+                if n > GUIDED_CHUNK_CAP {
+                    assert_eq!(last, 1);
+                }
             }
         }
     }

@@ -6,6 +6,13 @@
 //! warms the paths up, then asserts the allocation count does not move
 //! across many iterations of metric I, metric II, and the bounds.
 //!
+//! A second window covers the simulator's solver hot path: rewriting a
+//! CSR matrix's values in place, re-running the sparse LDLᵀ numeric
+//! factorization on the cached symbolic structure, and solving into
+//! preallocated buffers — the exact per-`dt` sequence `SimWorkspace`
+//! executes across horizon retries. All of it must be allocation-free
+//! after warm-up for the refactor-reuse design to deliver.
+//!
 //! The windows also hammer disabled `xtalk_obs` probes (counter,
 //! histogram, span) directly: the observability layer instruments these
 //! same hot paths, and its contract is that the disabled fast path is
@@ -66,6 +73,41 @@ fn coupled_pair() -> (xtalk_circuit::Network, xtalk_circuit::NetId) {
     (b.build().expect("network builds"), a)
 }
 
+/// Runs `body` in up to two measured windows and asserts at least one is
+/// allocation-free. A per-iteration allocation shows up in every window;
+/// one-shot lazy inits that slipped past the warm-up (runtime/libstd
+/// internals, not the code under test) only dirty the first.
+fn assert_steady_state_alloc_free(label: &str, mut body: impl FnMut()) {
+    let mut deltas = [0usize; 2];
+    for delta in &mut deltas {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        body();
+        *delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+        if *delta == 0 {
+            return;
+        }
+    }
+    panic!(
+        "{label} allocated {}/{} time(s) over two measured windows",
+        deltas[0], deltas[1]
+    );
+}
+
+/// A 32-node RC-chain-like SPD matrix with one off-tree coupling entry.
+fn spd_chain_with_coupling(n: usize) -> xtalk_linalg::sparse::Csr {
+    let mut t = xtalk_linalg::sparse::Triplets::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 3.0 + 0.01 * i as f64);
+    }
+    for i in 0..n - 1 {
+        t.push(i, i + 1, -1.0);
+        t.push(i + 1, i, -1.0);
+    }
+    t.push(1, n - 2, -0.25);
+    t.push(n - 2, 1, -0.25);
+    t.to_csr()
+}
+
 #[test]
 fn metric_formulas_do_not_allocate() {
     let (network, aggressor) = coupled_pair();
@@ -90,13 +132,7 @@ fn metric_formulas_do_not_allocate() {
         black_box(MetricOne::bounds(black_box(&moments))).expect("bounds evaluate");
     }
 
-    // A per-iteration allocation shows up in every window; one-shot lazy
-    // inits that slipped past the warm-up (runtime/libstd internals, not
-    // the formulas) only dirty the first. Measure up to twice and demand
-    // a clean steady-state window.
-    let mut deltas = [0usize; 2];
-    for delta in &mut deltas {
-        let before = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_steady_state_alloc_free("metric formula hot paths (10k iterations)", || {
         for i in 0..10_000u64 {
             black_box(MetricOne::estimate_auto(black_box(&moments), black_box(t_r)))
                 .expect("metric I evaluates");
@@ -108,14 +144,40 @@ fn metric_formulas_do_not_allocate() {
             xtalk_obs::histogram!("alloc_free.test.hist").record(black_box(i));
             drop(xtalk_obs::span!("alloc_free.test.stage"));
         }
-        *delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
-        if *delta == 0 {
-            return;
+    });
+
+    // Solver hot path: in-place value rewrite → numeric refactor on the
+    // cached symbolic structure → solve into preallocated buffers. This
+    // is the per-`dt` sequence the simulator workspace runs on every
+    // horizon retry; all warm-up allocations happen here, before the
+    // measured windows.
+    const N: usize = 32;
+    let mut a = spd_chain_with_coupling(N);
+    let symbolic = xtalk_linalg::LdlSymbolic::analyze(&a).expect("pattern analyzes");
+    let mut factors = symbolic.factor(&a).expect("matrix factors");
+    let b: Vec<f64> = (0..N).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut x = vec![0.0; N];
+    let mut scratch = vec![0.0; N];
+    for _ in 0..16 {
+        for v in a.values_mut() {
+            *v *= 1.000_000_1;
         }
+        factors.refactor(&a).expect("refactor succeeds");
+        factors
+            .solve_into(&b, &mut x, &mut scratch)
+            .expect("solve succeeds");
     }
 
-    panic!(
-        "metric formula hot paths allocated {}/{} time(s) over two 10k-iteration windows",
-        deltas[0], deltas[1]
-    );
+    assert_steady_state_alloc_free("sparse LDL refactor + solve (2k iterations)", || {
+        for _ in 0..2_000u32 {
+            for v in a.values_mut() {
+                *v *= black_box(1.000_000_1);
+            }
+            factors.refactor(black_box(&a)).expect("refactor succeeds");
+            factors
+                .solve_into(black_box(&b), &mut x, &mut scratch)
+                .expect("solve succeeds");
+            black_box(&x);
+        }
+    });
 }

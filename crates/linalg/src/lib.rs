@@ -7,7 +7,10 @@
 //!    same system matrix is factored once and solved against many
 //!    right-hand sides;
 //! 2. sparse matrices in CSR form ([`sparse::Csr`]) for building and
-//!    inspecting large stamped systems;
+//!    inspecting large stamped systems, with a sparse symmetric LDLᵀ
+//!    factorization ([`LdlSymbolic`], [`LdlFactors`]) that exploits the
+//!    tree structure of RC interconnect — and a [`Solver`] enum that
+//!    selects between the two backends per matrix;
 //! 3. a handful of vector helpers ([`vec_ops`]).
 //!
 //! Everything is `f64`; EDA moment/transient analysis does not benefit from
@@ -33,10 +36,14 @@
 
 mod dense;
 mod error;
+pub mod ldl;
 mod lu;
+pub mod solver;
 pub mod sparse;
 pub mod vec_ops;
 
 pub use dense::Matrix;
 pub use error::LinalgError;
+pub use ldl::{LdlFactors, LdlSymbolic};
 pub use lu::LuFactors;
+pub use solver::{prefer_sparse, sparse_eligible, Solver, SolverKind};

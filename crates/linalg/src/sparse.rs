@@ -236,6 +236,116 @@ impl Csr {
         }
         m
     }
+
+    /// Read-only view of the stored values in CSR order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable view of the stored values in CSR order — for rewriting a
+    /// matrix in place on a *fixed* pattern (the simulator's stepping
+    /// matrix `G + C/dt` across `dt` changes). The pattern itself
+    /// (shape, `row_ptr`, `col_idx`) cannot change through this view.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// `true` when the matrix is square and exactly (bitwise) symmetric —
+    /// the structural precondition for the LDLᵀ solver. Stamped MNA
+    /// matrices are symmetric by construction (each two-terminal element
+    /// stamps `(i,j)` and `(j,i)` with the same literal value), so the
+    /// check passes without a tolerance.
+    pub fn is_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                if self.get(c, r) != v {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Union sparsity pattern of two same-shaped matrices, with scatter
+    /// maps back into it.
+    ///
+    /// Returns `(union, a_pos, b_pos)` where `union` stores an explicit
+    /// `0.0` for every entry present in either input, and `a_pos[k]` is
+    /// the index into `union.values()` of `a`'s `k`-th stored entry (in
+    /// CSR order; likewise `b_pos`). This lets a caller build the pattern
+    /// of `αA + βB` once and rewrite its values allocation-free:
+    ///
+    /// ```
+    /// use xtalk_linalg::sparse::{Csr, Triplets};
+    ///
+    /// let mut ta = Triplets::new(2, 2);
+    /// ta.push(0, 0, 2.0);
+    /// let mut tb = Triplets::new(2, 2);
+    /// tb.push(0, 0, 4.0);
+    /// tb.push(1, 1, 8.0);
+    /// let (a, b) = (ta.to_csr(), tb.to_csr());
+    /// let (mut u, a_pos, b_pos) = Csr::union_pattern(&a, &b).unwrap();
+    /// u.values_mut().fill(0.0);
+    /// for (k, &p) in a_pos.iter().enumerate() {
+    ///     u.values_mut()[p] += 3.0 * a.values()[k];
+    /// }
+    /// for (k, &p) in b_pos.iter().enumerate() {
+    ///     u.values_mut()[p] += b.values()[k];
+    /// }
+    /// assert_eq!(u.get(0, 0), 10.0);
+    /// assert_eq!(u.get(1, 1), 8.0);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when the shapes differ.
+    pub fn union_pattern(a: &Csr, b: &Csr) -> Result<(Csr, Vec<usize>, Vec<usize>), LinalgError> {
+        if a.rows != b.rows || a.cols != b.cols {
+            return Err(LinalgError::ShapeMismatch {
+                found: format!("matrix of shape {}x{}", b.rows, b.cols),
+                expected: format!("{}x{}", a.rows, a.cols),
+            });
+        }
+        let mut row_ptr = vec![0usize; a.rows + 1];
+        let mut col_idx = Vec::with_capacity(a.nnz().max(b.nnz()));
+        let mut a_pos = vec![0usize; a.nnz()];
+        let mut b_pos = vec![0usize; b.nnz()];
+        for r in 0..a.rows {
+            // Two-pointer merge of the sorted column lists of row r.
+            let (mut ka, mut kb) = (a.row_ptr[r], b.row_ptr[r]);
+            let (ea, eb) = (a.row_ptr[r + 1], b.row_ptr[r + 1]);
+            while ka < ea || kb < eb {
+                let ca = if ka < ea { a.col_idx[ka] } else { usize::MAX };
+                let cb = if kb < eb { b.col_idx[kb] } else { usize::MAX };
+                let c = ca.min(cb);
+                if ca == c {
+                    a_pos[ka] = col_idx.len();
+                    ka += 1;
+                }
+                if cb == c {
+                    b_pos[kb] = col_idx.len();
+                    kb += 1;
+                }
+                col_idx.push(c);
+            }
+            row_ptr[r + 1] = col_idx.len();
+        }
+        let values = vec![0.0; col_idx.len()];
+        Ok((
+            Csr {
+                rows: a.rows,
+                cols: a.cols,
+                row_ptr,
+                col_idx,
+                values,
+            },
+            a_pos,
+            b_pos,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -325,5 +435,55 @@ mod tests {
     fn push_out_of_bounds_panics() {
         let mut t = Triplets::new(1, 1);
         t.push(1, 0, 1.0);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, -1.0);
+        t.push(1, 0, -1.0);
+        t.push(0, 0, 2.0);
+        assert!(t.to_csr().is_symmetric());
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, -1.0);
+        assert!(!t.to_csr().is_symmetric());
+        assert!(!Triplets::new(2, 3).to_csr().is_symmetric());
+    }
+
+    #[test]
+    fn union_pattern_scatters_both_inputs() {
+        let mut ta = Triplets::new(3, 3);
+        ta.push(0, 0, 1.0);
+        ta.push(0, 2, 2.0);
+        ta.push(2, 1, 3.0);
+        let mut tb = Triplets::new(3, 3);
+        tb.push(0, 1, 4.0);
+        tb.push(0, 2, 5.0);
+        tb.push(1, 1, 6.0);
+        let (a, b) = (ta.to_csr(), tb.to_csr());
+        let (mut u, a_pos, b_pos) = Csr::union_pattern(&a, &b).unwrap();
+        assert_eq!(u.nnz(), 5); // (0,0) (0,1) (0,2) (1,1) (2,1)
+        assert!(u.values().iter().all(|&v| v == 0.0));
+        for (k, &p) in a_pos.iter().enumerate() {
+            u.values_mut()[p] += 10.0 * a.values()[k];
+        }
+        for (k, &p) in b_pos.iter().enumerate() {
+            u.values_mut()[p] += b.values()[k];
+        }
+        assert_eq!(u.get(0, 0), 10.0);
+        assert_eq!(u.get(0, 1), 4.0);
+        assert_eq!(u.get(0, 2), 25.0);
+        assert_eq!(u.get(1, 1), 6.0);
+        assert_eq!(u.get(2, 1), 30.0);
+        // Pattern is valid CSR: matvec agrees with the dense equivalent.
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(u.mul_vec(&x).unwrap(), u.to_dense().mul_vec(&x).unwrap());
+    }
+
+    #[test]
+    fn union_pattern_rejects_shape_mismatch() {
+        let a = Triplets::new(2, 2).to_csr();
+        let b = Triplets::new(2, 3).to_csr();
+        assert!(Csr::union_pattern(&a, &b).is_err());
     }
 }

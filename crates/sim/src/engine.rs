@@ -1,11 +1,51 @@
 #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
 use crate::{SimError, Waveform};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
 use xtalk_circuit::{signal::InputSignal, NetId, NetRole, Network, NodeId};
-use xtalk_linalg::sparse::Csr;
-use xtalk_linalg::{LuFactors, Matrix};
+use xtalk_linalg::sparse::{Csr, Triplets};
+use xtalk_linalg::{LdlSymbolic, Matrix, Solver, SolverKind};
 use xtalk_moments::tree;
+
+/// Process-wide solver-backend override, set by the CLI `--solver` flag
+/// (0 = unset, 1..=3 = [`SolverKind`] variants). Takes precedence over
+/// the `XTALK_SOLVER` environment variable.
+static SOLVER_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Cached parse of `XTALK_SOLVER` (read once; env lookups are not free
+/// and the choice must be stable within a process).
+static ENV_SOLVER: OnceLock<SolverKind> = OnceLock::new();
+
+/// Forces the solver backend for every simulator constructed after the
+/// call — the hook behind `xtalk --solver` and the dense/sparse
+/// equivalence gates in CI. Prefer per-instance control via
+/// [`TransientSim::new_with_solver`] in tests.
+pub fn set_solver_override(kind: SolverKind) {
+    let code = match kind {
+        SolverKind::Auto => 1,
+        SolverKind::Dense => 2,
+        SolverKind::Sparse => 3,
+    };
+    SOLVER_OVERRIDE.store(code, Ordering::Relaxed);
+}
+
+/// Resolves the effective backend request: explicit override, then the
+/// `XTALK_SOLVER` environment variable (`auto`/`dense`/`sparse`), then
+/// [`SolverKind::Auto`].
+pub fn solver_kind() -> SolverKind {
+    match SOLVER_OVERRIDE.load(Ordering::Relaxed) {
+        1 => SolverKind::Auto,
+        2 => SolverKind::Dense,
+        3 => SolverKind::Sparse,
+        _ => *ENV_SOLVER.get_or_init(|| {
+            std::env::var("XTALK_SOLVER")
+                .ok()
+                .and_then(|s| SolverKind::parse(&s))
+                .unwrap_or_default()
+        }),
+    }
+}
 
 /// Time-integration scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -170,8 +210,19 @@ struct StepKey {
 #[derive(Debug, Default)]
 pub struct SimWorkspace {
     key: Option<StepKey>,
-    /// Factorization of the stepping LHS for `key`.
-    lu: Option<LuFactors>,
+    /// Which simulator's sparse structures (`lhs`/`step` patterns and the
+    /// symbolic part of a sparse `solver`) the workspace currently holds.
+    /// Unlike `key`, this survives a `dt`/method change on the *same*
+    /// simulator — exactly the horizon-retry case, where the stepping
+    /// values are rewritten in place and only the numeric factorization
+    /// reruns.
+    owner: Option<u64>,
+    /// Factorization of the stepping LHS for `key` (dense LU or sparse
+    /// LDLᵀ, per the simulator's backend).
+    solver: Option<Solver>,
+    /// Sparse-backend stepping LHS `(C + coeff·G)/dt` on the G∪C union
+    /// pattern; values are rewritten in place per `dt`. Unused densely.
+    lhs: Option<Csr>,
     /// Sparse stepping matrix: trapezoidal `(C/dt − G/2)`, or `C/dt` for
     /// backward Euler (the per-step matvec operand in either scheme).
     step: Option<Csr>,
@@ -180,6 +231,8 @@ pub struct SimWorkspace {
     rhs: Vec<f64>,
     v: Vec<f64>,
     v_next: Vec<f64>,
+    /// Solve scratch for the sparse backend (permuted intermediate).
+    scratch: Vec<f64>,
 }
 
 impl SimWorkspace {
@@ -196,11 +249,37 @@ impl SimWorkspace {
             &mut self.rhs,
             &mut self.v,
             &mut self.v_next,
+            &mut self.scratch,
         ] {
             buf.clear();
             buf.resize(n, 0.0);
         }
     }
+}
+
+/// Factorization backend of one simulator: the stamped matrices in the
+/// representation its solver consumes.
+#[derive(Debug)]
+enum Backend {
+    /// Dense `G`/`C` with LU factorizations — small or structurally
+    /// unsuitable systems.
+    Dense { g: Matrix, c: Matrix },
+    /// Sparse LDLᵀ over the union pattern of `G` and `C`: the stepping
+    /// matrix `(C + coeff·G)/dt` lives on that pattern for every `dt`,
+    /// so one symbolic analysis serves all timesteps and horizon
+    /// retries.
+    Sparse {
+        /// Symbolic factorization (ordering, etree, fill) of the union
+        /// pattern — computed once per simulator.
+        symbolic: LdlSymbolic,
+        /// The G∪C pattern with zero values; cloned into workspaces that
+        /// rewrite the values per `dt`.
+        pattern: Csr,
+        /// `G` scattered onto the union pattern (zeros where absent).
+        g_vals: Vec<f64>,
+        /// `C` scattered onto the union pattern.
+        c_vals: Vec<f64>,
+    },
 }
 
 /// Fixed-step transient MNA simulator over a validated [`Network`].
@@ -210,25 +289,128 @@ impl SimWorkspace {
 /// matrix for its `dt` and integrates — or reuses a [`SimWorkspace`] via
 /// [`TransientSim::run_with`] to skip the per-run allocations and
 /// repeated factorizations. See the [crate-level example](crate).
+///
+/// Two factorization backends exist behind one interface: sparse LDLᵀ
+/// with a fill-reducing ordering (the default for the tree-like MNA
+/// systems of RC interconnect, where factorization is O(nnz)) and dense
+/// LU with partial pivoting (small or structurally unsuitable systems).
+/// Selection is automatic per matrix; `XTALK_SOLVER`/[`set_solver_override`]
+/// force a backend, and [`TransientSim::new_with_solver`] picks one per
+/// instance.
 #[derive(Debug)]
 pub struct TransientSim<'a> {
     network: &'a Network,
     id: u64,
-    g: Matrix,
-    c: Matrix,
+    backend: Backend,
     /// Factorization of `G`, reused for the DC initial condition of every
     /// run.
-    g_lu: LuFactors,
+    dc: Solver,
 }
 
 impl<'a> TransientSim<'a> {
-    /// Stamps the MNA matrices for `network`.
+    /// Stamps the MNA matrices for `network`, selecting the solver
+    /// backend per [`solver_kind`].
     ///
     /// # Errors
     ///
     /// [`SimError::Numerical`] when `G` cannot be factored (conditioning
     /// pathology; structurally impossible for a validated network).
     pub fn new(network: &'a Network) -> Result<Self, SimError> {
+        Self::new_with_solver(network, solver_kind())
+    }
+
+    /// Stamps the sparse `G`/`C` triplets (same element order as the
+    /// dense stamping, so merged entries accumulate identically).
+    fn stamp_sparse(network: &Network) -> (Triplets, Triplets) {
+        let n = network.node_count();
+        let mut g = Triplets::new(n, n);
+        let mut c = Triplets::new(n, n);
+        for r in network.resistors() {
+            let (a, b, cond) = (r.a.index(), r.b.index(), 1.0 / r.ohms);
+            g.push(a, a, cond);
+            g.push(b, b, cond);
+            g.push(a, b, -cond);
+            g.push(b, a, -cond);
+        }
+        for (_, net) in network.nets() {
+            let d = net.driver();
+            g.push(d.node.index(), d.node.index(), 1.0 / d.ohms);
+            for s in net.sinks() {
+                c.push(s.node.index(), s.node.index(), s.farads);
+            }
+        }
+        for gc in network.ground_caps() {
+            c.push(gc.node.index(), gc.node.index(), gc.farads);
+        }
+        for cc in network.coupling_caps() {
+            let (a, b) = (cc.a.index(), cc.b.index());
+            c.push(a, a, cc.farads);
+            c.push(b, b, cc.farads);
+            c.push(a, b, -cc.farads);
+            c.push(b, a, -cc.farads);
+        }
+        (g, c)
+    }
+
+    /// Like [`TransientSim::new`] with an explicit backend request.
+    /// `Auto` applies the size/density heuristic; `Sparse` uses LDLᵀ
+    /// whenever the stamped system is structurally eligible (symmetric,
+    /// positive `G` diagonal), falling back to dense otherwise — so a
+    /// forced-sparse process never loses robustness on degenerate
+    /// inputs.
+    ///
+    /// # Errors
+    ///
+    /// As [`TransientSim::new`].
+    pub fn new_with_solver(network: &'a Network, kind: SolverKind) -> Result<Self, SimError> {
+        let (g_t, c_t) = Self::stamp_sparse(network);
+        let g_csr = g_t.to_csr();
+        let c_csr = c_t.to_csr();
+        let want_sparse = match kind {
+            SolverKind::Dense => false,
+            SolverKind::Sparse => {
+                xtalk_linalg::sparse_eligible(&g_csr) && c_csr.is_symmetric()
+            }
+            SolverKind::Auto => {
+                xtalk_linalg::prefer_sparse(&g_csr) && c_csr.is_symmetric()
+            }
+        };
+        let id = NEXT_SIM_ID.fetch_add(1, Ordering::Relaxed);
+        if want_sparse {
+            let (pattern, g_pos, c_pos) =
+                Csr::union_pattern(&g_csr, &c_csr).expect("same shape");
+            let mut g_vals = vec![0.0; pattern.nnz()];
+            for (k, &p) in g_pos.iter().enumerate() {
+                g_vals[p] = g_csr.values()[k];
+            }
+            let mut c_vals = vec![0.0; pattern.nnz()];
+            for (k, &p) in c_pos.iter().enumerate() {
+                c_vals[p] = c_csr.values()[k];
+            }
+            let symbolic = LdlSymbolic::analyze(&pattern)?;
+            // G on the union pattern (explicit zeros where only C has
+            // entries) for the DC factorization.
+            let mut g_union = pattern.clone();
+            g_union.values_mut().copy_from_slice(&g_vals);
+            // A numeric failure here means G is not positive-definite
+            // after all; the pivoting dense path below handles it.
+            if let Ok(dc) = symbolic.factor(&g_union) {
+                xtalk_obs::counter!(perf: "sim.solve.path.sparse").add(1);
+                return Ok(TransientSim {
+                    network,
+                    id,
+                    backend: Backend::Sparse {
+                        symbolic,
+                        pattern,
+                        g_vals,
+                        c_vals,
+                    },
+                    dc: Solver::Sparse(Box::new(dc)),
+                });
+            }
+        }
+        // Dense fallback: stamp densely in the original element order so
+        // this path reproduces the historical dense results bit-for-bit.
         let n = network.node_count();
         let mut g = Matrix::zeros(n, n);
         let mut c = Matrix::zeros(n, n);
@@ -257,13 +439,18 @@ impl<'a> TransientSim<'a> {
             c.add_at(b, a, -cc.farads);
         }
         let g_lu = g.lu()?;
+        xtalk_obs::counter!(perf: "sim.solve.path.dense").add(1);
         Ok(TransientSim {
             network,
-            id: NEXT_SIM_ID.fetch_add(1, Ordering::Relaxed),
-            g,
-            c,
-            g_lu,
+            id,
+            backend: Backend::Dense { g, c },
+            dc: Solver::Dense(g_lu),
         })
+    }
+
+    /// `true` when this simulator runs on the sparse LDLᵀ backend.
+    pub fn uses_sparse_solver(&self) -> bool {
+        matches!(self.backend, Backend::Sparse { .. })
     }
 
     /// Integrates `C·dv/dt + G·v = B·u(t)` with the given stimuli and
@@ -338,24 +525,77 @@ impl<'a> TransientSim<'a> {
         if ws.key != Some(key) {
             ws.key = None; // stays invalid if a step below fails
             let dt = options.dt;
-            let (lhs, step) = match options.method {
-                IntegrationMethod::Trapezoidal => {
-                    // (C/dt + G/2) v1 = (C/dt - G/2) v0 + (b0 + b1)/2
-                    let lhs = self.c.add_scaled(&self.g, 0.5 * dt).expect("same shape");
-                    let rhs = self.c.add_scaled(&self.g, -0.5 * dt).expect("same shape");
-                    (lhs.scaled(1.0 / dt), rhs.scaled(1.0 / dt))
+            match &self.backend {
+                Backend::Dense { g, c } => {
+                    let (lhs, step) = match options.method {
+                        IntegrationMethod::Trapezoidal => {
+                            // (C/dt + G/2) v1 = (C/dt - G/2) v0 + (b0 + b1)/2
+                            let lhs = c.add_scaled(g, 0.5 * dt).expect("same shape");
+                            let rhs = c.add_scaled(g, -0.5 * dt).expect("same shape");
+                            (lhs.scaled(1.0 / dt), rhs.scaled(1.0 / dt))
+                        }
+                        IntegrationMethod::BackwardEuler => {
+                            // (C/dt + G) v1 = (C/dt) v0 + b1
+                            let lhs = c.add_scaled(g, dt).expect("same shape");
+                            (lhs.scaled(1.0 / dt), c.scaled(1.0 / dt))
+                        }
+                    };
+                    ws.solver = Some(Solver::Dense(lhs.lu()?));
+                    // MNA stepping matrices of RC interconnect are sparse (a
+                    // few entries per row); the per-step matvec runs over the
+                    // stored entries only instead of the dense O(n²) row
+                    // loops.
+                    ws.step = Some(Csr::from_dense(&step));
+                    ws.lhs = None;
+                    ws.owner = None;
                 }
-                IntegrationMethod::BackwardEuler => {
-                    // (C/dt + G) v1 = (C/dt) v0 + b1
-                    let lhs = self.c.add_scaled(&self.g, dt).expect("same shape");
-                    (lhs.scaled(1.0 / dt), self.c.scaled(1.0 / dt))
+                Backend::Sparse {
+                    symbolic,
+                    pattern,
+                    g_vals,
+                    c_vals,
+                } => {
+                    // Same elementwise formulas as the dense path —
+                    // `(c + coeff·g)·(1/dt)` per entry — evaluated on the
+                    // precomputed union pattern.
+                    let (lhs_coeff, step_coeff) = match options.method {
+                        IntegrationMethod::Trapezoidal => (0.5 * dt, -0.5 * dt),
+                        IntegrationMethod::BackwardEuler => (dt, 0.0),
+                    };
+                    // Reuse the pattern clones and the symbolic half of the
+                    // factorization whenever the workspace last served this
+                    // simulator (the horizon-retry / dt-change case): only
+                    // values are rewritten and the numeric factor reruns.
+                    let reusable = ws.owner == Some(self.id)
+                        && matches!(ws.solver, Some(Solver::Sparse(_)))
+                        && ws.lhs.is_some()
+                        && ws.step.is_some();
+                    if !reusable {
+                        ws.owner = None;
+                        ws.lhs = Some(pattern.clone());
+                        ws.step = Some(pattern.clone());
+                        ws.solver = None;
+                    }
+                    let inv_dt = 1.0 / dt;
+                    let lhs = ws.lhs.as_mut().expect("set above");
+                    for ((dst, gv), cv) in
+                        lhs.values_mut().iter_mut().zip(g_vals).zip(c_vals)
+                    {
+                        *dst = (cv + lhs_coeff * gv) * inv_dt;
+                    }
+                    let step = ws.step.as_mut().expect("set above");
+                    for ((dst, gv), cv) in
+                        step.values_mut().iter_mut().zip(g_vals).zip(c_vals)
+                    {
+                        *dst = (cv + step_coeff * gv) * inv_dt;
+                    }
+                    match ws.solver.as_mut() {
+                        Some(Solver::Sparse(f)) => f.refactor(lhs)?,
+                        _ => ws.solver = Some(Solver::Sparse(Box::new(symbolic.factor(lhs)?))),
+                    }
+                    ws.owner = Some(self.id);
                 }
-            };
-            ws.lu = Some(lhs.lu()?);
-            // MNA stepping matrices of RC interconnect are sparse (a few
-            // entries per row); the per-step matvec runs over the stored
-            // entries only instead of the dense O(n²) row loops.
-            ws.step = Some(Csr::from_dense(&step));
+            }
             ws.key = Some(key);
         }
         ws.resize(self.network.node_count());
@@ -403,13 +643,13 @@ impl<'a> TransientSim<'a> {
 
         self.prepare(options, workspace)?;
         let ws = workspace;
-        let lu = ws.lu.as_ref().expect("prepared above");
+        let solver = ws.solver.as_ref().expect("prepared above");
         let step = ws.step.as_ref().expect("prepared above");
 
         // Initial condition: DC solution at t = 0 (G factored once at
         // construction).
         rhs_inputs(0.0, &mut ws.b_now);
-        self.g_lu.solve_into(&ws.b_now, &mut ws.v)?;
+        self.dc.solve_into(&ws.b_now, &mut ws.v, &mut ws.scratch)?;
 
         // Probe bookkeeping: resolve the probe set and reserve every
         // trace to its final length up front, before the stepping loop.
@@ -443,7 +683,7 @@ impl<'a> TransientSim<'a> {
                     }
                 }
             }
-            lu.solve_into(&ws.rhs, &mut ws.v_next)?;
+            solver.solve_into(&ws.rhs, &mut ws.v_next, &mut ws.scratch)?;
             std::mem::swap(&mut ws.v, &mut ws.v_next);
             std::mem::swap(&mut ws.b_now, &mut ws.b_next);
             for (trace, node) in traces.iter_mut().zip(&probe_nodes) {
@@ -601,6 +841,117 @@ mod tests {
             (&sim_a, &net_a, &stim_a[..], &opts_coarse),
             (&sim_a, &net_a, &stim_a[..], &opts),
             (&sim_a, &net_a, &stim_a[..], &opts_be),
+        ] {
+            let reused = sim.run_with(stim, o, &mut ws).unwrap();
+            let fresh = sim.run(stim, o).unwrap();
+            let out = net.victim_output();
+            assert_eq!(
+                reused.probe(out).unwrap().samples(),
+                fresh.probe(out).unwrap().samples(),
+            );
+        }
+    }
+
+    /// Distributed RC ladder pair (victim + aggressor, `segs` segments
+    /// each) with coupling caps along the span — large enough to engage
+    /// the sparse LDLᵀ backend under `Auto`.
+    fn coupled_ladder(segs: usize) -> (Network, NetId) {
+        let mut b = NetworkBuilder::new();
+        let v = b.add_net("v", NetRole::Victim);
+        let a = b.add_net("a", NetRole::Aggressor);
+        let mut prev_v = b.add_node(v, "v0");
+        let mut prev_a = b.add_node(a, "a0");
+        b.add_driver(v, prev_v, 120.0).unwrap();
+        b.add_driver(a, prev_a, 90.0).unwrap();
+        for i in 1..=segs {
+            let nv = b.add_node(v, format!("v{i}"));
+            let na = b.add_node(a, format!("a{i}"));
+            b.add_resistor(prev_v, nv, 15.0).unwrap();
+            b.add_resistor(prev_a, na, 12.0).unwrap();
+            b.add_ground_cap(nv, 2e-15).unwrap();
+            b.add_ground_cap(na, 2e-15).unwrap();
+            if i % 2 == 0 {
+                b.add_coupling_cap(nv, na, 4e-15).unwrap();
+            }
+            prev_v = nv;
+            prev_a = na;
+        }
+        b.add_sink(prev_v, 8e-15).unwrap();
+        b.add_sink(prev_a, 6e-15).unwrap();
+        let net = b.build().unwrap();
+        let agg = net.aggressor_nets().next().unwrap().0;
+        (net, agg)
+    }
+
+    #[test]
+    fn auto_selects_sparse_for_ladders_and_dense_for_lumped() {
+        let (ladder, _) = coupled_ladder(12);
+        let sim = TransientSim::new_with_solver(&ladder, SolverKind::Auto).unwrap();
+        assert!(sim.uses_sparse_solver());
+        let (lumped, _) = coupled_pair(100.0, 10e-15, 5e-15);
+        let sim = TransientSim::new_with_solver(&lumped, SolverKind::Auto).unwrap();
+        assert!(!sim.uses_sparse_solver());
+        // A forced-sparse request still engages on the tiny system …
+        let sim = TransientSim::new_with_solver(&lumped, SolverKind::Sparse).unwrap();
+        assert!(sim.uses_sparse_solver());
+        // … and a forced-dense request overrides the ladder heuristic.
+        let sim = TransientSim::new_with_solver(&ladder, SolverKind::Dense).unwrap();
+        assert!(!sim.uses_sparse_solver());
+    }
+
+    #[test]
+    fn sparse_and_dense_backends_agree() {
+        let (net, agg) = coupled_ladder(16);
+        let stim = [(agg, InputSignal::rising_ramp(5e-11, 1.2e-10))];
+        let opts = SimOptions::auto(&net, &stim);
+        let dense = TransientSim::new_with_solver(&net, SolverKind::Dense).unwrap();
+        let sparse = TransientSim::new_with_solver(&net, SolverKind::Sparse).unwrap();
+        assert!(sparse.uses_sparse_solver());
+        for o in [&opts, &opts.clone().with_method(IntegrationMethod::BackwardEuler)] {
+            let rd = dense.run(&stim, o).unwrap();
+            let rs = sparse.run(&stim, o).unwrap();
+            let out = net.victim_output();
+            let (wd, ws) = (rd.probe(out).unwrap(), rs.probe(out).unwrap());
+            assert_eq!(wd.samples().len(), ws.samples().len());
+            // Peak noise is well above 1e-3; per-sample agreement to
+            // 1e-10 makes the backends interchangeable for every metric
+            // the sweep derives from the waveform.
+            for (d, s) in wd.samples().iter().zip(ws.samples()) {
+                assert!(
+                    (d - s).abs() < 1e-10,
+                    "dense {d} vs sparse {s} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_workspace_reuse_is_bit_identical() {
+        // The in-place value rewrite + numeric refactor across dt and
+        // method changes must reproduce fresh-workspace samples exactly,
+        // including when the workspace hops between backends and
+        // simulators.
+        let (net, agg) = coupled_ladder(14);
+        let (lumped, agg_l) = coupled_pair(100.0, 10e-15, 5e-15);
+        let sparse = TransientSim::new_with_solver(&net, SolverKind::Sparse).unwrap();
+        let dense = TransientSim::new_with_solver(&lumped, SolverKind::Dense).unwrap();
+        let stim = [(agg, InputSignal::rising_ramp(0.0, 1e-10))];
+        let stim_l = [(agg_l, InputSignal::rising_ramp(0.0, 1e-10))];
+        let opts = SimOptions {
+            dt: 2e-12,
+            t_stop: 1.5e-9,
+            method: IntegrationMethod::Trapezoidal,
+            probes: vec![],
+        };
+        let opts_coarse = opts.clone().with_dt(8e-12);
+        let opts_be = opts.clone().with_method(IntegrationMethod::BackwardEuler);
+        let mut ws = SimWorkspace::new();
+        for (sim, net, stim, o) in [
+            (&sparse, &net, &stim[..], &opts),
+            (&sparse, &net, &stim[..], &opts_coarse), // refactor-in-place path
+            (&dense, &lumped, &stim_l[..], &opts),    // backend hop
+            (&sparse, &net, &stim[..], &opts_be),     // rebuild after hop
+            (&sparse, &net, &stim[..], &opts),
         ] {
             let reused = sim.run_with(stim, o, &mut ws).unwrap();
             let fresh = sim.run(stim, o).unwrap();

@@ -58,7 +58,10 @@ pub mod golden;
 pub mod measure;
 mod waveform;
 
-pub use engine::{IntegrationMethod, SimOptions, SimResult, SimWorkspace, TransientSim};
+pub use engine::{
+    set_solver_override, solver_kind, IntegrationMethod, SimOptions, SimResult, SimWorkspace,
+    TransientSim,
+};
 pub use error::SimError;
 pub use golden::{golden_noise, golden_noise_with};
 pub use measure::{measure_noise, NoiseWaveformParams};
