@@ -11,6 +11,13 @@
 //! syntax for. Element cards use standard `R`/`C`/`V` syntax with SI
 //! suffixes accepted on input (`15f`, `0.2p`, `1k`, `2meg`, …).
 //!
+//! The parser is hardened for untrusted input (the `xtalk serve` daemon
+//! feeds it client-submitted decks): every token-level error carries the
+//! 1-based line *and column* of the offending token, and
+//! [`parse_deck_with_limits`] bounds line, net, and element counts so an
+//! absurd deck is rejected with [`SpiceParseError::TooLarge`] instead of
+//! ballooning memory.
+//!
 //! # Examples
 //!
 //! ```
@@ -43,7 +50,10 @@ use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
 
-/// Errors raised by [`parse_deck`].
+/// Errors raised by [`parse_deck`]. Every token-level variant carries the
+/// 1-based line and column of the offending token; errors detected after
+/// the line scan (missing drivers, unreachable nodes) point back at the
+/// declaration or card that caused them.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SpiceParseError {
@@ -51,6 +61,8 @@ pub enum SpiceParseError {
     Malformed {
         /// 1-based line number.
         line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
         /// What went wrong.
         detail: String,
     },
@@ -58,6 +70,8 @@ pub enum SpiceParseError {
     BadNumber {
         /// 1-based line number.
         line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
         /// The offending token.
         token: String,
     },
@@ -66,6 +80,8 @@ pub enum SpiceParseError {
     NonFiniteValue {
         /// 1-based line number.
         line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
         /// The offending token.
         token: String,
     },
@@ -74,38 +90,72 @@ pub enum SpiceParseError {
     NonPositiveValue {
         /// 1-based line number.
         line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
         /// The offending token.
         token: String,
     },
     /// Something was defined twice: a net's driver card, a node claimed
     /// by the drivers of two different nets, or the output directive.
     DuplicateDefinition {
-        /// 1-based line number (0 when detected after the line scan).
+        /// 1-based line number of the *second* definition.
         line: usize,
+        /// 1-based column of the redefining token.
+        col: usize,
         /// What was redefined.
         what: String,
+    },
+    /// The deck exceeds a [`DeckLimits`] bound.
+    TooLarge {
+        /// 1-based line number where the limit was crossed.
+        line: usize,
+        /// Which limit (`"lines"`, `"nets"`, `"elements"`).
+        what: &'static str,
+        /// The configured bound.
+        limit: usize,
     },
     /// The deck parsed but did not describe a valid network.
     Invalid(CircuitError),
 }
 
+impl SpiceParseError {
+    /// The `(line, column)` of the offending token, 1-based. `None` only
+    /// for [`SpiceParseError::Invalid`], which describes the deck as a
+    /// whole rather than any one token.
+    #[must_use]
+    pub fn position(&self) -> Option<(usize, usize)> {
+        match self {
+            SpiceParseError::Malformed { line, col, .. }
+            | SpiceParseError::BadNumber { line, col, .. }
+            | SpiceParseError::NonFiniteValue { line, col, .. }
+            | SpiceParseError::NonPositiveValue { line, col, .. }
+            | SpiceParseError::DuplicateDefinition { line, col, .. } => Some((*line, *col)),
+            SpiceParseError::TooLarge { line, .. } => Some((*line, 1)),
+            SpiceParseError::Invalid(_) => None,
+        }
+    }
+}
+
 impl fmt::Display for SpiceParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SpiceParseError::Malformed { line, detail } => {
-                write!(f, "malformed card on line {line}: {detail}")
+            SpiceParseError::Malformed { line, col, detail } => {
+                write!(f, "malformed card on line {line}:{col}: {detail}")
             }
-            SpiceParseError::BadNumber { line, token } => {
-                write!(f, "bad numeric value {token:?} on line {line}")
+            SpiceParseError::BadNumber { line, col, token } => {
+                write!(f, "bad numeric value {token:?} on line {line}:{col}")
             }
-            SpiceParseError::NonFiniteValue { line, token } => {
-                write!(f, "non-finite value {token:?} on line {line}")
+            SpiceParseError::NonFiniteValue { line, col, token } => {
+                write!(f, "non-finite value {token:?} on line {line}:{col}")
             }
-            SpiceParseError::NonPositiveValue { line, token } => {
-                write!(f, "non-positive element value {token:?} on line {line}")
+            SpiceParseError::NonPositiveValue { line, col, token } => {
+                write!(f, "non-positive element value {token:?} on line {line}:{col}")
             }
-            SpiceParseError::DuplicateDefinition { line, what } => {
-                write!(f, "duplicate definition of {what} on line {line}")
+            SpiceParseError::DuplicateDefinition { line, col, what } => {
+                write!(f, "duplicate definition of {what} on line {line}:{col}")
+            }
+            SpiceParseError::TooLarge { line, what, limit } => {
+                write!(f, "deck too large at line {line}: more than {limit} {what}")
             }
             SpiceParseError::Invalid(e) => write!(f, "deck describes an invalid network: {e}"),
         }
@@ -124,6 +174,30 @@ impl Error for SpiceParseError {
 impl From<CircuitError> for SpiceParseError {
     fn from(e: CircuitError) -> Self {
         SpiceParseError::Invalid(e)
+    }
+}
+
+/// Size bounds for [`parse_deck_with_limits`]. The defaults are far above
+/// anything the sweep generators emit but low enough that a hostile deck
+/// cannot balloon memory; services facing untrusted clients should
+/// tighten them to their own request budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeckLimits {
+    /// Maximum number of lines scanned.
+    pub max_lines: usize,
+    /// Maximum number of `*! net` declarations.
+    pub max_nets: usize,
+    /// Maximum total element cards (drivers, resistors, capacitors).
+    pub max_elements: usize,
+}
+
+impl Default for DeckLimits {
+    fn default() -> Self {
+        DeckLimits {
+            max_lines: 1_000_000,
+            max_nets: 10_000,
+            max_elements: 500_000,
+        }
     }
 }
 
@@ -191,51 +265,130 @@ pub fn write_deck(network: &Network) -> String {
     out
 }
 
-/// Parses a deck previously produced by [`write_deck`].
+/// A whitespace-delimited token and its 1-based character column.
+fn tokens_with_columns(raw: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut col = 0usize;
+    let mut start: Option<(usize, usize)> = None; // (byte, col)
+    for (byte, ch) in raw.char_indices() {
+        col += 1;
+        if ch.is_whitespace() {
+            if let Some((sb, sc)) = start.take() {
+                out.push((sc, &raw[sb..byte]));
+            }
+        } else if start.is_none() {
+            start = Some((byte, col));
+        }
+    }
+    if let Some((sb, sc)) = start {
+        out.push((sc, &raw[sb..]));
+    }
+    out
+}
+
+/// A node-name token remembering where in the deck it appeared, so
+/// errors detected long after the line scan (unreachable nodes, nodes
+/// driven by two nets) still point at their source.
+#[derive(Debug, Clone)]
+struct NodeRef {
+    name: String,
+    line: usize,
+    col: usize,
+}
+
+impl NodeRef {
+    fn new((col, tok): (usize, &str), line: usize) -> Self {
+        NodeRef {
+            name: tok.to_string(),
+            line,
+            col,
+        }
+    }
+}
+
+/// Parses a deck previously produced by [`write_deck`], with
+/// [`DeckLimits::default`] size bounds.
 ///
 /// # Errors
 ///
 /// Returns [`SpiceParseError`] on malformed cards, unparseable numbers, or
 /// when the described structure fails [`NetworkBuilder::build`] validation.
 pub fn parse_deck(deck: &str) -> Result<Network, SpiceParseError> {
+    parse_deck_with_limits(deck, &DeckLimits::default())
+}
+
+/// [`parse_deck`] with caller-chosen size bounds — the entry point for
+/// services parsing untrusted decks.
+///
+/// # Errors
+///
+/// As [`parse_deck`], plus [`SpiceParseError::TooLarge`] when the deck
+/// exceeds `limits`.
+pub fn parse_deck_with_limits(
+    deck: &str,
+    limits: &DeckLimits,
+) -> Result<Network, SpiceParseError> {
     struct RawNet {
         role: NetRole,
         name: String,
-        driver_node: Option<(String, f64)>,
+        driver_node: Option<(NodeRef, f64)>,
+        decl_line: usize,
+        decl_col: usize,
     }
     let mut raw_nets: Vec<RawNet> = Vec::new();
-    let mut output_node: Option<String> = None;
-    let mut resistors: Vec<(String, String, f64)> = Vec::new();
-    let mut gcaps: Vec<(String, f64)> = Vec::new();
-    let mut sinks: Vec<(String, f64)> = Vec::new();
-    let mut ccaps: Vec<(String, String, f64)> = Vec::new();
+    let mut output_node: Option<NodeRef> = None;
+    let mut resistors: Vec<(NodeRef, NodeRef, f64)> = Vec::new();
+    let mut gcaps: Vec<(NodeRef, f64)> = Vec::new();
+    let mut sinks: Vec<(NodeRef, f64)> = Vec::new();
+    let mut ccaps: Vec<(NodeRef, NodeRef, f64)> = Vec::new();
+    let mut elements = 0usize;
 
     for (lineno, raw_line) in deck.lines().enumerate() {
-        let line = raw_line.trim();
         let lno = lineno + 1;
-        if line.is_empty() || line.eq_ignore_ascii_case(".end") {
+        if lno > limits.max_lines {
+            return Err(SpiceParseError::TooLarge {
+                line: lno,
+                what: "lines",
+                limit: limits.max_lines,
+            });
+        }
+        let toks = tokens_with_columns(raw_line);
+        let Some(&(name_col, name)) = toks.first() else {
+            continue; // blank line
+        };
+        if name.eq_ignore_ascii_case(".end") {
             continue;
         }
-        if let Some(directive) = line.strip_prefix("*!") {
-            let f: Vec<&str> = directive.split_whitespace().collect();
-            match f.first().copied() {
+        if let Some(rest) = name.strip_prefix("*!") {
+            // Directive: `*! net …` (exported form) or `*!net …`.
+            let f: Vec<(usize, &str)> = if rest.is_empty() {
+                toks[1..].to_vec()
+            } else {
+                let mut v = vec![(name_col + 2, rest)];
+                v.extend_from_slice(&toks[1..]);
+                v
+            };
+            match f.first().map(|&(_, t)| t) {
                 Some("net") => {
                     if f.len() < 4 {
                         return Err(SpiceParseError::Malformed {
                             line: lno,
+                            col: name_col,
                             detail: "expected `*! net <idx> <role> <name>`".into(),
                         });
                     }
-                    let idx: usize = f[1].parse().map_err(|_| SpiceParseError::BadNumber {
+                    let idx: usize = f[1].1.parse().map_err(|_| SpiceParseError::BadNumber {
                         line: lno,
-                        token: f[1].into(),
+                        col: f[1].0,
+                        token: f[1].1.into(),
                     })?;
-                    let role = match f[2] {
+                    let role = match f[2].1 {
                         "victim" => NetRole::Victim,
                         "aggressor" => NetRole::Aggressor,
                         other => {
                             return Err(SpiceParseError::Malformed {
                                 line: lno,
+                                col: f[2].0,
                                 detail: format!("unknown net role {other:?}"),
                             })
                         }
@@ -243,64 +396,78 @@ pub fn parse_deck(deck: &str) -> Result<Network, SpiceParseError> {
                     if idx != raw_nets.len() {
                         return Err(SpiceParseError::Malformed {
                             line: lno,
+                            col: f[1].0,
                             detail: format!("net index {idx} out of order"),
+                        });
+                    }
+                    if raw_nets.len() >= limits.max_nets {
+                        return Err(SpiceParseError::TooLarge {
+                            line: lno,
+                            what: "nets",
+                            limit: limits.max_nets,
                         });
                     }
                     raw_nets.push(RawNet {
                         role,
-                        name: f[3].to_string(),
+                        name: f[3].1.to_string(),
                         driver_node: None,
+                        decl_line: lno,
+                        decl_col: name_col,
                     });
                 }
                 Some("output") => {
                     if f.len() != 2 {
                         return Err(SpiceParseError::Malformed {
                             line: lno,
+                            col: name_col,
                             detail: "expected `*! output <node>`".into(),
                         });
                     }
                     if output_node.is_some() {
                         return Err(SpiceParseError::DuplicateDefinition {
                             line: lno,
+                            col: name_col,
                             what: "output directive".into(),
                         });
                     }
-                    output_node = Some(f[1].to_string());
+                    output_node = Some(NodeRef::new(f[1], lno));
                 }
                 _ => {
                     return Err(SpiceParseError::Malformed {
                         line: lno,
-                        detail: format!("unknown directive {line:?}"),
+                        col: name_col,
+                        detail: format!("unknown directive {:?}", raw_line.trim()),
                     })
                 }
             }
             continue;
         }
-        if line.starts_with('*') {
+        if name.starts_with('*') {
             continue; // plain comment
         }
 
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        let name = fields[0];
         let upper = name.to_ascii_uppercase();
         let need = |n: usize| -> Result<(), SpiceParseError> {
-            if fields.len() < n {
+            if toks.len() < n {
                 Err(SpiceParseError::Malformed {
                     line: lno,
-                    detail: format!("expected at least {n} fields, found {}", fields.len()),
+                    col: name_col,
+                    detail: format!("expected at least {n} fields, found {}", toks.len()),
                 })
             } else {
                 Ok(())
             }
         };
-        let value = |tok: &str| -> Result<f64, SpiceParseError> {
+        let value = |(col, tok): (usize, &str)| -> Result<f64, SpiceParseError> {
             let v = parse_si_value(tok).ok_or_else(|| SpiceParseError::BadNumber {
                 line: lno,
+                col,
                 token: tok.to_string(),
             })?;
             if !v.is_finite() {
                 return Err(SpiceParseError::NonFiniteValue {
                     line: lno,
+                    col,
                     token: tok.to_string(),
                 });
             }
@@ -308,22 +475,24 @@ pub fn parse_deck(deck: &str) -> Result<Network, SpiceParseError> {
         };
         // Resistances and capacitances must be positive; sink loads may
         // be zero (ideal probes) but not negative.
-        let positive = |tok: &str| -> Result<f64, SpiceParseError> {
-            let v = value(tok)?;
+        let positive = |t: (usize, &str)| -> Result<f64, SpiceParseError> {
+            let v = value(t)?;
             if v <= 0.0 {
                 return Err(SpiceParseError::NonPositiveValue {
                     line: lno,
-                    token: tok.to_string(),
+                    col: t.0,
+                    token: t.1.to_string(),
                 });
             }
             Ok(v)
         };
-        let non_negative = |tok: &str| -> Result<f64, SpiceParseError> {
-            let v = value(tok)?;
+        let non_negative = |t: (usize, &str)| -> Result<f64, SpiceParseError> {
+            let v = value(t)?;
             if v < 0.0 {
                 return Err(SpiceParseError::NonPositiveValue {
                     line: lno,
-                    token: tok.to_string(),
+                    col: t.0,
+                    token: t.1.to_string(),
                 });
             }
             Ok(v)
@@ -331,40 +500,61 @@ pub fn parse_deck(deck: &str) -> Result<Network, SpiceParseError> {
 
         if upper.starts_with("VDRV") {
             continue; // placeholder source; structure comes from RDRV
-        } else if let Some(idx_str) = upper.strip_prefix("RDRV") {
+        }
+        elements += 1;
+        if elements > limits.max_elements {
+            return Err(SpiceParseError::TooLarge {
+                line: lno,
+                what: "elements",
+                limit: limits.max_elements,
+            });
+        }
+        if let Some(idx_str) = upper.strip_prefix("RDRV") {
             need(4)?;
             let idx: usize = idx_str.parse().map_err(|_| SpiceParseError::Malformed {
                 line: lno,
+                col: name_col,
                 detail: format!("bad driver index in {name:?}"),
             })?;
             if idx >= raw_nets.len() {
                 return Err(SpiceParseError::Malformed {
                     line: lno,
+                    col: name_col,
                     detail: format!("driver {name:?} references undeclared net {idx}"),
                 });
             }
             if raw_nets[idx].driver_node.is_some() {
                 return Err(SpiceParseError::DuplicateDefinition {
                     line: lno,
+                    col: name_col,
                     what: format!("driver card for net {idx}"),
                 });
             }
-            raw_nets[idx].driver_node = Some((fields[2].to_string(), positive(fields[3])?));
+            raw_nets[idx].driver_node = Some((NodeRef::new(toks[2], lno), positive(toks[3])?));
         } else if upper.starts_with("CC") {
             need(4)?;
-            ccaps.push((fields[1].into(), fields[2].into(), positive(fields[3])?));
+            ccaps.push((
+                NodeRef::new(toks[1], lno),
+                NodeRef::new(toks[2], lno),
+                positive(toks[3])?,
+            ));
         } else if upper.starts_with("CL") {
             need(4)?;
-            sinks.push((fields[1].into(), non_negative(fields[3])?));
+            sinks.push((NodeRef::new(toks[1], lno), non_negative(toks[3])?));
         } else if upper.starts_with('C') {
             need(4)?;
-            gcaps.push((fields[1].into(), positive(fields[3])?));
+            gcaps.push((NodeRef::new(toks[1], lno), positive(toks[3])?));
         } else if upper.starts_with('R') {
             need(4)?;
-            resistors.push((fields[1].into(), fields[2].into(), positive(fields[3])?));
+            resistors.push((
+                NodeRef::new(toks[1], lno),
+                NodeRef::new(toks[2], lno),
+                positive(toks[3])?,
+            ));
         } else {
             return Err(SpiceParseError::Malformed {
                 line: lno,
+                col: name_col,
                 detail: format!("unsupported card {name:?}"),
             });
         }
@@ -372,16 +562,18 @@ pub fn parse_deck(deck: &str) -> Result<Network, SpiceParseError> {
 
     // Assign nodes to nets: seed each net with its driver node, then grow
     // along resistor edges (nets are resistively disjoint by construction).
-    let mut node_net: HashMap<String, usize> = HashMap::new();
+    let mut node_net: HashMap<&str, usize> = HashMap::new();
     for (i, rn) in raw_nets.iter().enumerate() {
         let (node, _) = rn.driver_node.as_ref().ok_or(SpiceParseError::Malformed {
-            line: 0,
+            line: rn.decl_line,
+            col: rn.decl_col,
             detail: format!("net {i} has no RDRV card"),
         })?;
-        if node_net.insert(node.clone(), i).is_some() {
+        if node_net.insert(&node.name, i).is_some() {
             return Err(SpiceParseError::DuplicateDefinition {
-                line: 0,
-                what: format!("node {node:?} (driver node of two different nets)"),
+                line: node.line,
+                col: node.col,
+                what: format!("node {:?} (driver node of two different nets)", node.name),
             });
         }
     }
@@ -389,13 +581,13 @@ pub fn parse_deck(deck: &str) -> Result<Network, SpiceParseError> {
     while changed {
         changed = false;
         for (a, b, _) in &resistors {
-            match (node_net.get(a).copied(), node_net.get(b).copied()) {
+            match (node_net.get(a.name.as_str()).copied(), node_net.get(b.name.as_str()).copied()) {
                 (Some(na), None) => {
-                    node_net.insert(b.clone(), na);
+                    node_net.insert(&b.name, na);
                     changed = true;
                 }
                 (None, Some(nb)) => {
-                    node_net.insert(a.clone(), nb);
+                    node_net.insert(&a.name, nb);
                     changed = true;
                 }
                 _ => {}
@@ -410,18 +602,21 @@ pub fn parse_deck(deck: &str) -> Result<Network, SpiceParseError> {
         net_ids.push(b.add_net(rn.name.clone(), rn.role));
     }
     // Deterministic node order: sort by name.
-    let mut node_names: Vec<&String> = node_net.keys().collect();
-    node_names.sort();
+    let mut node_names: Vec<&str> = node_net.keys().copied().collect();
+    node_names.sort_unstable();
     let mut node_ids: HashMap<String, NodeId> = HashMap::new();
     for name in node_names {
         let net = net_ids[node_net[name]];
-        node_ids.insert(name.clone(), b.add_node(net, name.clone()));
+        node_ids.insert(name.to_string(), b.add_node(net, name));
     }
-    let lookup = |m: &HashMap<String, NodeId>, n: &str| -> Result<NodeId, SpiceParseError> {
-        m.get(n).copied().ok_or_else(|| SpiceParseError::Malformed {
-            line: 0,
-            detail: format!("node {n:?} not reachable from any driver"),
-        })
+    let lookup = |m: &HashMap<String, NodeId>, n: &NodeRef| -> Result<NodeId, SpiceParseError> {
+        m.get(&n.name)
+            .copied()
+            .ok_or_else(|| SpiceParseError::Malformed {
+                line: n.line,
+                col: n.col,
+                detail: format!("node {:?} not reachable from any driver", n.name),
+            })
     };
 
     for (i, rn) in raw_nets.iter().enumerate() {
@@ -524,6 +719,16 @@ mod tests {
     }
 
     #[test]
+    fn tokenizer_reports_one_based_columns() {
+        assert_eq!(
+            tokens_with_columns("  R1  n0 n1\t5"),
+            vec![(3, "R1"), (7, "n0"), (10, "n1"), (13, "5")]
+        );
+        assert!(tokens_with_columns("   ").is_empty());
+        assert!(tokens_with_columns("").is_empty());
+    }
+
+    #[test]
     fn deck_contains_all_cards() {
         let deck = write_deck(&sample_network());
         assert!(deck.contains("*! net 0 victim vic"));
@@ -583,16 +788,21 @@ mod tests {
     fn malformed_cards_are_reported_with_line_numbers() {
         let bad = "*! net 0 victim v\nR1 n0\n";
         match parse_deck(bad) {
-            Err(SpiceParseError::Malformed { line, .. }) => assert_eq!(line, 2),
+            Err(SpiceParseError::Malformed { line, col, .. }) => {
+                assert_eq!((line, col), (2, 1));
+            }
             other => panic!("expected malformed error, got {other:?}"),
         }
     }
 
     #[test]
-    fn bad_number_is_reported() {
+    fn bad_number_is_reported_with_position() {
         let bad = "*! net 0 victim v\nRDRV0 src0 n0 abc\n";
         match parse_deck(bad) {
-            Err(SpiceParseError::BadNumber { token, .. }) => assert_eq!(token, "abc"),
+            Err(SpiceParseError::BadNumber { line, col, token }) => {
+                assert_eq!(token, "abc");
+                assert_eq!((line, col), (2, 15));
+            }
             other => panic!("expected bad-number error, got {other:?}"),
         }
     }
@@ -600,10 +810,12 @@ mod tests {
     #[test]
     fn unknown_role_rejected() {
         let bad = "*! net 0 bystander v\n";
-        assert!(matches!(
-            parse_deck(bad),
-            Err(SpiceParseError::Malformed { .. })
-        ));
+        match parse_deck(bad) {
+            Err(SpiceParseError::Malformed { line, col, .. }) => {
+                assert_eq!((line, col), (1, 10)); // points at "bystander"
+            }
+            other => panic!("expected malformed error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -613,8 +825,8 @@ mod tests {
         for tok in ["infinity", "-infinity", "1e999", "1e308k"] {
             let bad = format!("*! net 0 victim v\nRDRV0 src0 n0 {tok}\nCL0 n0 0 1f\n");
             match parse_deck(&bad) {
-                Err(SpiceParseError::NonFiniteValue { line, token }) => {
-                    assert_eq!(line, 2);
+                Err(SpiceParseError::NonFiniteValue { line, col, token }) => {
+                    assert_eq!((line, col), (2, 15));
                     assert_eq!(token, tok);
                 }
                 other => panic!("{tok}: expected non-finite error, got {other:?}"),
@@ -626,7 +838,7 @@ mod tests {
             let bad = format!("*! net 0 victim v\nRDRV0 src0 n0 {tok}\nCL0 n0 0 1f\n");
             assert!(matches!(
                 parse_deck(&bad),
-                Err(SpiceParseError::BadNumber { line: 2, .. })
+                Err(SpiceParseError::BadNumber { line: 2, col: 15, .. })
             ));
         }
     }
@@ -637,13 +849,13 @@ mod tests {
         let bad = "*! net 0 victim v\nRDRV0 src0 n0 0\nCL0 n0 0 1f\n";
         assert!(matches!(
             parse_deck(bad),
-            Err(SpiceParseError::NonPositiveValue { line: 2, .. })
+            Err(SpiceParseError::NonPositiveValue { line: 2, col: 15, .. })
         ));
         // Negative coupling capacitor.
         let bad = "*! net 0 victim v\n*! net 1 aggressor a\nRDRV0 src0 n0 10\nRDRV1 src1 n1 10\nCL0 n0 0 1f\nCL1 n1 0 1f\nCC0 n0 n1 -2f\n";
         assert!(matches!(
             parse_deck(bad),
-            Err(SpiceParseError::NonPositiveValue { line: 7, .. })
+            Err(SpiceParseError::NonPositiveValue { line: 7, col: 11, .. })
         ));
         // Negative sink load (zero stays legal: an ideal probe).
         let bad = "*! net 0 victim v\nRDRV0 src0 n0 10\nCL0 n0 0 -1f\n";
@@ -657,8 +869,8 @@ mod tests {
     fn duplicate_driver_card_rejected() {
         let bad = "*! net 0 victim v\nRDRV0 src0 n0 10\nRDRV0 src0 n0 20\nCL0 n0 0 1f\n";
         match parse_deck(bad) {
-            Err(SpiceParseError::DuplicateDefinition { line, what }) => {
-                assert_eq!(line, 3);
+            Err(SpiceParseError::DuplicateDefinition { line, col, what }) => {
+                assert_eq!((line, col), (3, 1));
                 assert!(what.contains("net 0"), "{what}");
             }
             other => panic!("expected duplicate-definition error, got {other:?}"),
@@ -666,13 +878,40 @@ mod tests {
     }
 
     #[test]
-    fn node_driven_by_two_nets_rejected() {
+    fn node_driven_by_two_nets_points_at_second_driver_card() {
         let bad = "*! net 0 victim v\n*! net 1 aggressor a\nRDRV0 src0 n0 10\nRDRV1 src1 n0 10\nCL0 n0 0 1f\n";
         match parse_deck(bad) {
-            Err(SpiceParseError::DuplicateDefinition { what, .. }) => {
+            Err(SpiceParseError::DuplicateDefinition { line, col, what }) => {
                 assert!(what.contains("n0"), "{what}");
+                // Post-scan detection still points at the RDRV1 card's
+                // node token (line 4, `n0` at column 12).
+                assert_eq!((line, col), (4, 12));
             }
             other => panic!("expected duplicate-definition error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_driver_points_at_the_net_declaration() {
+        let deck = "* preamble\n*! net 0 victim v\n";
+        match parse_deck(deck) {
+            Err(SpiceParseError::Malformed { line, col, detail }) => {
+                assert_eq!((line, col), (2, 1));
+                assert!(detail.contains("no RDRV card"), "{detail}");
+            }
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unreachable_node_points_at_the_referencing_card() {
+        let bad = "*! net 0 victim v\nRDRV0 src0 n0 10\nCL0 n0 0 1f\nC0 nX 0 1f\n";
+        match parse_deck(bad) {
+            Err(SpiceParseError::Malformed { line, col, detail }) => {
+                assert_eq!((line, col), (4, 4)); // the `nX` token
+                assert!(detail.contains("nX"), "{detail}");
+            }
+            other => panic!("expected malformed error, got {other:?}"),
         }
     }
 
@@ -689,6 +928,117 @@ mod tests {
     fn structurally_invalid_deck_rejected() {
         // Two victim nets.
         let bad = "*! net 0 victim v1\n*! net 1 victim v2\nRDRV0 src0 n0 10\nRDRV1 src1 n1 10\nCL0 n0 0 1f\nCL1 n1 0 1f\n";
-        assert!(matches!(parse_deck(bad), Err(SpiceParseError::Invalid(_))));
+        let err = parse_deck(bad).unwrap_err();
+        assert!(matches!(err, SpiceParseError::Invalid(_)));
+        assert_eq!(err.position(), None);
+    }
+
+    #[test]
+    fn every_positioned_error_exposes_its_location() {
+        let cases = [
+            "R1 n0\n",                        // malformed card
+            "RDRV0 src0 n0 10\n",             // undeclared net
+            "*! net 0 victim v\nRDRV0 src0 n0 xyz\n", // bad number
+        ];
+        for deck in cases {
+            let err = parse_deck(deck).unwrap_err();
+            let (line, col) = err.position().expect("token-level errors have positions");
+            assert!(line >= 1 && col >= 1, "{err}");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Malformed-deck corpus: hostile inputs must produce structured
+    // errors, never panics or unbounded work.
+
+    #[test]
+    fn corpus_truncated_decks() {
+        let good = write_deck(&sample_network());
+        // Every prefix of a valid deck either parses or fails with a
+        // structured, positioned-or-Invalid error.
+        for end in 0..good.len() {
+            if !good.is_char_boundary(end) {
+                continue;
+            }
+            match parse_deck(&good[..end]) {
+                Ok(_) => {}
+                Err(e) => {
+                    // Force Display rendering too — no panics allowed.
+                    let _ = e.to_string();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_nul_bytes_and_binary_noise() {
+        for deck in [
+            "\u{0}\u{0}\u{0}",
+            "*! net 0 victim v\nRDRV0 src0 n\u{0}0 10\n",
+            "*! net 0 vic\u{0}tim v\n",
+            "R1\u{0} n0 n1 5\n",
+            "\u{feff}*! net 0 victim v\n", // BOM prefix
+            "*! net 0 victim v\r\nRDRV0 src0 n0 10\r\nCL0 n0 0 1f\r\n", // CRLF
+        ] {
+            match parse_deck(deck) {
+                Ok(_) => {}
+                Err(e) => {
+                    let _ = e.to_string();
+                }
+            }
+        }
+        // CRLF decks specifically must still parse (lines() strips \r\n
+        // but not a bare \r — tokens keep working either way).
+        let crlf = write_deck(&sample_network()).replace('\n', "\r\n");
+        assert!(parse_deck(&crlf).is_ok());
+    }
+
+    #[test]
+    fn corpus_absurd_element_counts_hit_the_limits() {
+        let limits = DeckLimits {
+            max_lines: 100,
+            max_nets: 4,
+            max_elements: 16,
+        };
+        // Too many lines.
+        let long = "* filler\n".repeat(200);
+        assert!(matches!(
+            parse_deck_with_limits(&long, &limits),
+            Err(SpiceParseError::TooLarge {
+                what: "lines",
+                line: 101,
+                ..
+            })
+        ));
+        // Too many nets.
+        let mut nets = String::new();
+        for i in 0..10 {
+            let _ = writeln!(nets, "*! net {i} aggressor a{i}");
+        }
+        assert!(matches!(
+            parse_deck_with_limits(&nets, &limits),
+            Err(SpiceParseError::TooLarge { what: "nets", .. })
+        ));
+        // Too many element cards.
+        let mut fat = String::from("*! net 0 victim v\nRDRV0 src0 n0 10\n");
+        for i in 0..32 {
+            let _ = writeln!(fat, "C{i} n0 0 1f");
+        }
+        assert!(matches!(
+            parse_deck_with_limits(&fat, &limits),
+            Err(SpiceParseError::TooLarge {
+                what: "elements",
+                ..
+            })
+        ));
+        // The default limits leave normal decks untouched.
+        assert!(parse_deck(&write_deck(&sample_network())).is_ok());
+    }
+
+    #[test]
+    fn directive_glued_to_marker_still_parses() {
+        // `*!net` (no space) is the same directive as `*! net`.
+        let deck = write_deck(&sample_network()).replace("*! net", "*!net");
+        assert!(parse_deck(&deck).is_ok());
     }
 }

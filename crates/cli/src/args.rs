@@ -173,6 +173,36 @@ pub struct SweepCmdArgs {
     pub family: SweepFamily,
 }
 
+/// Which transport `xtalk serve` listens on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    /// Newline-delimited JSON over stdin/stdout — the default.
+    Stdio,
+    /// Listen on this TCP address (e.g. `127.0.0.1:7777`).
+    Tcp(String),
+    /// Listen on this Unix-domain socket path.
+    Unix(String),
+}
+
+/// Parsed `xtalk serve` invocation: the resident analysis daemon.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// Where to listen.
+    pub transport: Transport,
+    /// Bounded request-queue capacity; beyond it requests are shed with
+    /// backpressure replies.
+    pub queue_capacity: usize,
+    /// Maximum request line length in bytes.
+    pub max_request_bytes: usize,
+    /// Default per-request deadline budget (ms) for requests that carry
+    /// none of their own.
+    pub deadline_ms: Option<f64>,
+    /// Honor `boom` test-fault requests (panic-isolation testing).
+    pub test_faults: bool,
+    /// Worker pool size.
+    pub jobs: Jobs,
+}
+
 /// Result of parsing: either run an analysis or print help.
 #[derive(Debug, Clone)]
 pub enum ParseOutcome {
@@ -182,6 +212,8 @@ pub enum ParseOutcome {
     Audit(AuditArgs),
     /// Run the instrumented randomized sweep.
     Sweep(SweepCmdArgs),
+    /// Run the analysis daemon.
+    Serve(ServeArgs),
     /// Print this help text and exit successfully.
     Help(String),
 }
@@ -199,6 +231,9 @@ USAGE:
     xtalk audit [--cases N] [--seed S] [--jobs N|auto] [--json PATH]
     xtalk sweep [--cases N] [--seed S] [--corners F]
                 [--family far|near|tree|all] [--jobs N|auto]
+    xtalk serve [--tcp ADDR | --unix PATH] [--jobs N|auto]
+                [--queue-capacity N] [--max-request-bytes N]
+                [--deadline-ms T] [--test-faults]
 
 The deck must use the subset written by xtalk's SPICE exporter (element
 cards R/C/CC/CL/RDRV plus `*!` net-role directives). Times accept SPICE
@@ -230,6 +265,28 @@ bytes for every --jobs value). Deep runs use --cases 500.
 default far), runs the fallback-chain degradation scan and the golden
 evaluation, and prints accuracy tables. It exits with code 2 when any
 case needed a fallback metric.
+
+`xtalk serve` runs a resident analysis daemon speaking newline-delimited
+JSON (one request object per line in, one reply per line out, replies in
+request order per connection; protocol in DESIGN.md section 10). It
+listens on stdin/stdout by default, or --tcp ADDR / --unix PATH. The
+request queue is bounded (--queue-capacity, default 64); overload is
+shed with `overloaded` replies carrying retry_after_ms hints. Request
+lines above --max-request-bytes (default 4194304) are rejected without
+buffering. --deadline-ms sets a default per-request budget: when golden
+escalation would blow it, the reply degrades to closed-form results and
+says so. Worker panics are caught per request; the pool survives.
+SIGTERM (or stdin EOF) stops admission, drains in-flight work, flushes
+--metrics-out, and exits 0. --test-faults enables the `boom` request
+type that deliberately panics a worker (for fault-injection tests).
+
+Exit codes (all commands):
+    0  success
+    1  error (bad arguments, unreadable or malformed deck, analysis
+       failure, --strict degradation)
+    2  completed, but only by degrading (fallback metrics used)
+    3  audit invariant violations found
+    4  fatal server error (xtalk serve could not start its transport)
 
 Observability (accepted by every command):
     --metrics-out PATH  write the metrics snapshot as deterministic JSON
@@ -299,6 +356,7 @@ fn parse_command(argv: &[String]) -> Result<ParseOutcome, Box<dyn Error>> {
         Some("reduce") => Command::Reduce,
         Some("audit") => return parse_audit(it),
         Some("sweep") => return parse_sweep(it),
+        Some("serve") => return parse_serve(it),
         Some(other) => return Err(format!("unknown command {other:?}; try --help").into()),
     };
     let deck_path = it
@@ -474,6 +532,59 @@ fn parse_sweep(
     Ok(ParseOutcome::Sweep(sweep))
 }
 
+fn parse_serve(
+    mut it: std::iter::Peekable<std::slice::Iter<'_, String>>,
+) -> Result<ParseOutcome, Box<dyn Error>> {
+    let mut serve = ServeArgs {
+        transport: Transport::Stdio,
+        queue_capacity: 64,
+        max_request_bytes: 4 << 20,
+        deadline_ms: None,
+        test_faults: false,
+        jobs: Jobs::Auto,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, Box<dyn Error>> {
+            it.next().ok_or_else(|| format!("{flag} needs a value").into())
+        };
+        match flag.as_str() {
+            "--stdio" => serve.transport = Transport::Stdio,
+            "--tcp" => serve.transport = Transport::Tcp(value()?.to_string()),
+            "--unix" => serve.transport = Transport::Unix(value()?.to_string()),
+            "--queue-capacity" => {
+                serve.queue_capacity = value()?
+                    .parse()
+                    .map_err(|_| "bad --queue-capacity value".to_string())?;
+                if serve.queue_capacity == 0 {
+                    return Err("--queue-capacity must be at least 1".into());
+                }
+            }
+            "--max-request-bytes" => {
+                serve.max_request_bytes = value()?
+                    .parse()
+                    .map_err(|_| "bad --max-request-bytes value".to_string())?;
+                if serve.max_request_bytes < 64 {
+                    return Err("--max-request-bytes must be at least 64".into());
+                }
+            }
+            "--deadline-ms" => {
+                let ms: f64 = value()?
+                    .parse()
+                    .map_err(|_| "bad --deadline-ms value".to_string())?;
+                if !(ms.is_finite() && ms > 0.0) {
+                    return Err("--deadline-ms must be positive".into());
+                }
+                serve.deadline_ms = Some(ms);
+            }
+            "--test-faults" => serve.test_faults = true,
+            "--jobs" => serve.jobs = Jobs::parse(value()?)?,
+            "--help" | "-h" => return Ok(ParseOutcome::Help(HELP.to_string())),
+            other => return Err(format!("unknown flag {other:?}; try --help").into()),
+        }
+    }
+    Ok(ParseOutcome::Serve(serve))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -641,6 +752,59 @@ mod tests {
 
         assert!(parse_outcome(&["sweep", "--solver"]).is_err());
         assert!(parse_outcome(&["sweep", "--solver", "cholesky"]).is_err());
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let serve = match parse_outcome(&["serve"]).unwrap().0 {
+            ParseOutcome::Serve(s) => s,
+            other => panic!("expected Serve, got {other:?}"),
+        };
+        assert_eq!(serve.transport, Transport::Stdio);
+        assert_eq!(serve.queue_capacity, 64);
+        assert_eq!(serve.max_request_bytes, 4 << 20);
+        assert_eq!(serve.deadline_ms, None);
+        assert!(!serve.test_faults);
+        assert_eq!(serve.jobs, Jobs::Auto);
+
+        let serve = match parse_outcome(&[
+            "serve",
+            "--tcp",
+            "127.0.0.1:7777",
+            "--queue-capacity",
+            "8",
+            "--max-request-bytes",
+            "1024",
+            "--deadline-ms",
+            "250",
+            "--test-faults",
+            "--jobs",
+            "2",
+        ])
+        .unwrap()
+        .0
+        {
+            ParseOutcome::Serve(s) => s,
+            other => panic!("expected Serve, got {other:?}"),
+        };
+        assert_eq!(serve.transport, Transport::Tcp("127.0.0.1:7777".into()));
+        assert_eq!(serve.queue_capacity, 8);
+        assert_eq!(serve.max_request_bytes, 1024);
+        assert_eq!(serve.deadline_ms, Some(250.0));
+        assert!(serve.test_faults);
+        assert_eq!(serve.jobs, Jobs::Count(2));
+
+        let serve = match parse_outcome(&["serve", "--unix", "/tmp/x.sock"]).unwrap().0 {
+            ParseOutcome::Serve(s) => s,
+            other => panic!("expected Serve, got {other:?}"),
+        };
+        assert_eq!(serve.transport, Transport::Unix("/tmp/x.sock".into()));
+
+        assert!(parse_outcome(&["serve", "--queue-capacity", "0"]).is_err());
+        assert!(parse_outcome(&["serve", "--max-request-bytes", "1"]).is_err());
+        assert!(parse_outcome(&["serve", "--deadline-ms", "0"]).is_err());
+        assert!(parse_outcome(&["serve", "--deadline-ms", "inf"]).is_err());
+        assert!(parse_outcome(&["serve", "deck.sp"]).is_err());
     }
 
     #[test]

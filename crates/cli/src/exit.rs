@@ -1,0 +1,123 @@
+//! The binary's exit-code taxonomy, in one place.
+//!
+//! Every path out of `fn main` goes through [`ExitCode`]; no scattered
+//! `std::process::exit(2)` literals. The codes are part of the tool's
+//! scripting interface (CI gates branch on them), documented in
+//! `--help` and the README:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 1    | error: bad arguments, unreadable/malformed deck, analysis failure, `--strict` degradation |
+//! | 2    | completed, but only by degrading (fallback metrics used) |
+//! | 3    | audit invariant violations found |
+//! | 4    | fatal server error (`xtalk serve` could not start or lost its transport) |
+
+use crate::RunOutcome;
+use std::error::Error;
+
+/// Process exit codes, ordered by severity of what they report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitCode {
+    /// 0 — clean success.
+    Success,
+    /// 1 — the command itself failed (arguments, I/O, deck, analysis).
+    Failure,
+    /// 2 — analysis completed but degraded (fallback metrics used).
+    Degraded,
+    /// 3 — the differential audit found invariant violations.
+    AuditViolation,
+    /// 4 — `xtalk serve` hit a fatal server error (bind/accept failure);
+    /// distinct from 1 so orchestrators can tell "bad request" from
+    /// "daemon is gone".
+    FatalServer,
+}
+
+impl ExitCode {
+    /// The numeric process exit code.
+    pub fn code(self) -> i32 {
+        match self {
+            ExitCode::Success => 0,
+            ExitCode::Failure => 1,
+            ExitCode::Degraded => 2,
+            ExitCode::AuditViolation => 3,
+            ExitCode::FatalServer => 4,
+        }
+    }
+
+    /// Classifies a finished [`crate::run`]: errors map to
+    /// [`ExitCode::Failure`] (or [`ExitCode::FatalServer`] for server
+    /// transport failures), success ranks violations over degradation.
+    pub fn from_result(result: &Result<RunOutcome, Box<dyn Error>>) -> Self {
+        match result {
+            Err(e) if e.is::<FatalServerError>() => ExitCode::FatalServer,
+            Err(_) => ExitCode::Failure,
+            Ok(outcome) if outcome.violations => ExitCode::AuditViolation,
+            Ok(outcome) if outcome.degraded => ExitCode::Degraded,
+            Ok(_) => ExitCode::Success,
+        }
+    }
+
+    /// Terminates the process with this code. `Success` returns instead
+    /// of exiting so `main` can fall off its end normally.
+    pub fn finish(self) {
+        if self != ExitCode::Success {
+            std::process::exit(self.code());
+        }
+    }
+}
+
+/// A server-fatal failure (socket bind, accept loop, transport loss)
+/// from `xtalk serve`; mapped to exit code 4 instead of 1.
+#[derive(Debug)]
+pub struct FatalServerError(pub String);
+
+impl std::fmt::Display for FatalServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fatal server error: {}", self.0)
+    }
+}
+
+impl Error for FatalServerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(degraded: bool, violations: bool) -> Result<RunOutcome, Box<dyn Error>> {
+        Ok(RunOutcome {
+            report: String::new(),
+            degraded,
+            violations,
+        })
+    }
+
+    #[test]
+    fn codes_are_the_documented_taxonomy() {
+        assert_eq!(ExitCode::Success.code(), 0);
+        assert_eq!(ExitCode::Failure.code(), 1);
+        assert_eq!(ExitCode::Degraded.code(), 2);
+        assert_eq!(ExitCode::AuditViolation.code(), 3);
+        assert_eq!(ExitCode::FatalServer.code(), 4);
+    }
+
+    #[test]
+    fn classification_ranks_violations_over_degradation() {
+        assert_eq!(ExitCode::from_result(&ok(false, false)), ExitCode::Success);
+        assert_eq!(ExitCode::from_result(&ok(true, false)), ExitCode::Degraded);
+        assert_eq!(
+            ExitCode::from_result(&ok(false, true)),
+            ExitCode::AuditViolation
+        );
+        assert_eq!(
+            ExitCode::from_result(&ok(true, true)),
+            ExitCode::AuditViolation
+        );
+        assert_eq!(
+            ExitCode::from_result(&Err("nope".into())),
+            ExitCode::Failure
+        );
+        let fatal: Box<dyn Error> = Box::new(FatalServerError("bind failed".into()));
+        assert_eq!(ExitCode::from_result(&Err(fatal)), ExitCode::FatalServer);
+    }
+}

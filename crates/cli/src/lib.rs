@@ -11,6 +11,7 @@
 //! xtalk reduce <deck.sp> [--tau T]        # reduced deck on stdout
 //! xtalk audit [--cases N] [--seed S] [--jobs N|auto] [--json PATH]
 //! xtalk sweep [--cases N] [--seed S] [--corners F] [--family FAM]
+//! xtalk serve [--tcp ADDR | --unix PATH] [--queue-capacity N]   # daemon
 //! ```
 //!
 //! Every command additionally accepts the observability switches
@@ -31,13 +32,16 @@
 #![warn(missing_docs)]
 
 mod args;
+mod exit;
 mod report;
+mod serve_cmd;
 mod sweep;
 
 pub use args::{
-    AuditArgs, Command, DelayMetricArg, MetricArg, ObsArgs, ParseOutcome, ShapeArg, SweepCmdArgs,
-    SweepFamily,
+    AuditArgs, Command, DelayMetricArg, MetricArg, ObsArgs, ParseOutcome, ServeArgs, ShapeArg,
+    SweepCmdArgs, SweepFamily, Transport,
 };
+pub use exit::{ExitCode, FatalServerError};
 pub use report::{delay_report, info_report, noise_report};
 
 use std::error::Error;
@@ -123,6 +127,7 @@ fn finish_obs(obs: &ObsArgs) -> Result<(), Box<dyn Error>> {
 fn dispatch(outcome: ParseOutcome) -> Result<RunOutcome, Box<dyn Error>> {
     match outcome {
         ParseOutcome::Help(text) => Ok(RunOutcome::clean(text)),
+        ParseOutcome::Serve(serve) => serve_cmd::run_serve(&serve),
         ParseOutcome::Sweep(sweep) => sweep::run_sweep(&sweep),
         ParseOutcome::Audit(audit) => {
             let report = xtalk_audit::run_audit(&xtalk_audit::AuditConfig {

@@ -1,22 +1,17 @@
 //! `xtalk` — command-line crosstalk noise and delay analysis.
 //!
-//! See `xtalk --help` or the crate docs of `xtalk-cli`.
+//! See `xtalk --help` or the crate docs of `xtalk-cli`. Exit codes are
+//! the taxonomy documented there: 0 success, 1 error, 2 degraded,
+//! 3 audit violations, 4 fatal server error.
+
+use xtalk_cli::ExitCode;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match xtalk_cli::run(&argv) {
-        Ok(outcome) => {
-            print!("{}", outcome.report);
-            if outcome.violations {
-                std::process::exit(3);
-            }
-            if outcome.degraded {
-                std::process::exit(2);
-            }
-        }
-        Err(e) => {
-            eprintln!("xtalk: {e}");
-            std::process::exit(1);
-        }
+    let result = xtalk_cli::run(&argv);
+    match &result {
+        Ok(outcome) => print!("{}", outcome.report),
+        Err(e) => eprintln!("xtalk: {e}"),
     }
+    ExitCode::from_result(&result).finish();
 }

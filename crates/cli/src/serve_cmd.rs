@@ -1,0 +1,86 @@
+//! The `xtalk serve` runner: wires [`xtalk_serve::Server`] to the
+//! transport the command line picked and turns its lifecycle into a
+//! [`RunOutcome`].
+//!
+//! The runner returns (rather than exits) so `crate::run`'s normal
+//! epilogue flushes the observability sinks — `--metrics-out` written
+//! after the drain captures the daemon's whole life, and `--stats`
+//! prints the served/panics/shed table like any other command.
+
+use crate::args::{ServeArgs, Transport};
+use crate::exit::FatalServerError;
+use crate::RunOutcome;
+use std::error::Error;
+use std::io;
+use std::thread;
+use xtalk_serve::{ServeConfig, Server};
+
+pub fn run_serve(args: &ServeArgs) -> Result<RunOutcome, Box<dyn Error>> {
+    xtalk_serve::install_handlers();
+    // The stats request type reports the live deterministic registry;
+    // recording must be on whether or not --metrics-out was given.
+    xtalk_obs::enable_metrics();
+    let config = ServeConfig {
+        jobs: args.jobs,
+        queue_capacity: args.queue_capacity,
+        max_request_bytes: args.max_request_bytes,
+        default_deadline_ms: args.deadline_ms,
+        allow_test_faults: args.test_faults,
+    };
+    let server = Server::new(config);
+    match &args.transport {
+        Transport::Stdio => {
+            let handle = server.handle();
+            // The reader owns stdin for the process lifetime. On EOF (or
+            // client error) it requests shutdown; on SIGTERM it may stay
+            // blocked in read(2), which is fine — the daemon drains and
+            // exits without joining it.
+            thread::spawn(move || {
+                let stdin = io::stdin();
+                handle.attach(stdin.lock(), io::stdout());
+                handle.request_shutdown();
+            });
+        }
+        Transport::Tcp(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| FatalServerError(format!("cannot bind tcp {addr}: {e}")))?;
+            let local = listener
+                .local_addr()
+                .map_err(|e| FatalServerError(format!("tcp {addr}: {e}")))?;
+            xtalk_obs::warn!("xtalk serve: listening on tcp {local}");
+            server
+                .serve_tcp(&listener)
+                .map_err(|e| FatalServerError(format!("tcp accept loop: {e}")))?;
+        }
+        Transport::Unix(path) => {
+            #[cfg(unix)]
+            {
+                // A dead daemon's socket file would make every restart a
+                // bind failure; replace it. (A *live* daemon's socket is
+                // also replaced — last starter wins, same as TCP
+                // SO_REUSEADDR semantics.)
+                let _ = std::fs::remove_file(path);
+                let listener = std::os::unix::net::UnixListener::bind(path)
+                    .map_err(|e| FatalServerError(format!("cannot bind unix {path}: {e}")))?;
+                xtalk_obs::warn!("xtalk serve: listening on unix {path}");
+                let result = server
+                    .serve_unix(&listener)
+                    .map_err(|e| FatalServerError(format!("unix accept loop: {e}")));
+                let _ = std::fs::remove_file(path);
+                result?;
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(Box::new(FatalServerError(format!(
+                    "unix sockets are not supported on this platform (requested {path})"
+                ))));
+            }
+        }
+    }
+    server.run_until_drained();
+    let summary = server.finish();
+    // Stdout belongs to the wire protocol (stdio transport); the human
+    // summary goes to stderr, where --quiet can silence it.
+    xtalk_obs::warn!("xtalk serve: {summary}");
+    Ok(RunOutcome::clean(String::new()))
+}

@@ -1,0 +1,269 @@
+//! End-to-end tests of `xtalk serve` as a real child process: the stdio
+//! transport, the exit-code taxonomy, metrics flushing, and the SIGTERM
+//! drain — things the in-crate tests cannot see because they need a
+//! process boundary.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+
+const XTALK: &str = env!("CARGO_BIN_EXE_xtalk");
+
+/// A healthy two-pin deck in the exporter subset.
+const GOOD_DECK: &str = "\
+* two-pin pair
+*! net 0 victim victim
+*! net 1 aggressor agg0
+*! output n1
+VDRV0 src0 0 DC 0
+RDRV0 src0 n0 300
+VDRV1 src1 0 DC 0
+RDRV1 src1 n2 150
+R0 n0 n1 60
+C0 n0 0 2e-15
+C1 n1 0 8e-15
+CL0 n1 0 12e-15
+CL1 n2 0 10e-15
+CC0 n2 n1 25e-15
+.end
+";
+
+fn analyze_line(id: usize, deck: &str, extra: &str) -> String {
+    // The deck contains newlines; JSON-escape them by hand (the test
+    // must not depend on the serve crate's own encoder to check it).
+    let escaped: String = deck
+        .chars()
+        .flat_map(|c| match c {
+            '\n' => "\\n".chars().collect::<Vec<_>>(),
+            '"' => "\\\"".chars().collect(),
+            '\\' => "\\\\".chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    format!("{{\"id\":{id},\"type\":\"analyze\",\"deck\":\"{escaped}\"{extra}}}")
+}
+
+fn spawn_serve(args: &[&str]) -> Child {
+    Command::new(XTALK)
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn xtalk serve")
+}
+
+/// Crude field probe good enough for flat JSON reply lines.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .char_indices()
+        .scan(0i32, |depth, (i, c)| {
+            match c {
+                '{' | '[' => *depth += 1,
+                '}' | ']' if *depth == 0 => return Some(Some(i)),
+                '}' | ']' => *depth -= 1,
+                ',' if *depth == 0 => return Some(Some(i)),
+                _ => {}
+            }
+            Some(None)
+        })
+        .flatten()
+        .next()
+        .unwrap_or(rest.len());
+    Some(rest[..end].trim_matches('"'))
+}
+
+#[test]
+fn stdio_mixed_batch_replies_in_order_and_exits_zero() {
+    let mut child = spawn_serve(&["--test-faults", "--jobs", "2", "--quiet"]);
+    let mut stdin = child.stdin.take().expect("stdin");
+    let stdout = child.stdout.take().expect("stdout");
+
+    let batch = [
+        analyze_line(1, GOOD_DECK, ""),                            // ok
+        analyze_line(2, GOOD_DECK, ",\"shape\":\"step\""),         // degraded
+        "{\"id\":3,\"type\":\"analyze\",\"deck\":\"junk\"}".into(), // deck error
+        "not json at all".to_string(),                             // bad_json
+        "{\"id\":5,\"type\":\"boom\"}".to_string(),                // fenced panic
+        "{\"id\":6,\"type\":\"ping\"}".to_string(),                // pong
+    ];
+    for line in &batch {
+        stdin.write_all(line.as_bytes()).expect("write");
+        stdin.write_all(b"\n").expect("write");
+    }
+    drop(stdin); // EOF → drain → exit
+
+    let replies: Vec<String> = BufReader::new(stdout)
+        .lines()
+        .map(|l| l.expect("read"))
+        .collect();
+    assert_eq!(replies.len(), batch.len(), "one reply per request line");
+    assert_eq!(field(&replies[0], "id"), Some("1"));
+    assert_eq!(field(&replies[0], "status"), Some("ok"));
+    assert_eq!(field(&replies[1], "id"), Some("2"));
+    assert_eq!(field(&replies[1], "status"), Some("degraded"));
+    assert_eq!(field(&replies[2], "id"), Some("3"));
+    assert_eq!(field(&replies[2], "status"), Some("error"));
+    assert_eq!(field(&replies[2], "code"), Some("deck"));
+    assert_eq!(field(&replies[3], "code"), Some("bad_json"));
+    assert_eq!(field(&replies[4], "id"), Some("5"));
+    assert_eq!(field(&replies[4], "code"), Some("panic"));
+    assert_eq!(field(&replies[5], "id"), Some("6"));
+    assert_eq!(field(&replies[5], "type"), Some("pong"));
+
+    let status = child.wait().expect("wait");
+    assert_eq!(status.code(), Some(0), "clean drain must exit 0");
+}
+
+#[test]
+fn metrics_out_is_flushed_at_shutdown() {
+    let dir = std::env::temp_dir().join(format!("xtalk_serve_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let metrics = dir.join("serve_metrics.json");
+    let metrics_arg = metrics.to_str().expect("utf8 path").to_string();
+
+    let mut child = spawn_serve(&["--quiet", "--metrics-out", &metrics_arg]);
+    let mut stdin = child.stdin.take().expect("stdin");
+    let stdout = child.stdout.take().expect("stdout");
+    for i in 0..3 {
+        stdin
+            .write_all(analyze_line(i, GOOD_DECK, "").as_bytes())
+            .expect("write");
+        stdin.write_all(b"\n").expect("write");
+    }
+    drop(stdin);
+    let n = BufReader::new(stdout).lines().count();
+    assert_eq!(n, 3);
+    assert_eq!(child.wait().expect("wait").code(), Some(0));
+
+    let snap = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(
+        snap.contains("serve.requests.analyze"),
+        "snapshot lacks serve counters: {snap}"
+    );
+    assert!(snap.contains("serve.replies.ok"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fatal_transport_error_exits_four() {
+    // Port 1 is privileged; binding fails for a normal user. If this
+    // ever runs as root, the unroutable host form still fails.
+    let out = Command::new(XTALK)
+        .args(["serve", "--tcp", "999.999.999.999:1"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(4), "bind failure must exit 4");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("fatal server error"),
+        "stderr lacks the fatal-server marker: {stderr}"
+    );
+}
+
+#[test]
+fn stats_request_exposes_the_live_registry() {
+    let mut child = spawn_serve(&["--quiet"]);
+    let mut stdin = child.stdin.take().expect("stdin");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut reader = BufReader::new(stdout);
+    stdin
+        .write_all(analyze_line(1, GOOD_DECK, "").as_bytes())
+        .expect("write");
+    stdin.write_all(b"\n").expect("write");
+    // Read the analyze reply first: stats snapshots are taken when the
+    // request is parsed, so this guarantees the counters are populated.
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("read");
+    assert_eq!(field(&first, "status"), Some("ok"));
+    stdin.write_all(b"{\"id\":2,\"type\":\"stats\"}\n").expect("write");
+    let mut stats = String::new();
+    reader.read_line(&mut stats).expect("read");
+    drop(stdin);
+    assert_eq!(field(&stats, "type"), Some("stats"));
+    assert!(stats.contains("\"queue\""));
+    assert!(stats.contains("\"served\""));
+    assert!(stats.contains("serve.requests.analyze"), "stats lacks live counters: {stats}");
+    assert_eq!(child.wait().expect("wait").code(), Some(0));
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_inflight_work_then_exits_zero() {
+    let mut child = spawn_serve(&["--quiet", "--jobs", "1"]);
+    let mut stdin = child.stdin.take().expect("stdin");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut reader = BufReader::new(stdout);
+
+    // Prove the daemon is up and has served work.
+    for i in 0..4 {
+        stdin
+            .write_all(analyze_line(i, GOOD_DECK, "").as_bytes())
+            .expect("write");
+        stdin.write_all(b"\n").expect("write");
+    }
+    let mut line = String::new();
+    for _ in 0..4 {
+        line.clear();
+        assert!(reader.read_line(&mut line).expect("read") > 0);
+    }
+
+    // SIGTERM with stdin still open: the daemon must drain and exit 0
+    // on its own, not wait for EOF.
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill");
+    assert!(kill.success());
+
+    // All remaining output flushes, then stdout closes.
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("drain stdout");
+    let status = child.wait().expect("wait");
+    assert_eq!(status.code(), Some(0), "SIGTERM drain must exit 0");
+    drop(stdin);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_round_trip() {
+    use std::os::unix::net::UnixStream;
+    let dir = std::env::temp_dir().join(format!("xtalk_serve_ux_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let sock = dir.join("d.sock");
+    let sock_arg = sock.to_str().expect("utf8 path").to_string();
+
+    let mut child = spawn_serve(&["--quiet", "--unix", &sock_arg]);
+    // Wait for the socket to appear.
+    let mut tries = 0;
+    let stream = loop {
+        match UnixStream::connect(&sock) {
+            Ok(s) => break s,
+            Err(_) if tries < 100 => {
+                tries += 1;
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(e) => panic!("daemon socket never came up: {e}"),
+        }
+    };
+    let mut tx = stream.try_clone().expect("clone");
+    tx.write_all(analyze_line(1, GOOD_DECK, "").as_bytes())
+        .expect("write");
+    tx.write_all(b"\n").expect("write");
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).expect("read");
+    assert_eq!(field(&line, "id"), Some("1"));
+    assert_eq!(field(&line, "status"), Some("ok"));
+
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill");
+    assert!(kill.success());
+    let status = child.wait().expect("wait");
+    assert_eq!(status.code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}

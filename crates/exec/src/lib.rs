@@ -116,7 +116,11 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Renders a `catch_unwind` payload as the human-readable panic message,
+/// matching the `detail` wording of [`ExecError::WorkerPanic`]. Exposed
+/// so other fault fences (the analysis daemon's worker pool) report
+/// caught panics identically to this crate's parallel executor.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -124,6 +128,10 @@ fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    panic_message(payload.as_ref())
 }
 
 /// Upper bound on a guided chunk. Sweep items are milliseconds each (a

@@ -1,0 +1,504 @@
+//! Per-request analysis execution: deck → robust chain → reply JSON.
+//!
+//! This is the code that runs *inside* a worker's `catch_unwind` fence.
+//! Everything that can fail in an expected way — deck parse errors,
+//! invalid networks, strict-mode refusals, per-aggressor rung exhaustion
+//! — is rendered as a structured reply here; only genuine bugs (panics)
+//! escape to the fence.
+//!
+//! Deadlines are cooperative and reflect the paper's cost asymmetry: the
+//! closed-form chain is microseconds and always runs to completion even
+//! on an expired budget (a late bounded answer beats no answer), while
+//! the golden transient cross-check is milliseconds and is *skipped* the
+//! moment the remaining budget cannot cover it. A reply that degraded
+//! this way says so (`deadline.golden_skipped`, `status: "degraded"`)
+//! so clients can tell a timed-out-but-bounded answer from a full one.
+
+use crate::json;
+use crate::proto::{self, AnalyzeRequest, RequestId, Shape};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use xtalk_circuit::{
+    signal::InputSignal, spice, NetId, Severity,
+};
+use xtalk_core::{
+    MetricError, Provenance, RobustAnalyzer, RobustError, RungError, RungFailure,
+};
+use xtalk_sim::{golden_noise_with, NoiseWaveformParams, SimWorkspace};
+
+/// Budget floor below which a golden escalation is not attempted: a
+/// transient sim is milliseconds while the chain is microseconds, so
+/// with less than this left the sim would blow the deadline it exists
+/// to serve.
+const GOLDEN_RESERVE: Duration = Duration::from_millis(5);
+
+/// Deck size bounds applied to client-submitted netlists. Tighter than
+/// the parser defaults: a daemon request is one net cluster, not a full
+/// chip.
+pub fn deck_limits() -> spice::DeckLimits {
+    spice::DeckLimits {
+        max_lines: 100_000,
+        max_nets: 512,
+        max_elements: 100_000,
+    }
+}
+
+fn input_for(req: &AnalyzeRequest) -> InputSignal {
+    match req.shape {
+        Shape::Ramp => InputSignal::rising_ramp(req.arrival, req.slew),
+        Shape::Exp => InputSignal::rising_exp(req.arrival, req.slew),
+        Shape::Step => InputSignal::step(req.arrival),
+    }
+}
+
+/// True when the robust chain failed only because the aggressor has no
+/// coupling path — benign, not a degradation (mirrors the CLI report).
+fn only_no_noise(e: &RobustError) -> bool {
+    let no_noise = |f: &RungFailure| matches!(f.error, RungError::Metric(MetricError::NoNoise));
+    match e {
+        RobustError::Engine(MetricError::NoNoise) => true,
+        RobustError::StrictDegradation(f) => no_noise(f),
+        RobustError::Exhausted(fails) => !fails.is_empty() && fails.iter().all(no_noise),
+        _ => false,
+    }
+}
+
+enum Row {
+    Estimate {
+        name: String,
+        est: xtalk_core::NoiseEstimate,
+        provenance: Provenance,
+        golden: GoldenOutcome,
+    },
+    NoCoupling {
+        name: String,
+    },
+    Failed {
+        name: String,
+        detail: String,
+    },
+}
+
+enum GoldenOutcome {
+    NotRequested,
+    Ran(NoiseWaveformParams),
+    /// Skipped because the remaining deadline budget could not cover a
+    /// transient simulation.
+    SkippedDeadline,
+    Failed(String),
+}
+
+/// Runs one validated `analyze` request to a complete reply line.
+///
+/// `accepted` is when the request was admitted (queue wait counts
+/// against the deadline — that is the point of admission control).
+pub fn run_analyze(
+    id: &RequestId,
+    req: &AnalyzeRequest,
+    accepted: Instant,
+    ws: &mut SimWorkspace,
+) -> String {
+    xtalk_obs::counter!("serve.requests.analyze").add(1);
+    let budget = req.deadline_ms.map(|ms| Duration::from_secs_f64(ms / 1e3));
+    let network = match spice::parse_deck_with_limits(&req.deck, &deck_limits()) {
+        Ok(n) => n,
+        Err(e @ spice::SpiceParseError::TooLarge { .. }) => {
+            xtalk_obs::counter!("serve.replies.error").add(1);
+            return proto::error_reply(id, "deck_too_large", &e.to_string(), e.position());
+        }
+        Err(e) => {
+            xtalk_obs::counter!("serve.replies.error").add(1);
+            return proto::error_reply(id, "deck", &e.to_string(), e.position());
+        }
+    };
+    let policy = if req.strict {
+        xtalk_core::FallbackPolicy::strict()
+    } else {
+        xtalk_core::FallbackPolicy::default()
+    };
+    let robust = match RobustAnalyzer::with_policy(&network, policy) {
+        Ok(r) => r,
+        Err(e) => {
+            xtalk_obs::counter!("serve.replies.error").add(1);
+            return proto::error_reply(id, "invalid_network", &e.to_string(), None);
+        }
+    };
+    let input = input_for(req);
+    let warnings = robust
+        .validation()
+        .with_severity(Severity::Warning)
+        .count();
+
+    let targets: Vec<(NetId, String)> = network
+        .aggressor_nets()
+        .filter(|(_, net)| match &req.aggressor {
+            Some(wanted) => net.name() == wanted,
+            None => true,
+        })
+        .map(|(agg, net)| (agg, net.name().to_string()))
+        .collect();
+
+    let mut rows = Vec::with_capacity(targets.len());
+    let mut degraded = false;
+    let mut golden_skips = 0usize;
+    for (agg, name) in targets {
+        let row = match robust.analyze(agg, &input) {
+            Ok(re) => {
+                degraded |= re.provenance.degraded();
+                let golden = if !req.golden {
+                    GoldenOutcome::NotRequested
+                } else if out_of_budget(budget, accepted) {
+                    golden_skips += 1;
+                    degraded = true;
+                    xtalk_obs::counter!(perf: "serve.deadline.golden_skips").add(1);
+                    GoldenOutcome::SkippedDeadline
+                } else {
+                    match golden_noise_with(
+                        &network,
+                        &[(agg, input)],
+                        network.victim_output(),
+                        ws,
+                    ) {
+                        Ok(params) => GoldenOutcome::Ran(params),
+                        Err(e) => {
+                            degraded = true;
+                            GoldenOutcome::Failed(e.to_string())
+                        }
+                    }
+                };
+                Row::Estimate {
+                    name,
+                    est: re.estimate,
+                    provenance: re.provenance,
+                    golden,
+                }
+            }
+            Err(e) if only_no_noise(&e) => Row::NoCoupling { name },
+            Err(e) if req.strict => {
+                xtalk_obs::counter!("serve.replies.error").add(1);
+                return proto::error_reply(id, "strict", &e.to_string(), None);
+            }
+            Err(e) => {
+                degraded = true;
+                Row::Failed {
+                    name,
+                    detail: e.to_string(),
+                }
+            }
+        };
+        rows.push(row);
+    }
+
+    let elapsed = accepted.elapsed();
+    let expired = budget.is_some_and(|b| elapsed > b);
+    if expired {
+        xtalk_obs::counter!(perf: "serve.deadline.expired").add(1);
+    }
+    let status = if degraded || expired { "degraded" } else { "ok" };
+    if degraded || expired {
+        xtalk_obs::counter!("serve.replies.degraded").add(1);
+    } else {
+        xtalk_obs::counter!("serve.replies.ok").add(1);
+    }
+
+    let mut out = proto::open_reply(id, status);
+    out.push_str(",\"victim\":");
+    json::write_escaped(&mut out, network.node_name(network.victim_output()));
+    let _ = write!(out, ",\"validation_warnings\":{warnings},\"rows\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_row(&mut out, row, req.threshold);
+    }
+    out.push(']');
+    let _ = write!(out, ",\"elapsed_ms\":{:.3}", elapsed.as_secs_f64() * 1e3);
+    if let Some(b) = budget {
+        let _ = write!(
+            out,
+            ",\"deadline\":{{\"budget_ms\":{},\"expired\":{expired},\"golden_skipped\":{golden_skips}}}",
+            fmt_ms(b)
+        );
+    }
+    out.push('}');
+    out
+}
+
+fn out_of_budget(budget: Option<Duration>, accepted: Instant) -> bool {
+    match budget {
+        None => false,
+        Some(b) => accepted.elapsed() + GOLDEN_RESERVE > b,
+    }
+}
+
+fn fmt_ms(d: Duration) -> String {
+    let mut s = String::new();
+    json::write_number(&mut s, d.as_secs_f64() * 1e3);
+    s
+}
+
+fn render_waveform(out: &mut String, vp: f64, t0: f64, t1: f64, t2: f64, tp: f64, wn: f64) {
+    for (key, v) in [
+        ("vp", vp),
+        ("t0", t0),
+        ("t1", t1),
+        ("t2", t2),
+        ("tp", tp),
+        ("wn", wn),
+    ] {
+        out.push(',');
+        proto::push_key(out, key);
+        json::write_number(out, v);
+    }
+}
+
+fn render_row(out: &mut String, row: &Row, threshold: Option<f64>) {
+    match row {
+        Row::Estimate {
+            name,
+            est,
+            provenance,
+            golden,
+        } => {
+            out.push_str("{\"aggressor\":");
+            json::write_escaped(out, name);
+            render_waveform(out, est.vp, est.t0, est.t1, est.t2, est.tp, est.wn);
+            out.push_str(",\"rung\":");
+            json::write_escaped(out, provenance.rung().name());
+            let _ = write!(
+                out,
+                ",\"degraded\":{},\"clamped_vp\":{}",
+                provenance.degraded(),
+                provenance.clamped()
+            );
+            out.push_str(",\"timing_clamps\":[");
+            for (i, c) in provenance.timing_clamps().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_escaped(out, c);
+            }
+            out.push_str("],\"failures\":[");
+            for (i, f) in provenance.failures().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_escaped(out, &f.to_string());
+            }
+            out.push(']');
+            if let Some(budget) = threshold {
+                let _ = write!(out, ",\"violation\":{}", est.vp > budget);
+            }
+            match golden {
+                GoldenOutcome::NotRequested => {}
+                GoldenOutcome::SkippedDeadline => out.push_str(",\"golden_skipped\":true"),
+                GoldenOutcome::Failed(e) => {
+                    out.push_str(",\"golden_error\":");
+                    json::write_escaped(out, e);
+                }
+                GoldenOutcome::Ran(g) => {
+                    out.push_str(",\"golden\":{\"vp\":");
+                    json::write_number(out, g.vp);
+                    out.push_str(",\"tp\":");
+                    json::write_number(out, g.tp);
+                    out.push_str(",\"wn\":");
+                    json::write_number(out, g.wn);
+                    if g.vp != 0.0 {
+                        out.push_str(",\"err_pct\":");
+                        json::write_number(out, (est.vp - g.vp) / g.vp * 100.0);
+                    }
+                    out.push('}');
+                }
+            }
+            out.push('}');
+        }
+        Row::NoCoupling { name } => {
+            out.push_str("{\"aggressor\":");
+            json::write_escaped(out, name);
+            out.push_str(",\"no_coupling\":true}");
+        }
+        Row::Failed { name, detail } => {
+            out.push_str("{\"aggressor\":");
+            json::write_escaped(out, name);
+            out.push_str(",\"error\":");
+            json::write_escaped(out, detail);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+    use xtalk_circuit::{NetRole, NetworkBuilder};
+
+    fn sample_deck() -> String {
+        let mut b = NetworkBuilder::new();
+        let v = b.add_net("victim", NetRole::Victim);
+        let a = b.add_net("agg0", NetRole::Aggressor);
+        let v0 = b.add_node(v, "v0");
+        let v1 = b.add_node(v, "v1");
+        let a0 = b.add_node(a, "a0");
+        b.add_driver(v, v0, 300.0).unwrap();
+        b.add_driver(a, a0, 150.0).unwrap();
+        b.add_resistor(v0, v1, 60.0).unwrap();
+        b.add_ground_cap(v0, 2e-15).unwrap();
+        b.add_ground_cap(v1, 8e-15).unwrap();
+        b.add_sink(v1, 12e-15).unwrap();
+        b.add_sink(a0, 10e-15).unwrap();
+        b.add_coupling_cap(a0, v1, 25e-15).unwrap();
+        spice::write_deck(&b.build().unwrap())
+    }
+
+    fn req(deck: String) -> AnalyzeRequest {
+        AnalyzeRequest {
+            deck,
+            slew: 100e-12,
+            arrival: 0.0,
+            shape: Shape::Ramp,
+            threshold: None,
+            aggressor: None,
+            golden: false,
+            strict: false,
+            deadline_ms: None,
+        }
+    }
+
+    fn run(r: &AnalyzeRequest) -> Value {
+        let id = RequestId::null();
+        let reply = run_analyze(&id, r, Instant::now(), &mut SimWorkspace::new());
+        crate::json::parse(&reply).expect("reply is valid JSON")
+    }
+
+    #[test]
+    fn healthy_deck_yields_ok_rows() {
+        let v = run(&req(sample_deck()));
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+        let Some(Value::Arr(rows)) = v.get("rows") else {
+            panic!("rows missing: {v:?}")
+        };
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.get("aggressor").and_then(Value::as_str), Some("agg0"));
+        assert_eq!(row.get("rung").and_then(Value::as_str), Some("metric II"));
+        assert_eq!(row.get("degraded").and_then(Value::as_bool), Some(false));
+        let vp = row.get("vp").and_then(Value::as_f64).unwrap();
+        assert!(vp > 0.0 && vp < 1.0, "{vp}");
+    }
+
+    #[test]
+    fn step_input_degrades_with_provenance() {
+        let mut r = req(sample_deck());
+        r.shape = Shape::Step;
+        let v = run(&r);
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("degraded"));
+        let Some(Value::Arr(rows)) = v.get("rows") else {
+            panic!()
+        };
+        let row = &rows[0];
+        assert_eq!(row.get("degraded").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            row.get("rung").and_then(Value::as_str),
+            Some("metric I (m = 1)")
+        );
+        let Some(Value::Arr(failures)) = row.get("failures") else {
+            panic!("failures missing")
+        };
+        assert!(!failures.is_empty(), "degraded row must carry rung failures");
+    }
+
+    #[test]
+    fn strict_mode_turns_degradation_into_an_error_reply() {
+        let mut r = req(sample_deck());
+        r.shape = Shape::Step;
+        r.strict = true;
+        let v = run(&r);
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("strict"));
+    }
+
+    #[test]
+    fn deck_errors_carry_position() {
+        let mut r = req(sample_deck());
+        r.deck = "*! net 0 victim v\nRDRV0 src0 n0 abc\n".into();
+        let v = run(&r);
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("deck"));
+        assert_eq!(v.get("line").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(v.get("col").and_then(Value::as_f64), Some(15.0));
+    }
+
+    #[test]
+    fn absurd_decks_hit_the_request_limits() {
+        let mut deck = String::from("*! net 0 victim v\nRDRV0 src0 n0 10\n");
+        for i in 0..200_000 {
+            deck.push_str(&format!("C{i} n0 0 1f\n"));
+        }
+        let mut r = req(String::new());
+        r.deck = deck;
+        let v = run(&r);
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("deck_too_large"));
+    }
+
+    #[test]
+    fn golden_runs_within_budget_and_skips_without() {
+        let mut r = req(sample_deck());
+        r.golden = true;
+        r.deadline_ms = Some(30_000.0); // generous
+        let v = run(&r);
+        let Some(Value::Arr(rows)) = v.get("rows") else {
+            panic!()
+        };
+        assert!(
+            rows[0].get("golden").is_some(),
+            "golden should run under a generous budget: {v:?}"
+        );
+        let err = rows[0]
+            .get("golden")
+            .unwrap()
+            .get("err_pct")
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert!(err.abs() < 100.0, "estimate vs golden off by {err}%");
+
+        // A microscopic budget: the chain still answers, golden is
+        // skipped, and the reply is flagged degraded.
+        r.deadline_ms = Some(1e-3);
+        let v = run(&r);
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("degraded"));
+        let Some(Value::Arr(rows)) = v.get("rows") else {
+            panic!()
+        };
+        assert_eq!(
+            rows[0].get("golden_skipped").and_then(Value::as_bool),
+            Some(true)
+        );
+        let dl = v.get("deadline").expect("deadline stamp");
+        assert_eq!(dl.get("expired").and_then(Value::as_bool), Some(true));
+        assert_eq!(dl.get("golden_skipped").and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn threshold_flags_violations() {
+        let mut r = req(sample_deck());
+        r.threshold = Some(1e-9);
+        let v = run(&r);
+        let Some(Value::Arr(rows)) = v.get("rows") else {
+            panic!()
+        };
+        assert_eq!(rows[0].get("violation").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn aggressor_filter_limits_rows() {
+        let mut r = req(sample_deck());
+        r.aggressor = Some("nonexistent".into());
+        let v = run(&r);
+        let Some(Value::Arr(rows)) = v.get("rows") else {
+            panic!()
+        };
+        assert!(rows.is_empty());
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+    }
+}

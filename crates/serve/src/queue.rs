@@ -1,0 +1,207 @@
+//! Bounded MPMC work queue with load-shedding semantics.
+//!
+//! Admission control is the first robustness layer of the daemon: the
+//! queue has a hard capacity, [`Bounded::try_push`] *never blocks* — a
+//! full queue is an immediate [`PushError::Full`] so the connection
+//! handler can send an explicit backpressure reply instead of letting a
+//! fast client balloon memory — and [`Bounded::close`] wakes every
+//! blocked worker for shutdown. Plain `Mutex<VecDeque>` + `Condvar`; the
+//! daemon is bounded by analysis throughput (milliseconds per case), not
+//! queue contention.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; shed the request with a backpressure
+    /// reply and a `retry_after` hint.
+    Full,
+    /// The queue is closed (shutdown in progress); reject the request.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A capacity-bounded FIFO shared by connection readers (producers) and
+/// the worker pool (consumers).
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// An empty queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (racy by nature; for stats and retry hints only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// `true` when no items are queued (racy; for drain polling).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking push. On refusal the item comes back to the caller so
+    /// nothing is silently dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`Bounded::close`]; the rejected item rides along either way.
+    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Err((PushError::Closed, item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((PushError::Full, item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means "no more work ever" (worker exit signal).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the intake: future pushes fail, blocked poppers drain the
+    /// remaining items and then receive `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds_and_returns_the_item() {
+        let q = Bounded::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        let (e, item) = q.try_push("c").unwrap_err();
+        assert_eq!(e, PushError::Full);
+        assert_eq!(item, "c");
+        // A pop frees a slot.
+        assert_eq!(q.pop(), Some("a"));
+        q.try_push("c").unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2).unwrap_err().0, PushError::Closed);
+        assert_eq!(q.pop(), Some(1)); // queued work still drains
+        assert_eq!(q.pop(), None); // then the exit signal
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(Bounded::<u8>::new(1));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(Bounded::<usize>::new(8));
+        let total = 500usize;
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut pushed = 0;
+        let mut shed = 0;
+        let mut next = 0usize;
+        while next < total {
+            match q.try_push(next) {
+                Ok(()) => {
+                    pushed += 1;
+                    next += 1;
+                }
+                Err((PushError::Full, _)) => {
+                    shed += 1;
+                    std::thread::yield_now();
+                }
+                Err((PushError::Closed, _)) => unreachable!(),
+            }
+        }
+        q.close();
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..total).collect::<Vec<_>>());
+        assert_eq!(pushed, total);
+        // Shedding happened under pressure but lost nothing.
+        let _ = shed;
+    }
+}

@@ -1,0 +1,100 @@
+//! Minimal async-signal-safe SIGTERM/SIGINT latch.
+//!
+//! The daemon must drain in-flight work on SIGTERM rather than die
+//! mid-reply. The handler does the only thing that is async-signal-safe
+//! here: store a relaxed atomic flag. The server's poll loops
+//! ([`crate::server::Server::run_until_drained`] and the accept loops)
+//! observe it within a few milliseconds.
+//!
+//! No `libc` crate in this zero-dependency workspace, so the `signal(2)`
+//! binding is declared directly. `unsafe` is confined to this module;
+//! the rest of the crate denies it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+/// `true` once SIGTERM/SIGINT has been received (or
+/// [`raise_termination`] was called).
+pub fn termination_requested() -> bool {
+    TERMINATION.load(Ordering::SeqCst)
+}
+
+/// Sets the termination latch from regular code (tests, EOF paths).
+pub fn raise_termination() {
+    TERMINATION.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+pub(crate) fn reset_for_test() {
+    TERMINATION.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::TERMINATION;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    #[allow(unsafe_code)]
+    mod ffi {
+        extern "C" {
+            /// POSIX `signal(2)`. Installing a handler that only stores
+            /// an atomic flag is async-signal-safe.
+            pub fn signal(signum: i32, handler: usize) -> usize;
+        }
+    }
+
+    extern "C" fn on_terminate(_signum: i32) {
+        // Only async-signal-safe operation: a plain atomic store.
+        TERMINATION.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the SIGTERM/SIGINT handlers. Idempotent.
+    #[allow(unsafe_code)]
+    pub fn install() {
+        // SAFETY: `on_terminate` has the C signal-handler ABI and only
+        // performs an atomic store, which is async-signal-safe.
+        unsafe {
+            ffi::signal(SIGTERM, on_terminate as *const () as usize);
+            ffi::signal(SIGINT, on_terminate as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// Non-Unix fallback: no signal handlers; shutdown still works via
+    /// EOF and [`super::raise_termination`].
+    pub fn install() {}
+}
+
+/// Installs termination handlers for the current process (no-op off
+/// Unix). Call once before serving.
+pub fn install_handlers() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_is_settable_and_observable() {
+        reset_for_test();
+        assert!(!termination_requested());
+        raise_termination();
+        assert!(termination_requested());
+        reset_for_test();
+    }
+
+    #[test]
+    fn installing_handlers_does_not_disturb_the_latch() {
+        reset_for_test();
+        install_handlers();
+        assert!(!termination_requested());
+        reset_for_test();
+    }
+}
