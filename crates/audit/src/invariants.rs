@@ -29,15 +29,31 @@
 //! * **Error envelopes** — `Vp`/`Tp`/`Wn` relative errors against the
 //!   golden waveform stay inside the calibrated per-metric envelopes
 //!   (see [`crate::ErrorEnvelopes`]).
+//! * **Adaptive-vs-fixed agreement** — the adaptive-timestep golden
+//!   march measures the same `Vp`/`Tp`/`Wn` as the fixed-step march
+//!   within the LTE-controlled `adaptive` envelope.
+//! * **Analytic-vs-transient envelope** — when the analytic fast tier's
+//!   conditioning gate admits the case, its pole-superposition waveform
+//!   agrees with the transient golden within the `analytic` envelope;
+//!   a gate rejection is a decline (designed behavior), not a finding.
+//! * **SoA-vs-scalar bit equivalence** — the structure-of-arrays batch
+//!   kernel ([`MomentBatch`]) reproduces the scalar metric path
+//!   bit-for-bit on this case's moments, for every metric kind and for
+//!   the parameter bounds.
 
 use crate::report::Finding;
 use crate::{ErrorEnvelopes, MetricEnvelope};
 use xtalk_core::superpose::{combined_value_at, worst_case, TimingWindow};
 use xtalk_core::template::{LinExpTemplate, PwlTemplate};
 use xtalk_core::{
-    MetricKind, NoiseAnalyzer, NoiseEstimate, OutputMoments, RobustAnalyzer, LAMBDA,
+    MetricKind, MetricOne, MomentBatch, NoiseAnalyzer, NoiseEstimate, OutputMoments,
+    RobustAnalyzer, LAMBDA,
 };
-use xtalk_sim::{golden_noise_with, NoiseWaveformParams, SimWorkspace};
+use xtalk_sim::{
+    analytic_noise, golden_noise_tiered, golden_noise_with, FastTier, GoldenOpts,
+    NoiseWaveformParams, SimMode, SimWorkspace,
+};
+use xtalk_circuit::{signal::InputSignal, NetId, Network};
 use xtalk_tech::sweep::{single_case, CaseFamily};
 use xtalk_tech::Technology;
 
@@ -310,6 +326,33 @@ fn check_case(
         check_superposition(&id, e, &mut findings);
     }
 
+    // Golden-tier cross-checks: the fast paths must reproduce the
+    // reference transient measurement.
+    check_adaptive_agreement(
+        &id,
+        net,
+        agg,
+        input,
+        &golden,
+        &envelopes.adaptive,
+        workspace,
+        &mut findings,
+        &mut declined,
+        &mut errors,
+    );
+    check_analytic_agreement(
+        &id,
+        net,
+        agg,
+        input,
+        &golden,
+        &envelopes.analytic,
+        &mut findings,
+        &mut declined,
+        &mut errors,
+    );
+    check_soa_batch(&id, &moments, input.effective_rise_time(), &mut findings);
+
     Ok(CaseOutcome::Checked {
         findings,
         declined,
@@ -435,6 +478,208 @@ fn check_estimate(
                 ),
             ));
         }
+    }
+}
+
+/// Compares a fast-path golden measurement against the reference
+/// transient waveform, recording `(metric, param)` error observations
+/// and envelope findings.
+#[allow(clippy::too_many_arguments)]
+fn compare_golden(
+    id: &CaseId<'_>,
+    metric: &'static str,
+    got: &NoiseWaveformParams,
+    golden: &NoiseWaveformParams,
+    envelope: &MetricEnvelope,
+    findings: &mut Vec<Finding>,
+    errors: &mut Vec<(&'static str, &'static str, f64)>,
+) {
+    let params = [
+        ("vp", "agreement_vp", got.vp, golden.vp, envelope.vp),
+        ("tp", "agreement_tp", got.tp, golden.tp, envelope.tp),
+        ("wn", "agreement_wn", got.wn, golden.wn, envelope.wn),
+    ];
+    for (param, invariant, got_v, gold_v, limit) in params {
+        if gold_v.abs() < f64::MIN_POSITIVE {
+            continue;
+        }
+        let rel = (got_v - gold_v) / gold_v;
+        errors.push((metric, param, rel));
+        if rel.abs() > limit {
+            findings.push(id.finding(
+                metric,
+                invariant,
+                rel,
+                limit,
+                format!(
+                    "{metric} golden tier disagrees with the transient reference on \
+                     {param} beyond the ±{:.1}% envelope",
+                    limit * 100.0
+                ),
+            ));
+        }
+    }
+}
+
+/// Adaptive-vs-fixed agreement: re-measures the case with the
+/// adaptive-timestep march and compares against the reference golden
+/// (the fixed-step march under the default process-wide mode).
+#[allow(clippy::too_many_arguments)]
+fn check_adaptive_agreement(
+    id: &CaseId<'_>,
+    net: &Network,
+    agg: NetId,
+    input: &InputSignal,
+    golden: &NoiseWaveformParams,
+    envelope: &MetricEnvelope,
+    workspace: &mut SimWorkspace,
+    findings: &mut Vec<Finding>,
+    declined: &mut Vec<(&'static str, String)>,
+    errors: &mut Vec<(&'static str, &'static str, f64)>,
+) {
+    let gopts = GoldenOpts {
+        mode: SimMode::Adaptive,
+        tier: FastTier::Off,
+    };
+    match golden_noise_tiered(net, &[(agg, *input)], net.victim_output(), workspace, &gopts) {
+        Ok((adaptive, _)) => {
+            compare_golden(id, "adaptive", &adaptive, golden, envelope, findings, errors)
+        }
+        Err(e) => declined.push(("adaptive", e.to_string())),
+    }
+}
+
+/// Analytic-vs-transient envelope: when the fast tier's conditioning
+/// gate admits the case, its pole-superposition measurement must agree
+/// with the transient golden; a gate rejection is a decline.
+#[allow(clippy::too_many_arguments)]
+fn check_analytic_agreement(
+    id: &CaseId<'_>,
+    net: &Network,
+    agg: NetId,
+    input: &InputSignal,
+    golden: &NoiseWaveformParams,
+    envelope: &MetricEnvelope,
+    findings: &mut Vec<Finding>,
+    declined: &mut Vec<(&'static str, String)>,
+    errors: &mut Vec<(&'static str, &'static str, f64)>,
+) {
+    match analytic_noise(net, &[(agg, *input)], net.victim_output(), FastTier::Auto) {
+        Ok(analytic) => {
+            compare_golden(id, "analytic", &analytic, golden, envelope, findings, errors)
+        }
+        Err(reason) => declined.push(("analytic", format!("fast tier: {}", reason.as_str()))),
+    }
+}
+
+/// SoA-vs-scalar bit equivalence: the batched metric kernel must
+/// reproduce the scalar path exactly — same bits on success, same
+/// structured error on decline — for every metric kind and the bounds.
+fn check_soa_batch(
+    id: &CaseId<'_>,
+    f: &OutputMoments,
+    t_r: f64,
+    findings: &mut Vec<Finding>,
+) {
+    let mut batch = MomentBatch::new();
+    batch.push(f, t_r);
+
+    for (kind, name) in [
+        (MetricKind::One, "estimate_one"),
+        (MetricKind::OneSymmetric, "estimate_one_symmetric"),
+        (MetricKind::Two, "estimate_two"),
+    ] {
+        let batched = batch.estimates(kind).result(0);
+        let scalar = NoiseAnalyzer::estimate_for(f, t_r, kind);
+        match (&batched, &scalar) {
+            (Ok(b), Ok(s)) => {
+                let fields = [
+                    ("vp", b.vp, s.vp),
+                    ("t0", b.t0, s.t0),
+                    ("t1", b.t1, s.t1),
+                    ("t2", b.t2, s.t2),
+                    ("tp", b.tp, s.tp),
+                    ("wn", b.wn, s.wn),
+                    ("m", b.m, s.m),
+                    ("polarity", b.polarity, s.polarity),
+                ];
+                for (field, bv, sv) in fields {
+                    if bv.to_bits() != sv.to_bits() {
+                        findings.push(id.finding(
+                            "soa_batch",
+                            "bit_identical_estimate",
+                            bv,
+                            sv,
+                            format!("batched {name} field {field} differs from the scalar path"),
+                        ));
+                    }
+                }
+            }
+            (Err(b), Err(s)) => {
+                if format!("{b:?}") != format!("{s:?}") {
+                    findings.push(id.finding(
+                        "soa_batch",
+                        "bit_identical_estimate",
+                        0.0,
+                        0.0,
+                        format!("batched {name} declined with {b:?}, scalar with {s:?}"),
+                    ));
+                }
+            }
+            _ => findings.push(id.finding(
+                "soa_batch",
+                "bit_identical_estimate",
+                0.0,
+                0.0,
+                format!("batched {name} and the scalar path disagree on success vs decline"),
+            )),
+        }
+    }
+
+    let batched = batch.bounds().result(0);
+    let scalar = MetricOne::bounds(f);
+    match (&batched, &scalar) {
+        (Ok(b), Ok(s)) => {
+            let fields = [
+                ("vp_lo", b.vp.0, s.vp.0),
+                ("vp_hi", b.vp.1, s.vp.1),
+                ("t0_lo", b.t0.0, s.t0.0),
+                ("t0_hi", b.t0.1, s.t0.1),
+                ("tp_lo", b.tp.0, s.tp.0),
+                ("tp_hi", b.tp.1, s.tp.1),
+                ("wn_lo", b.wn.0, s.wn.0),
+                ("wn_hi", b.wn.1, s.wn.1),
+            ];
+            for (field, bv, sv) in fields {
+                if bv.to_bits() != sv.to_bits() {
+                    findings.push(id.finding(
+                        "soa_batch",
+                        "bit_identical_bounds",
+                        bv,
+                        sv,
+                        format!("batched bounds field {field} differs from the scalar path"),
+                    ));
+                }
+            }
+        }
+        (Err(b), Err(s)) => {
+            if format!("{b:?}") != format!("{s:?}") {
+                findings.push(id.finding(
+                    "soa_batch",
+                    "bit_identical_bounds",
+                    0.0,
+                    0.0,
+                    format!("batched bounds declined with {b:?}, scalar with {s:?}"),
+                ));
+            }
+        }
+        _ => findings.push(id.finding(
+            "soa_batch",
+            "bit_identical_bounds",
+            0.0,
+            0.0,
+            "batched bounds and the scalar path disagree on success vs decline".into(),
+        )),
     }
 }
 

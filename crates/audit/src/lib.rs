@@ -79,6 +79,15 @@ pub struct ErrorEnvelopes {
     pub metric_one: MetricEnvelope,
     /// Envelope for Metric II (linear-rise/exponential-decay template).
     pub metric_two: MetricEnvelope,
+    /// Allowed relative disagreement between the adaptive-step and the
+    /// fixed-step golden transient measurements of the same case. The
+    /// adaptive march controls its local truncation error to `~2e-4`, so
+    /// these sit well below the metric envelopes.
+    pub adaptive: MetricEnvelope,
+    /// Allowed relative disagreement between the analytic fast-tier
+    /// measurement (pole superposition, when its conditioning gate
+    /// admits the case) and the transient golden waveform.
+    pub analytic: MetricEnvelope,
     /// Allowed fractional shortfall of Metric II's peak against the
     /// simulated peak (`0.0` = the estimate must strictly dominate).
     pub bound_margin: f64,
@@ -104,6 +113,21 @@ impl Default for ErrorEnvelopes {
                 vp: 1.25,
                 tp: 0.85,
                 wn: 0.40,
+            },
+            // Golden-tier cross-checks, from the same 500-case run:
+            //   adaptive: vp ∈ ±1e-4, tp ∈ [−0.0067, +0.0070],
+            //             wn ∈ ±1e-4 (LTE-controlled)
+            //   analytic: vp ∈ [−0.072, +0.115], tp ∈ [−0.053, +0.115],
+            //             wn ∈ [−0.054, +0.047] (behind the adequacy gate)
+            adaptive: MetricEnvelope {
+                vp: 0.005,
+                tp: 0.02,
+                wn: 0.01,
+            },
+            analytic: MetricEnvelope {
+                vp: 0.18,
+                tp: 0.18,
+                wn: 0.10,
             },
             bound_margin: 0.15,
         }
@@ -228,6 +252,12 @@ fn fold_report(
         ("metric_two", "vp"),
         ("metric_two", "tp"),
         ("metric_two", "wn"),
+        ("adaptive", "vp"),
+        ("adaptive", "tp"),
+        ("adaptive", "wn"),
+        ("analytic", "vp"),
+        ("analytic", "tp"),
+        ("analytic", "wn"),
     ]
     .into_iter()
     .map(|(m, p)| (m, p, None))
@@ -346,6 +376,16 @@ mod tests {
                 wn: f64::INFINITY,
             },
             metric_two: MetricEnvelope {
+                vp: f64::INFINITY,
+                tp: f64::INFINITY,
+                wn: f64::INFINITY,
+            },
+            adaptive: MetricEnvelope {
+                vp: f64::INFINITY,
+                tp: f64::INFINITY,
+                wn: f64::INFINITY,
+            },
+            analytic: MetricEnvelope {
                 vp: f64::INFINITY,
                 tp: f64::INFINITY,
                 wn: f64::INFINITY,

@@ -26,18 +26,24 @@ const SOLVES: usize = 100;
 /// RC-chain-like SPD matrix with sparse coupling entries every 8 nodes,
 /// mirroring the stepping matrix `(C + coeff·G)/dt` of a coupled ladder.
 fn stepping_matrix(n: usize) -> Csr {
+    stepping_matrix_scaled(n, 1.0)
+}
+
+/// The same pattern with every value scaled — what a timestep change
+/// does to the stepping matrix (`dt → dt/scale`).
+fn stepping_matrix_scaled(n: usize, scale: f64) -> Csr {
     let mut t = Triplets::new(n, n);
     for i in 0..n {
-        t.push(i, i, 4.0 + 0.001 * i as f64);
+        t.push(i, i, scale * (4.0 + 0.001 * i as f64));
     }
     for i in 0..n - 1 {
-        t.push(i, i + 1, -1.0);
-        t.push(i + 1, i, -1.0);
+        t.push(i, i + 1, -scale);
+        t.push(i + 1, i, -scale);
     }
     let mut i = 0;
     while i + 9 < n {
-        t.push(i, i + 9, -0.125);
-        t.push(i + 9, i, -0.125);
+        t.push(i, i + 9, scale * -0.125);
+        t.push(i + 9, i, scale * -0.125);
         i += 8;
     }
     t.to_csr()
@@ -71,6 +77,30 @@ fn bench_solver_scaling(c: &mut Criterion) {
                         .expect("solve succeeds");
                 }
                 black_box(x[n / 2])
+            })
+        });
+
+        // Adaptive-timestep dimension: a dt change rescales the stepping
+        // matrix but keeps its pattern, so the adaptive march only
+        // refactors numerically against the cached symbolic analysis.
+        // The full-reanalysis variant is what each dt change would cost
+        // without the cache (ordering + elimination tree + counts again).
+        let a_halved = stepping_matrix_scaled(n, 2.0);
+        group.bench_function(format!("sparse_ldl/dt_change/refactor_only/n{n}"), |bch| {
+            let symbolic = LdlSymbolic::analyze(&a).expect("pattern analyzes");
+            let mut factors = symbolic.factor(&a).expect("matrix factors");
+            bch.iter(|| {
+                factors
+                    .refactor(black_box(&a_halved))
+                    .expect("refactor succeeds");
+                black_box(&factors);
+            })
+        });
+        group.bench_function(format!("sparse_ldl/dt_change/full_reanalysis/n{n}"), |bch| {
+            bch.iter(|| {
+                let symbolic = LdlSymbolic::analyze(black_box(&a_halved)).expect("pattern analyzes");
+                let factors = symbolic.factor(&a_halved).expect("matrix factors");
+                black_box(factors.fill_nnz())
             })
         });
 

@@ -1,46 +1,61 @@
-//! End-to-end sweep throughput: serial vs parallel evaluation with a
-//! per-stage breakdown.
+//! End-to-end sweep throughput: baseline vs fast golden tier, serial vs
+//! parallel, with a per-stage breakdown.
 //!
 //! Runs the same seeded two-pin far-end sweep plus a differential audit
-//! pass twice — once pinned to one worker (the serial reference path)
-//! and once on `max(host parallelism, 2)` workers — asserts the rendered
-//! tables are byte-identical, and writes timings to `BENCH_sweep.json`
-//! at the repo root:
+//! pass three ways and writes timings to `BENCH_sweep.json` at the repo
+//! root:
+//!
+//! * **baseline** — fixed-step transient golden, analytic tier off,
+//!   one worker: the reference slow path;
+//! * **serial** — adaptive stepping + analytic fast tier (`auto`),
+//!   one worker: the production fast path;
+//! * **parallel** — the fast path on `max(host parallelism, 2)` workers.
 //!
 //! ```json
 //! {"cases":500,"audit_cases":100,"host_parallelism":8,
-//!  "serial":{"jobs":1,"total_s":12.3,
-//!            "stages":{"sim_s":10.1,"metric_s":0.9,"audit_s":1.1,"other_s":0.2}},
-//!  "parallel":{"jobs":8,"total_s":2.9,"stages":{...}},
-//!  "speedup":4.24}
+//!  "baseline":{"jobs":1,"sim":"fixed","fast_tier":"off","total_s":5.2,
+//!              "stages":{"sim_s":4.1,"metric_s":0.1,"audit_s":1.0,"other_s":0.1}},
+//!  "serial":{"jobs":1,"sim":"adaptive","fast_tier":"auto","total_s":1.9,"stages":{...}},
+//!  "parallel":{"jobs":8,"sim":"adaptive","fast_tier":"auto","total_s":0.6,"stages":{...}},
+//!  "fast_tier":{"hits":311,"fallback":189,"steps_saved":1513210},
+//!  "speedup":3.1,"fast_speedup":2.7}
 //! ```
 //!
-//! The parallel leg records the worker count it *actually* ran with
-//! (floored at 2 so the scaling claim is always exercised, even on a
-//! single-core host — `host_parallelism` tells the reader how much real
-//! concurrency backed it). Stage figures come from the observability
-//! span histograms: `sim_s` is the exact summed wall time under
-//! `sim.golden` spans during the sweep, `metric_s` is the remaining
-//! `eval.case` time (metric formulas + waveform measurement), `audit_s`
-//! is the audit pass wall clock, `other_s` the unattributed remainder
-//! (generation, rendering, queue overhead).
+//! `speedup` is serial/parallel on the fast path; `fast_speedup` is
+//! baseline/serial — the win from the fast golden tier alone, at equal
+//! worker count. The serial and parallel fast legs must render
+//! byte-identical tables (the executor's determinism contract); the
+//! baseline leg's table legitimately differs in golden-derived digits.
 //!
-//! Each leg runs twice interleaved (S P S P) and the minimum is kept:
-//! run-to-run noise on a shared host is ~5% (see EXPERIMENTS.md), which
-//! would otherwise dominate the comparison.
+//! Stage figures come from the observability span histograms: `sim_s`
+//! is the summed time under `sim.golden` spans (including analytic-tier
+//! measurements), `metric_s` the remaining `eval.case` time plus the
+//! serial `eval.metrics` batch-finalize stage, `audit_s` the audit pass
+//! wall clock, `other_s` the unattributed remainder. Span sums are
+//! **per-thread** totals, so parallel legs divide them by the worker
+//! count before reporting — the executor stripes cases evenly, making
+//! sum/jobs a faithful wall-clock estimate (previous revisions reported
+//! the raw sum, which made a 2-worker leg look 2x slower per stage).
+//!
+//! Each leg runs twice interleaved and the minimum is kept: run-to-run
+//! noise on a shared host is ~5% (see EXPERIMENTS.md), which would
+//! otherwise dominate the comparison.
 //!
 //! Case count defaults to 500 and is overridable with the
 //! `XTALK_BENCH_CASES` env var; `-- --test` runs a tiny smoke sweep and
-//! skips the JSON export.
+//! skips the JSON export. `--sim fixed|adaptive` and
+//! `--fast-tier off|on|auto` override the fast legs' configuration (the
+//! CI smoke passes `--sim adaptive` explicitly).
 
 use std::time::Instant;
 use xtalk_audit::{run_audit, AuditConfig};
 use xtalk_eval::{render_table, run_two_pin_table_jobs, TableStats};
 use xtalk_exec::Jobs;
+use xtalk_sim::{set_fast_tier_override, set_sim_mode_override, FastTier, SimMode};
 use xtalk_tech::sweep::SweepConfig;
 use xtalk_tech::{CouplingDirection, Technology};
 
-/// One leg's timings, all in seconds.
+/// One leg's timings (seconds) and fast-tier counter deltas.
 #[derive(Clone, Copy)]
 struct LegTiming {
     total_s: f64,
@@ -48,6 +63,9 @@ struct LegTiming {
     metric_s: f64,
     audit_s: f64,
     other_s: f64,
+    fast_hits: u64,
+    fast_fallback: u64,
+    steps_saved: u64,
 }
 
 /// Summed nanoseconds under the named span histogram so far.
@@ -57,25 +75,49 @@ fn span_sum_ns(name: &str) -> u64 {
         .map_or(0, |h| h.sum)
 }
 
+/// Current value of a (possibly performance-class) counter.
+fn counter(name: &str) -> u64 {
+    xtalk_obs::snapshot().counter(name).unwrap_or(0)
+}
+
 fn timed_leg(
     tech: &Technology,
     config: &SweepConfig,
     audit_config: &AuditConfig,
-    jobs: Jobs,
+    jobs: usize,
+    sim: SimMode,
+    tier: FastTier,
 ) -> (TableStats, LegTiming) {
+    set_sim_mode_override(sim);
+    set_fast_tier_override(tier);
+
     let sim_ns0 = span_sum_ns("span.sim.golden.ns");
     let case_ns0 = span_sum_ns("span.eval.case.ns");
+    let metrics_ns0 = span_sum_ns("span.eval.metrics.ns");
+    let hits0 = counter("sim.fast_tier.hits");
+    let fallback0 = counter("sim.fast_tier.fallback");
+    let saved0 = counter("sim.adaptive.steps_saved");
 
     let sweep_start = Instant::now();
-    let stats = run_two_pin_table_jobs(tech, CouplingDirection::FarEnd, config, false, jobs);
+    let stats = run_two_pin_table_jobs(
+        tech,
+        CouplingDirection::FarEnd,
+        config,
+        false,
+        Jobs::Count(jobs),
+    );
     let sweep_s = sweep_start.elapsed().as_secs_f64();
 
-    let sim_ns = span_sum_ns("span.sim.golden.ns") - sim_ns0;
-    let case_ns = span_sum_ns("span.eval.case.ns") - case_ns0;
+    // Span sums are per-thread; divide by the worker count for a
+    // wall-clock estimate (cases are striped evenly across workers).
+    let sim_s = (span_sum_ns("span.sim.golden.ns") - sim_ns0) as f64 * 1e-9 / jobs as f64;
+    let case_s = (span_sum_ns("span.eval.case.ns") - case_ns0) as f64 * 1e-9 / jobs as f64;
+    // The batch metric finalize stage runs serially on the coordinator.
+    let metrics_s = (span_sum_ns("span.eval.metrics.ns") - metrics_ns0) as f64 * 1e-9;
 
     let audit_start = Instant::now();
     let report = run_audit(&AuditConfig {
-        jobs,
+        jobs: Jobs::Count(jobs),
         ..*audit_config
     });
     let audit_s = audit_start.elapsed().as_secs_f64();
@@ -84,16 +126,17 @@ fn timed_leg(
         "audit pass must evaluate cases"
     );
 
-    let sim_s = sim_ns as f64 * 1e-9;
-    let case_s = case_ns as f64 * 1e-9;
     (
         stats,
         LegTiming {
             total_s: sweep_s + audit_s,
             sim_s,
-            metric_s: (case_s - sim_s).max(0.0),
+            metric_s: (case_s - sim_s).max(0.0) + metrics_s,
             audit_s,
-            other_s: (sweep_s - case_s).max(0.0),
+            other_s: (sweep_s - case_s - metrics_s).max(0.0),
+            fast_hits: counter("sim.fast_tier.hits") - hits0,
+            fast_fallback: counter("sim.fast_tier.fallback") - fallback0,
+            steps_saved: counter("sim.adaptive.steps_saved") - saved0,
         },
     )
 }
@@ -105,8 +148,40 @@ fn stage_json(t: &LegTiming) -> String {
     )
 }
 
+fn leg_json(t: &LegTiming, jobs: usize, sim: SimMode, tier: FastTier) -> String {
+    format!(
+        "{{\"jobs\":{jobs},\"sim\":\"{}\",\"fast_tier\":\"{}\",\"total_s\":{:.6},\"stages\":{}}}",
+        sim.as_str(),
+        tier.as_str(),
+        t.total_s,
+        stage_json(t)
+    )
+}
+
+fn print_leg(label: &str, t: &LegTiming, workers: &str) {
+    println!(
+        "sweep_throughput/{label:<14} {:>10.3} s  ({workers}: sim {:.3} + metric {:.3} + audit {:.3} + other {:.3})",
+        t.total_s, t.sim_s, t.metric_s, t.audit_s, t.other_s
+    );
+}
+
 fn main() {
-    let test_mode = std::env::args().any(|a| a == "--test");
+    let argv: Vec<String> = std::env::args().collect();
+    let test_mode = argv.iter().any(|a| a == "--test");
+    let flag = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+            .map(String::as_str)
+    };
+    // Fast-leg configuration; the baseline leg is always fixed/off.
+    let fast_sim = flag("--sim")
+        .map(|v| SimMode::parse(v).expect("--sim fixed|adaptive"))
+        .unwrap_or(SimMode::Adaptive);
+    let fast_tier = flag("--fast-tier")
+        .map(|v| FastTier::parse(v).expect("--fast-tier off|on|auto"))
+        .unwrap_or(FastTier::Auto);
+
     let cases = std::env::var("XTALK_BENCH_CASES")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -132,7 +207,10 @@ fn main() {
 
     eprintln!(
         "sweep_throughput: {cases} sweep + {audit_cases} audit cases, \
-         1 vs {parallel_jobs} worker(s) (host parallelism {host})"
+         baseline fixed/off vs {}/{} on 1 and {parallel_jobs} worker(s) \
+         (host parallelism {host})",
+        fast_sim.as_str(),
+        fast_tier.as_str()
     );
 
     fn improves(best: &Option<(TableStats, LegTiming)>, candidate: f64) -> bool {
@@ -143,43 +221,65 @@ fn main() {
     }
 
     let passes = if test_mode { 1 } else { 2 };
+    let mut baseline: Option<(TableStats, LegTiming)> = None;
     let mut serial: Option<(TableStats, LegTiming)> = None;
     let mut parallel: Option<(TableStats, LegTiming)> = None;
     for _ in 0..passes {
-        let s = timed_leg(&tech, &config, &audit_config, Jobs::Count(1));
+        let b = timed_leg(&tech, &config, &audit_config, 1, SimMode::Fixed, FastTier::Off);
+        if improves(&baseline, b.1.total_s) {
+            baseline = Some(b);
+        }
+        let s = timed_leg(&tech, &config, &audit_config, 1, fast_sim, fast_tier);
         if improves(&serial, s.1.total_s) {
             serial = Some(s);
         }
-        let p = timed_leg(&tech, &config, &audit_config, Jobs::Count(parallel_jobs));
+        let p = timed_leg(
+            &tech,
+            &config,
+            &audit_config,
+            parallel_jobs,
+            fast_sim,
+            fast_tier,
+        );
         if improves(&parallel, p.1.total_s) {
             parallel = Some(p);
         }
     }
+    let (baseline_stats, baseline_t) = baseline.expect("at least one pass ran");
     let (serial_stats, serial_t) = serial.expect("at least one pass ran");
     let (parallel_stats, parallel_t) = parallel.expect("at least one pass ran");
 
-    // The whole point of the executor: same bytes out, regardless of jobs.
+    // The whole point of the executor: same bytes out, regardless of
+    // jobs. The baseline table is compared structurally only — its
+    // golden digits differ from the fast tiers' by design.
     let serial_table = render_table("Table 1 (two-pin, far-end)", &serial_stats);
     let parallel_table = render_table("Table 1 (two-pin, far-end)", &parallel_stats);
     assert_eq!(
         serial_table, parallel_table,
         "parallel sweep must render the identical table"
     );
+    let baseline_table = render_table("Table 1 (two-pin, far-end)", &baseline_stats);
+    assert_eq!(
+        baseline_table.lines().count(),
+        serial_table.lines().count(),
+        "fast-tier sweep must evaluate the same case population"
+    );
 
     let speedup = serial_t.total_s / parallel_t.total_s;
-    println!(
-        "sweep_throughput/serial            {:>10.3} s  (1 worker: sim {:.3} + metric {:.3} + audit {:.3} + other {:.3})",
-        serial_t.total_s, serial_t.sim_s, serial_t.metric_s, serial_t.audit_s, serial_t.other_s
+    let fast_speedup = baseline_t.total_s / serial_t.total_s;
+    print_leg("baseline", &baseline_t, "1 worker, fixed/off");
+    print_leg(
+        "serial",
+        &serial_t,
+        &format!("1 worker, {}/{}", fast_sim.as_str(), fast_tier.as_str()),
     );
+    print_leg("parallel", &parallel_t, &format!("{parallel_jobs} workers"));
     println!(
-        "sweep_throughput/parallel          {:>10.3} s  ({parallel_jobs} workers: sim {:.3} + metric {:.3} + audit {:.3} + other {:.3})",
-        parallel_t.total_s,
-        parallel_t.sim_s,
-        parallel_t.metric_s,
-        parallel_t.audit_s,
-        parallel_t.other_s
+        "sweep_throughput/fast_tier          hits {} fallback {} steps_saved {}",
+        serial_t.fast_hits, serial_t.fast_fallback, serial_t.steps_saved
     );
     println!("sweep_throughput/speedup           {speedup:>10.2} x  (tables byte-identical)");
+    println!("sweep_throughput/fast_speedup      {fast_speedup:>10.2} x  (vs fixed/off baseline)");
 
     if test_mode {
         println!("sweep_throughput: test passed");
@@ -189,13 +289,17 @@ fn main() {
     // is two levels above this crate's manifest.
     let json = format!(
         "{{\"cases\":{cases},\"audit_cases\":{audit_cases},\"host_parallelism\":{host},\
-         \"serial\":{{\"jobs\":1,\"total_s\":{:.6},\"stages\":{}}},\
-         \"parallel\":{{\"jobs\":{parallel_jobs},\"total_s\":{:.6},\"stages\":{}}},\
-         \"speedup\":{speedup:.4}}}\n",
-        serial_t.total_s,
-        stage_json(&serial_t),
-        parallel_t.total_s,
-        stage_json(&parallel_t),
+         \"baseline\":{},\
+         \"serial\":{},\
+         \"parallel\":{},\
+         \"fast_tier\":{{\"hits\":{},\"fallback\":{},\"steps_saved\":{}}},\
+         \"speedup\":{speedup:.4},\"fast_speedup\":{fast_speedup:.4}}}\n",
+        leg_json(&baseline_t, 1, SimMode::Fixed, FastTier::Off),
+        leg_json(&serial_t, 1, fast_sim, fast_tier),
+        leg_json(&parallel_t, parallel_jobs, fast_sim, fast_tier),
+        serial_t.fast_hits,
+        serial_t.fast_fallback,
+        serial_t.steps_saved,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     std::fs::write(path, json).expect("write BENCH_sweep.json");

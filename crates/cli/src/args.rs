@@ -2,6 +2,7 @@ use std::error::Error;
 use xtalk_circuit::spice::parse_si_value;
 use xtalk_exec::Jobs;
 use xtalk_linalg::SolverKind;
+use xtalk_sim::{FastTier, SimMode};
 
 /// Which analysis to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,12 +123,27 @@ pub struct ObsArgs {
     /// performance comparisons and the dense/sparse equivalence gate in
     /// CI.
     pub solver: Option<SolverKind>,
+    /// Golden stepping-mode override (`--sim fixed|adaptive`). `None`
+    /// leaves the `XTALK_SIM` environment variable (then fixed-step) in
+    /// charge. The closed-form metric outputs are identical either way;
+    /// the flag trades golden-simulation wall time against the adaptive
+    /// march's LTE-bounded waveform differences.
+    pub sim: Option<SimMode>,
+    /// Analytic fast-tier override (`--fast-tier off|on|auto`). `None`
+    /// leaves the `XTALK_FAST_TIER` environment variable (then off) in
+    /// charge. `auto` uses closed-form pole superposition instead of a
+    /// transient sim wherever the conditioning gate admits it.
+    pub fast_tier: Option<FastTier>,
+    /// Write the full metrics snapshot — deterministic metrics *plus*
+    /// performance-class counters/timings (fast-tier hit and fallback
+    /// rates, adaptive step savings) — to this path.
+    pub metrics_full_out: Option<String>,
 }
 
 impl ObsArgs {
     /// True when any metric recording must be switched on.
     pub fn wants_metrics(&self) -> bool {
-        self.metrics_out.is_some() || self.stats
+        self.metrics_out.is_some() || self.metrics_full_out.is_some() || self.stats
     }
 }
 
@@ -299,6 +315,18 @@ Observability (accepted by every command):
     --solver KIND       simulator factorization backend: auto (default;
                         per-matrix heuristic), dense (LU), sparse (LDL^T
                         tree solver); overrides the XTALK_SOLVER env var
+    --sim MODE          golden transient stepping: fixed (default) or
+                        adaptive (trap-vs-BE error-controlled steps, same
+                        base grid; several times faster on long tails);
+                        overrides the XTALK_SIM env var
+    --fast-tier MODE    analytic golden fast tier: off (default), auto
+                        (closed-form pole superposition when its
+                        conditioning gate admits the case), on (skip the
+                        gate margins); overrides XTALK_FAST_TIER
+    --metrics-full-out PATH
+                        like --metrics-out plus performance-class data:
+                        wall times, fast-tier hit/fallback counters,
+                        adaptive step savings (not byte-stable)
 ";
 
 /// Parses `argv` (program name excluded), returning the command outcome
@@ -338,6 +366,21 @@ fn extract_obs(argv: &[String]) -> Result<(Vec<String>, ObsArgs), Box<dyn Error>
                         .ok_or_else(|| format!("unknown solver {v:?}; expected auto|dense|sparse"))?,
                 );
             }
+            "--sim" => {
+                let v = value()?;
+                obs.sim = Some(
+                    SimMode::parse(&v)
+                        .ok_or_else(|| format!("unknown sim mode {v:?}; expected fixed|adaptive"))?,
+                );
+            }
+            "--fast-tier" => {
+                let v = value()?;
+                obs.fast_tier = Some(
+                    FastTier::parse(&v)
+                        .ok_or_else(|| format!("unknown fast tier {v:?}; expected off|on|auto"))?,
+                );
+            }
+            "--metrics-full-out" => obs.metrics_full_out = Some(value()?),
             _ => rest.push(arg.clone()),
         }
     }
@@ -752,6 +795,39 @@ mod tests {
 
         assert!(parse_outcome(&["sweep", "--solver"]).is_err());
         assert!(parse_outcome(&["sweep", "--solver", "cholesky"]).is_err());
+    }
+
+    #[test]
+    fn sim_and_fast_tier_flags_parse() {
+        let (_, obs) = parse_outcome(&["sweep", "--cases", "4", "--sim", "adaptive"]).unwrap();
+        assert_eq!(obs.sim, Some(SimMode::Adaptive));
+        assert_eq!(obs.fast_tier, None);
+        let (_, obs) =
+            parse_outcome(&["--sim", "FIXED", "--fast-tier", "auto", "noise", "d.sp"]).unwrap();
+        assert_eq!(obs.sim, Some(SimMode::Fixed));
+        assert_eq!(obs.fast_tier, Some(FastTier::Auto));
+        let (_, obs) = parse_outcome(&["audit", "--fast-tier", "off"]).unwrap();
+        assert_eq!(obs.fast_tier, Some(FastTier::Off));
+        let (_, obs) = parse_outcome(&["audit", "--fast-tier", "on"]).unwrap();
+        assert_eq!(obs.fast_tier, Some(FastTier::On));
+        let (_, obs) = parse_outcome(&["audit"]).unwrap();
+        assert_eq!(obs.sim, None);
+        assert_eq!(obs.fast_tier, None);
+
+        assert!(parse_outcome(&["sweep", "--sim"]).is_err());
+        assert!(parse_outcome(&["sweep", "--sim", "euler"]).is_err());
+        assert!(parse_outcome(&["sweep", "--fast-tier", "maybe"]).is_err());
+    }
+
+    #[test]
+    fn metrics_full_out_extracts_and_wants_metrics() {
+        let (outcome, obs) =
+            parse_outcome(&["sweep", "--cases", "4", "--metrics-full-out", "full.json"]).unwrap();
+        assert!(matches!(outcome, ParseOutcome::Sweep(_)));
+        assert_eq!(obs.metrics_full_out.as_deref(), Some("full.json"));
+        assert!(obs.metrics_out.is_none());
+        assert!(obs.wants_metrics());
+        assert!(parse_outcome(&["sweep", "--metrics-full-out"]).is_err());
     }
 
     #[test]

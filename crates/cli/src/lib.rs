@@ -22,7 +22,13 @@
 //! factorization backend (normally chosen per matrix); results agree to
 //! factorization rounding (~1e-13 relative) and the deterministic
 //! metrics snapshot is byte-identical, so it exists for performance
-//! work and the dense/sparse equivalence gate in CI.
+//! work and the dense/sparse equivalence gate in CI. The golden-tier
+//! fast paths are switched the same way: `--sim fixed|adaptive` selects
+//! the transient stepping strategy, `--fast-tier off|on|auto` gates the
+//! analytic pole-superposition tier, and `--metrics-full-out PATH`
+//! additionally dumps the performance-class counters (fast-tier
+//! hit/fallback rates, adaptive step savings) that the deterministic
+//! snapshot excludes.
 //!
 //! All analysis goes through the same public APIs a library user would
 //! call; the CLI only parses arguments and formats reports. The library
@@ -97,6 +103,12 @@ fn apply_obs(obs: &ObsArgs) {
     if let Some(kind) = obs.solver {
         xtalk_sim::set_solver_override(kind);
     }
+    if let Some(mode) = obs.sim {
+        xtalk_sim::set_sim_mode_override(mode);
+    }
+    if let Some(tier) = obs.fast_tier {
+        xtalk_sim::set_fast_tier_override(tier);
+    }
     if obs.wants_metrics() {
         xtalk_obs::enable_metrics();
     }
@@ -107,10 +119,14 @@ fn apply_obs(obs: &ObsArgs) {
 
 /// Writes the requested observability outputs after the command finished.
 fn finish_obs(obs: &ObsArgs) -> Result<(), Box<dyn Error>> {
-    if obs.metrics_out.is_some() || obs.stats {
+    if obs.wants_metrics() {
         let snap = xtalk_obs::snapshot();
         if let Some(path) = &obs.metrics_out {
             std::fs::write(path, snap.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if let Some(path) = &obs.metrics_full_out {
+            std::fs::write(path, snap.to_json_full())
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
         }
         if obs.stats {

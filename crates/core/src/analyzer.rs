@@ -155,11 +155,27 @@ impl<'a> NoiseAnalyzer<'a> {
         input: &InputSignal,
         kind: MetricKind,
     ) -> Result<NoiseEstimate, MetricError> {
-        let tr = input.effective_rise_time();
+        Self::estimate_for(f, input.effective_rise_time(), kind)
+    }
+
+    /// Single-case metric dispatch on already-computed output moments:
+    /// `t_r` is the input's effective rise time (`≤ 0` = ideal step, which
+    /// falls back to the symmetric shape `m = 1`). This is the scalar
+    /// reference the structure-of-arrays evaluator in [`crate::batch`] is
+    /// bit-identical to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the metric errors of [`MetricOne`] / [`MetricTwo`].
+    pub fn estimate_for(
+        f: &OutputMoments,
+        t_r: f64,
+        kind: MetricKind,
+    ) -> Result<NoiseEstimate, MetricError> {
         match kind {
             MetricKind::One => {
-                if tr > 0.0 {
-                    MetricOne::estimate_auto(f, tr)
+                if t_r > 0.0 {
+                    MetricOne::estimate_auto(f, t_r)
                 } else {
                     MetricOne::estimate_symmetric(f)
                 }
@@ -167,8 +183,8 @@ impl<'a> NoiseAnalyzer<'a> {
             MetricKind::OneSymmetric => MetricOne::estimate_symmetric(f),
             MetricKind::Two => {
                 let metric = MetricTwo::default();
-                if tr > 0.0 {
-                    metric.estimate_auto(f, tr)
+                if t_r > 0.0 {
+                    metric.estimate_auto(f, t_r)
                 } else {
                     metric.estimate(f, 1.0)
                 }

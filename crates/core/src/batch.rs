@@ -1,0 +1,504 @@
+//! Structure-of-arrays batched evaluation of the closed-form metrics.
+//!
+//! Sweeps and audits evaluate the paper's metrics over thousands of cases.
+//! Going through [`crate::NoiseAnalyzer`] per case pays a struct round-trip
+//! and an atomic observability counter per estimate; this module instead
+//! stores the moment lanes `f1, f2, f3` (plus polarity and input rise
+//! time) in flat arrays and runs the metric arithmetic — the paper's five
+//! basic operations `+ − × ÷ √` — lane by lane over them, amortizing the
+//! counters over the whole batch.
+//!
+//! **Bit-equivalence contract:** for every lane `i`,
+//! [`EstimateBatch::result`] returns exactly what
+//! [`crate::NoiseAnalyzer::estimate_for`] returns for the same moments,
+//! rise time and metric kind — same values bit for bit, same error
+//! variant and payload. The kernels share the lane-level formula bodies
+//! with the scalar entry points (`metric1::estimate_raw`,
+//! `metric2::estimate_raw`, `output::t_w_raw`), so the equivalence holds
+//! by construction; the audit's SoA-vs-scalar invariant family and the
+//! crate's proptests re-verify it on random cases.
+//!
+//! # Examples
+//!
+//! ```
+//! use xtalk_core::{MetricKind, MomentBatch, NoiseAnalyzer, OutputMoments};
+//!
+//! let f = OutputMoments::from_raw(1e-11, -2e-21, 2.6e-31, 1.0)?;
+//! let mut batch = MomentBatch::new();
+//! batch.push(&f, 1e-10);
+//! let est = batch.estimates(MetricKind::Two);
+//! assert_eq!(
+//!     est.result(0)?,
+//!     NoiseAnalyzer::estimate_for(&f, 1e-10, MetricKind::Two)?,
+//! );
+//! # Ok::<(), xtalk_core::MetricError>(())
+//! ```
+
+use crate::analyzer::MetricKind;
+use crate::{
+    metric1, metric2, output, shape_ratio_m, MetricError, NoiseBounds, NoiseEstimate,
+    OutputMoments, LAMBDA,
+};
+
+/// Flat-array (structure-of-arrays) storage of per-case output moments —
+/// the input side of the batched metric kernels.
+#[derive(Debug, Clone, Default)]
+pub struct MomentBatch {
+    f1: Vec<f64>,
+    f2: Vec<f64>,
+    f3: Vec<f64>,
+    polarity: Vec<f64>,
+    t_r: Vec<f64>,
+}
+
+impl MomentBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with room for `n` lanes.
+    pub fn with_capacity(n: usize) -> Self {
+        MomentBatch {
+            f1: Vec::with_capacity(n),
+            f2: Vec::with_capacity(n),
+            f3: Vec::with_capacity(n),
+            polarity: Vec::with_capacity(n),
+            t_r: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends one lane: the case's output moments plus the input's
+    /// effective rise time (`≤ 0` = ideal step).
+    pub fn push(&mut self, f: &OutputMoments, t_r: f64) {
+        self.f1.push(f.f1());
+        self.f2.push(f.f2());
+        self.f3.push(f.f3());
+        self.polarity.push(f.polarity());
+        self.t_r.push(t_r);
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.f1.len()
+    }
+
+    /// `true` when the batch holds no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.f1.is_empty()
+    }
+
+    /// Evaluates the chosen metric over every lane.
+    ///
+    /// Per lane this performs the same dispatch as
+    /// [`crate::NoiseAnalyzer::estimate_for`]: positive rise time seeds the
+    /// shape ratio from eq. (54), otherwise the symmetric `m = 1` shape is
+    /// used. Failed lanes carry their [`MetricError`] in the result's
+    /// status array instead of aborting the batch.
+    pub fn estimates(&self, kind: MetricKind) -> EstimateBatch {
+        let n = self.len();
+        let mut out = EstimateBatch::nan_filled(kind, n);
+        let mut counted = 0u64;
+        for i in 0..n {
+            match self.eval_lane(i, kind, &mut counted) {
+                Ok(e) => out.set(i, &e),
+                Err(err) => out.status[i] = Some(err),
+            }
+        }
+        if counted > 0 {
+            match kind {
+                MetricKind::One | MetricKind::OneSymmetric => {
+                    xtalk_obs::counter!("core.metric1.estimates").add(counted);
+                }
+                MetricKind::Two => {
+                    xtalk_obs::counter!("core.metric2.estimates").add(counted);
+                }
+            }
+        }
+        xtalk_obs::counter!(perf: "core.batch.lanes").add(n as u64);
+        out
+    }
+
+    /// Metric I parameter bounds (eqs. 37–40) over every lane.
+    pub fn bounds(&self) -> BoundsBatch {
+        let n = self.len();
+        let mut out = BoundsBatch::nan_filled(n);
+        for i in 0..n {
+            match metric1::bounds_raw(self.f1[i], self.f2[i], self.f3[i]) {
+                Ok(b) => out.set(i, &b),
+                Err(err) => out.status[i] = Some(err),
+            }
+        }
+        if n > 0 {
+            xtalk_obs::counter!("core.metric1.bounds").add(n as u64);
+        }
+        xtalk_obs::counter!(perf: "core.batch.lanes").add(n as u64);
+        out
+    }
+
+    /// One lane of [`MomentBatch::estimates`]: the exact scalar dispatch of
+    /// [`crate::NoiseAnalyzer::estimate_for`], counting (for the Det
+    /// counters) each lane that reaches a metric's formula body — the same
+    /// lanes the scalar path would count.
+    fn eval_lane(
+        &self,
+        i: usize,
+        kind: MetricKind,
+        counted: &mut u64,
+    ) -> Result<NoiseEstimate, MetricError> {
+        let (f1, f2, f3) = (self.f1[i], self.f2[i], self.f3[i]);
+        let (pol, t_r) = (self.polarity[i], self.t_r[i]);
+        match kind {
+            MetricKind::One => {
+                if t_r > 0.0 {
+                    let m = shape_ratio_m(output::t_w_raw(f1, f2, f3)?, t_r)?;
+                    *counted += 1;
+                    metric1::estimate_raw(f1, f2, f3, pol, m)
+                } else {
+                    *counted += 1;
+                    metric1::estimate_raw(f1, f2, f3, pol, 1.0)
+                }
+            }
+            MetricKind::OneSymmetric => {
+                *counted += 1;
+                metric1::estimate_raw(f1, f2, f3, pol, 1.0)
+            }
+            MetricKind::Two => {
+                if t_r > 0.0 {
+                    let m = shape_ratio_m(output::t_w_raw(f1, f2, f3)?, t_r)?;
+                    *counted += 1;
+                    metric2::estimate_raw(LAMBDA, f1, f2, f3, pol, m)
+                } else {
+                    *counted += 1;
+                    metric2::estimate_raw(LAMBDA, f1, f2, f3, pol, 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// Flat-array results of a batched metric evaluation. Failed lanes hold
+/// `NaN` in the value arrays and their error in [`EstimateBatch::status`].
+#[derive(Debug, Clone)]
+pub struct EstimateBatch {
+    kind: MetricKind,
+    /// Peak amplitudes `Vp` per lane.
+    pub vp: Vec<f64>,
+    /// Arrival times `T0` per lane.
+    pub t0: Vec<f64>,
+    /// Rising transition times `T1` per lane.
+    pub t1: Vec<f64>,
+    /// Falling transition times `T2` per lane.
+    pub t2: Vec<f64>,
+    /// Peak times `Tp` per lane.
+    pub tp: Vec<f64>,
+    /// Pulse widths `Wn` per lane.
+    pub wn: Vec<f64>,
+    /// Shape ratios `m` per lane.
+    pub m: Vec<f64>,
+    /// Pulse polarities per lane.
+    pub polarity: Vec<f64>,
+    /// `None` = lane evaluated; `Some(err)` = the scalar path's error.
+    pub status: Vec<Option<MetricError>>,
+}
+
+impl EstimateBatch {
+    fn nan_filled(kind: MetricKind, n: usize) -> Self {
+        EstimateBatch {
+            kind,
+            vp: vec![f64::NAN; n],
+            t0: vec![f64::NAN; n],
+            t1: vec![f64::NAN; n],
+            t2: vec![f64::NAN; n],
+            tp: vec![f64::NAN; n],
+            wn: vec![f64::NAN; n],
+            m: vec![f64::NAN; n],
+            polarity: vec![f64::NAN; n],
+            status: vec![None; n],
+        }
+    }
+
+    fn set(&mut self, i: usize, e: &NoiseEstimate) {
+        self.vp[i] = e.vp;
+        self.t0[i] = e.t0;
+        self.t1[i] = e.t1;
+        self.t2[i] = e.t2;
+        self.tp[i] = e.tp;
+        self.wn[i] = e.wn;
+        self.m[i] = e.m;
+        self.polarity[i] = e.polarity;
+    }
+
+    /// The metric kind this batch evaluated.
+    pub fn kind(&self) -> MetricKind {
+        self.kind
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.status.len()
+    }
+
+    /// `true` when the batch holds no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.status.is_empty()
+    }
+
+    /// `true` when lane `i` evaluated successfully.
+    pub fn is_ok(&self, i: usize) -> bool {
+        self.status[i].is_none()
+    }
+
+    /// Number of successfully evaluated lanes.
+    pub fn ok_count(&self) -> usize {
+        self.status.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// Lane `i` as the scalar result it is bit-identical to.
+    ///
+    /// # Errors
+    ///
+    /// The lane's [`MetricError`] when it failed to evaluate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn result(&self, i: usize) -> Result<NoiseEstimate, MetricError> {
+        match &self.status[i] {
+            Some(err) => Err(err.clone()),
+            None => Ok(NoiseEstimate {
+                vp: self.vp[i],
+                t0: self.t0[i],
+                t1: self.t1[i],
+                t2: self.t2[i],
+                tp: self.tp[i],
+                wn: self.wn[i],
+                m: self.m[i],
+                polarity: self.polarity[i],
+            }),
+        }
+    }
+}
+
+/// Flat-array results of batched Metric I bounds (eqs. 37–40). Failed
+/// lanes hold `NaN` and their error in [`BoundsBatch::status`].
+#[derive(Debug, Clone)]
+pub struct BoundsBatch {
+    /// Lower `Vp` bounds per lane.
+    pub vp_lo: Vec<f64>,
+    /// Upper `Vp` bounds per lane.
+    pub vp_hi: Vec<f64>,
+    /// Lower `T0` bounds per lane.
+    pub t0_lo: Vec<f64>,
+    /// Upper `T0` bounds per lane.
+    pub t0_hi: Vec<f64>,
+    /// Lower `Tp` bounds per lane.
+    pub tp_lo: Vec<f64>,
+    /// Upper `Tp` bounds per lane.
+    pub tp_hi: Vec<f64>,
+    /// Lower `Wn` bounds per lane.
+    pub wn_lo: Vec<f64>,
+    /// Upper `Wn` bounds per lane.
+    pub wn_hi: Vec<f64>,
+    /// `None` = lane evaluated; `Some(err)` = the scalar path's error.
+    pub status: Vec<Option<MetricError>>,
+}
+
+impl BoundsBatch {
+    fn nan_filled(n: usize) -> Self {
+        BoundsBatch {
+            vp_lo: vec![f64::NAN; n],
+            vp_hi: vec![f64::NAN; n],
+            t0_lo: vec![f64::NAN; n],
+            t0_hi: vec![f64::NAN; n],
+            tp_lo: vec![f64::NAN; n],
+            tp_hi: vec![f64::NAN; n],
+            wn_lo: vec![f64::NAN; n],
+            wn_hi: vec![f64::NAN; n],
+            status: vec![None; n],
+        }
+    }
+
+    fn set(&mut self, i: usize, b: &NoiseBounds) {
+        self.vp_lo[i] = b.vp.0;
+        self.vp_hi[i] = b.vp.1;
+        self.t0_lo[i] = b.t0.0;
+        self.t0_hi[i] = b.t0.1;
+        self.tp_lo[i] = b.tp.0;
+        self.tp_hi[i] = b.tp.1;
+        self.wn_lo[i] = b.wn.0;
+        self.wn_hi[i] = b.wn.1;
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.status.len()
+    }
+
+    /// `true` when the batch holds no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.status.is_empty()
+    }
+
+    /// `true` when lane `i` evaluated successfully.
+    pub fn is_ok(&self, i: usize) -> bool {
+        self.status[i].is_none()
+    }
+
+    /// Lane `i` as the scalar result it is bit-identical to.
+    ///
+    /// # Errors
+    ///
+    /// The lane's [`MetricError`] when it failed to evaluate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn result(&self, i: usize) -> Result<NoiseBounds, MetricError> {
+        match &self.status[i] {
+            Some(err) => Err(err.clone()),
+            None => Ok(NoiseBounds {
+                vp: (self.vp_lo[i], self.vp_hi[i]),
+                t0: (self.t0_lo[i], self.t0_hi[i]),
+                tp: (self.tp_lo[i], self.tp_hi[i]),
+                wn: (self.wn_lo[i], self.wn_hi[i]),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{LinExpTemplate, PwlTemplate};
+    use crate::{MetricOne, NoiseAnalyzer};
+
+    /// Bit-level equality between a batch lane and the scalar reference:
+    /// `Ok` fields must match to the bit, errors must be the same variant
+    /// with the same payload (compared via `Debug`, so NaN payloads work).
+    fn assert_lane_matches(
+        got: &Result<NoiseEstimate, MetricError>,
+        want: &Result<NoiseEstimate, MetricError>,
+    ) {
+        match (got, want) {
+            (Ok(g), Ok(w)) => {
+                for (name, a, b) in [
+                    ("vp", g.vp, w.vp),
+                    ("t0", g.t0, w.t0),
+                    ("t1", g.t1, w.t1),
+                    ("t2", g.t2, w.t2),
+                    ("tp", g.tp, w.tp),
+                    ("wn", g.wn, w.wn),
+                    ("m", g.m, w.m),
+                    ("polarity", g.polarity, w.polarity),
+                ] {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{name}: {a} vs {b}");
+                }
+            }
+            (Err(g), Err(w)) => assert_eq!(format!("{g:?}"), format!("{w:?}")),
+            _ => panic!("ok/err mismatch: {got:?} vs {want:?}"),
+        }
+    }
+
+    fn lanes() -> Vec<(OutputMoments, f64)> {
+        let mut out = Vec::new();
+        for &(t0, t1, m, vp) in &[
+            (0.0, 1e-10, 1.0, 0.1),
+            (2e-10, 5e-11, 3.0, 0.45),
+            (1e-11, 2e-10, 0.2, 0.08),
+            (5e-10, 7e-11, 10.0, 0.3),
+        ] {
+            let [e1, e2, e3] = PwlTemplate::new(t0, t1, m, vp).moments();
+            for &tr in &[0.0, 2e-11, 1e-10, 5e-10] {
+                out.push((OutputMoments::from_raw(e1, e2, e3, 1.0).unwrap(), tr));
+            }
+            let [e1, e2, e3] = LinExpTemplate::new(t0, t1, m, LAMBDA, vp).moments();
+            out.push((OutputMoments::from_raw(e1, e2, e3, -1.0).unwrap(), 8e-11));
+        }
+        // Degenerate lanes: cancellation-clamped zero width and genuinely
+        // non-physical moments, so the error paths are covered too.
+        let (area, c) = (2e-11, 3e-10);
+        let f3 = area * c * c / 2.0 * (1.0 - 1e-13);
+        out.push((
+            OutputMoments::from_raw(area, -area * c, f3, 1.0).unwrap(),
+            1e-10,
+        ));
+        out.push((
+            OutputMoments::from_raw(1e-11, -1e-21, 1e-33, 1.0).unwrap(),
+            1e-10,
+        ));
+        out
+    }
+
+    #[test]
+    fn estimates_are_bit_identical_to_scalar_for_all_kinds() {
+        let lanes = lanes();
+        let mut batch = MomentBatch::with_capacity(lanes.len());
+        for (f, tr) in &lanes {
+            batch.push(f, *tr);
+        }
+        for kind in [MetricKind::One, MetricKind::OneSymmetric, MetricKind::Two] {
+            let est = batch.estimates(kind);
+            assert_eq!(est.len(), lanes.len());
+            assert_eq!(est.kind(), kind);
+            for (i, (f, tr)) in lanes.iter().enumerate() {
+                let want = NoiseAnalyzer::estimate_for(f, *tr, kind);
+                assert_lane_matches(&est.result(i), &want);
+                assert_eq!(est.is_ok(i), want.is_ok(), "lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_bit_identical_to_scalar() {
+        let lanes = lanes();
+        let mut batch = MomentBatch::with_capacity(lanes.len());
+        for (f, tr) in &lanes {
+            batch.push(f, *tr);
+        }
+        let bounds = batch.bounds();
+        for (i, (f, _)) in lanes.iter().enumerate() {
+            match (bounds.result(i), MetricOne::bounds(f)) {
+                (Ok(g), Ok(w)) => {
+                    for (a, b) in [
+                        (g.vp, w.vp),
+                        (g.t0, w.t0),
+                        (g.tp, w.tp),
+                        (g.wn, w.wn),
+                    ] {
+                        assert_eq!(a.0.to_bits(), b.0.to_bits());
+                        assert_eq!(a.1.to_bits(), b.1.to_bits());
+                    }
+                }
+                (Err(g), Err(w)) => assert_eq!(format!("{g:?}"), format!("{w:?}")),
+                (g, w) => panic!("ok/err mismatch: {g:?} vs {w:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn failed_lanes_hold_nan_and_count_as_not_ok() {
+        let f = OutputMoments::from_raw(1e-11, -1e-21, 1e-33, 1.0).unwrap();
+        let mut batch = MomentBatch::new();
+        batch.push(&f, 1e-10);
+        let est = batch.estimates(MetricKind::Two);
+        assert!(!est.is_ok(0));
+        assert_eq!(est.ok_count(), 0);
+        assert!(est.vp[0].is_nan());
+        assert!(matches!(
+            est.result(0),
+            Err(MetricError::NonPhysicalMoments { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let batch = MomentBatch::new();
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+        let est = batch.estimates(MetricKind::One);
+        assert!(est.is_empty());
+        let bounds = batch.bounds();
+        assert!(bounds.is_empty());
+    }
+}

@@ -62,6 +62,7 @@
 
 mod analyzer;
 pub mod baselines;
+pub mod batch;
 mod error;
 mod estimate;
 mod metric1;
@@ -73,6 +74,7 @@ pub mod superpose;
 pub mod template;
 
 pub use analyzer::{MetricKind, NoiseAnalyzer};
+pub use batch::{BoundsBatch, EstimateBatch, MomentBatch};
 pub use error::MetricError;
 pub use estimate::{NoiseBounds, NoiseEstimate};
 pub use metric1::MetricOne;

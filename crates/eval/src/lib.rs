@@ -119,10 +119,14 @@ pub fn evaluate_cases(cases: &[SweepCase], progress: bool) -> TableStats {
 
 /// Evaluates a pre-generated case list on up to `jobs` workers.
 ///
-/// Each worker reuses one [`SimWorkspace`] across its cases; outcomes
-/// are folded into the statistics in case order, so the accumulated
-/// `TableStats` (extremes, means, reservoir quantiles, skip ordering)
-/// are bit-identical to a serial run.
+/// Each worker reuses one [`SimWorkspace`] across its cases and runs the
+/// per-case stage (golden simulation, moments, prior-art baselines); the
+/// paper's closed-form metrics are then evaluated over all surviving
+/// cases at once through the structure-of-arrays kernel
+/// ([`xtalk_core::MomentBatch`]), whose lanes are bit-identical to the
+/// scalar [`evaluate_case`] path. Outcomes are folded into the statistics
+/// in case order, so the accumulated `TableStats` (extremes, means,
+/// reservoir quantiles, skip ordering) are bit-identical to a serial run.
 ///
 /// # Panics
 ///
@@ -133,9 +137,9 @@ pub fn evaluate_cases_jobs(cases: &[SweepCase], progress: bool, jobs: Jobs) -> T
     let _table_span = xtalk_obs::span!("eval.table");
     let done = AtomicUsize::new(0);
     let progress = progress && !xtalk_obs::quiet();
-    let outcomes = par_map_indexed_with(cases, jobs, SimWorkspace::new, |ws, _, case| {
+    let prepared = par_map_indexed_with(cases, jobs, SimWorkspace::new, |ws, _, case| {
         let case_span = xtalk_obs::span!("eval.case");
-        let result = evaluate_case_with(case, ws);
+        let result = case_eval::prepare_case_with(case, ws);
         drop(case_span); // per-case latency excludes the progress I/O
         if progress {
             let k = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -146,6 +150,7 @@ pub fn evaluate_cases_jobs(cases: &[SweepCase], progress: bool, jobs: Jobs) -> T
         result
     })
     .unwrap_or_else(|e| panic!("case evaluation failed: {e}"));
+    let outcomes = case_eval::finalize_outcomes(prepared);
 
     let mut stats = TableStats::new();
     let mut skipped = 0u64;

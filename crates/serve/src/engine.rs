@@ -9,10 +9,16 @@
 //! Deadlines are cooperative and reflect the paper's cost asymmetry: the
 //! closed-form chain is microseconds and always runs to completion even
 //! on an expired budget (a late bounded answer beats no answer), while
-//! the golden transient cross-check is milliseconds and is *skipped* the
-//! moment the remaining budget cannot cover it. A reply that degraded
-//! this way says so (`deadline.golden_skipped`, `status: "degraded"`)
-//! so clients can tell a timed-out-but-bounded answer from a full one.
+//! the golden transient cross-check is milliseconds and is dropped the
+//! moment the remaining budget cannot cover it. Before giving up, the
+//! worker tries the analytic fast tier ([`analytic_noise`]) — closed-form
+//! pole superposition, microseconds like the chain — so a deadline-pinched
+//! request still gets an independent cross-check when the case admits
+//! one. The deadline stamp says which tier the reply's golden values came
+//! from (`deadline.golden_tier`: `"transient"`, `"analytic"` or
+//! `"skipped"`), and a reply that lost its cross-check entirely degrades
+//! (`deadline.golden_skipped`, `status: "degraded"`) so clients can tell
+//! a timed-out-but-bounded answer from a full one.
 
 use crate::json;
 use crate::proto::{self, AnalyzeRequest, RequestId, Shape};
@@ -24,7 +30,10 @@ use xtalk_circuit::{
 use xtalk_core::{
     MetricError, Provenance, RobustAnalyzer, RobustError, RungError, RungFailure,
 };
-use xtalk_sim::{golden_noise_with, NoiseWaveformParams, SimWorkspace};
+use xtalk_sim::{
+    analytic_noise, golden_noise_tiered, FastTier, GoldenOpts, GoldenTier, NoiseWaveformParams,
+    SimWorkspace,
+};
 
 /// Budget floor below which a golden escalation is not attempted: a
 /// transient sim is milliseconds while the chain is microseconds, so
@@ -81,9 +90,9 @@ enum Row {
 
 enum GoldenOutcome {
     NotRequested,
-    Ran(NoiseWaveformParams),
+    Ran(NoiseWaveformParams, GoldenTier),
     /// Skipped because the remaining deadline budget could not cover a
-    /// transient simulation.
+    /// transient simulation and the analytic fast tier declined the case.
     SkippedDeadline,
     Failed(String),
 }
@@ -141,6 +150,7 @@ pub fn run_analyze(
     let mut rows = Vec::with_capacity(targets.len());
     let mut degraded = false;
     let mut golden_skips = 0usize;
+    let mut analytic_runs = 0usize;
     for (agg, name) in targets {
         let row = match robust.analyze(agg, &input) {
             Ok(re) => {
@@ -148,18 +158,37 @@ pub fn run_analyze(
                 let golden = if !req.golden {
                     GoldenOutcome::NotRequested
                 } else if out_of_budget(budget, accepted) {
-                    golden_skips += 1;
-                    degraded = true;
-                    xtalk_obs::counter!(perf: "serve.deadline.golden_skips").add(1);
-                    GoldenOutcome::SkippedDeadline
+                    // No budget for a transient sim — but the analytic
+                    // fast tier costs microseconds, so try it before
+                    // dropping the cross-check entirely.
+                    match analytic_noise(&network, &[(agg, input)], network.victim_output(), FastTier::Auto)
+                    {
+                        Ok(params) => {
+                            analytic_runs += 1;
+                            xtalk_obs::counter!(perf: "serve.deadline.analytic_rescues").add(1);
+                            GoldenOutcome::Ran(params, GoldenTier::Analytic)
+                        }
+                        Err(_) => {
+                            golden_skips += 1;
+                            degraded = true;
+                            xtalk_obs::counter!(perf: "serve.deadline.golden_skips").add(1);
+                            GoldenOutcome::SkippedDeadline
+                        }
+                    }
                 } else {
-                    match golden_noise_with(
+                    match golden_noise_tiered(
                         &network,
                         &[(agg, input)],
                         network.victim_output(),
                         ws,
+                        &GoldenOpts::from_globals(),
                     ) {
-                        Ok(params) => GoldenOutcome::Ran(params),
+                        Ok((params, tier)) => {
+                            if tier == GoldenTier::Analytic {
+                                analytic_runs += 1;
+                            }
+                            GoldenOutcome::Ran(params, tier)
+                        }
                         Err(e) => {
                             degraded = true;
                             GoldenOutcome::Failed(e.to_string())
@@ -216,9 +245,23 @@ pub fn run_analyze(
     if let Some(b) = budget {
         let _ = write!(
             out,
-            ",\"deadline\":{{\"budget_ms\":{},\"expired\":{expired},\"golden_skipped\":{golden_skips}}}",
+            ",\"deadline\":{{\"budget_ms\":{},\"expired\":{expired},\"golden_skipped\":{golden_skips}",
             fmt_ms(b)
         );
+        if req.golden {
+            // Which golden tier the reply's cross-checks came from, at the
+            // most-degraded level any row saw: a skip outranks an analytic
+            // rescue, which outranks the full transient reference.
+            let tier = if golden_skips > 0 {
+                "skipped"
+            } else if analytic_runs > 0 {
+                GoldenTier::Analytic.as_str()
+            } else {
+                GoldenTier::Transient.as_str()
+            };
+            let _ = write!(out, ",\"golden_tier\":\"{tier}\"");
+        }
+        out.push('}');
     }
     out.push('}');
     out
@@ -296,13 +339,14 @@ fn render_row(out: &mut String, row: &Row, threshold: Option<f64>) {
                     out.push_str(",\"golden_error\":");
                     json::write_escaped(out, e);
                 }
-                GoldenOutcome::Ran(g) => {
+                GoldenOutcome::Ran(g, tier) => {
                     out.push_str(",\"golden\":{\"vp\":");
                     json::write_number(out, g.vp);
                     out.push_str(",\"tp\":");
                     json::write_number(out, g.tp);
                     out.push_str(",\"wn\":");
                     json::write_number(out, g.wn);
+                    let _ = write!(out, ",\"tier\":\"{}\"", tier.as_str());
                     if g.vp != 0.0 {
                         out.push_str(",\"err_pct\":");
                         json::write_number(out, (est.vp - g.vp) / g.vp * 100.0);
@@ -442,7 +486,7 @@ mod tests {
     }
 
     #[test]
-    fn golden_runs_within_budget_and_skips_without() {
+    fn golden_runs_within_budget_and_degrades_without() {
         let mut r = req(sample_deck());
         r.golden = true;
         r.deadline_ms = Some(30_000.0); // generous
@@ -450,20 +494,44 @@ mod tests {
         let Some(Value::Arr(rows)) = v.get("rows") else {
             panic!()
         };
-        assert!(
-            rows[0].get("golden").is_some(),
-            "golden should run under a generous budget: {v:?}"
-        );
-        let err = rows[0]
+        let golden = rows[0]
             .get("golden")
-            .unwrap()
-            .get("err_pct")
-            .and_then(Value::as_f64)
-            .unwrap();
+            .unwrap_or_else(|| panic!("golden should run under a generous budget: {v:?}"));
+        assert_eq!(
+            golden.get("tier").and_then(Value::as_str),
+            Some("transient"),
+            "a comfortable budget gets the full transient reference"
+        );
+        let err = golden.get("err_pct").and_then(Value::as_f64).unwrap();
         assert!(err.abs() < 100.0, "estimate vs golden off by {err}%");
+        let dl = v.get("deadline").expect("deadline stamp");
+        assert_eq!(dl.get("golden_tier").and_then(Value::as_str), Some("transient"));
 
-        // A microscopic budget: the chain still answers, golden is
-        // skipped, and the reply is flagged degraded.
+        // A microscopic budget: the chain still answers and the deadline
+        // is stamped expired; this deck is analytic-eligible, so the fast
+        // tier rescues the cross-check instead of skipping it.
+        r.deadline_ms = Some(1e-3);
+        let v = run(&r);
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("degraded"));
+        let Some(Value::Arr(rows)) = v.get("rows") else {
+            panic!()
+        };
+        let golden = rows[0].get("golden").expect("analytic rescue ran");
+        assert_eq!(golden.get("tier").and_then(Value::as_str), Some("analytic"));
+        let dl = v.get("deadline").expect("deadline stamp");
+        assert_eq!(dl.get("expired").and_then(Value::as_bool), Some(true));
+        assert_eq!(dl.get("golden_skipped").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(dl.get("golden_tier").and_then(Value::as_str), Some("analytic"));
+    }
+
+    #[test]
+    fn analytic_ineligible_deck_still_skips_under_deadline_pressure() {
+        // An exponential input shape has no closed-form pole
+        // superposition, so the fast tier declines and the cross-check
+        // is skipped outright.
+        let mut r = req(sample_deck());
+        r.golden = true;
+        r.shape = Shape::Exp;
         r.deadline_ms = Some(1e-3);
         let v = run(&r);
         assert_eq!(v.get("status").and_then(Value::as_str), Some("degraded"));
@@ -475,8 +543,8 @@ mod tests {
             Some(true)
         );
         let dl = v.get("deadline").expect("deadline stamp");
-        assert_eq!(dl.get("expired").and_then(Value::as_bool), Some(true));
         assert_eq!(dl.get("golden_skipped").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(dl.get("golden_tier").and_then(Value::as_str), Some("skipped"));
     }
 
     #[test]

@@ -218,6 +218,85 @@ fn fault_catalog_replay_keeps_the_daemon_answering() {
     assert_eq!(summary.panics_caught, 1);
 }
 
+/// Deadline-pinched golden requests over the wire: the analytic fast
+/// tier rescues eligible cases (stamped `golden_tier: "analytic"`),
+/// ineligible shapes skip (`"skipped"`), and a comfortable budget gets
+/// the full transient reference (`"transient"`).
+#[test]
+fn deadline_pressure_stamps_the_golden_tier() {
+    let (server, addr, acceptor) = start(ServeConfig {
+        jobs: Jobs::Count(1),
+        ..ServeConfig::default()
+    });
+
+    let lines = [
+        analyze_line(0, GOOD_DECK, ",\"golden\":true,\"deadline_ms\":30000"),
+        analyze_line(1, GOOD_DECK, ",\"golden\":true,\"deadline_ms\":1e-3"),
+        analyze_line(
+            2,
+            GOOD_DECK,
+            ",\"golden\":true,\"deadline_ms\":1e-3,\"shape\":\"exp\"",
+        ),
+    ];
+    let client = TcpStream::connect(addr).expect("connect");
+    let mut tx = client.try_clone().expect("clone");
+    for line in &lines {
+        tx.write_all(line.as_bytes()).expect("write");
+        tx.write_all(b"\n").expect("write");
+    }
+    tx.flush().expect("flush");
+    let reader = BufReader::new(client.try_clone().expect("clone"));
+    let replies: Vec<Value> = reader
+        .lines()
+        .take(lines.len())
+        .map(|l| json::parse(&l.expect("read")).expect("reply parses"))
+        .collect();
+
+    let tier = |v: &Value| {
+        v.get("deadline")
+            .and_then(|d| d.get("golden_tier"))
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .expect("golden_tier stamped")
+    };
+    assert_eq!(tier(&replies[0]), "transient", "{:?}", replies[0]);
+    let row_tier = |v: &Value| {
+        let Some(Value::Arr(rows)) = v.get("rows") else {
+            panic!("rows missing")
+        };
+        rows[0]
+            .get("golden")
+            .and_then(|g| g.get("tier"))
+            .and_then(Value::as_str)
+            .map(str::to_string)
+    };
+    assert_eq!(row_tier(&replies[0]).as_deref(), Some("transient"));
+
+    // Expired budget + analytic-eligible deck: rescued, still degraded
+    // (the deadline itself expired) but with a cross-check in hand.
+    assert_eq!(tier(&replies[1]), "analytic", "{:?}", replies[1]);
+    assert_eq!(row_tier(&replies[1]).as_deref(), Some("analytic"));
+    assert_eq!(
+        replies[1].get("status").and_then(Value::as_str),
+        Some("degraded")
+    );
+
+    // Expired budget + exp shape: the fast tier declines, the check is
+    // skipped, and the stamp says so.
+    assert_eq!(tier(&replies[2]), "skipped", "{:?}", replies[2]);
+    assert_eq!(row_tier(&replies[2]), None);
+    assert_eq!(
+        replies[2]
+            .get("deadline")
+            .and_then(|d| d.get("golden_skipped"))
+            .and_then(Value::as_f64),
+        Some(1.0)
+    );
+
+    drop(client);
+    stop(server, acceptor);
+}
+
 #[test]
 fn mid_stream_disconnect_does_not_poison_the_daemon() {
     let (server, addr, acceptor) = start(ServeConfig {

@@ -47,6 +47,143 @@ pub fn solver_kind() -> SolverKind {
     }
 }
 
+/// Time-marching strategy of the golden simulator: the historical
+/// fixed-step march, or adaptive step doubling/halving on an embedded
+/// local-truncation-error estimate. See [`TransientSim::run_adaptive_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// Fixed-step march at `SimOptions::dt` (the default).
+    #[default]
+    Fixed,
+    /// Step doubling/halving on the same base grid, driven by a
+    /// trapezoidal-vs-backward-Euler error estimate; settled exponential
+    /// tails take a handful of large steps instead of thousands.
+    Adaptive,
+}
+
+impl SimMode {
+    /// Parses the `--sim` flag / `XTALK_SIM` spelling (`fixed`/`adaptive`).
+    pub fn parse(s: &str) -> Option<SimMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "fixed" => Some(SimMode::Fixed),
+            "adaptive" => Some(SimMode::Adaptive),
+            _ => None,
+        }
+    }
+
+    /// Canonical flag spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimMode::Fixed => "fixed",
+            SimMode::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Analytic fast-tier policy for the golden noise path: synthesize the
+/// victim response from extracted poles (no time-stepping) when the fit
+/// is trustworthy. See `golden::golden_noise_tiered`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FastTier {
+    /// Never use the analytic tier (the default; always time-step).
+    #[default]
+    Off,
+    /// Use the analytic tier whenever it is structurally possible
+    /// (stable, well-behaved extracted poles), skipping the conditioning
+    /// margins — for benchmarking the tier itself.
+    On,
+    /// Use the analytic tier only when the conditioning gate passes
+    /// (pole separation and model-adequacy margins); otherwise fall back
+    /// to the transient simulator.
+    Auto,
+}
+
+impl FastTier {
+    /// Parses the `--fast-tier` flag / `XTALK_FAST_TIER` spelling
+    /// (`off`/`on`/`auto`).
+    pub fn parse(s: &str) -> Option<FastTier> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Some(FastTier::Off),
+            "on" => Some(FastTier::On),
+            "auto" => Some(FastTier::Auto),
+            _ => None,
+        }
+    }
+
+    /// Canonical flag spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FastTier::Off => "off",
+            FastTier::On => "on",
+            FastTier::Auto => "auto",
+        }
+    }
+}
+
+/// Process-wide stepping-mode override (`--sim`); 0 = unset.
+static SIM_MODE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Cached parse of `XTALK_SIM` (read once, stable within a process).
+static ENV_SIM_MODE: OnceLock<SimMode> = OnceLock::new();
+
+/// Forces the golden stepping mode for the process — the hook behind
+/// `xtalk --sim` and the fixed-vs-adaptive equivalence gates in CI.
+pub fn set_sim_mode_override(mode: SimMode) {
+    let code = match mode {
+        SimMode::Fixed => 1,
+        SimMode::Adaptive => 2,
+    };
+    SIM_MODE_OVERRIDE.store(code, Ordering::Relaxed);
+}
+
+/// Resolves the effective stepping mode: explicit override, then the
+/// `XTALK_SIM` environment variable, then [`SimMode::Fixed`].
+pub fn sim_mode() -> SimMode {
+    match SIM_MODE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => SimMode::Fixed,
+        2 => SimMode::Adaptive,
+        _ => *ENV_SIM_MODE.get_or_init(|| {
+            std::env::var("XTALK_SIM")
+                .ok()
+                .and_then(|s| SimMode::parse(&s))
+                .unwrap_or_default()
+        }),
+    }
+}
+
+/// Process-wide fast-tier override (`--fast-tier`); 0 = unset.
+static FAST_TIER_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Cached parse of `XTALK_FAST_TIER`.
+static ENV_FAST_TIER: OnceLock<FastTier> = OnceLock::new();
+
+/// Forces the analytic fast-tier policy for the process — the hook
+/// behind `xtalk --fast-tier`.
+pub fn set_fast_tier_override(tier: FastTier) {
+    let code = match tier {
+        FastTier::Off => 1,
+        FastTier::On => 2,
+        FastTier::Auto => 3,
+    };
+    FAST_TIER_OVERRIDE.store(code, Ordering::Relaxed);
+}
+
+/// Resolves the effective fast-tier policy: explicit override, then the
+/// `XTALK_FAST_TIER` environment variable, then [`FastTier::Off`].
+pub fn fast_tier() -> FastTier {
+    match FAST_TIER_OVERRIDE.load(Ordering::Relaxed) {
+        1 => FastTier::Off,
+        2 => FastTier::On,
+        3 => FastTier::Auto,
+        _ => *ENV_FAST_TIER.get_or_init(|| {
+            std::env::var("XTALK_FAST_TIER")
+                .ok()
+                .and_then(|s| FastTier::parse(&s))
+                .unwrap_or_default()
+        }),
+    }
+}
+
 /// Time-integration scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IntegrationMethod {
@@ -231,6 +368,12 @@ pub struct SimWorkspace {
     rhs: Vec<f64>,
     v: Vec<f64>,
     v_next: Vec<f64>,
+    /// Second trial solution for the adaptive path (the embedded
+    /// backward-Euler step the error estimate compares against).
+    v_alt: Vec<f64>,
+    /// Running per-component amplitude scale for the adaptive error
+    /// norm (largest |v_i| seen this run).
+    vscale: Vec<f64>,
     /// Solve scratch for the sparse backend (permuted intermediate).
     scratch: Vec<f64>,
 }
@@ -249,11 +392,20 @@ impl SimWorkspace {
             &mut self.rhs,
             &mut self.v,
             &mut self.v_next,
+            &mut self.v_alt,
+            &mut self.vscale,
             &mut self.scratch,
         ] {
             buf.clear();
             buf.resize(n, 0.0);
         }
+    }
+
+    /// Node voltages after the most recent run through this workspace —
+    /// the state at the run's `t_stop`, for resuming a horizon extension
+    /// without re-integrating from `t = 0`.
+    pub(crate) fn final_state(&self) -> &[f64] {
+        &self.v
     }
 }
 
@@ -614,26 +766,67 @@ impl<'a> TransientSim<'a> {
         options: &SimOptions,
         workspace: &mut SimWorkspace,
     ) -> Result<SimResult, SimError> {
-        options.validate()?;
+        self.run_span_with(stimuli, options, workspace, None)
+    }
+
+    /// Checks a stimulus list for duplicate nets.
+    fn check_duplicates(stimuli: &[(NetId, InputSignal)]) -> Result<(), SimError> {
         let mut seen: HashSet<NetId> = HashSet::with_capacity(stimuli.len());
         for (net, _) in stimuli {
             if !seen.insert(*net) {
                 return Err(SimError::DuplicateStimulus(*net));
             }
         }
+        Ok(())
+    }
 
-        let dt = options.dt;
-        let steps = (options.t_stop / dt).ceil() as usize;
-
-        // Source conductance vector entries: input u_j enters as
-        // (1/Rd_j)·u_j at the driver node.
-        let sources: Vec<(usize, f64, InputSignal)> = stimuli
+    /// Resolves stimuli to `(driver node, 1/Rd, signal)` source entries.
+    fn resolve_sources(&self, stimuli: &[(NetId, InputSignal)]) -> Vec<(usize, f64, InputSignal)> {
+        stimuli
             .iter()
             .map(|(net, sig)| {
                 let d = self.network.net(*net).driver();
                 (d.node.index(), 1.0 / d.ohms, *sig)
             })
-            .collect();
+            .collect()
+    }
+
+    /// Resolves the probe set (victim output when unspecified).
+    fn resolve_probes(&self, options: &SimOptions) -> Vec<NodeId> {
+        if options.probes.is_empty() {
+            vec![self.network.victim_output()]
+        } else {
+            options.probes.clone()
+        }
+    }
+
+    /// The fixed-step integration core behind [`TransientSim::run_full_with`]
+    /// and the golden horizon-resume path. With `resume = None` this is the
+    /// historical run from a DC initial condition at `t = 0`; with
+    /// `resume = Some((t0, v0))` integration starts from state `v0` at `t0`
+    /// and samples cover `t0 ..= t_stop` (the first sample repeats `v0`).
+    pub(crate) fn run_span_with(
+        &self,
+        stimuli: &[(NetId, InputSignal)],
+        options: &SimOptions,
+        workspace: &mut SimWorkspace,
+        resume: Option<(f64, &[f64])>,
+    ) -> Result<SimResult, SimError> {
+        let t0 = resume.map_or(0.0, |(t, _)| t);
+        // Validate the span actually integrated, not the absolute horizon.
+        SimOptions {
+            t_stop: options.t_stop - t0,
+            ..options.clone()
+        }
+        .validate()?;
+        Self::check_duplicates(stimuli)?;
+
+        let dt = options.dt;
+        let steps = ((options.t_stop - t0) / dt).ceil() as usize;
+
+        // Source conductance vector entries: input u_j enters as
+        // (1/Rd_j)·u_j at the driver node.
+        let sources = self.resolve_sources(stimuli);
         let rhs_inputs = |t: f64, out: &mut [f64]| {
             out.fill(0.0);
             for (node, cond, sig) in &sources {
@@ -646,18 +839,28 @@ impl<'a> TransientSim<'a> {
         let solver = ws.solver.as_ref().expect("prepared above");
         let step = ws.step.as_ref().expect("prepared above");
 
-        // Initial condition: DC solution at t = 0 (G factored once at
-        // construction).
-        rhs_inputs(0.0, &mut ws.b_now);
-        self.dc.solve_into(&ws.b_now, &mut ws.v, &mut ws.scratch)?;
+        // Initial condition: the resumed state, or the DC solution at
+        // t = 0 (G factored once at construction).
+        rhs_inputs(t0, &mut ws.b_now);
+        match resume {
+            Some((_, v0)) => {
+                if v0.len() != ws.v.len() {
+                    return Err(SimError::BadOptions {
+                        detail: format!(
+                            "resume state has {} entries, network has {} nodes",
+                            v0.len(),
+                            ws.v.len()
+                        ),
+                    });
+                }
+                ws.v.copy_from_slice(v0);
+            }
+            None => self.dc.solve_into(&ws.b_now, &mut ws.v, &mut ws.scratch)?,
+        }
 
         // Probe bookkeeping: resolve the probe set and reserve every
         // trace to its final length up front, before the stepping loop.
-        let probe_nodes: Vec<NodeId> = if options.probes.is_empty() {
-            vec![self.network.victim_output()]
-        } else {
-            options.probes.clone()
-        };
+        let probe_nodes = self.resolve_probes(options);
         let mut traces: Vec<Vec<f64>> = Vec::with_capacity(probe_nodes.len());
         for node in &probe_nodes {
             let mut t = Vec::with_capacity(steps + 1);
@@ -666,7 +869,7 @@ impl<'a> TransientSim<'a> {
         }
 
         for k in 0..steps {
-            let t1 = (k + 1) as f64 * dt;
+            let t1 = t0 + (k + 1) as f64 * dt;
             rhs_inputs(t1, &mut ws.b_next);
             // rhs = step·v (+ input terms); `step` already carries the
             // 1/dt scaling in either scheme.
@@ -694,10 +897,253 @@ impl<'a> TransientSim<'a> {
         let probes = probe_nodes
             .into_iter()
             .zip(traces)
+            .map(|(node, samples)| (node, Waveform::new(t0, dt, samples)))
+            .collect();
+        Ok(SimResult { probes })
+    }
+
+    /// Builds the trapezoidal + backward-Euler stepping systems for one
+    /// adaptive level (step `dt`). The sparse backend reuses the one-time
+    /// symbolic analysis of the G∪C union pattern, so each level costs
+    /// only a value rewrite plus a numeric factorization.
+    fn build_level(&self, dt: f64) -> Result<LevelSystem, SimError> {
+        match &self.backend {
+            Backend::Dense { g, c } => {
+                let lhs_tr = c.add_scaled(g, 0.5 * dt).expect("same shape");
+                let step_tr = c.add_scaled(g, -0.5 * dt).expect("same shape");
+                let lhs_be = c.add_scaled(g, dt).expect("same shape");
+                Ok(LevelSystem {
+                    step_trap: Csr::from_dense(&step_tr.scaled(1.0 / dt)),
+                    solver_trap: Solver::Dense(lhs_tr.scaled(1.0 / dt).lu()?),
+                    step_be: Csr::from_dense(&c.scaled(1.0 / dt)),
+                    solver_be: Solver::Dense(lhs_be.scaled(1.0 / dt).lu()?),
+                })
+            }
+            Backend::Sparse {
+                symbolic,
+                pattern,
+                g_vals,
+                c_vals,
+            } => {
+                let inv_dt = 1.0 / dt;
+                let fill = |coeff: f64| {
+                    let mut m = pattern.clone();
+                    for ((dst, gv), cv) in m.values_mut().iter_mut().zip(g_vals).zip(c_vals) {
+                        *dst = (cv + coeff * gv) * inv_dt;
+                    }
+                    m
+                };
+                let lhs_trap = fill(0.5 * dt);
+                let lhs_be = fill(dt);
+                Ok(LevelSystem {
+                    step_trap: fill(-0.5 * dt),
+                    solver_trap: Solver::Sparse(Box::new(symbolic.factor(&lhs_trap)?)),
+                    step_be: fill(0.0),
+                    solver_be: Solver::Sparse(Box::new(symbolic.factor(&lhs_be)?)),
+                })
+            }
+        }
+    }
+
+    /// Adaptive-timestep transient run: integrates on the same base grid
+    /// as the fixed path (`options.dt`, `options.t_stop`) but doubles the
+    /// step over quiescent spans and halves it back when the embedded
+    /// error estimate objects, then resamples the accepted trajectory
+    /// onto the uniform base grid by linear interpolation — so every
+    /// consumer (probe waveforms, noise measurement) sees exactly the
+    /// sample layout the fixed path produces.
+    ///
+    /// Each accepted step advances with the trapezoidal solution; a
+    /// backward-Euler companion step from the same state provides the
+    /// local-truncation-error estimate (their difference bounds the
+    /// lower-order error). Steps never reject at the base level, so the
+    /// accuracy floor is the fixed-step march itself. `options.method` is
+    /// ignored — the scheme pair is fixed by the estimator.
+    ///
+    /// # Errors
+    ///
+    /// As [`TransientSim::run`].
+    pub fn run_adaptive_with(
+        &self,
+        stimuli: &[(NetId, InputSignal)],
+        options: &SimOptions,
+        workspace: &mut SimWorkspace,
+    ) -> Result<SimResult, SimError> {
+        for (net, _) in stimuli {
+            if self.network.net(*net).role() != NetRole::Aggressor {
+                return Err(SimError::StimulusOnNonAggressor(*net));
+            }
+        }
+        self.run_adaptive_full_with(stimuli, options, workspace)
+    }
+
+    /// [`TransientSim::run_adaptive_with`] without the aggressor-only
+    /// stimulus restriction (the delay-analysis convention).
+    ///
+    /// # Errors
+    ///
+    /// As [`TransientSim::run_full`].
+    pub fn run_adaptive_full_with(
+        &self,
+        stimuli: &[(NetId, InputSignal)],
+        options: &SimOptions,
+        workspace: &mut SimWorkspace,
+    ) -> Result<SimResult, SimError> {
+        options.validate()?;
+        Self::check_duplicates(stimuli)?;
+
+        let dt = options.dt;
+        let n_base = (options.t_stop / dt).ceil() as usize;
+
+        let sources = self.resolve_sources(stimuli);
+        let rhs_inputs = |t: f64, out: &mut [f64]| {
+            out.fill(0.0);
+            for (node, cond, sig) in &sources {
+                out[*node] += cond * sig.value(t);
+            }
+        };
+        // Inputs stop slewing (ramps saturate, exponentials go smooth)
+        // after the last arrival + transition; until then the step is
+        // pinned to the base grid so no kink is ever stepped over.
+        let active_end = stimuli
+            .iter()
+            .map(|(_, s)| s.arrival() + s.transition())
+            .fold(0.0_f64, f64::max);
+        let active_idx = ((active_end / dt).ceil() as usize).min(n_base);
+
+        // Deepest doubling level: strides stay within a quarter of the
+        // horizon (and a hard cap keeps level systems bounded).
+        let mut max_k = 0usize;
+        while max_k < 14 && (1usize << (max_k + 1)) <= n_base.max(4) / 4 {
+            max_k += 1;
+        }
+
+        // Per-level stepping systems, built on first use. Level 0 (the
+        // base step) reproduces the fixed-path trapezoidal numbers
+        // bit-for-bit.
+        let mut levels: Vec<Option<LevelSystem>> = Vec::new();
+        levels.resize_with(max_k + 1, || None);
+
+        workspace.resize(self.network.node_count());
+        // The adaptive path owns its level factorizations; invalidate any
+        // cached fixed-path stepping system so a later fixed run rebuilds.
+        workspace.key = None;
+        let ws = workspace;
+
+        // Initial condition: DC solution at t = 0.
+        rhs_inputs(0.0, &mut ws.b_now);
+        self.dc.solve_into(&ws.b_now, &mut ws.v, &mut ws.scratch)?;
+        for (s, v) in ws.vscale.iter_mut().zip(&ws.v) {
+            *s = v.abs();
+        }
+
+        let probe_nodes = self.resolve_probes(options);
+        let mut traces: Vec<Vec<f64>> = Vec::with_capacity(probe_nodes.len());
+        for node in &probe_nodes {
+            let mut t = Vec::with_capacity(n_base + 1);
+            t.push(ws.v[node.index()]);
+            traces.push(t);
+        }
+
+        // Error-norm knobs: the estimate divides the trapezoidal-vs-BE
+        // difference by `ATOL + RTOL·scale_i` per component, where
+        // `scale_i` is the largest |v_i| seen. RTOL is set so accumulated
+        // waveform error stays well below the closed-form metric errors
+        // the golden tier exists to measure; ATOL sits below the
+        // measurable pulse floor.
+        const RTOL: f64 = 2e-4;
+        const ATOL: f64 = 1e-9;
+        /// Grow the step only when the estimate is comfortably inside
+        /// the acceptance region.
+        const GROW_THRESHOLD: f64 = 0.25;
+
+        let mut idx = 0usize; // current base-grid index
+        let mut k = 0usize; // current doubling level
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        while idx < n_base {
+            while k > 0 && (idx < active_idx || idx + (1usize << k) > n_base) {
+                k -= 1;
+            }
+            let stride = 1usize << k;
+            if levels[k].is_none() {
+                levels[k] = Some(self.build_level(dt * stride as f64)?);
+            }
+            let sys = levels[k].as_ref().expect("built above");
+            let t1 = (idx + stride) as f64 * dt;
+            rhs_inputs(t1, &mut ws.b_next);
+            // Trapezoidal trial step into v_next.
+            sys.step_trap.mul_vec_into(&ws.v, &mut ws.rhs)?;
+            for (r, (b0, b1)) in ws.rhs.iter_mut().zip(ws.b_now.iter().zip(&ws.b_next)) {
+                *r += 0.5 * (b0 + b1);
+            }
+            sys.solver_trap
+                .solve_into(&ws.rhs, &mut ws.v_next, &mut ws.scratch)?;
+            // Backward-Euler companion from the same state into v_alt.
+            sys.step_be.mul_vec_into(&ws.v, &mut ws.rhs)?;
+            for (r, b1) in ws.rhs.iter_mut().zip(&ws.b_next) {
+                *r += b1;
+            }
+            sys.solver_be
+                .solve_into(&ws.rhs, &mut ws.v_alt, &mut ws.scratch)?;
+            // Scaled max-norm of the scheme difference.
+            let mut err = 0.0_f64;
+            for ((trap, be), scale) in ws.v_next.iter().zip(&ws.v_alt).zip(&ws.vscale) {
+                let tol = ATOL + RTOL * scale.max(trap.abs());
+                err = err.max((trap - be).abs() / tol);
+            }
+            if err <= 1.0 || k == 0 {
+                // Accept: fill the skipped base-grid samples by linear
+                // interpolation between the endpoint states.
+                accepted += 1;
+                for (trace, node) in traces.iter_mut().zip(&probe_nodes) {
+                    let v0 = ws.v[node.index()];
+                    let v1 = ws.v_next[node.index()];
+                    for j in 1..=stride {
+                        let frac = j as f64 / stride as f64;
+                        trace.push(v0 + (v1 - v0) * frac);
+                    }
+                }
+                std::mem::swap(&mut ws.v, &mut ws.v_next);
+                std::mem::swap(&mut ws.b_now, &mut ws.b_next);
+                for (s, v) in ws.vscale.iter_mut().zip(&ws.v) {
+                    *s = s.max(v.abs());
+                }
+                idx += stride;
+                if err < GROW_THRESHOLD && k < max_k && idx >= active_idx {
+                    k += 1;
+                }
+            } else {
+                rejected += 1;
+                k -= 1; // err > 1 implies k > 0 here
+            }
+        }
+
+        xtalk_obs::counter!(perf: "sim.adaptive.runs").add(1);
+        xtalk_obs::histogram!(perf: "sim.adaptive.steps").record(accepted + rejected);
+        xtalk_obs::counter!(perf: "sim.adaptive.steps_saved")
+            .add((n_base as u64).saturating_sub(accepted + rejected));
+
+        let probes = probe_nodes
+            .into_iter()
+            .zip(traces)
             .map(|(node, samples)| (node, Waveform::new(0.0, dt, samples)))
             .collect();
         Ok(SimResult { probes })
     }
+}
+
+/// Prepared stepping systems (trapezoidal + embedded backward Euler) for
+/// one adaptive doubling level.
+struct LevelSystem {
+    /// Trapezoidal stepping matrix `(C/dt − G/2)` at this level's step.
+    step_trap: Csr,
+    /// Factorization of the trapezoidal LHS `(C/dt + G/2)`.
+    solver_trap: Solver,
+    /// Backward-Euler stepping matrix `C/dt`.
+    step_be: Csr,
+    /// Factorization of the backward-Euler LHS `(C/dt + G)`.
+    solver_be: Solver,
 }
 
 
@@ -961,6 +1407,123 @@ mod tests {
                 fresh.probe(out).unwrap().samples(),
             );
         }
+    }
+
+    #[test]
+    fn adaptive_matches_fixed_waveform_closely() {
+        // Same base grid, same sample count; the adaptive march with its
+        // error control must stay within a small fraction of the peak of
+        // the fixed march everywhere, on both backends.
+        for (net, agg) in [coupled_pair(500.0, 20e-15, 10e-15), coupled_ladder(16)] {
+            let stim = [(agg, InputSignal::rising_ramp(2e-11, 1.2e-10))];
+            let opts = SimOptions::auto(&net, &stim);
+            let sim = TransientSim::new(&net).unwrap();
+            let fixed = sim.run(&stim, &opts).unwrap();
+            let adaptive = sim
+                .run_adaptive_with(&stim, &opts, &mut SimWorkspace::new())
+                .unwrap();
+            let out = net.victim_output();
+            let wf = fixed.probe(out).unwrap();
+            let wa = adaptive.probe(out).unwrap();
+            assert_eq!(wf.samples().len(), wa.samples().len());
+            let vp = wf.max().1;
+            assert!(vp > 1e-3);
+            for (f, a) in wf.samples().iter().zip(wa.samples()) {
+                assert!(
+                    (f - a).abs() < 2e-3 * vp,
+                    "fixed {f} vs adaptive {a} (vp {vp})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_validates_like_fixed() {
+        let (net, agg) = coupled_pair(100.0, 10e-15, 5e-15);
+        let sim = TransientSim::new(&net).unwrap();
+        let sig = InputSignal::rising_ramp(0.0, 1e-10);
+        let bad = SimOptions {
+            dt: 0.0,
+            t_stop: 1e-10,
+            method: IntegrationMethod::Trapezoidal,
+            probes: vec![],
+        };
+        assert!(matches!(
+            sim.run_adaptive_with(&[(agg, sig)], &bad, &mut SimWorkspace::new()),
+            Err(SimError::BadOptions { .. })
+        ));
+        assert!(matches!(
+            sim.run_adaptive_with(
+                &[(net.victim(), sig)],
+                &SimOptions::auto(&net, &[(agg, sig)]),
+                &mut SimWorkspace::new()
+            ),
+            Err(SimError::StimulusOnNonAggressor(_))
+        ));
+    }
+
+    #[test]
+    fn span_resume_continues_the_fixed_march() {
+        // Integrating [0, T] in one go vs [0, T/2] + resume [T/2, T] at
+        // the same dt must agree to integration rounding: the resumed
+        // segment replays the identical recurrence from the saved state.
+        let (net, agg) = coupled_ladder(12);
+        let stim = [(agg, InputSignal::rising_ramp(0.0, 1e-10))];
+        let sim = TransientSim::new(&net).unwrap();
+        let dt = 2e-12;
+        let full_opts = SimOptions {
+            dt,
+            t_stop: 2e-9,
+            method: IntegrationMethod::Trapezoidal,
+            probes: vec![],
+        };
+        let full = sim.run(&stim, &full_opts).unwrap();
+        let out = net.victim_output();
+        let wf = full.probe(out).unwrap();
+
+        let half_opts = full_opts.clone().with_dt(dt); // same dt, half span
+        let half_opts = SimOptions {
+            t_stop: 1e-9,
+            ..half_opts
+        };
+        let mut ws = SimWorkspace::new();
+        let first = sim.run_with(&stim, &half_opts, &mut ws).unwrap();
+        let first_wf = first.probe(out).unwrap();
+        let n_half = first_wf.samples().len();
+        let t_end = (n_half - 1) as f64 * dt;
+        let state: Vec<f64> = ws.final_state().to_vec();
+        let second = sim
+            .run_span_with(&stim, &full_opts, &mut ws, Some((t_end, &state)))
+            .unwrap();
+        let second_wf = second.probe(out).unwrap();
+        assert_eq!(second_wf.samples()[0], *first_wf.samples().last().unwrap());
+
+        // Stitch and compare against the one-shot run.
+        let stitched: Vec<f64> = first_wf
+            .samples()
+            .iter()
+            .chain(&second_wf.samples()[1..])
+            .copied()
+            .collect();
+        assert_eq!(stitched.len(), wf.samples().len());
+        for (s, f) in stitched.iter().zip(wf.samples()) {
+            assert!((s - f).abs() < 1e-12, "stitched {s} vs full {f}");
+        }
+    }
+
+    #[test]
+    fn mode_and_tier_flags_parse() {
+        assert_eq!(SimMode::parse("fixed"), Some(SimMode::Fixed));
+        assert_eq!(SimMode::parse("ADAPTIVE"), Some(SimMode::Adaptive));
+        assert_eq!(SimMode::parse("nope"), None);
+        assert_eq!(SimMode::Adaptive.as_str(), "adaptive");
+        assert_eq!(FastTier::parse("off"), Some(FastTier::Off));
+        assert_eq!(FastTier::parse("On"), Some(FastTier::On));
+        assert_eq!(FastTier::parse("auto"), Some(FastTier::Auto));
+        assert_eq!(FastTier::parse(""), None);
+        assert_eq!(FastTier::Auto.as_str(), "auto");
+        assert_eq!(SimMode::default(), SimMode::Fixed);
+        assert_eq!(FastTier::default(), FastTier::Off);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! until the tail fits. This module packages that loop so the retry
 //! policy cannot drift between callers.
 
-use crate::{measure_noise, NoiseWaveformParams, SimError, SimOptions, SimWorkspace, TransientSim};
+use crate::{
+    analytic, fast_tier, measure_noise, sim_mode, FastTier, NoiseWaveformParams, SimError, SimMode,
+    SimOptions, SimWorkspace, TransientSim, Waveform,
+};
 use xtalk_circuit::{signal::InputSignal, NetId, Network, NodeId};
 
 /// Longest horizon the retry loop grows to before giving up: 1 µs, three
@@ -21,6 +24,56 @@ pub const MAX_HORIZON: f64 = 1e-6;
 
 /// Factor the horizon (and step) grow by on each truncation retry.
 const HORIZON_GROWTH: f64 = 4.0;
+
+/// Largest sample count the fixed-mode resume path lets the stitched
+/// waveform grow to before giving up on the fine grid and re-running the
+/// whole horizon coarsened (the pre-resume behaviour). Retries multiply
+/// the sample count by [`HORIZON_GROWTH`], so this bounds memory at a
+/// few tens of MB while covering every realistic tail.
+const RESUME_SAMPLE_CAP: usize = 4_000_000;
+
+/// Which golden tier produced a measurement — the provenance consumers
+/// (serve's deadline stamp, the audit) record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoldenTier {
+    /// Closed-form pole superposition ([`analytic::analytic_noise`]).
+    Analytic,
+    /// Transient time-stepping simulation (fixed or adaptive).
+    Transient,
+}
+
+impl GoldenTier {
+    /// Stable name for provenance stamps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GoldenTier::Analytic => "analytic",
+            GoldenTier::Transient => "transient",
+        }
+    }
+}
+
+/// Per-call golden policy: stepping mode and fast-tier gate. The default
+/// (`Fixed`/`Off`) is the historical behaviour;
+/// [`GoldenOpts::from_globals`] picks up the process-wide `--sim` /
+/// `--fast-tier` switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GoldenOpts {
+    /// Time-marching strategy for the transient tier.
+    pub mode: SimMode,
+    /// Analytic fast-tier policy.
+    pub tier: FastTier,
+}
+
+impl GoldenOpts {
+    /// Resolves the process-wide flags/environment
+    /// ([`crate::sim_mode`], [`crate::fast_tier`]).
+    pub fn from_globals() -> Self {
+        GoldenOpts {
+            mode: sim_mode(),
+            tier: fast_tier(),
+        }
+    }
+}
 
 /// Golden waveform parameters at the victim output for a single
 /// aggressor, with a fresh workspace. See [`golden_noise_with`].
@@ -86,6 +139,32 @@ pub fn golden_noise_with(
     node: NodeId,
     workspace: &mut SimWorkspace,
 ) -> Result<NoiseWaveformParams, SimError> {
+    golden_noise_tiered(network, stimuli, node, workspace, &GoldenOpts::from_globals())
+        .map(|(params, _)| params)
+}
+
+/// [`golden_noise_with`] with an explicit [`GoldenOpts`] policy, also
+/// reporting which tier produced the measurement.
+///
+/// With `tier != Off` the analytic fast tier is tried first; any
+/// [`analytic::FastTierFallback`] falls through to the transient
+/// simulator (counted per reason in `sim.fast_tier.fallback.*`). The
+/// transient tier steps fixed or adaptive per `mode`; on truncation the
+/// fixed march resumes from its final state over a 4× coarser extension
+/// (no re-integration of the covered span), while the adaptive march —
+/// whose settled tail costs only a handful of steps — simply re-runs
+/// with the grown horizon.
+///
+/// # Errors
+///
+/// As [`golden_noise_with`].
+pub fn golden_noise_tiered(
+    network: &Network,
+    stimuli: &[(NetId, InputSignal)],
+    node: NodeId,
+    workspace: &mut SimWorkspace,
+    gopts: &GoldenOpts,
+) -> Result<(NoiseWaveformParams, GoldenTier), SimError> {
     let polarity = match stimuli.first() {
         Some((_, input)) => input.noise_polarity(),
         None => {
@@ -96,26 +175,120 @@ pub fn golden_noise_with(
     };
     let _span = xtalk_obs::span!("sim.golden");
     xtalk_obs::counter!("sim.golden.runs").add(1);
+
+    if gopts.tier != FastTier::Off {
+        match analytic::analytic_noise(network, stimuli, node, gopts.tier) {
+            Ok(params) => {
+                xtalk_obs::counter!(perf: "sim.fast_tier.hits").add(1);
+                return Ok((params, GoldenTier::Analytic));
+            }
+            Err(reason) => {
+                xtalk_obs::counter!(perf: "sim.fast_tier.fallback").add(1);
+                reason.record();
+            }
+        }
+    }
+
     let sim = TransientSim::new(network)?;
     let mut opts = SimOptions::auto(network, stimuli);
+    // Det-class workload record on success: the final horizon in units of
+    // the initial auto step — identical across stepping modes and resume
+    // strategies by construction.
+    let dt0 = opts.dt;
+    let record_steps = |t_stop: f64| {
+        xtalk_obs::histogram!("sim.golden.steps").record((t_stop / dt0).max(0.0) as u64);
+    };
+    let probe_err = || SimError::BadOptions {
+        detail: format!("probe node {node:?} is not part of the simulated network"),
+    };
+
+    if gopts.mode == SimMode::Adaptive {
+        // Adaptive tail steps are cheap, so truncation retries just
+        // re-run with the grown horizon (and step, keeping the base-grid
+        // point count constant).
+        loop {
+            let res = sim.run_adaptive_with(stimuli, &opts, workspace)?;
+            let waveform = res.probe(node).ok_or_else(probe_err)?;
+            match measure_noise(waveform, polarity) {
+                Ok(params) => {
+                    record_steps(opts.t_stop);
+                    return Ok((params, GoldenTier::Transient));
+                }
+                Err(SimError::Truncated) if opts.t_stop < MAX_HORIZON => {
+                    xtalk_obs::counter!("sim.golden.horizon_retries").add(1);
+                    opts.t_stop *= HORIZON_GROWTH;
+                    opts.dt *= HORIZON_GROWTH;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // Fixed-step march. The first segment integrates from DC; a
+    // truncated pulse is *resumed* from the segment's final state over a
+    // coarser extension instead of re-paying the covered horizon.
+    let res = sim.run_with(stimuli, &opts, workspace)?;
+    let waveform = res.probe(node).ok_or_else(probe_err)?;
+    match measure_noise(waveform, polarity) {
+        Ok(params) => {
+            record_steps(opts.t_stop);
+            return Ok((params, GoldenTier::Transient));
+        }
+        Err(SimError::Truncated) if opts.t_stop < MAX_HORIZON => {}
+        Err(e) => return Err(e),
+    }
+
+    // Resume state: the stitched uniform waveform so far and the node
+    // voltages at its end.
+    let mut samples: Vec<f64> = waveform.samples().to_vec();
+    let mut cur_dt = opts.dt;
+    let mut state: Vec<f64> = workspace.final_state().to_vec();
+    let ratio = HORIZON_GROWTH as usize;
     loop {
-        let res = sim.run_with(stimuli, &opts, workspace)?;
-        let waveform = res.probe(node).ok_or_else(|| SimError::BadOptions {
-            detail: format!("probe node {node:?} is not part of the simulated network"),
-        })?;
-        match measure_noise(waveform, polarity) {
+        xtalk_obs::counter!("sim.golden.horizon_retries").add(1);
+        if samples.len().saturating_mul(ratio) > RESUME_SAMPLE_CAP {
+            // The stitched fine grid would outgrow the cap: fall back to
+            // the coarsen-and-rerun policy for this and later retries.
+            cur_dt *= HORIZON_GROWTH;
+            opts.t_stop *= HORIZON_GROWTH;
+            let full = SimOptions {
+                dt: cur_dt,
+                ..opts.clone()
+            };
+            let res = sim.run_with(stimuli, &full, workspace)?;
+            samples = res.probe(node).ok_or_else(probe_err)?.samples().to_vec();
+        } else {
+            xtalk_obs::counter!("sim.golden.retry_resumes").add(1);
+            // Extend from the exact end of the stitched grid with a 4×
+            // coarser step (the tail is smooth), then upsample the
+            // extension back onto the fine grid so the waveform stays
+            // uniform.
+            let t_end = (samples.len() - 1) as f64 * cur_dt;
+            let ext = SimOptions {
+                dt: cur_dt * HORIZON_GROWTH,
+                t_stop: opts.t_stop * HORIZON_GROWTH,
+                ..opts.clone()
+            };
+            let res = sim.run_span_with(stimuli, &ext, workspace, Some((t_end, &state)))?;
+            let ext_wf = res.probe(node).ok_or_else(probe_err)?;
+            for pair in ext_wf.samples().windows(2) {
+                let (v0, v1) = (pair[0], pair[1]);
+                for j in 1..=ratio {
+                    let frac = j as f64 / ratio as f64;
+                    samples.push(v0 + (v1 - v0) * frac);
+                }
+            }
+            opts.t_stop *= HORIZON_GROWTH;
+        }
+        state.clear();
+        state.extend_from_slice(workspace.final_state());
+        let wave = Waveform::new(0.0, cur_dt, samples.clone());
+        match measure_noise(&wave, polarity) {
             Ok(params) => {
-                // Step count = workload (horizon and dt are derived from
-                // the circuit, not from scheduling), so it is Det class.
-                xtalk_obs::histogram!("sim.golden.steps")
-                    .record((opts.t_stop / opts.dt).max(0.0) as u64);
-                return Ok(params);
+                record_steps(opts.t_stop);
+                return Ok((params, GoldenTier::Transient));
             }
-            Err(SimError::Truncated) if opts.t_stop < MAX_HORIZON => {
-                xtalk_obs::counter!("sim.golden.horizon_retries").add(1);
-                opts.t_stop *= HORIZON_GROWTH;
-                opts.dt *= HORIZON_GROWTH;
-            }
+            Err(SimError::Truncated) if opts.t_stop < MAX_HORIZON => {}
             Err(e) => return Err(e),
         }
     }

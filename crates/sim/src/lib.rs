@@ -52,17 +52,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 mod engine;
 mod error;
 pub mod golden;
 pub mod measure;
 mod waveform;
 
+pub use analytic::{analytic_noise, FastTierFallback};
 pub use engine::{
-    set_solver_override, solver_kind, IntegrationMethod, SimOptions, SimResult, SimWorkspace,
+    fast_tier, set_fast_tier_override, set_sim_mode_override, set_solver_override, sim_mode,
+    solver_kind, FastTier, IntegrationMethod, SimMode, SimOptions, SimResult, SimWorkspace,
     TransientSim,
 };
 pub use error::SimError;
-pub use golden::{golden_noise, golden_noise_with};
+pub use golden::{golden_noise, golden_noise_tiered, golden_noise_with, GoldenOpts, GoldenTier};
 pub use measure::{measure_noise, NoiseWaveformParams};
 pub use waveform::Waveform;

@@ -19,8 +19,9 @@
 use crate::{SimError, Waveform};
 
 /// Relative floor under which a pulse is considered absent (fraction of
-/// full swing; normalized waveforms).
-const PULSE_FLOOR: f64 = 1e-9;
+/// full swing; normalized waveforms). Shared with the analytic fast tier
+/// so both golden tiers agree on what "no pulse" means.
+pub(crate) const PULSE_FLOOR: f64 = 1e-9;
 
 /// Measured parameters of a noise pulse. All times in seconds; `vp`
 /// normalized to the supply (always positive — the sign is carried by
