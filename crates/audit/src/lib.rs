@@ -43,6 +43,7 @@
 
 pub mod invariants;
 pub mod report;
+pub mod screening;
 
 pub use report::{AuditReport, DeclinedEvaluation, Finding, SkippedCase, WorstError};
 
@@ -223,7 +224,13 @@ pub fn run_audit(config: &AuditConfig) -> AuditReport {
     )
     .unwrap_or_else(|e| panic!("audit worker failed: {e}"));
 
-    fold_report(config.cases, config.seed, config.envelopes, audits)
+    let mut report = fold_report(config.cases, config.seed, config.envelopes, audits);
+    // The synthetic screening-agreement cases are deterministic (no
+    // seed) and numbered after the randomized ones.
+    report
+        .findings
+        .extend(screening::screening_agreement_findings(config.cases));
+    report
 }
 
 /// Folds per-case outcomes — already in case-index order — into the

@@ -1,0 +1,187 @@
+//! Screening-vs-full-evaluation agreement invariant.
+//!
+//! The screening pipeline ([`xtalk_eval::screen`]) promises that
+//! streaming a deck, partitioning it into coupling islands and
+//! analyzing each net against its island-only network produces *the
+//! same Metric II numbers* as the classic non-streaming path — parse
+//! the whole deck into one [`Network`](xtalk_circuit::Network) and run
+//! the robust analyzer on it. The promise is structural (island
+//! networks are the whole-deck network with the other islands' rows
+//! deleted, built through one shared materialization path) but it is
+//! exactly the kind of claim an audit should re-verify numerically, to
+//! the bit, on every run.
+//!
+//! For each net of a small PEX-shaped bus array, the full path
+//! re-generates the deck with that net declared the victim, parses it
+//! whole, and combines the per-aggressor robust estimates by worst-case
+//! superposition; the streaming path screens the deck once. Peak
+//! amplitude and peak time must agree bit-for-bit, and the partitioner
+//! must find exactly one island per bus.
+
+use xtalk_circuit::spice::parse_deck;
+use xtalk_core::superpose::{worst_case, TimingWindow};
+use xtalk_core::{FallbackPolicy, RobustAnalyzer};
+use xtalk_eval::screen::{screen_deck, ScreenConfig};
+use xtalk_exec::Jobs;
+use xtalk_tech::{PexDeckSpec, Technology};
+
+use crate::report::Finding;
+
+/// The worst-case combined noise of the deck's declared victim through
+/// the whole-network (non-streaming) path, or an error description.
+fn full_eval_vp(deck: &str, config: &ScreenConfig) -> Result<Option<(f64, f64)>, String> {
+    let network = parse_deck(deck).map_err(|e| e.to_string())?;
+    let robust = RobustAnalyzer::with_policy(&network, FallbackPolicy::default())
+        .map_err(|e| e.to_string())?;
+    let input = config.input();
+    let victim = network.victim();
+    let mut contributions = Vec::new();
+    for (agg, _) in network.nets() {
+        if agg == victim || network.couplings_between(agg, victim).next().is_none() {
+            continue;
+        }
+        match robust.analyze(agg, &input) {
+            Ok(re) => contributions.push((re.estimate, TimingWindow::pinned())),
+            Err(e) if e.is_no_noise() => {}
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    if contributions.is_empty() {
+        return Ok(None);
+    }
+    let combined = worst_case(&contributions);
+    Ok(Some((combined.vp, combined.at)))
+}
+
+/// Checks one spec: screens the deck once, then re-derives every net's
+/// noise through the full path and compares to the bit.
+fn check_spec(spec: &PexDeckSpec, case_index: usize, findings: &mut Vec<Finding>) {
+    let tech = Technology::p25();
+    let config = ScreenConfig {
+        jobs: Jobs::Count(1),
+        escalate: false,
+        ..ScreenConfig::default()
+    };
+    let label = format!(
+        "pex {}x{}x{}{}",
+        spec.buses,
+        spec.bits,
+        spec.segments,
+        if spec.fold_cards { " folded" } else { "" }
+    );
+    let mut finding = |invariant: &'static str, observed: f64, expected: f64, detail: String| {
+        findings.push(Finding {
+            case_index,
+            seed: 0,
+            family: "screen_agreement",
+            label: label.clone(),
+            metric: "metric_two",
+            invariant,
+            observed,
+            expected,
+            detail,
+            rung: "none",
+        });
+    };
+
+    let deck = spec.deck_string(&tech);
+    let report = match screen_deck(deck.as_bytes(), &config) {
+        Ok(r) => r,
+        Err(e) => {
+            finding(
+                "screen_agreement_run",
+                f64::NAN,
+                0.0,
+                format!("screening failed: {e}"),
+            );
+            return;
+        }
+    };
+    if report.clusters != spec.buses {
+        finding(
+            "screen_cluster_count",
+            report.clusters as f64,
+            spec.buses as f64,
+            "partitioner must find one coupling island per bus".to_string(),
+        );
+    }
+
+    for net in 0..spec.net_count() {
+        let screened = report
+            .nets
+            .iter()
+            .find(|n| n.index == net)
+            .expect("report covers every net");
+        // Re-generate the same geometry with this net as the declared
+        // victim; only the role directives and the output node change.
+        let mut full_spec = spec.clone();
+        full_spec.victim = (net / spec.bits, net % spec.bits);
+        let full = match full_eval_vp(&full_spec.deck_string(&tech), &config) {
+            Ok(f) => f,
+            Err(e) => {
+                finding(
+                    "screen_agreement_run",
+                    f64::NAN,
+                    0.0,
+                    format!("full evaluation of net {net} failed: {e}"),
+                );
+                continue;
+            }
+        };
+        let (full_vp, full_at) = full.unwrap_or((0.0, 0.0));
+        if screened.vp.to_bits() != full_vp.to_bits() {
+            finding(
+                "screen_agreement_vp",
+                screened.vp,
+                full_vp,
+                format!(
+                    "net {net} ({}): screened peak must equal the whole-network \
+                     evaluation bit-for-bit",
+                    screened.net
+                ),
+            );
+        }
+        if screened.at.to_bits() != full_at.to_bits() {
+            finding(
+                "screen_agreement_at",
+                screened.at,
+                full_at,
+                format!(
+                    "net {net} ({}): screened peak time must equal the whole-network \
+                     evaluation bit-for-bit",
+                    screened.net
+                ),
+            );
+        }
+    }
+}
+
+/// Runs the screening agreement checks. `case_offset` numbers the
+/// synthetic cases after the randomized ones so findings stay
+/// unambiguous in one report.
+pub fn screening_agreement_findings(case_offset: usize) -> Vec<Finding> {
+    let _span = xtalk_obs::span!("audit.screen_agreement");
+    let mut findings = Vec::new();
+    let plain = PexDeckSpec::new(2, 5, 3);
+    let mut folded = PexDeckSpec::new(3, 4, 2);
+    folded.fold_cards = true;
+    for (i, spec) in [plain, folded].iter().enumerate() {
+        check_spec(spec, case_offset + i, &mut findings);
+        xtalk_obs::counter!("audit.screen_agreement.checks").add(spec.net_count() as u64);
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_holds_on_the_stock_specs() {
+        let findings = screening_agreement_findings(0);
+        assert!(
+            findings.is_empty(),
+            "screening must match the full path: {findings:?}"
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Coupled-cluster partitioning of a streamed deck.
+//!
+//! Full-chip screening needs to analyze every net of a flat extracted
+//! deck as a victim in turn, but closed-form metrics only see a victim
+//! plus its capacitively coupled aggressors. [`CouplingClusters`]
+//! partitions the deck's nets into *coupling islands* — the connected
+//! components of the graph whose edges are coupling capacitors — with a
+//! union-find sweep over the element table of a
+//! [`DeckIndex`](crate::spice::stream::DeckIndex). Nets in different
+//! islands interact through no element, so each island can be
+//! materialized and analyzed independently (and in parallel) with
+//! results bit-identical to a whole-deck analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use xtalk_circuit::cluster::CouplingClusters;
+//! use xtalk_circuit::spice::stream::{DeckIndex, StreamOptions};
+//!
+//! // Two coupled pairs: nets {0,1} and {2,3} form separate islands.
+//! let deck = "\
+//! *! net 0 victim v\n*! net 1 aggressor a\n\
+//! *! net 2 aggressor b\n*! net 3 aggressor c\n\
+//! RDRV0 s0 n0 100\nRDRV1 s1 n1 100\nRDRV2 s2 n2 100\nRDRV3 s3 n3 100\n\
+//! CL0 n0 0 10f\nCL1 n1 0 10f\nCL2 n2 0 10f\nCL3 n3 0 10f\n\
+//! CC0 n0 n1 5f\nCC1 n2 n3 5f\n.end\n";
+//! let index = DeckIndex::from_reader(deck.as_bytes(), StreamOptions::default())?;
+//! let clusters = CouplingClusters::partition(&index);
+//! assert_eq!(clusters.len(), 2);
+//! assert_eq!(clusters.members(clusters.cluster_of(3).unwrap()), &[2, 3]);
+//!
+//! // Materialize net 3's island with net 3 as the victim.
+//! let network = clusters.victim_network(&index, 3)?;
+//! assert_eq!(network.net_count(), 2);
+//! # Ok::<(), xtalk_circuit::spice::SpiceParseError>(())
+//! ```
+
+use crate::spice::stream::DeckIndex;
+use crate::spice::SpiceParseError;
+use crate::Network;
+
+/// Union-find parent array with path halving.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins, so representatives are
+            // stable regardless of edge order.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi as usize] = lo;
+        }
+    }
+}
+
+/// The deck's nets partitioned into coupling islands.
+///
+/// Cluster ids are dense, `0..len()`, ordered by each island's smallest
+/// member net index; member lists are ascending. Both properties make
+/// reports deterministic for any traversal order.
+#[derive(Debug, Clone)]
+pub struct CouplingClusters {
+    cluster_of_net: Vec<u32>,
+    members: Vec<Vec<u32>>,
+}
+
+impl CouplingClusters {
+    /// Partitions `index`'s nets by union-find over its coupling
+    /// capacitors. Coupling caps with an endpoint on a node unreachable
+    /// from any driver couple nothing and are ignored here (whole-deck
+    /// materialization rejects them; cluster materialization skips
+    /// them).
+    #[must_use]
+    pub fn partition(index: &DeckIndex) -> Self {
+        let n = index.net_count();
+        let mut uf = UnionFind::new(n);
+        for (a, b, _) in &index.coupling_caps {
+            let (Some(na), Some(nb)) = (
+                index.node_net[a.node as usize],
+                index.node_net[b.node as usize],
+            ) else {
+                continue;
+            };
+            uf.union(na, nb);
+        }
+        // Dense cluster ids in order of first appearance over ascending
+        // net index == ordered by smallest member.
+        let mut cluster_of_net = vec![u32::MAX; n];
+        let mut members: Vec<Vec<u32>> = Vec::new();
+        for net in 0..n as u32 {
+            let root = uf.find(net);
+            let id = if cluster_of_net[root as usize] != u32::MAX {
+                cluster_of_net[root as usize]
+            } else {
+                let id = u32::try_from(members.len()).unwrap_or(u32::MAX);
+                members.push(Vec::new());
+                cluster_of_net[root as usize] = id;
+                id
+            };
+            cluster_of_net[net as usize] = id;
+            members[id as usize].push(net);
+        }
+        CouplingClusters {
+            cluster_of_net,
+            members,
+        }
+    }
+
+    /// Number of islands.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the deck declared no nets at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The island containing `net`, or `None` when `net` is out of
+    /// range.
+    #[must_use]
+    pub fn cluster_of(&self, net: usize) -> Option<usize> {
+        self.cluster_of_net.get(net).map(|&c| c as usize)
+    }
+
+    /// Ascending net indices of island `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cluster >= len()`.
+    #[must_use]
+    pub fn members(&self, cluster: usize) -> &[u32] {
+        &self.members[cluster]
+    }
+
+    /// Materializes the island containing `net` as a standalone
+    /// [`Network`] with `net` as the victim and every other member as an
+    /// aggressor — the unit of work for screen-then-escalate analysis.
+    ///
+    /// The construction order matches whole-deck materialization
+    /// restricted to the island, so analysis results are bit-identical
+    /// to running the full deck with the same victim designation.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceParseError::Invalid`] when the island fails
+    /// [`NetworkBuilder::build`](crate::NetworkBuilder::build)
+    /// validation (e.g. a member net without sinks).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `net` is out of range for the index this partition
+    /// was built from.
+    pub fn victim_network(
+        &self,
+        index: &DeckIndex,
+        net: usize,
+    ) -> Result<Network, SpiceParseError> {
+        let cluster = self.cluster_of(net).expect("net index out of range");
+        index.materialize(Some((
+            &self.members[cluster],
+            u32::try_from(net).unwrap_or(u32::MAX),
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spice::stream::StreamOptions;
+    use crate::spice::{parse_deck, write_deck};
+    use crate::{NetRole, NetworkBuilder};
+
+    /// Two independent coupled pairs plus one uncoupled net.
+    fn five_net_deck() -> String {
+        let mut out = String::new();
+        for (i, role) in [
+            (0, "victim"),
+            (1, "aggressor"),
+            (2, "aggressor"),
+            (3, "aggressor"),
+            (4, "aggressor"),
+        ] {
+            out.push_str(&format!("*! net {i} {role} net{i}\n"));
+        }
+        for i in 0..5 {
+            out.push_str(&format!("RDRV{i} s{i} n{i} 10{i}\n"));
+            out.push_str(&format!("CL{i} n{i} 0 1{i}f\n"));
+        }
+        out.push_str("CC0 n0 n1 5f\nCC1 n2 n3 7f\n.end\n");
+        out
+    }
+
+    fn index_of(deck: &str) -> DeckIndex {
+        DeckIndex::from_reader(deck.as_bytes(), StreamOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn partitions_into_islands_with_singletons() {
+        let index = index_of(&five_net_deck());
+        let clusters = CouplingClusters::partition(&index);
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(clusters.members(0), &[0, 1]);
+        assert_eq!(clusters.members(1), &[2, 3]);
+        assert_eq!(clusters.members(2), &[4]);
+        assert_eq!(clusters.cluster_of(3), Some(1));
+        assert_eq!(clusters.cluster_of(4), Some(2));
+        assert_eq!(clusters.cluster_of(5), None);
+        assert!(!clusters.is_empty());
+    }
+
+    #[test]
+    fn transitive_coupling_merges_islands() {
+        // 0-1, 1-2 coupled: one island of three.
+        let deck = "\
+*! net 0 victim v\n*! net 1 aggressor a\n*! net 2 aggressor b\n\
+RDRV0 s0 n0 100\nRDRV1 s1 n1 100\nRDRV2 s2 n2 100\n\
+CL0 n0 0 10f\nCL1 n1 0 10f\nCL2 n2 0 10f\n\
+CC0 n0 n1 5f\nCC1 n1 n2 5f\n";
+        let clusters = CouplingClusters::partition(&index_of(deck));
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters.members(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn victim_network_reroles_members() {
+        let index = index_of(&five_net_deck());
+        let clusters = CouplingClusters::partition(&index);
+        // Net 3 (declared aggressor) becomes the victim of its island.
+        let network = clusters.victim_network(&index, 3).unwrap();
+        assert_eq!(network.net_count(), 2);
+        assert_eq!(network.victim().index(), 1); // net 3 is second member
+        assert_eq!(network.coupling_caps().len(), 1);
+        // The singleton materializes too (no aggressors, no couplings).
+        let lone = clusters.victim_network(&index, 4).unwrap();
+        assert_eq!(lone.net_count(), 1);
+        assert!(lone.coupling_caps().is_empty());
+    }
+
+    #[test]
+    fn island_networks_carry_exactly_their_elements() {
+        let mut b = NetworkBuilder::new();
+        let v = b.add_net("vic", NetRole::Victim);
+        let a = b.add_net("agg", NetRole::Aggressor);
+        let x = b.add_net("far", NetRole::Aggressor);
+        let v0 = b.add_node(v, "v0");
+        let v1 = b.add_node(v, "v1");
+        let a0 = b.add_node(a, "a0");
+        let x0 = b.add_node(x, "x0");
+        b.add_driver(v, v0, 150.0).unwrap();
+        b.add_driver(a, a0, 90.0).unwrap();
+        b.add_driver(x, x0, 80.0).unwrap();
+        b.add_resistor(v0, v1, 25.0).unwrap();
+        b.add_ground_cap(v1, 8e-15).unwrap();
+        b.add_sink(v1, 12e-15).unwrap();
+        b.add_sink(a0, 10e-15).unwrap();
+        b.add_sink(x0, 9e-15).unwrap();
+        b.add_coupling_cap(v1, a0, 22e-15).unwrap();
+        let deck = write_deck(&b.build().unwrap());
+        let index = index_of(&deck);
+        let clusters = CouplingClusters::partition(&index);
+        assert_eq!(clusters.len(), 2);
+        let island = clusters.victim_network(&index, 0).unwrap();
+        let whole = parse_deck(&deck).unwrap();
+        // The island is the whole network minus the uncoupled net.
+        assert_eq!(island.net_count(), 2);
+        assert_eq!(island.node_count(), whole.node_count() - 1);
+        assert_eq!(island.resistors(), whole.resistors());
+        assert_eq!(island.coupling_caps().len(), 1);
+        assert_eq!(
+            island.node_name(island.victim_output()),
+            whole.node_name(whole.victim_output()),
+        );
+    }
+}

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod cluster;
 mod elements;
 mod error;
 mod ids;

@@ -18,6 +18,15 @@
 //! absurd deck is rejected with [`SpiceParseError::TooLarge`] instead of
 //! ballooning memory.
 //!
+//! Since the full-chip screening work the parser is implemented on top
+//! of the incremental reader in [`stream`]: `parse_deck` is exactly
+//! [`stream::DeckIndex::from_reader`] over the in-memory string followed
+//! by whole-deck materialization. SPICE `+` continuation lines are
+//! joined transparently (errors keep pointing at the physical line), and
+//! [`stream::StreamOptions::lenient`] optionally downgrades
+//! unknown-but-benign `.`-directives (`.GLOBAL`, `.TEMP`, `.SUBCKT`, …)
+//! from hard errors to counted skips for real extracted decks.
+//!
 //! # Examples
 //!
 //! ```
@@ -44,11 +53,12 @@
 //! # }
 //! ```
 
-use crate::{CircuitError, NetId, NetRole, Network, NetworkBuilder, NodeId};
-use std::collections::HashMap;
+use crate::{CircuitError, NetRole, Network};
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
+
+pub mod stream;
 
 /// Errors raised by [`parse_deck`]. Every token-level variant carries the
 /// 1-based line and column of the offending token; errors detected after
@@ -116,12 +126,16 @@ pub enum SpiceParseError {
     },
     /// The deck parsed but did not describe a valid network.
     Invalid(CircuitError),
+    /// The underlying reader failed while streaming the deck (only
+    /// possible through [`stream`]; in-memory parses never see it).
+    Io(String),
 }
 
 impl SpiceParseError {
     /// The `(line, column)` of the offending token, 1-based. `None` only
-    /// for [`SpiceParseError::Invalid`], which describes the deck as a
-    /// whole rather than any one token.
+    /// for [`SpiceParseError::Invalid`] and [`SpiceParseError::Io`],
+    /// which describe the deck (or its transport) as a whole rather than
+    /// any one token.
     #[must_use]
     pub fn position(&self) -> Option<(usize, usize)> {
         match self {
@@ -131,7 +145,7 @@ impl SpiceParseError {
             | SpiceParseError::NonPositiveValue { line, col, .. }
             | SpiceParseError::DuplicateDefinition { line, col, .. } => Some((*line, *col)),
             SpiceParseError::TooLarge { line, .. } => Some((*line, 1)),
-            SpiceParseError::Invalid(_) => None,
+            SpiceParseError::Invalid(_) | SpiceParseError::Io(_) => None,
         }
     }
 }
@@ -158,6 +172,7 @@ impl fmt::Display for SpiceParseError {
                 write!(f, "deck too large at line {line}: more than {limit} {what}")
             }
             SpiceParseError::Invalid(e) => write!(f, "deck describes an invalid network: {e}"),
+            SpiceParseError::Io(e) => write!(f, "deck read failed: {e}"),
         }
     }
 }
@@ -286,26 +301,6 @@ fn tokens_with_columns(raw: &str) -> Vec<(usize, &str)> {
     out
 }
 
-/// A node-name token remembering where in the deck it appeared, so
-/// errors detected long after the line scan (unreachable nodes, nodes
-/// driven by two nets) still point at their source.
-#[derive(Debug, Clone)]
-struct NodeRef {
-    name: String,
-    line: usize,
-    col: usize,
-}
-
-impl NodeRef {
-    fn new((col, tok): (usize, &str), line: usize) -> Self {
-        NodeRef {
-            name: tok.to_string(),
-            line,
-            col,
-        }
-    }
-}
-
 /// Parses a deck previously produced by [`write_deck`], with
 /// [`DeckLimits::default`] size bounds.
 ///
@@ -328,317 +323,14 @@ pub fn parse_deck_with_limits(
     deck: &str,
     limits: &DeckLimits,
 ) -> Result<Network, SpiceParseError> {
-    struct RawNet {
-        role: NetRole,
-        name: String,
-        driver_node: Option<(NodeRef, f64)>,
-        decl_line: usize,
-        decl_col: usize,
-    }
-    let mut raw_nets: Vec<RawNet> = Vec::new();
-    let mut output_node: Option<NodeRef> = None;
-    let mut resistors: Vec<(NodeRef, NodeRef, f64)> = Vec::new();
-    let mut gcaps: Vec<(NodeRef, f64)> = Vec::new();
-    let mut sinks: Vec<(NodeRef, f64)> = Vec::new();
-    let mut ccaps: Vec<(NodeRef, NodeRef, f64)> = Vec::new();
-    let mut elements = 0usize;
-
-    for (lineno, raw_line) in deck.lines().enumerate() {
-        let lno = lineno + 1;
-        if lno > limits.max_lines {
-            return Err(SpiceParseError::TooLarge {
-                line: lno,
-                what: "lines",
-                limit: limits.max_lines,
-            });
-        }
-        let toks = tokens_with_columns(raw_line);
-        let Some(&(name_col, name)) = toks.first() else {
-            continue; // blank line
-        };
-        if name.eq_ignore_ascii_case(".end") {
-            continue;
-        }
-        if let Some(rest) = name.strip_prefix("*!") {
-            // Directive: `*! net …` (exported form) or `*!net …`.
-            let f: Vec<(usize, &str)> = if rest.is_empty() {
-                toks[1..].to_vec()
-            } else {
-                let mut v = vec![(name_col + 2, rest)];
-                v.extend_from_slice(&toks[1..]);
-                v
-            };
-            match f.first().map(|&(_, t)| t) {
-                Some("net") => {
-                    if f.len() < 4 {
-                        return Err(SpiceParseError::Malformed {
-                            line: lno,
-                            col: name_col,
-                            detail: "expected `*! net <idx> <role> <name>`".into(),
-                        });
-                    }
-                    let idx: usize = f[1].1.parse().map_err(|_| SpiceParseError::BadNumber {
-                        line: lno,
-                        col: f[1].0,
-                        token: f[1].1.into(),
-                    })?;
-                    let role = match f[2].1 {
-                        "victim" => NetRole::Victim,
-                        "aggressor" => NetRole::Aggressor,
-                        other => {
-                            return Err(SpiceParseError::Malformed {
-                                line: lno,
-                                col: f[2].0,
-                                detail: format!("unknown net role {other:?}"),
-                            })
-                        }
-                    };
-                    if idx != raw_nets.len() {
-                        return Err(SpiceParseError::Malformed {
-                            line: lno,
-                            col: f[1].0,
-                            detail: format!("net index {idx} out of order"),
-                        });
-                    }
-                    if raw_nets.len() >= limits.max_nets {
-                        return Err(SpiceParseError::TooLarge {
-                            line: lno,
-                            what: "nets",
-                            limit: limits.max_nets,
-                        });
-                    }
-                    raw_nets.push(RawNet {
-                        role,
-                        name: f[3].1.to_string(),
-                        driver_node: None,
-                        decl_line: lno,
-                        decl_col: name_col,
-                    });
-                }
-                Some("output") => {
-                    if f.len() != 2 {
-                        return Err(SpiceParseError::Malformed {
-                            line: lno,
-                            col: name_col,
-                            detail: "expected `*! output <node>`".into(),
-                        });
-                    }
-                    if output_node.is_some() {
-                        return Err(SpiceParseError::DuplicateDefinition {
-                            line: lno,
-                            col: name_col,
-                            what: "output directive".into(),
-                        });
-                    }
-                    output_node = Some(NodeRef::new(f[1], lno));
-                }
-                _ => {
-                    return Err(SpiceParseError::Malformed {
-                        line: lno,
-                        col: name_col,
-                        detail: format!("unknown directive {:?}", raw_line.trim()),
-                    })
-                }
-            }
-            continue;
-        }
-        if name.starts_with('*') {
-            continue; // plain comment
-        }
-
-        let upper = name.to_ascii_uppercase();
-        let need = |n: usize| -> Result<(), SpiceParseError> {
-            if toks.len() < n {
-                Err(SpiceParseError::Malformed {
-                    line: lno,
-                    col: name_col,
-                    detail: format!("expected at least {n} fields, found {}", toks.len()),
-                })
-            } else {
-                Ok(())
-            }
-        };
-        let value = |(col, tok): (usize, &str)| -> Result<f64, SpiceParseError> {
-            let v = parse_si_value(tok).ok_or_else(|| SpiceParseError::BadNumber {
-                line: lno,
-                col,
-                token: tok.to_string(),
-            })?;
-            if !v.is_finite() {
-                return Err(SpiceParseError::NonFiniteValue {
-                    line: lno,
-                    col,
-                    token: tok.to_string(),
-                });
-            }
-            Ok(v)
-        };
-        // Resistances and capacitances must be positive; sink loads may
-        // be zero (ideal probes) but not negative.
-        let positive = |t: (usize, &str)| -> Result<f64, SpiceParseError> {
-            let v = value(t)?;
-            if v <= 0.0 {
-                return Err(SpiceParseError::NonPositiveValue {
-                    line: lno,
-                    col: t.0,
-                    token: t.1.to_string(),
-                });
-            }
-            Ok(v)
-        };
-        let non_negative = |t: (usize, &str)| -> Result<f64, SpiceParseError> {
-            let v = value(t)?;
-            if v < 0.0 {
-                return Err(SpiceParseError::NonPositiveValue {
-                    line: lno,
-                    col: t.0,
-                    token: t.1.to_string(),
-                });
-            }
-            Ok(v)
-        };
-
-        if upper.starts_with("VDRV") {
-            continue; // placeholder source; structure comes from RDRV
-        }
-        elements += 1;
-        if elements > limits.max_elements {
-            return Err(SpiceParseError::TooLarge {
-                line: lno,
-                what: "elements",
-                limit: limits.max_elements,
-            });
-        }
-        if let Some(idx_str) = upper.strip_prefix("RDRV") {
-            need(4)?;
-            let idx: usize = idx_str.parse().map_err(|_| SpiceParseError::Malformed {
-                line: lno,
-                col: name_col,
-                detail: format!("bad driver index in {name:?}"),
-            })?;
-            if idx >= raw_nets.len() {
-                return Err(SpiceParseError::Malformed {
-                    line: lno,
-                    col: name_col,
-                    detail: format!("driver {name:?} references undeclared net {idx}"),
-                });
-            }
-            if raw_nets[idx].driver_node.is_some() {
-                return Err(SpiceParseError::DuplicateDefinition {
-                    line: lno,
-                    col: name_col,
-                    what: format!("driver card for net {idx}"),
-                });
-            }
-            raw_nets[idx].driver_node = Some((NodeRef::new(toks[2], lno), positive(toks[3])?));
-        } else if upper.starts_with("CC") {
-            need(4)?;
-            ccaps.push((
-                NodeRef::new(toks[1], lno),
-                NodeRef::new(toks[2], lno),
-                positive(toks[3])?,
-            ));
-        } else if upper.starts_with("CL") {
-            need(4)?;
-            sinks.push((NodeRef::new(toks[1], lno), non_negative(toks[3])?));
-        } else if upper.starts_with('C') {
-            need(4)?;
-            gcaps.push((NodeRef::new(toks[1], lno), positive(toks[3])?));
-        } else if upper.starts_with('R') {
-            need(4)?;
-            resistors.push((
-                NodeRef::new(toks[1], lno),
-                NodeRef::new(toks[2], lno),
-                positive(toks[3])?,
-            ));
-        } else {
-            return Err(SpiceParseError::Malformed {
-                line: lno,
-                col: name_col,
-                detail: format!("unsupported card {name:?}"),
-            });
-        }
-    }
-
-    // Assign nodes to nets: seed each net with its driver node, then grow
-    // along resistor edges (nets are resistively disjoint by construction).
-    let mut node_net: HashMap<&str, usize> = HashMap::new();
-    for (i, rn) in raw_nets.iter().enumerate() {
-        let (node, _) = rn.driver_node.as_ref().ok_or(SpiceParseError::Malformed {
-            line: rn.decl_line,
-            col: rn.decl_col,
-            detail: format!("net {i} has no RDRV card"),
-        })?;
-        if node_net.insert(&node.name, i).is_some() {
-            return Err(SpiceParseError::DuplicateDefinition {
-                line: node.line,
-                col: node.col,
-                what: format!("node {:?} (driver node of two different nets)", node.name),
-            });
-        }
-    }
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for (a, b, _) in &resistors {
-            match (node_net.get(a.name.as_str()).copied(), node_net.get(b.name.as_str()).copied()) {
-                (Some(na), None) => {
-                    node_net.insert(&b.name, na);
-                    changed = true;
-                }
-                (None, Some(nb)) => {
-                    node_net.insert(&a.name, nb);
-                    changed = true;
-                }
-                _ => {}
-            }
-        }
-    }
-
-    // Rebuild through the validating builder.
-    let mut b = NetworkBuilder::new();
-    let mut net_ids: Vec<NetId> = Vec::new();
-    for rn in &raw_nets {
-        net_ids.push(b.add_net(rn.name.clone(), rn.role));
-    }
-    // Deterministic node order: sort by name.
-    let mut node_names: Vec<&str> = node_net.keys().copied().collect();
-    node_names.sort_unstable();
-    let mut node_ids: HashMap<String, NodeId> = HashMap::new();
-    for name in node_names {
-        let net = net_ids[node_net[name]];
-        node_ids.insert(name.to_string(), b.add_node(net, name));
-    }
-    let lookup = |m: &HashMap<String, NodeId>, n: &NodeRef| -> Result<NodeId, SpiceParseError> {
-        m.get(&n.name)
-            .copied()
-            .ok_or_else(|| SpiceParseError::Malformed {
-                line: n.line,
-                col: n.col,
-                detail: format!("node {:?} not reachable from any driver", n.name),
-            })
-    };
-
-    for (i, rn) in raw_nets.iter().enumerate() {
-        let (node, ohms) = rn.driver_node.as_ref().expect("checked above");
-        b.add_driver(net_ids[i], lookup(&node_ids, node)?, *ohms)?;
-    }
-    for (a, bb, ohms) in &resistors {
-        b.add_resistor(lookup(&node_ids, a)?, lookup(&node_ids, bb)?, *ohms)?;
-    }
-    for (n, f) in &gcaps {
-        b.add_ground_cap(lookup(&node_ids, n)?, *f)?;
-    }
-    for (n, f) in &sinks {
-        b.add_sink(lookup(&node_ids, n)?, *f)?;
-    }
-    for (a, bb, f) in &ccaps {
-        b.add_coupling_cap(lookup(&node_ids, a)?, lookup(&node_ids, bb)?, *f)?;
-    }
-    if let Some(out) = output_node {
-        b.set_victim_output(lookup(&node_ids, &out)?);
-    }
-    Ok(b.build()?)
+    stream::DeckIndex::from_reader(
+        deck.as_bytes(),
+        stream::StreamOptions {
+            limits: limits.clone(),
+            lenient: false,
+        },
+    )?
+    .into_network()
 }
 
 /// Parses a SPICE numeric token with optional SI suffix (`1.5k`, `10f`,

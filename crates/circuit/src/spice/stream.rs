@@ -1,0 +1,1298 @@
+//! Streaming SPICE-deck reader with bounded memory.
+//!
+//! [`DeckStream`] reads a deck incrementally from any [`BufRead`] source,
+//! assembling physical lines into logical cards and yielding them one at
+//! a time — no whole-deck string is ever required. Two ingestion fixes
+//! for real extracted (PEX-style) decks live here:
+//!
+//! * **`+` continuation lines** — long element cards folded across
+//!   physical lines are joined before interpretation, and every token
+//!   keeps the 1-based `line:col` of the *physical* line it appeared on,
+//!   so errors still point at the right place in the file. Blank lines
+//!   and plain `*` comments may sit between a card and its
+//!   continuations.
+//! * **Lenient directive skipping** — under
+//!   [`StreamOptions::lenient`], unknown-but-benign `.`-directives
+//!   (`.GLOBAL`, `.TEMP`, `.OPTION`, `.SUBCKT`/`.ENDS`, …) are counted
+//!   and skipped instead of failing the parse; element cards inside a
+//!   `.SUBCKT` wrapper are read flattened. Strict mode (the
+//!   [`parse_deck`](super::parse_deck) default) keeps the hard error.
+//!   `*!` directives are this crate's own namespace and stay strict in
+//!   both modes.
+//!
+//! [`DeckIndex`] is the bounded consumer built on top of the stream: a
+//! compact flat element table with interned node names and driver-seeded
+//! net resolution. From it either the whole network is materialized
+//! ([`DeckIndex::into_network`] — the engine underneath
+//! [`parse_deck`](super::parse_deck)) or one coupled cluster at a time
+//! (see [`crate::cluster`]) — the basis of full-chip screening, which
+//! never builds a whole-deck [`crate::Network`].
+
+use super::{parse_si_value, tokens_with_columns, DeckLimits, SpiceParseError};
+use crate::{NetId, NetRole, Network, NetworkBuilder, NodeId};
+use std::collections::HashMap;
+use std::io::BufRead;
+
+/// How many skipped-directive examples [`DeckStream`] records verbatim
+/// (the count in [`DeckStats`] is always exact).
+const MAX_SKIP_SAMPLES: usize = 8;
+
+/// Options for [`DeckStream`] and [`DeckIndex::from_reader`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamOptions {
+    /// Size bounds (lines, nets, elements).
+    pub limits: DeckLimits,
+    /// Lenient mode: skip unknown `.`-directives with a counted warning
+    /// instead of failing (see module docs). Strict mode — the default,
+    /// and what [`parse_deck`](super::parse_deck) uses — rejects them.
+    pub lenient: bool,
+}
+
+/// Counters accumulated while streaming a deck.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeckStats {
+    /// Physical lines read.
+    pub lines: usize,
+    /// `*! net` declarations seen.
+    pub nets: usize,
+    /// Element cards seen (drivers, resistors, capacitors).
+    pub elements: usize,
+    /// `+` continuation lines joined into a preceding card.
+    pub continuations: usize,
+    /// Benign directives skipped in lenient mode.
+    pub skipped_directives: usize,
+}
+
+/// A card token with the 1-based line and column of the physical line it
+/// appeared on — for continuation lines, that is the continuation line
+/// itself, not the card's first line.
+#[derive(Debug, Clone, Copy)]
+pub struct Field<'a> {
+    /// Token text.
+    pub text: &'a str,
+    /// 1-based physical line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// One logical card from the deck, with numeric values already parsed,
+/// validated and sign-checked.
+#[derive(Debug, Clone, Copy)]
+pub enum Card<'a> {
+    /// `*! net <idx> <role> <name>` declaration.
+    Net {
+        /// Declaration index (checked contiguous from 0).
+        index: usize,
+        /// Declared role.
+        role: NetRole,
+        /// Net name token.
+        name: Field<'a>,
+        /// 1-based line of the declaration card.
+        line: usize,
+        /// 1-based column of the `*!` marker.
+        col: usize,
+    },
+    /// `*! output <node>` victim observation node.
+    Output {
+        /// Node name token.
+        node: Field<'a>,
+        /// 1-based line of the directive.
+        line: usize,
+        /// 1-based column of the `*!` marker.
+        col: usize,
+    },
+    /// `RDRV<idx> <src> <node> <ohms>` driver resistance card.
+    Driver {
+        /// The declared net the driver belongs to.
+        net: usize,
+        /// Driven node token.
+        node: Field<'a>,
+        /// Driver resistance (positive, finite).
+        ohms: f64,
+        /// 1-based line of the card name.
+        line: usize,
+        /// 1-based column of the card name.
+        col: usize,
+    },
+    /// `R<k> <a> <b> <ohms>` wire resistor.
+    Resistor {
+        /// First node token.
+        a: Field<'a>,
+        /// Second node token.
+        b: Field<'a>,
+        /// Resistance (positive, finite).
+        ohms: f64,
+    },
+    /// `C<k> <node> 0 <farads>` ground capacitor.
+    GroundCap {
+        /// Node token.
+        node: Field<'a>,
+        /// Capacitance (positive, finite).
+        farads: f64,
+    },
+    /// `CL<k> <node> 0 <farads>` sink load.
+    SinkCap {
+        /// Node token.
+        node: Field<'a>,
+        /// Load capacitance (non-negative, finite).
+        farads: f64,
+    },
+    /// `CC<k> <a> <b> <farads>` coupling capacitor.
+    CouplingCap {
+        /// First node token.
+        a: Field<'a>,
+        /// Second node token.
+        b: Field<'a>,
+        /// Coupling capacitance (positive, finite).
+        farads: f64,
+    },
+    /// `.end`.
+    End,
+}
+
+/// Owned description of the current card, kept free of borrows so
+/// classification can update counters before the borrowed [`Card`] is
+/// handed out.
+enum Shape {
+    Net { index: usize, role: NetRole, name: usize },
+    Output { node: usize },
+    Driver { net: usize, node: usize, ohms: f64 },
+    Res { a: usize, b: usize, ohms: f64 },
+    GCap { node: usize, farads: f64 },
+    Sink { node: usize, farads: f64 },
+    CCap { a: usize, b: usize, farads: f64 },
+    End,
+}
+
+/// Position and arena range of one assembled token.
+#[derive(Debug, Clone, Copy)]
+struct TokMeta {
+    line: usize,
+    col: usize,
+    start: usize,
+    end: usize,
+}
+
+/// Pushes `raw`'s whitespace-delimited tokens into the card arena. With
+/// `continuation` set, the leading `+` marker is stripped (a glued
+/// `+tok` keeps `tok` with its column shifted past the marker).
+fn append_tokens(
+    text: &mut String,
+    toks: &mut Vec<TokMeta>,
+    raw: &str,
+    line: usize,
+    continuation: bool,
+) {
+    for (i, (col, tok)) in tokens_with_columns(raw).into_iter().enumerate() {
+        let (col, tok) = if continuation && i == 0 {
+            let rest = &tok[1..];
+            if rest.is_empty() {
+                continue;
+            }
+            (col + 1, rest)
+        } else {
+            (col, tok)
+        };
+        let start = text.len();
+        text.push_str(tok);
+        toks.push(TokMeta {
+            line,
+            col,
+            start,
+            end: text.len(),
+        });
+    }
+}
+
+/// Incremental card reader over any [`BufRead`] source.
+///
+/// Memory use is bounded by the longest logical card, not the deck:
+/// the internal line buffer and token arena are reused between cards.
+///
+/// # Examples
+///
+/// ```
+/// use xtalk_circuit::spice::stream::{Card, DeckStream, StreamOptions};
+///
+/// let deck = "*! net 0 victim v\nRDRV0 src0\n+ n0 120\nCL0 n0 0 10f\n.end\n";
+/// let mut stream = DeckStream::new(deck.as_bytes(), StreamOptions::default());
+/// let mut drivers = 0;
+/// while let Some(card) = stream.next_card()? {
+///     if let Card::Driver { ohms, .. } = card {
+///         assert_eq!(ohms, 120.0);
+///         drivers += 1;
+///     }
+/// }
+/// assert_eq!(drivers, 1);
+/// assert_eq!(stream.stats().continuations, 1);
+/// # Ok::<(), xtalk_circuit::spice::SpiceParseError>(())
+/// ```
+pub struct DeckStream<R> {
+    reader: R,
+    limits: DeckLimits,
+    lenient: bool,
+    line_buf: String,
+    line_no: usize,
+    pushed: bool,
+    eof: bool,
+    /// Concatenated token texts of the current card.
+    text: String,
+    toks: Vec<TokMeta>,
+    /// Copy of the card's first physical line (error diagnostics).
+    head: String,
+    stats: DeckStats,
+    skipped_samples: Vec<(usize, String)>,
+}
+
+impl<R: BufRead> DeckStream<R> {
+    /// Creates a stream over `reader` with the given options.
+    pub fn new(reader: R, options: StreamOptions) -> Self {
+        DeckStream {
+            reader,
+            limits: options.limits,
+            lenient: options.lenient,
+            line_buf: String::new(),
+            line_no: 0,
+            pushed: false,
+            eof: false,
+            text: String::new(),
+            toks: Vec::new(),
+            head: String::new(),
+            stats: DeckStats::default(),
+            skipped_samples: Vec::new(),
+        }
+    }
+
+    /// Counters so far (final once `next_card` has returned `None`).
+    pub fn stats(&self) -> DeckStats {
+        self.stats
+    }
+
+    /// The first few skipped directives, as `(line, card name)` pairs —
+    /// at most [`MAX_SKIP_SAMPLES`]; `stats().skipped_directives` holds
+    /// the exact total.
+    pub fn skipped_samples(&self) -> &[(usize, String)] {
+        &self.skipped_samples
+    }
+
+    /// Yields the next logical card, or `None` at end of input.
+    ///
+    /// The returned [`Card`] borrows the stream's internal buffers and
+    /// must be consumed before the next call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceParseError`] for malformed cards, bad numbers,
+    /// exceeded [`DeckLimits`], and I/O failures; in strict mode also
+    /// for unknown `.`-directives.
+    pub fn next_card(&mut self) -> Result<Option<Card<'_>>, SpiceParseError> {
+        loop {
+            if !self.fill_card()? {
+                return Ok(None);
+            }
+            if let Some(shape) = self.classify()? {
+                return Ok(Some(self.realize(shape)));
+            }
+        }
+    }
+
+    /// Reads one physical line into `line_buf` (honoring a pushed-back
+    /// line), returning `false` at end of input.
+    fn read_physical(&mut self) -> Result<bool, SpiceParseError> {
+        if self.pushed {
+            self.pushed = false;
+            return Ok(true);
+        }
+        if self.eof {
+            return Ok(false);
+        }
+        self.line_buf.clear();
+        let n = self
+            .reader
+            .read_line(&mut self.line_buf)
+            .map_err(|e| SpiceParseError::Io(e.to_string()))?;
+        if n == 0 {
+            self.eof = true;
+            return Ok(false);
+        }
+        if self.line_buf.ends_with('\n') {
+            self.line_buf.pop();
+            if self.line_buf.ends_with('\r') {
+                self.line_buf.pop();
+            }
+        }
+        self.line_no += 1;
+        self.stats.lines = self.line_no;
+        if self.line_no > self.limits.max_lines {
+            return Err(SpiceParseError::TooLarge {
+                line: self.line_no,
+                what: "lines",
+                limit: self.limits.max_lines,
+            });
+        }
+        Ok(true)
+    }
+
+    /// Assembles the next logical card (head line plus any `+`
+    /// continuations) into the token arena. Returns `false` at EOF.
+    fn fill_card(&mut self) -> Result<bool, SpiceParseError> {
+        // Seek the card's head line, skipping blanks and plain comments.
+        loop {
+            if !self.read_physical()? {
+                return Ok(false);
+            }
+            let Some(&(col, first)) = tokens_with_columns(&self.line_buf).first() else {
+                continue; // blank line
+            };
+            if first.starts_with('+') {
+                return Err(SpiceParseError::Malformed {
+                    line: self.line_no,
+                    col,
+                    detail: "continuation line without a preceding card".into(),
+                });
+            }
+            if first.starts_with('*') && !first.starts_with("*!") {
+                continue; // plain comment
+            }
+            break;
+        }
+        self.head.clear();
+        self.head.push_str(&self.line_buf);
+        let head_line = self.line_no;
+        self.text.clear();
+        self.toks.clear();
+        append_tokens(&mut self.text, &mut self.toks, &self.head, head_line, false);
+
+        // Absorb continuation lines; blanks and plain comments between a
+        // card and its continuations are consumed harmlessly.
+        loop {
+            if !self.read_physical()? {
+                break;
+            }
+            let first = tokens_with_columns(&self.line_buf)
+                .first()
+                .map(|&(_, t)| (t.starts_with('+'), t.starts_with('*') && !t.starts_with("*!")));
+            match first {
+                None => continue,                  // blank
+                Some((_, true)) => continue,       // plain comment
+                Some((false, _)) => {
+                    self.pushed = true; // next card's head line
+                    break;
+                }
+                Some((true, _)) => {
+                    append_tokens(
+                        &mut self.text,
+                        &mut self.toks,
+                        &self.line_buf,
+                        self.line_no,
+                        true,
+                    );
+                    self.stats.continuations += 1;
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn tok_text(&self, i: usize) -> &str {
+        let t = self.toks[i];
+        &self.text[t.start..t.end]
+    }
+
+    /// At least `n` fields on the card, or the classic malformed error
+    /// at the card name.
+    fn need(&self, n: usize) -> Result<(), SpiceParseError> {
+        if self.toks.len() < n {
+            let t0 = self.toks[0];
+            return Err(SpiceParseError::Malformed {
+                line: t0.line,
+                col: t0.col,
+                detail: format!("expected at least {n} fields, found {}", self.toks.len()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Parses token `i` as a finite SI-suffixed number.
+    fn value(&self, i: usize) -> Result<f64, SpiceParseError> {
+        let t = self.toks[i];
+        let tok = self.tok_text(i);
+        let v = parse_si_value(tok).ok_or_else(|| SpiceParseError::BadNumber {
+            line: t.line,
+            col: t.col,
+            token: tok.to_string(),
+        })?;
+        if !v.is_finite() {
+            return Err(SpiceParseError::NonFiniteValue {
+                line: t.line,
+                col: t.col,
+                token: tok.to_string(),
+            });
+        }
+        Ok(v)
+    }
+
+    /// Resistances and capacitances must be positive.
+    fn positive(&self, i: usize) -> Result<f64, SpiceParseError> {
+        let v = self.value(i)?;
+        if v <= 0.0 {
+            let t = self.toks[i];
+            return Err(SpiceParseError::NonPositiveValue {
+                line: t.line,
+                col: t.col,
+                token: self.tok_text(i).to_string(),
+            });
+        }
+        Ok(v)
+    }
+
+    /// Sink loads may be zero (ideal probes) but not negative.
+    fn non_negative(&self, i: usize) -> Result<f64, SpiceParseError> {
+        let v = self.value(i)?;
+        if v < 0.0 {
+            let t = self.toks[i];
+            return Err(SpiceParseError::NonPositiveValue {
+                line: t.line,
+                col: t.col,
+                token: self.tok_text(i).to_string(),
+            });
+        }
+        Ok(v)
+    }
+
+    /// Interprets the assembled card. `Ok(None)` means the card was
+    /// consumed without producing output (`VDRV` placeholder sources,
+    /// leniently skipped directives).
+    fn classify(&mut self) -> Result<Option<Shape>, SpiceParseError> {
+        let TokMeta {
+            line: name_line,
+            col: name_col,
+            ..
+        } = self.toks[0];
+        if self.tok_text(0).eq_ignore_ascii_case(".end") {
+            return Ok(Some(Shape::End));
+        }
+        if self.tok_text(0).starts_with("*!") {
+            return self.classify_directive();
+        }
+        let upper = self.tok_text(0).to_ascii_uppercase();
+        if upper.starts_with('.') {
+            if self.lenient {
+                self.stats.skipped_directives += 1;
+                if self.skipped_samples.len() < MAX_SKIP_SAMPLES {
+                    let name = self.tok_text(0).to_string();
+                    self.skipped_samples.push((name_line, name));
+                }
+                return Ok(None);
+            }
+            return Err(SpiceParseError::Malformed {
+                line: name_line,
+                col: name_col,
+                detail: format!("unsupported card {:?}", self.tok_text(0)),
+            });
+        }
+        if upper.starts_with("VDRV") {
+            return Ok(None); // placeholder source; structure comes from RDRV
+        }
+        self.stats.elements += 1;
+        if self.stats.elements > self.limits.max_elements {
+            return Err(SpiceParseError::TooLarge {
+                line: name_line,
+                what: "elements",
+                limit: self.limits.max_elements,
+            });
+        }
+        if let Some(idx_str) = upper.strip_prefix("RDRV") {
+            self.need(4)?;
+            let net: usize = idx_str.parse().map_err(|_| SpiceParseError::Malformed {
+                line: name_line,
+                col: name_col,
+                detail: format!("bad driver index in {:?}", self.tok_text(0)),
+            })?;
+            if net >= self.stats.nets {
+                return Err(SpiceParseError::Malformed {
+                    line: name_line,
+                    col: name_col,
+                    detail: format!(
+                        "driver {:?} references undeclared net {net}",
+                        self.tok_text(0)
+                    ),
+                });
+            }
+            Ok(Some(Shape::Driver {
+                net,
+                node: 2,
+                ohms: self.positive(3)?,
+            }))
+        } else if upper.starts_with("CC") {
+            self.need(4)?;
+            Ok(Some(Shape::CCap {
+                a: 1,
+                b: 2,
+                farads: self.positive(3)?,
+            }))
+        } else if upper.starts_with("CL") {
+            self.need(4)?;
+            Ok(Some(Shape::Sink {
+                node: 1,
+                farads: self.non_negative(3)?,
+            }))
+        } else if upper.starts_with('C') {
+            self.need(4)?;
+            Ok(Some(Shape::GCap {
+                node: 1,
+                farads: self.positive(3)?,
+            }))
+        } else if upper.starts_with('R') {
+            self.need(4)?;
+            Ok(Some(Shape::Res {
+                a: 1,
+                b: 2,
+                ohms: self.positive(3)?,
+            }))
+        } else {
+            Err(SpiceParseError::Malformed {
+                line: name_line,
+                col: name_col,
+                detail: format!("unsupported card {:?}", self.tok_text(0)),
+            })
+        }
+    }
+
+    /// Interprets a `*!` directive card (`*! net …` / `*! output …`,
+    /// including the glued `*!net` form). These are this crate's own
+    /// namespace, so unknown ones are errors even in lenient mode.
+    fn classify_directive(&mut self) -> Result<Option<Shape>, SpiceParseError> {
+        let TokMeta {
+            line: name_line,
+            col: name_col,
+            ..
+        } = self.toks[0];
+        // Directive fields: with the glued form the first field lives
+        // inside token 0 past the `*!` marker; otherwise fields are the
+        // tokens after the marker.
+        let glued = self.tok_text(0).len() > 2;
+        let fcount = if glued {
+            self.toks.len()
+        } else {
+            self.toks.len() - 1
+        };
+        let ftext = |i: usize| -> &str {
+            if glued {
+                if i == 0 {
+                    &self.tok_text(0)[2..]
+                } else {
+                    self.tok_text(i)
+                }
+            } else {
+                self.tok_text(i + 1)
+            }
+        };
+        let fpos = |i: usize| -> (usize, usize) {
+            let t = if glued { self.toks[i] } else { self.toks[i + 1] };
+            if glued && i == 0 {
+                (t.line, t.col + 2)
+            } else {
+                (t.line, t.col)
+            }
+        };
+        match (fcount > 0).then(|| ftext(0)) {
+            Some("net") => {
+                if fcount < 4 {
+                    return Err(SpiceParseError::Malformed {
+                        line: name_line,
+                        col: name_col,
+                        detail: "expected `*! net <idx> <role> <name>`".into(),
+                    });
+                }
+                let (l1, c1) = fpos(1);
+                let index: usize = ftext(1).parse().map_err(|_| SpiceParseError::BadNumber {
+                    line: l1,
+                    col: c1,
+                    token: ftext(1).into(),
+                })?;
+                let role = match ftext(2) {
+                    "victim" => NetRole::Victim,
+                    "aggressor" => NetRole::Aggressor,
+                    other => {
+                        let (l2, c2) = fpos(2);
+                        return Err(SpiceParseError::Malformed {
+                            line: l2,
+                            col: c2,
+                            detail: format!("unknown net role {other:?}"),
+                        });
+                    }
+                };
+                if index != self.stats.nets {
+                    return Err(SpiceParseError::Malformed {
+                        line: l1,
+                        col: c1,
+                        detail: format!("net index {index} out of order"),
+                    });
+                }
+                if self.stats.nets >= self.limits.max_nets {
+                    return Err(SpiceParseError::TooLarge {
+                        line: name_line,
+                        what: "nets",
+                        limit: self.limits.max_nets,
+                    });
+                }
+                let name = if glued { 3 } else { 4 };
+                self.stats.nets += 1;
+                Ok(Some(Shape::Net { index, role, name }))
+            }
+            Some("output") => {
+                if fcount != 2 {
+                    return Err(SpiceParseError::Malformed {
+                        line: name_line,
+                        col: name_col,
+                        detail: "expected `*! output <node>`".into(),
+                    });
+                }
+                Ok(Some(Shape::Output {
+                    node: if glued { 1 } else { 2 },
+                }))
+            }
+            _ => Err(SpiceParseError::Malformed {
+                line: name_line,
+                col: name_col,
+                detail: format!("unknown directive {:?}", self.head.trim()),
+            }),
+        }
+    }
+
+    fn field(&self, i: usize) -> Field<'_> {
+        let t = self.toks[i];
+        Field {
+            text: &self.text[t.start..t.end],
+            line: t.line,
+            col: t.col,
+        }
+    }
+
+    /// Converts the owned shape into the borrowed public card.
+    fn realize(&self, shape: Shape) -> Card<'_> {
+        let t0 = self.toks[0];
+        match shape {
+            Shape::Net { index, role, name } => Card::Net {
+                index,
+                role,
+                name: self.field(name),
+                line: t0.line,
+                col: t0.col,
+            },
+            Shape::Output { node } => Card::Output {
+                node: self.field(node),
+                line: t0.line,
+                col: t0.col,
+            },
+            Shape::Driver { net, node, ohms } => Card::Driver {
+                net,
+                node: self.field(node),
+                ohms,
+                line: t0.line,
+                col: t0.col,
+            },
+            Shape::Res { a, b, ohms } => Card::Resistor {
+                a: self.field(a),
+                b: self.field(b),
+                ohms,
+            },
+            Shape::GCap { node, farads } => Card::GroundCap {
+                node: self.field(node),
+                farads,
+            },
+            Shape::Sink { node, farads } => Card::SinkCap {
+                node: self.field(node),
+                farads,
+            },
+            Shape::CCap { a, b, farads } => Card::CouplingCap {
+                a: self.field(a),
+                b: self.field(b),
+                farads,
+            },
+            Shape::End => Card::End,
+        }
+    }
+}
+
+/// A node-name occurrence: interned node id plus the deck position of
+/// the referencing token, so late errors still point at their source.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeUse {
+    pub(crate) node: u32,
+    pub(crate) line: usize,
+    pub(crate) col: usize,
+}
+
+/// One declared net in a [`DeckIndex`].
+#[derive(Debug, Clone)]
+pub(crate) struct IndexedNet {
+    pub(crate) name: String,
+    pub(crate) role: NetRole,
+    pub(crate) driver: Option<(NodeUse, f64)>,
+    decl_line: usize,
+    decl_col: usize,
+}
+
+/// Compact whole-deck element index built by draining a [`DeckStream`]:
+/// flat per-kind element arrays over interned node ids, with node→net
+/// resolution (driver-seeded, grown along resistors) already performed.
+///
+/// This is the bounded-memory representation full-chip screening works
+/// from — memory is proportional to the deck's element count with a
+/// small constant, and no [`Network`], tree or matrix structure is
+/// built. Networks are materialized per coupled cluster on demand
+/// (see [`crate::cluster`]), or all at once via [`Self::into_network`]
+/// (which is exactly what [`parse_deck`](super::parse_deck) does).
+#[derive(Debug, Clone)]
+pub struct DeckIndex {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+    /// Net owning each node, resolved; `None` = unreachable from any
+    /// driver.
+    pub(crate) node_net: Vec<Option<u32>>,
+    pub(crate) nets: Vec<IndexedNet>,
+    pub(crate) resistors: Vec<(NodeUse, NodeUse, f64)>,
+    pub(crate) ground_caps: Vec<(NodeUse, f64)>,
+    pub(crate) sinks: Vec<(NodeUse, f64)>,
+    pub(crate) coupling_caps: Vec<(NodeUse, NodeUse, f64)>,
+    pub(crate) output: Option<NodeUse>,
+    stats: DeckStats,
+    skipped_samples: Vec<(usize, String)>,
+}
+
+impl DeckIndex {
+    /// Streams a whole deck from `reader` into an index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every [`DeckStream`] error, plus duplicate-definition
+    /// errors (driver cards, output directives, nodes driven by two
+    /// nets) and missing-driver errors.
+    pub fn from_reader<R: BufRead>(
+        reader: R,
+        options: StreamOptions,
+    ) -> Result<Self, SpiceParseError> {
+        let mut stream = DeckStream::new(reader, options);
+        let mut index = DeckIndex {
+            names: Vec::new(),
+            ids: HashMap::new(),
+            node_net: Vec::new(),
+            nets: Vec::new(),
+            resistors: Vec::new(),
+            ground_caps: Vec::new(),
+            sinks: Vec::new(),
+            coupling_caps: Vec::new(),
+            output: None,
+            stats: DeckStats::default(),
+            skipped_samples: Vec::new(),
+        };
+        while let Some(card) = stream.next_card()? {
+            match card {
+                Card::Net {
+                    role,
+                    name,
+                    line,
+                    col,
+                    ..
+                } => {
+                    index.nets.push(IndexedNet {
+                        name: name.text.to_string(),
+                        role,
+                        driver: None,
+                        decl_line: line,
+                        decl_col: col,
+                    });
+                }
+                Card::Output { node, line, col } => {
+                    if index.output.is_some() {
+                        return Err(SpiceParseError::DuplicateDefinition {
+                            line,
+                            col,
+                            what: "output directive".into(),
+                        });
+                    }
+                    let nu = index.intern(node);
+                    index.output = Some(nu);
+                }
+                Card::Driver {
+                    net,
+                    node,
+                    ohms,
+                    line,
+                    col,
+                } => {
+                    if index.nets[net].driver.is_some() {
+                        return Err(SpiceParseError::DuplicateDefinition {
+                            line,
+                            col,
+                            what: format!("driver card for net {net}"),
+                        });
+                    }
+                    let nu = index.intern(node);
+                    index.nets[net].driver = Some((nu, ohms));
+                }
+                Card::Resistor { a, b, ohms } => {
+                    let (a, b) = (index.intern(a), index.intern(b));
+                    index.resistors.push((a, b, ohms));
+                }
+                Card::GroundCap { node, farads } => {
+                    let nu = index.intern(node);
+                    index.ground_caps.push((nu, farads));
+                }
+                Card::SinkCap { node, farads } => {
+                    let nu = index.intern(node);
+                    index.sinks.push((nu, farads));
+                }
+                Card::CouplingCap { a, b, farads } => {
+                    let (a, b) = (index.intern(a), index.intern(b));
+                    index.coupling_caps.push((a, b, farads));
+                }
+                Card::End => {}
+            }
+        }
+        index.stats = stream.stats();
+        index.skipped_samples = std::mem::take(&mut stream.skipped_samples);
+        index.resolve()?;
+        Ok(index)
+    }
+
+    /// Interns a node-name token.
+    fn intern(&mut self, f: Field<'_>) -> NodeUse {
+        let node = match self.ids.get(f.text) {
+            Some(&id) => id,
+            None => {
+                let id = u32::try_from(self.names.len()).unwrap_or(u32::MAX);
+                self.names.push(f.text.to_string());
+                self.ids.insert(f.text.to_string(), id);
+                self.node_net.push(None);
+                id
+            }
+        };
+        NodeUse {
+            node,
+            line: f.line,
+            col: f.col,
+        }
+    }
+
+    /// Assigns nodes to nets: seed each net with its driver node, then
+    /// grow along resistor edges to a fixed point (nets are resistively
+    /// disjoint in valid decks).
+    fn resolve(&mut self) -> Result<(), SpiceParseError> {
+        for i in 0..self.nets.len() {
+            let Some((nu, _)) = self.nets[i].driver else {
+                return Err(SpiceParseError::Malformed {
+                    line: self.nets[i].decl_line,
+                    col: self.nets[i].decl_col,
+                    detail: format!("net {i} has no RDRV card"),
+                });
+            };
+            if self.node_net[nu.node as usize].is_some() {
+                return Err(SpiceParseError::DuplicateDefinition {
+                    line: nu.line,
+                    col: nu.col,
+                    what: format!(
+                        "node {:?} (driver node of two different nets)",
+                        self.names[nu.node as usize]
+                    ),
+                });
+            }
+            self.node_net[nu.node as usize] = Some(u32::try_from(i).unwrap_or(u32::MAX));
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for k in 0..self.resistors.len() {
+                let (a, b) = (self.resistors[k].0.node, self.resistors[k].1.node);
+                match (self.node_net[a as usize], self.node_net[b as usize]) {
+                    (Some(na), None) => {
+                        self.node_net[b as usize] = Some(na);
+                        changed = true;
+                    }
+                    (None, Some(nb)) => {
+                        self.node_net[a as usize] = Some(nb);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of declared nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Name of net `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= net_count()`.
+    pub fn net_name(&self, i: usize) -> &str {
+        &self.nets[i].name
+    }
+
+    /// Declared role of net `i` (advisory for screening, which treats
+    /// every net as a victim in turn).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= net_count()`.
+    pub fn net_role(&self, i: usize) -> NetRole {
+        self.nets[i].role
+    }
+
+    /// Stream counters for the whole deck.
+    pub fn stats(&self) -> DeckStats {
+        self.stats
+    }
+
+    /// The first few leniently skipped directives, as `(line, card
+    /// name)` pairs.
+    pub fn skipped_samples(&self) -> &[(usize, String)] {
+        &self.skipped_samples
+    }
+
+    /// Number of nodes referenced by element cards but unreachable from
+    /// any driver through resistors. Whole-deck materialization rejects
+    /// these with a positioned error; cluster materialization skips
+    /// their elements.
+    pub fn unassigned_nodes(&self) -> usize {
+        self.node_net.iter().filter(|n| n.is_none()).count()
+    }
+
+    /// The net owning the `*! output` node, when present and resolved.
+    pub fn output_net(&self) -> Option<usize> {
+        let out = self.output.as_ref()?;
+        self.node_net[out.node as usize].map(|n| n as usize)
+    }
+
+    /// Materializes the whole deck as one validated [`Network`] with the
+    /// deck's declared roles — the engine underneath
+    /// [`parse_deck`](super::parse_deck).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceParseError::Malformed`] for element cards referencing
+    /// nodes unreachable from any driver, and
+    /// [`SpiceParseError::Invalid`] when the described structure fails
+    /// [`NetworkBuilder::build`] validation.
+    pub fn into_network(self) -> Result<Network, SpiceParseError> {
+        self.materialize(None)
+    }
+
+    /// Materializes either the whole deck (`selection == None`, deck
+    /// roles kept) or one coupled cluster (`selection == Some((members,
+    /// victim))`, roles reassigned: `victim` becomes the victim, every
+    /// other member an aggressor).
+    ///
+    /// Both paths share one code path on purpose: nets are added in
+    /// declaration order, nodes in name-sorted order, elements in deck
+    /// order — so a cluster network is exactly the whole-deck network
+    /// with other clusters' rows deleted, and per-cluster analysis
+    /// results are bit-identical to the whole-deck path.
+    pub(crate) fn materialize(
+        &self,
+        selection: Option<(&[u32], u32)>,
+    ) -> Result<Network, SpiceParseError> {
+        let island = selection.is_some();
+        let mut b = NetworkBuilder::new();
+        let mut net_ids: Vec<Option<NetId>> = vec![None; self.nets.len()];
+        match selection {
+            None => {
+                for (i, rn) in self.nets.iter().enumerate() {
+                    net_ids[i] = Some(b.add_net(rn.name.clone(), rn.role));
+                }
+            }
+            Some((members, victim)) => {
+                for &m in members {
+                    let role = if m == victim {
+                        NetRole::Victim
+                    } else {
+                        NetRole::Aggressor
+                    };
+                    net_ids[m as usize] = Some(b.add_net(self.nets[m as usize].name.clone(), role));
+                }
+            }
+        }
+
+        // Deterministic node order: sort selected nodes by name (the
+        // subset of a sorted sequence is sorted, so cluster order
+        // matches whole-deck order restricted to the cluster).
+        let mut node_names: Vec<&str> = (0..self.names.len())
+            .filter(|&id| {
+                self.node_net[id].is_some_and(|n| net_ids[n as usize].is_some())
+            })
+            .map(|id| self.names[id].as_str())
+            .collect();
+        node_names.sort_unstable();
+        let mut node_ids: HashMap<&str, NodeId> = HashMap::with_capacity(node_names.len());
+        for name in node_names {
+            let owner = self.node_net[self.ids[name] as usize].expect("selected nodes are owned");
+            let net = net_ids[owner as usize].expect("selected nodes' nets are selected");
+            node_ids.insert(name, b.add_node(net, name));
+        }
+        // In whole-deck mode a missing node is an unreachable-node error
+        // at the referencing token; in cluster mode the element simply
+        // belongs to another cluster (or dangles) and is skipped.
+        let resolve = |nu: &NodeUse| -> Result<Option<NodeId>, SpiceParseError> {
+            match node_ids.get(self.names[nu.node as usize].as_str()) {
+                Some(&id) => Ok(Some(id)),
+                None if island => Ok(None),
+                None => Err(SpiceParseError::Malformed {
+                    line: nu.line,
+                    col: nu.col,
+                    detail: format!(
+                        "node {:?} not reachable from any driver",
+                        self.names[nu.node as usize]
+                    ),
+                }),
+            }
+        };
+
+        for (i, rn) in self.nets.iter().enumerate() {
+            let Some(net) = net_ids[i] else { continue };
+            let (nu, ohms) = rn.driver.as_ref().expect("resolve() checked drivers");
+            let Some(node) = resolve(nu)? else { continue };
+            b.add_driver(net, node, *ohms)?;
+        }
+        for (a, bb, ohms) in &self.resistors {
+            let (Some(x), Some(y)) = (resolve(a)?, resolve(bb)?) else {
+                continue;
+            };
+            b.add_resistor(x, y, *ohms)?;
+        }
+        for (n, f) in &self.ground_caps {
+            let Some(x) = resolve(n)? else { continue };
+            b.add_ground_cap(x, *f)?;
+        }
+        for (n, f) in &self.sinks {
+            let Some(x) = resolve(n)? else { continue };
+            b.add_sink(x, *f)?;
+        }
+        for (a, bb, f) in &self.coupling_caps {
+            let (Some(x), Some(y)) = (resolve(a)?, resolve(bb)?) else {
+                continue;
+            };
+            b.add_coupling_cap(x, y, *f)?;
+        }
+        if let Some(out) = &self.output {
+            match selection {
+                None => {
+                    let node = resolve(out)?.expect("whole-deck resolve errors instead");
+                    b.set_victim_output(node);
+                }
+                Some((_, victim)) => {
+                    // Only meaningful when the output node sits on this
+                    // cluster's victim; otherwise the victim's first
+                    // sink is the (builder-default) observation node.
+                    if self.node_net[out.node as usize] == Some(victim) {
+                        if let Some(node) = resolve(out)? {
+                            b.set_victim_output(node);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(b.build()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spice::{parse_deck, write_deck};
+    use crate::NetworkBuilder;
+
+    fn two_net_deck() -> String {
+        let mut b = NetworkBuilder::new();
+        let v = b.add_net("vic", NetRole::Victim);
+        let a = b.add_net("agg", NetRole::Aggressor);
+        let v0 = b.add_node(v, "v0");
+        let v1 = b.add_node(v, "v1");
+        let a0 = b.add_node(a, "a0");
+        b.add_driver(v, v0, 150.0).unwrap();
+        b.add_driver(a, a0, 90.0).unwrap();
+        b.add_resistor(v0, v1, 25.0).unwrap();
+        b.add_ground_cap(v1, 8e-15).unwrap();
+        b.add_sink(v1, 12e-15).unwrap();
+        b.add_sink(a0, 10e-15).unwrap();
+        b.add_coupling_cap(v1, a0, 22e-15).unwrap();
+        write_deck(&b.build().unwrap())
+    }
+
+    /// Folds every element card after its second token with a `+`
+    /// continuation line.
+    fn fold_cards(deck: &str) -> String {
+        let mut out = String::new();
+        for line in deck.lines() {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() >= 4 && !line.starts_with('*') && !line.starts_with('.') {
+                out.push_str(&format!(
+                    "{} {}\n+   {}\n",
+                    toks[0],
+                    toks[1],
+                    toks[2..].join(" ")
+                ));
+            } else {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn continuation_lines_join_into_one_card() {
+        let deck = two_net_deck();
+        let folded = fold_cards(&deck);
+        assert!(folded.contains("\n+   "), "{folded}");
+        let plain = parse_deck(&deck).unwrap();
+        let joined = parse_deck(&folded).unwrap();
+        assert_eq!(plain.node_count(), joined.node_count());
+        assert_eq!(plain.resistors(), joined.resistors());
+        assert_eq!(plain.coupling_caps(), joined.coupling_caps());
+    }
+
+    #[test]
+    fn continuation_stats_are_counted() {
+        let deck = fold_cards(&two_net_deck());
+        let index =
+            DeckIndex::from_reader(deck.as_bytes(), StreamOptions::default()).unwrap();
+        // Every folded card contributed exactly one continuation line.
+        assert_eq!(
+            index.stats().continuations,
+            deck.lines().filter(|l| l.starts_with('+')).count()
+        );
+    }
+
+    #[test]
+    fn continuation_errors_point_at_the_physical_line() {
+        // The bad value sits on the continuation line (line 3, col 5).
+        let deck = "*! net 0 victim v\nRDRV0 src0\n+   n0 bogus\n";
+        match parse_deck(deck) {
+            Err(SpiceParseError::BadNumber { line, col, token }) => {
+                assert_eq!((line, col), (3, 8));
+                assert_eq!(token, "bogus");
+            }
+            other => panic!("expected bad-number error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn continuation_survives_interleaved_blank_and_comment_lines() {
+        let deck = "*! net 0 victim v\nRDRV0 src0\n* a comment\n\n+ n0 120\nCL0 n0 0 10f\n";
+        let network = parse_deck(deck).unwrap();
+        assert_eq!(network.net_count(), 1);
+    }
+
+    #[test]
+    fn stray_continuation_is_rejected() {
+        let deck = "* comment only so far\n+ R0 n0 n1 5\n";
+        match parse_deck(deck) {
+            Err(SpiceParseError::Malformed { line, col, detail }) => {
+                assert_eq!((line, col), (2, 1));
+                assert!(detail.contains("continuation"), "{detail}");
+            }
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn glued_continuation_token_keeps_its_column() {
+        // `+n0` glues the marker to the token; the node is still `n0`.
+        let deck = "*! net 0 victim v\nRDRV0 src0\n+n0 120\nCL0 n0 0 10f\n";
+        let network = parse_deck(deck).unwrap();
+        assert_eq!(network.node_count(), 1);
+    }
+
+    #[test]
+    fn lenient_mode_skips_benign_directives_and_counts_them() {
+        let deck = "\
+.GLOBAL vdd vss\n.TEMP 25\n*! net 0 victim v\nRDRV0 src0 n0 120\n\
+.SUBCKT shell\nCL0 n0 0 10f\n.ENDS shell\n.OPTION post=1\n.end\n";
+        // Strict: hard error on the first directive.
+        match parse_deck(deck) {
+            Err(SpiceParseError::Malformed { line, col, detail }) => {
+                assert_eq!((line, col), (1, 1));
+                assert!(detail.contains(".GLOBAL"), "{detail}");
+            }
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+        // Lenient: skip with exact accounting, contents parse flattened.
+        let index = DeckIndex::from_reader(
+            deck.as_bytes(),
+            StreamOptions {
+                lenient: true,
+                ..StreamOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(index.stats().skipped_directives, 5);
+        assert_eq!(index.skipped_samples().len(), 5);
+        assert_eq!(index.skipped_samples()[0], (1, ".GLOBAL".to_string()));
+        let network = index.into_network().unwrap();
+        assert_eq!(network.net_count(), 1);
+    }
+
+    #[test]
+    fn lenient_mode_still_rejects_unknown_bang_directives() {
+        let deck = "*! nonsense here\n";
+        let err = DeckIndex::from_reader(
+            deck.as_bytes(),
+            StreamOptions {
+                lenient: true,
+                ..StreamOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpiceParseError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn streamed_parse_matches_whole_deck_parse() {
+        let deck = two_net_deck();
+        let whole = parse_deck(&deck).unwrap();
+        let streamed = DeckIndex::from_reader(deck.as_bytes(), StreamOptions::default())
+            .unwrap()
+            .into_network()
+            .unwrap();
+        assert_eq!(whole.node_count(), streamed.node_count());
+        assert_eq!(whole.resistors(), streamed.resistors());
+        assert_eq!(whole.ground_caps(), streamed.ground_caps());
+        assert_eq!(whole.coupling_caps(), streamed.coupling_caps());
+        assert_eq!(whole.victim_output(), streamed.victim_output());
+    }
+
+    #[test]
+    fn io_errors_surface_as_structured_errors() {
+        struct Failing;
+        impl std::io::Read for Failing {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        let reader = std::io::BufReader::new(Failing);
+        let err = DeckIndex::from_reader(reader, StreamOptions::default()).unwrap_err();
+        assert!(matches!(err, SpiceParseError::Io(_)));
+        assert!(err.to_string().contains("disk on fire"));
+        assert_eq!(err.position(), None);
+    }
+
+    #[test]
+    fn driver_continuation_mid_card_round_trips() {
+        // Split an RDRV card between the source node and the driven
+        // node — the exact fold shape PEX exporters emit.
+        let deck = "*! net 0 victim v\n*! net 1 aggressor a\n\
+RDRV0 src0\n+ n0 120\nRDRV1\n+ src1 n1\n+ 90\n\
+CL0 n0 0 10f\nCL1 n1 0 12f\nCC0 n0 n1 5f\n.end\n";
+        let network = parse_deck(deck).unwrap();
+        assert_eq!(network.net_count(), 2);
+        assert_eq!(network.coupling_caps().len(), 1);
+    }
+}

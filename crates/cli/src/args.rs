@@ -189,6 +189,32 @@ pub struct SweepCmdArgs {
     pub family: SweepFamily,
 }
 
+/// Parsed `xtalk screen` invocation: full-deck screen-then-escalate.
+#[derive(Debug, Clone)]
+pub struct ScreenCmdArgs {
+    /// Path to the (possibly extractor-shaped) SPICE deck.
+    pub deck_path: String,
+    /// Aggressor input slew (s).
+    pub slew: f64,
+    /// Aggressor input arrival (s).
+    pub arrival: f64,
+    /// Aggressor input shape.
+    pub shape: ShapeArg,
+    /// Failure threshold (× Vdd) nets are ranked against.
+    pub threshold: f64,
+    /// Escalate nets whose `vp/threshold` reaches this ratio.
+    pub escalate_ratio: f64,
+    /// Skip the golden-simulation stage (rank only).
+    pub no_escalate: bool,
+    /// Strict mode: reject benign directives, forbid metric fallback.
+    pub strict: bool,
+    /// Worker-count policy; the ranked report and its JSON are
+    /// byte-identical for every value.
+    pub jobs: Jobs,
+    /// Write the ranked JSON report to this path.
+    pub json: Option<String>,
+}
+
 /// Which transport `xtalk serve` listens on.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Transport {
@@ -230,6 +256,8 @@ pub enum ParseOutcome {
     Sweep(SweepCmdArgs),
     /// Run the analysis daemon.
     Serve(ServeArgs),
+    /// Run the full-deck screening pipeline.
+    Screen(ScreenCmdArgs),
     /// Print this help text and exit successfully.
     Help(String),
 }
@@ -250,6 +278,9 @@ USAGE:
     xtalk serve [--tcp ADDR | --unix PATH] [--jobs N|auto]
                 [--queue-capacity N] [--max-request-bytes N]
                 [--deadline-ms T] [--test-faults]
+    xtalk screen <deck.sp> [--slew T] [--arrival T] [--shape ramp|exp|step]
+                 [--threshold V] [--escalate-ratio R] [--no-escalate]
+                 [--strict] [--jobs N|auto] [--json PATH]
 
 The deck must use the subset written by xtalk's SPICE exporter (element
 cards R/C/CC/CL/RDRV plus `*!` net-role directives). Times accept SPICE
@@ -295,6 +326,17 @@ says so. Worker panics are caught per request; the pool survives.
 SIGTERM (or stdin EOF) stops admission, drains in-flight work, flushes
 --metrics-out, and exits 0. --test-faults enables the `boom` request
 type that deliberately panics a worker (for fault-injection tests).
+
+`xtalk screen` streams a flat extracted deck (bounded memory — the whole
+deck is never built as one network), partitions nets into coupling
+islands, screens every net with the closed-form metrics, and ranks them
+by peak-noise/threshold ratio. Nets at or above --escalate-ratio
+(default 0.8) of --threshold (default 0.1 x Vdd) escalate to the tiered
+golden simulator; --no-escalate ranks without simulating. The streaming
+parser accepts `+` continuation lines, and skips benign directives
+(.GLOBAL, .TEMP, .OPTION, .SUBCKT/.ENDS) with a counted warning;
+--strict rejects them and forbids metric fallback. --json PATH writes
+the ranked report (byte-identical for every --jobs value).
 
 Exit codes (all commands):
     0  success
@@ -400,6 +442,7 @@ fn parse_command(argv: &[String]) -> Result<ParseOutcome, Box<dyn Error>> {
         Some("audit") => return parse_audit(it),
         Some("sweep") => return parse_sweep(it),
         Some("serve") => return parse_serve(it),
+        Some("screen") => return parse_screen(it),
         Some(other) => return Err(format!("unknown command {other:?}; try --help").into()),
     };
     let deck_path = it
@@ -573,6 +616,75 @@ fn parse_sweep(
         }
     }
     Ok(ParseOutcome::Sweep(sweep))
+}
+
+fn parse_screen(
+    mut it: std::iter::Peekable<std::slice::Iter<'_, String>>,
+) -> Result<ParseOutcome, Box<dyn Error>> {
+    let mut screen = ScreenCmdArgs {
+        deck_path: it
+            .next()
+            .ok_or("missing deck path; try --help")?
+            .to_string(),
+        slew: 100e-12,
+        arrival: 0.0,
+        shape: ShapeArg::default(),
+        threshold: 0.1,
+        escalate_ratio: 0.8,
+        no_escalate: false,
+        strict: false,
+        jobs: Jobs::Auto,
+        json: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, Box<dyn Error>> {
+            it.next().ok_or_else(|| format!("{flag} needs a value").into())
+        };
+        match flag.as_str() {
+            "--slew" => {
+                screen.slew = parse_si_value(value()?)
+                    .ok_or_else(|| "bad --slew value".to_string())?;
+            }
+            "--arrival" => {
+                screen.arrival = parse_si_value(value()?)
+                    .ok_or_else(|| "bad --arrival value".to_string())?;
+            }
+            "--shape" => {
+                screen.shape = match value()?.as_str() {
+                    "ramp" => ShapeArg::Ramp,
+                    "exp" => ShapeArg::Exp,
+                    "step" => ShapeArg::Step,
+                    other => return Err(format!("unknown shape {other:?}").into()),
+                };
+            }
+            "--threshold" => {
+                screen.threshold = value()?
+                    .parse()
+                    .map_err(|_| "bad --threshold value".to_string())?;
+                if !(screen.threshold.is_finite() && screen.threshold > 0.0) {
+                    return Err("--threshold must be positive".into());
+                }
+            }
+            "--escalate-ratio" => {
+                screen.escalate_ratio = value()?
+                    .parse()
+                    .map_err(|_| "bad --escalate-ratio value".to_string())?;
+                if !(screen.escalate_ratio.is_finite() && screen.escalate_ratio > 0.0) {
+                    return Err("--escalate-ratio must be positive".into());
+                }
+            }
+            "--no-escalate" => screen.no_escalate = true,
+            "--strict" => screen.strict = true,
+            "--jobs" => screen.jobs = Jobs::parse(value()?)?,
+            "--json" => screen.json = Some(value()?.to_string()),
+            "--help" | "-h" => return Ok(ParseOutcome::Help(HELP.to_string())),
+            other => return Err(format!("unknown flag {other:?}; try --help").into()),
+        }
+    }
+    if !(screen.slew.is_finite() && screen.slew > 0.0) && screen.shape != ShapeArg::Step {
+        return Err("--slew must be positive".into());
+    }
+    Ok(ParseOutcome::Screen(screen))
 }
 
 fn parse_serve(
@@ -881,6 +993,47 @@ mod tests {
         assert!(parse_outcome(&["serve", "--deadline-ms", "0"]).is_err());
         assert!(parse_outcome(&["serve", "--deadline-ms", "inf"]).is_err());
         assert!(parse_outcome(&["serve", "deck.sp"]).is_err());
+    }
+
+    #[test]
+    fn screen_flags_parse() {
+        let screen = match parse_outcome(&["screen", "chip.sp"]).unwrap().0 {
+            ParseOutcome::Screen(s) => s,
+            other => panic!("expected Screen, got {other:?}"),
+        };
+        assert_eq!(screen.deck_path, "chip.sp");
+        assert!((screen.slew - 100e-12).abs() < 1e-20);
+        assert!((screen.threshold - 0.1).abs() < 1e-12);
+        assert!((screen.escalate_ratio - 0.8).abs() < 1e-12);
+        assert!(!screen.no_escalate);
+        assert!(!screen.strict);
+        assert_eq!(screen.jobs, Jobs::Auto);
+        assert!(screen.json.is_none());
+
+        let screen = match parse_outcome(&[
+            "screen", "chip.sp", "--slew", "250p", "--shape", "exp", "--threshold", "0.15",
+            "--escalate-ratio", "0.5", "--no-escalate", "--strict", "--jobs", "2", "--json",
+            "rank.json",
+        ])
+        .unwrap()
+        .0
+        {
+            ParseOutcome::Screen(s) => s,
+            other => panic!("expected Screen, got {other:?}"),
+        };
+        assert!((screen.slew - 250e-12).abs() < 1e-20);
+        assert_eq!(screen.shape, ShapeArg::Exp);
+        assert!((screen.threshold - 0.15).abs() < 1e-12);
+        assert!((screen.escalate_ratio - 0.5).abs() < 1e-12);
+        assert!(screen.no_escalate);
+        assert!(screen.strict);
+        assert_eq!(screen.jobs, Jobs::Count(2));
+        assert_eq!(screen.json.as_deref(), Some("rank.json"));
+
+        assert!(parse_outcome(&["screen"]).is_err());
+        assert!(parse_outcome(&["screen", "c.sp", "--threshold", "0"]).is_err());
+        assert!(parse_outcome(&["screen", "c.sp", "--escalate-ratio", "-1"]).is_err());
+        assert!(parse_outcome(&["screen", "c.sp", "--wat"]).is_err());
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! xtalk audit [--cases N] [--seed S] [--jobs N|auto] [--json PATH]
 //! xtalk sweep [--cases N] [--seed S] [--corners F] [--family FAM]
 //! xtalk serve [--tcp ADDR | --unix PATH] [--queue-capacity N]   # daemon
+//! xtalk screen <deck.sp> [--threshold 0.1] [--escalate-ratio 0.8]
+//!              [--no-escalate] [--strict] [--json PATH]   # full-chip screen
 //! ```
 //!
 //! Every command additionally accepts the observability switches
@@ -40,12 +42,13 @@
 mod args;
 mod exit;
 mod report;
+mod screen_cmd;
 mod serve_cmd;
 mod sweep;
 
 pub use args::{
-    AuditArgs, Command, DelayMetricArg, MetricArg, ObsArgs, ParseOutcome, ServeArgs, ShapeArg,
-    SweepCmdArgs, SweepFamily, Transport,
+    AuditArgs, Command, DelayMetricArg, MetricArg, ObsArgs, ParseOutcome, ScreenCmdArgs,
+    ServeArgs, ShapeArg, SweepCmdArgs, SweepFamily, Transport,
 };
 pub use exit::{ExitCode, FatalServerError};
 pub use report::{delay_report, info_report, noise_report};
@@ -144,6 +147,7 @@ fn dispatch(outcome: ParseOutcome) -> Result<RunOutcome, Box<dyn Error>> {
     match outcome {
         ParseOutcome::Help(text) => Ok(RunOutcome::clean(text)),
         ParseOutcome::Serve(serve) => serve_cmd::run_serve(&serve),
+        ParseOutcome::Screen(screen) => screen_cmd::run_screen(&screen),
         ParseOutcome::Sweep(sweep) => sweep::run_sweep(&sweep),
         ParseOutcome::Audit(audit) => {
             let report = xtalk_audit::run_audit(&xtalk_audit::AuditConfig {

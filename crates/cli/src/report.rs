@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 use xtalk_circuit::{signal::InputSignal, NetId, Network, Severity};
 use xtalk_core::{
     FallbackPolicy, MetricError, MetricKind, NoiseAnalyzer, NoiseEstimate, Provenance,
-    RobustAnalyzer, RobustError, RungError, RungFailure,
+    RobustAnalyzer,
 };
 use xtalk_delay::{DelayAnalyzer, DelayMetric};
 use xtalk_exec::par_map;
@@ -81,19 +81,6 @@ enum RowOutcome {
     Failed(String),
 }
 
-/// True when the robust chain failed only because the aggressor has no
-/// coupling path — a benign condition, not a degradation.
-fn only_no_noise(e: &RobustError) -> bool {
-    let no_noise =
-        |f: &RungFailure| matches!(f.error, RungError::Metric(MetricError::NoNoise));
-    match e {
-        RobustError::Engine(MetricError::NoNoise) => true,
-        RobustError::StrictDegradation(f) => no_noise(f),
-        RobustError::Exhausted(fails) => !fails.is_empty() && fails.iter().all(no_noise),
-        _ => false,
-    }
-}
-
 /// `noise` sub-command: per-aggressor estimates (each aggressor switching
 /// alone), optional golden cross-check and budget flags.
 ///
@@ -162,7 +149,7 @@ pub fn noise_report(network: &Network, inv: &Invocation) -> Result<(String, bool
             // The default metric runs through the fallback chain.
             MetricArg::Two => match robust.analyze(agg, &input) {
                 Ok(re) => RowOutcome::Estimate(re.estimate, Some(re.provenance)),
-                Err(e) if only_no_noise(&e) => RowOutcome::NoCoupling,
+                Err(e) if e.is_no_noise() => RowOutcome::NoCoupling,
                 Err(e) if inv.strict => return Err(e.to_string()),
                 Err(e) => RowOutcome::Failed(e.to_string()),
             },

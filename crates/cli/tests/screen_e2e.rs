@@ -1,0 +1,57 @@
+//! End-to-end `xtalk screen` coverage through the library entry point:
+//! an extractor-shaped deck (folded `+` cards, benign directives) is
+//! screened at two worker counts and the ranked JSON must match byte
+//! for byte; `--strict` must reject the same deck.
+//!
+//! The deck is written with [`PexDeckSpec`] so the test exercises the
+//! exact shapes `pexgen` emits, without shelling out.
+
+use std::fs;
+use xtalk_tech::{PexDeckSpec, Technology};
+
+fn run_xtalk(args: &[&str]) -> Result<xtalk_cli::RunOutcome, String> {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    xtalk_cli::run(&argv).map_err(|e| e.to_string())
+}
+
+#[test]
+fn screen_json_is_jobs_invariant_and_strict_rejects() {
+    let dir = std::env::temp_dir().join(format!("xtalk-screen-e2e-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("temp dir");
+    let deck_path = dir.join("bus.sp");
+    let mut spec = PexDeckSpec::new(2, 16, 3);
+    spec.fold_cards = true;
+    spec.benign_directives = true;
+    fs::write(&deck_path, spec.deck_string(&Technology::p25())).expect("deck written");
+    let deck = deck_path.to_string_lossy().into_owned();
+    let j1 = dir.join("rank1.json").to_string_lossy().into_owned();
+    let j2 = dir.join("rank2.json").to_string_lossy().into_owned();
+
+    let out1 = run_xtalk(&[
+        "screen", &deck, "--jobs", "1", "--quiet", "--json", &j1,
+    ])
+    .expect("screen runs serially");
+    let out2 = run_xtalk(&[
+        "screen", &deck, "--jobs", "2", "--quiet", "--json", &j2,
+    ])
+    .expect("screen runs in parallel");
+
+    let json1 = fs::read_to_string(&j1).expect("json written");
+    let json2 = fs::read_to_string(&j2).expect("json written");
+    assert_eq!(json1, json2, "ranked JSON must be byte-identical across --jobs");
+    assert_eq!(out1.degraded, out2.degraded);
+    assert!(!out1.violations);
+
+    // The report accounts for every net and the lenient skips.
+    assert!(json1.contains("\"nets_total\": 32"), "{json1}");
+    assert!(json1.contains("\"clusters\": 2"), "{json1}");
+    assert!(json1.contains("\"skipped_directives\": 5"), "{json1}");
+    assert!(out1.report.contains("screened 32 nets in 2 clusters"));
+
+    // Strict mode must hard-reject the benign directives.
+    let err = run_xtalk(&["screen", &deck, "--strict", "--quiet"])
+        .expect_err("strict run rejects benign directives");
+    assert!(err.contains("unsupported card"), "{err}");
+
+    fs::remove_dir_all(&dir).ok();
+}

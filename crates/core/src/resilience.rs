@@ -341,6 +341,25 @@ pub enum RobustError {
     Exhausted(Vec<RungFailure>),
 }
 
+impl RobustError {
+    /// True when the analysis failed *only* because the configuration
+    /// produces no noise at all (every involved rung reported
+    /// [`MetricError::NoNoise`]) — e.g. a victim with no switching
+    /// aggressor. Callers screening many aggressors treat this as a
+    /// legitimate zero-noise contribution rather than a failure.
+    #[must_use]
+    pub fn is_no_noise(&self) -> bool {
+        let no_noise =
+            |f: &RungFailure| matches!(f.error, RungError::Metric(MetricError::NoNoise));
+        match self {
+            RobustError::Engine(MetricError::NoNoise) => true,
+            RobustError::StrictDegradation(f) => no_noise(f),
+            RobustError::Exhausted(fails) => !fails.is_empty() && fails.iter().all(no_noise),
+            _ => false,
+        }
+    }
+}
+
 impl fmt::Display for RobustError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -1,0 +1,92 @@
+//! Generates a PEX-shaped flat bus-array deck for screening workloads
+//! and benchmarks, streamed to stdout (or `--out`):
+//!
+//! ```text
+//! cargo run --release -p xtalk-eval --bin pexgen -- \
+//!     [--buses N] [--bits N] [--segments N] [--weak-every N] \
+//!     [--fold] [--benign] [--out deck.sp]
+//! ```
+//!
+//! The defaults (8 buses × 16 bits × 4 segments) produce a 128-net deck
+//! in which every 16th lane carries a deliberately weak driver; `xtalk
+//! screen` on such a deck escalates exactly those lanes. `--fold` splits
+//! coupling cards with `+` continuation lines and `--benign` adds
+//! `.GLOBAL`/`.TEMP`/`.SUBCKT` front matter, both shapes a real
+//! extractor emits.
+
+use std::io::{BufWriter, Write};
+use xtalk_tech::{PexDeckSpec, Technology};
+
+fn main() {
+    let mut spec = PexDeckSpec::new(8, 16, 4);
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("pexgen: {flag} needs a {what}");
+                std::process::exit(2);
+            })
+        };
+        let parse_count = |text: String, flag: &str| -> usize {
+            text.parse().unwrap_or_else(|_| {
+                eprintln!("pexgen: bad {flag} value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--buses" => spec.buses = parse_count(take("count"), "--buses"),
+            "--bits" => spec.bits = parse_count(take("count"), "--bits"),
+            "--segments" => spec.segments = parse_count(take("count"), "--segments"),
+            "--weak-every" => spec.weak_every = parse_count(take("cadence"), "--weak-every"),
+            "--fold" => spec.fold_cards = true,
+            "--benign" => spec.benign_directives = true,
+            "--out" => out_path = Some(take("path")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: pexgen [--buses N] [--bits N] [--segments N] \
+                     [--weak-every N] [--fold] [--benign] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("pexgen: unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    if spec.buses == 0 || spec.bits == 0 || spec.segments == 0 {
+        eprintln!("pexgen: --buses/--bits/--segments must be positive");
+        std::process::exit(2);
+    }
+    spec.victim = (0, spec.bits / 2);
+
+    let tech = Technology::p25();
+    let result = match &out_path {
+        Some(path) => {
+            let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("pexgen: cannot create {path}: {e}");
+                std::process::exit(1);
+            });
+            let mut out = BufWriter::new(file);
+            spec.write_to(&tech, &mut out).and_then(|()| out.flush())
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            spec.write_to(&tech, &mut out).and_then(|()| out.flush())
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("pexgen: write failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "pexgen: {} nets ({} buses x {} bits x {} segments){}",
+        spec.net_count(),
+        spec.buses,
+        spec.bits,
+        spec.segments,
+        out_path.map_or(String::new(), |p| format!(" -> {p}")),
+    );
+}

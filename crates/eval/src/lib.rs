@@ -25,6 +25,7 @@ mod delay_eval;
 mod figure5;
 mod lambda;
 pub mod plot;
+pub mod screen;
 mod stats;
 mod table;
 

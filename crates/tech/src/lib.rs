@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod bus;
+mod pex;
 mod technology;
 mod tree;
 mod two_pin;
@@ -51,6 +52,7 @@ mod two_pin;
 pub mod sweep;
 
 pub use bus::BusSpec;
+pub use pex::PexDeckSpec;
 pub use technology::Technology;
 pub use tree::{random_tree, TreeSpec};
 pub use two_pin::{CouplingDirection, TwoPinSpec};

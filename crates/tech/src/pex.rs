@@ -1,0 +1,308 @@
+//! PEX-shaped flat deck generation for full-chip screening workloads.
+//!
+//! [`BusSpec`](crate::BusSpec) builds one victim-centric [`Network`]
+//! (xtalk_circuit::Network) in memory; screening needs the opposite: a
+//! *flat extracted deck* with thousands of nets, written straight to a
+//! stream, shaped like what a parasitic extractor emits — bus arrays
+//! with all-pairs neighbour coupling (including aggressor–aggressor),
+//! long element cards folded with SPICE `+` continuations, and benign
+//! front-matter directives (`.GLOBAL`, `.TEMP`, `.SUBCKT` wrappers).
+//! [`PexDeckSpec`] generates exactly that, deterministically, without
+//! ever materializing a network — decks far larger than memory-feasible
+//! whole-network analysis are cheap to emit.
+//!
+//! Each bus is electrically independent (no couplings cross buses), so
+//! the coupled-cluster partitioner recovers one island per bus. Every
+//! `weak_every`-th lane gets a `weak_factor`-times weaker driver; those
+//! lanes are the deck's deliberate noise offenders, giving
+//! screen-then-escalate pipelines a realistic (small) escalation rate.
+//!
+//! # Examples
+//!
+//! ```
+//! use xtalk_tech::{PexDeckSpec, Technology};
+//!
+//! let spec = PexDeckSpec::new(2, 5, 3);
+//! assert_eq!(spec.net_count(), 10);
+//! let deck = spec.deck_string(&Technology::p25());
+//! let network = xtalk_circuit::spice::parse_deck(&deck).unwrap();
+//! assert_eq!(network.net_count(), 10);
+//! ```
+
+use crate::Technology;
+use std::io::{self, Write};
+
+/// Generator for a flat, PEX-shaped bus-array deck.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PexDeckSpec {
+    /// Number of independent buses (islands).
+    pub buses: usize,
+    /// Lanes per bus.
+    pub bits: usize,
+    /// RC segments per lane.
+    pub segments: usize,
+    /// Lane length (m).
+    pub length: f64,
+    /// Nominal driver resistance (Ω).
+    pub driver: f64,
+    /// Receiver load per lane (F).
+    pub load: f64,
+    /// Coupling fraction for second-nearest lanes (0 disables).
+    pub second_neighbor_fraction: f64,
+    /// `(bus, bit)` of the lane declared `victim` (everything else is
+    /// declared `aggressor`; screening re-designates per net anyway).
+    pub victim: (usize, usize),
+    /// Every `weak_every`-th net gets a weak driver (0 disables).
+    pub weak_every: usize,
+    /// Weak-driver resistance multiplier.
+    pub weak_factor: f64,
+    /// Fold coupling cards with `+` continuation lines.
+    pub fold_cards: bool,
+    /// Emit benign `.GLOBAL`/`.TEMP`/`.OPTION` directives and a
+    /// `.SUBCKT`/`.ENDS` wrapper around the elements (requires a
+    /// lenient parser).
+    pub benign_directives: bool,
+}
+
+impl PexDeckSpec {
+    /// A spec with screening-calibrated defaults: 0.2 mm lanes, 30 Ω
+    /// drivers with every 16th lane 8× weaker, 25 fF loads, second
+    /// neighbours at 25%. At the stock screening thresholds (noise
+    /// threshold 0.1 × Vdd, escalate at ratio 0.8) the weak lanes land
+    /// near ratio 1.8 and every strong lane stays below 0.5 — so
+    /// exactly `1/weak_every` of nets escalate, a realistic yield.
+    #[must_use]
+    pub fn new(buses: usize, bits: usize, segments: usize) -> Self {
+        PexDeckSpec {
+            buses,
+            bits,
+            segments,
+            length: 0.2e-3,
+            driver: 30.0,
+            load: 25e-15,
+            second_neighbor_fraction: 0.25,
+            victim: (0, bits / 2),
+            weak_every: 16,
+            weak_factor: 8.0,
+            fold_cards: false,
+            benign_directives: false,
+        }
+    }
+
+    /// Total nets in the generated deck.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.buses * self.bits
+    }
+
+    /// Driver resistance of net `idx` (weak lanes get
+    /// `driver * weak_factor`).
+    #[must_use]
+    pub fn driver_of(&self, idx: usize) -> f64 {
+        if self.weak_every > 0 && idx % self.weak_every == self.weak_every / 2 {
+            self.driver * self.weak_factor
+        } else {
+            self.driver
+        }
+    }
+
+    /// Writes the deck to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `out`'s I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized spec or a victim coordinate out of range.
+    pub fn write_to<W: Write>(&self, tech: &Technology, out: &mut W) -> io::Result<()> {
+        assert!(
+            self.buses > 0 && self.bits > 0 && self.segments > 0,
+            "spec dimensions must be positive"
+        );
+        assert!(
+            self.victim.0 < self.buses && self.victim.1 < self.bits,
+            "victim coordinate out of range"
+        );
+        let seg = self.length / self.segments as f64;
+        let (r, c, cc) = (tech.wire_r(seg), tech.wire_c(seg), tech.wire_cc(seg));
+        let victim_idx = self.victim.0 * self.bits + self.victim.1;
+        let node = |idx: usize, s: usize| {
+            let (bus, bit) = (idx / self.bits, idx % self.bits);
+            format!("b{bus}_l{bit}_{s}")
+        };
+
+        writeln!(out, "* PEX-shaped bus array generated by xtalk-tech")?;
+        writeln!(
+            out,
+            "* {} buses x {} bits x {} segments, {} nets",
+            self.buses,
+            self.bits,
+            self.segments,
+            self.net_count()
+        )?;
+        if self.benign_directives {
+            writeln!(out, ".GLOBAL vdd vss")?;
+            writeln!(out, ".TEMP 25")?;
+            writeln!(out, ".OPTION post=1")?;
+        }
+        for idx in 0..self.net_count() {
+            let (bus, bit) = (idx / self.bits, idx % self.bits);
+            let role = if idx == victim_idx { "victim" } else { "aggressor" };
+            writeln!(out, "*! net {idx} {role} bus{bus}_bit{bit}")?;
+        }
+        writeln!(out, "*! output {}", node(victim_idx, self.segments))?;
+        if self.benign_directives {
+            writeln!(out, ".SUBCKT core")?;
+        }
+        for idx in 0..self.net_count() {
+            writeln!(out, "VDRV{idx} src{idx} 0 DC 0")?;
+            writeln!(
+                out,
+                "RDRV{idx} src{idx} {} {}",
+                node(idx, 0),
+                self.driver_of(idx)
+            )?;
+        }
+        let mut res = 0usize;
+        let mut cap = 0usize;
+        for idx in 0..self.net_count() {
+            for s in 1..=self.segments {
+                writeln!(out, "R{res} {} {} {r}", node(idx, s - 1), node(idx, s))?;
+                res += 1;
+                writeln!(out, "C{cap} {} 0 {c}", node(idx, s))?;
+                cap += 1;
+            }
+            writeln!(out, "CL{idx} {} 0 {}", node(idx, self.segments), self.load)?;
+        }
+        // All-pairs neighbour coupling inside each bus, segment-aligned
+        // — aggressor–aggressor pairs included, as a real extractor
+        // reports them. Buses never couple: one island per bus.
+        let mut ccn = 0usize;
+        for bus in 0..self.buses {
+            for bit in 0..self.bits {
+                let idx = bus * self.bits + bit;
+                for (other_bit, fraction) in
+                    [(bit + 1, 1.0), (bit + 2, self.second_neighbor_fraction)]
+                {
+                    if other_bit >= self.bits || fraction == 0.0 {
+                        continue;
+                    }
+                    let other = bus * self.bits + other_bit;
+                    for s in 1..=self.segments {
+                        let value = cc * fraction;
+                        if self.fold_cards {
+                            writeln!(
+                                out,
+                                "CC{ccn} {}\n+ {} {value}",
+                                node(idx, s),
+                                node(other, s)
+                            )?;
+                        } else {
+                            writeln!(
+                                out,
+                                "CC{ccn} {} {} {value}",
+                                node(idx, s),
+                                node(other, s)
+                            )?;
+                        }
+                        ccn += 1;
+                    }
+                }
+            }
+        }
+        if self.benign_directives {
+            writeln!(out, ".ENDS core")?;
+        }
+        writeln!(out, ".end")?;
+        Ok(())
+    }
+
+    /// The deck as an in-memory string (small specs, tests, benches).
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::write_to`].
+    #[must_use]
+    pub fn deck_string(&self, tech: &Technology) -> String {
+        let mut out = Vec::new();
+        self.write_to(tech, &mut out)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("generated decks are ASCII")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_circuit::cluster::CouplingClusters;
+    use xtalk_circuit::spice::stream::{DeckIndex, StreamOptions};
+    use xtalk_circuit::spice::parse_deck;
+
+    #[test]
+    fn deck_parses_and_partitions_one_island_per_bus() {
+        let spec = PexDeckSpec::new(3, 4, 2);
+        let deck = spec.deck_string(&Technology::p25());
+        let network = parse_deck(&deck).unwrap();
+        assert_eq!(network.net_count(), 12);
+        let index =
+            DeckIndex::from_reader(deck.as_bytes(), StreamOptions::default()).unwrap();
+        let clusters = CouplingClusters::partition(&index);
+        assert_eq!(clusters.len(), 3);
+        for bus in 0..3 {
+            let members: Vec<u32> = (bus * 4..bus * 4 + 4).map(|i| i as u32).collect();
+            assert_eq!(clusters.members(bus), members.as_slice());
+        }
+    }
+
+    #[test]
+    fn folded_deck_parses_identically() {
+        let mut spec = PexDeckSpec::new(2, 3, 2);
+        let plain = spec.deck_string(&Technology::p25());
+        spec.fold_cards = true;
+        let folded = spec.deck_string(&Technology::p25());
+        assert!(folded.lines().any(|l| l.starts_with('+')), "{folded}");
+        let a = parse_deck(&plain).unwrap();
+        let b = parse_deck(&folded).unwrap();
+        assert_eq!(a.coupling_caps(), b.coupling_caps());
+        assert_eq!(a.node_count(), b.node_count());
+    }
+
+    #[test]
+    fn benign_directives_need_the_lenient_parser() {
+        let mut spec = PexDeckSpec::new(1, 3, 2);
+        spec.benign_directives = true;
+        let deck = spec.deck_string(&Technology::p25());
+        assert!(parse_deck(&deck).is_err(), "strict parse must reject");
+        let index = DeckIndex::from_reader(
+            deck.as_bytes(),
+            StreamOptions {
+                lenient: true,
+                ..StreamOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(index.stats().skipped_directives, 5);
+        assert_eq!(index.into_network().unwrap().net_count(), 3);
+    }
+
+    #[test]
+    fn weak_lanes_appear_at_the_configured_cadence() {
+        let spec = PexDeckSpec::new(4, 16, 2);
+        let weak: Vec<usize> = (0..spec.net_count())
+            .filter(|&i| spec.driver_of(i) > spec.driver * 2.0)
+            .collect();
+        assert_eq!(weak.len(), 4);
+        assert_eq!(weak[0], 8);
+        assert!(weak.windows(2).all(|w| w[1] - w[0] == 16));
+    }
+
+    #[test]
+    fn output_directive_points_at_the_victim_sink() {
+        let spec = PexDeckSpec::new(2, 5, 3);
+        let deck = spec.deck_string(&Technology::p25());
+        let network = parse_deck(&deck).unwrap();
+        // Victim is bus 0 bit 2; its far-end node carries the output.
+        assert_eq!(network.node_name(network.victim_output()), "b0_l2_3");
+    }
+}
