@@ -8,6 +8,8 @@
 use xtalk_circuit::{signal::InputSignal, NetId, Network};
 use xtalk_tech::{CouplingDirection, Technology, TwoPinSpec};
 
+pub mod diff;
+
 /// A mid-range two-pin coupling circuit used by the throughput benches.
 pub fn reference_two_pin() -> (Network, NetId, InputSignal) {
     let tech = Technology::p25();

@@ -243,6 +243,37 @@ pub struct ServeArgs {
     pub test_faults: bool,
     /// Worker pool size.
     pub jobs: Jobs,
+    /// Flush the request-lifecycle event log (JSONL) to this path at
+    /// shutdown.
+    pub events_out: Option<String>,
+}
+
+/// Parsed `xtalk top` invocation: poll a running daemon's `stats` reply
+/// and render a live dashboard.
+#[derive(Debug, Clone)]
+pub struct TopArgs {
+    /// Daemon address (`--tcp` or `--unix`; `top` cannot attach to a
+    /// stdio daemon).
+    pub transport: Transport,
+    /// Poll interval in milliseconds.
+    pub interval_ms: u64,
+    /// Poll once, print plainly (no screen refresh), and exit.
+    pub once: bool,
+}
+
+/// Parsed `xtalk bench-diff` invocation: compare two `BENCH_*.json`
+/// artifacts against regression thresholds.
+#[derive(Debug, Clone)]
+pub struct BenchDiffArgs {
+    /// Baseline (old) benchmark JSON path.
+    pub old_path: String,
+    /// Candidate (new) benchmark JSON path.
+    pub new_path: String,
+    /// Relative regression tolerance in percent.
+    pub max_regress_pct: f64,
+    /// When non-empty, only paths containing one of these substrings
+    /// are gated.
+    pub fields: Vec<String>,
 }
 
 /// Result of parsing: either run an analysis or print help.
@@ -258,6 +289,10 @@ pub enum ParseOutcome {
     Serve(ServeArgs),
     /// Run the full-deck screening pipeline.
     Screen(ScreenCmdArgs),
+    /// Poll a running daemon and render a live stats dashboard.
+    Top(TopArgs),
+    /// Diff two benchmark JSON artifacts against regression thresholds.
+    BenchDiff(BenchDiffArgs),
     /// Print this help text and exit successfully.
     Help(String),
 }
@@ -277,10 +312,13 @@ USAGE:
                 [--family far|near|tree|all] [--jobs N|auto]
     xtalk serve [--tcp ADDR | --unix PATH] [--jobs N|auto]
                 [--queue-capacity N] [--max-request-bytes N]
-                [--deadline-ms T] [--test-faults]
+                [--deadline-ms T] [--test-faults] [--events-out PATH]
     xtalk screen <deck.sp> [--slew T] [--arrival T] [--shape ramp|exp|step]
                  [--threshold V] [--escalate-ratio R] [--no-escalate]
                  [--strict] [--jobs N|auto] [--json PATH]
+    xtalk top (--tcp ADDR | --unix PATH) [--interval MS] [--once]
+    xtalk bench-diff <old.json> <new.json> [--max-regress-pct P]
+                     [--fields SUBSTR[,SUBSTR...]]
 
 The deck must use the subset written by xtalk's SPICE exporter (element
 cards R/C/CC/CL/RDRV plus `*!` net-role directives). Times accept SPICE
@@ -326,6 +364,29 @@ says so. Worker panics are caught per request; the pool survives.
 SIGTERM (or stdin EOF) stops admission, drains in-flight work, flushes
 --metrics-out, and exits 0. --test-faults enables the `boom` request
 type that deliberately panics a worker (for fault-injection tests).
+--events-out PATH writes the request-lifecycle event log (one JSON
+object per line: admitted/shed/started/rung_degraded/deadline/
+completed/panicked, each carrying the server-global request number and
+per-stage latencies) at shutdown. The daemon's `stats` request returns
+windowed telemetry: req/s and per-stage p50/p99 latencies over the
+last ~60 s, fallback-rung and fast-tier counters, and event/trace
+buffer occupancy.
+
+`xtalk top` connects to a running daemon (--tcp ADDR or --unix PATH),
+polls its `stats` reply every --interval MS (default 1000), and renders
+a refreshing terminal dashboard: request rate, per-stage latency
+quantiles, reply mix, degradation rungs, fast-tier hit rate, and buffer
+health. --once polls a single time, prints without screen control (for
+scripts and CI), and exits.
+
+`xtalk bench-diff` compares two benchmark JSON artifacts (e.g. a
+committed BENCH_serve.json against a freshly regenerated one). Every
+numeric field is classified by naming convention: throughputs
+(`*_per_s`, `*speedup`) must not drop, costs (`*_s`, `*_us`, `*_ms`,
+`*_ns`, `peak_rss_bytes`) must not grow, by more than --max-regress-pct
+(default 10). Other numerics are reported but never gated, as are
+fields present in only one file. --fields SUBSTR,... restricts gating
+to matching paths. Any regression exits with code 3.
 
 `xtalk screen` streams a flat extracted deck (bounded memory — the whole
 deck is never built as one network), partitions nets into coupling
@@ -443,6 +504,8 @@ fn parse_command(argv: &[String]) -> Result<ParseOutcome, Box<dyn Error>> {
         Some("sweep") => return parse_sweep(it),
         Some("serve") => return parse_serve(it),
         Some("screen") => return parse_screen(it),
+        Some("top") => return parse_top(it),
+        Some("bench-diff") => return parse_bench_diff(it),
         Some(other) => return Err(format!("unknown command {other:?}; try --help").into()),
     };
     let deck_path = it
@@ -697,6 +760,7 @@ fn parse_serve(
         deadline_ms: None,
         test_faults: false,
         jobs: Jobs::Auto,
+        events_out: None,
     };
     while let Some(flag) = it.next() {
         let mut value = || -> Result<&String, Box<dyn Error>> {
@@ -733,11 +797,92 @@ fn parse_serve(
             }
             "--test-faults" => serve.test_faults = true,
             "--jobs" => serve.jobs = Jobs::parse(value()?)?,
+            "--events-out" => serve.events_out = Some(value()?.to_string()),
             "--help" | "-h" => return Ok(ParseOutcome::Help(HELP.to_string())),
             other => return Err(format!("unknown flag {other:?}; try --help").into()),
         }
     }
     Ok(ParseOutcome::Serve(serve))
+}
+
+fn parse_top(
+    mut it: std::iter::Peekable<std::slice::Iter<'_, String>>,
+) -> Result<ParseOutcome, Box<dyn Error>> {
+    let mut transport = None;
+    let mut top = TopArgs {
+        transport: Transport::Stdio, // replaced below; stdio is rejected
+        interval_ms: 1000,
+        once: false,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, Box<dyn Error>> {
+            it.next().ok_or_else(|| format!("{flag} needs a value").into())
+        };
+        match flag.as_str() {
+            "--tcp" => transport = Some(Transport::Tcp(value()?.to_string())),
+            "--unix" => transport = Some(Transport::Unix(value()?.to_string())),
+            "--interval" => {
+                top.interval_ms = value()?
+                    .parse()
+                    .map_err(|_| "bad --interval value".to_string())?;
+                if top.interval_ms == 0 {
+                    return Err("--interval must be at least 1 (ms)".into());
+                }
+            }
+            "--once" => top.once = true,
+            "--help" | "-h" => return Ok(ParseOutcome::Help(HELP.to_string())),
+            other => return Err(format!("unknown flag {other:?}; try --help").into()),
+        }
+    }
+    top.transport =
+        transport.ok_or("xtalk top needs a daemon address: --tcp ADDR or --unix PATH")?;
+    Ok(ParseOutcome::Top(top))
+}
+
+fn parse_bench_diff(
+    mut it: std::iter::Peekable<std::slice::Iter<'_, String>>,
+) -> Result<ParseOutcome, Box<dyn Error>> {
+    let mut paths = Vec::new();
+    let mut diff = BenchDiffArgs {
+        old_path: String::new(),
+        new_path: String::new(),
+        max_regress_pct: 10.0,
+        fields: Vec::new(),
+    };
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, Box<dyn Error>> {
+            it.next().ok_or_else(|| format!("{arg} needs a value").into())
+        };
+        match arg.as_str() {
+            "--max-regress-pct" => {
+                diff.max_regress_pct = value()?
+                    .parse()
+                    .map_err(|_| "bad --max-regress-pct value".to_string())?;
+                if !(diff.max_regress_pct.is_finite() && diff.max_regress_pct >= 0.0) {
+                    return Err("--max-regress-pct must be a non-negative percent".into());
+                }
+            }
+            "--fields" => {
+                diff.fields.extend(
+                    value()?
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string),
+                );
+            }
+            "--help" | "-h" => return Ok(ParseOutcome::Help(HELP.to_string())),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}; try --help").into())
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        return Err("bench-diff needs exactly two paths: <old.json> <new.json>".into());
+    }
+    diff.new_path = paths.pop().unwrap_or_default();
+    diff.old_path = paths.pop().unwrap_or_default();
+    Ok(ParseOutcome::BenchDiff(diff))
 }
 
 #[cfg(test)]
@@ -1034,6 +1179,80 @@ mod tests {
         assert!(parse_outcome(&["screen", "c.sp", "--threshold", "0"]).is_err());
         assert!(parse_outcome(&["screen", "c.sp", "--escalate-ratio", "-1"]).is_err());
         assert!(parse_outcome(&["screen", "c.sp", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn serve_events_out_parses() {
+        let serve = match parse_outcome(&["serve", "--events-out", "ev.jsonl"]).unwrap().0 {
+            ParseOutcome::Serve(s) => s,
+            other => panic!("expected Serve, got {other:?}"),
+        };
+        assert_eq!(serve.events_out.as_deref(), Some("ev.jsonl"));
+        let serve = match parse_outcome(&["serve"]).unwrap().0 {
+            ParseOutcome::Serve(s) => s,
+            other => panic!("expected Serve, got {other:?}"),
+        };
+        assert!(serve.events_out.is_none());
+        assert!(parse_outcome(&["serve", "--events-out"]).is_err());
+    }
+
+    #[test]
+    fn top_flags_parse() {
+        let top = match parse_outcome(&["top", "--tcp", "127.0.0.1:7777"]).unwrap().0 {
+            ParseOutcome::Top(t) => t,
+            other => panic!("expected Top, got {other:?}"),
+        };
+        assert_eq!(top.transport, Transport::Tcp("127.0.0.1:7777".into()));
+        assert_eq!(top.interval_ms, 1000);
+        assert!(!top.once);
+
+        let top = match parse_outcome(&[
+            "top", "--unix", "/tmp/x.sock", "--interval", "250", "--once",
+        ])
+        .unwrap()
+        .0
+        {
+            ParseOutcome::Top(t) => t,
+            other => panic!("expected Top, got {other:?}"),
+        };
+        assert_eq!(top.transport, Transport::Unix("/tmp/x.sock".into()));
+        assert_eq!(top.interval_ms, 250);
+        assert!(top.once);
+
+        assert!(parse_outcome(&["top"]).is_err(), "an address is mandatory");
+        assert!(parse_outcome(&["top", "--interval", "0"]).is_err());
+        assert!(parse_outcome(&["top", "--tcp", "x", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn bench_diff_flags_parse() {
+        let d = match parse_outcome(&["bench-diff", "old.json", "new.json"]).unwrap().0 {
+            ParseOutcome::BenchDiff(d) => d,
+            other => panic!("expected BenchDiff, got {other:?}"),
+        };
+        assert_eq!(d.old_path, "old.json");
+        assert_eq!(d.new_path, "new.json");
+        assert!((d.max_regress_pct - 10.0).abs() < 1e-12);
+        assert!(d.fields.is_empty());
+
+        let d = match parse_outcome(&[
+            "bench-diff", "a.json", "b.json", "--max-regress-pct", "25",
+            "--fields", "p99,req_per_s",
+        ])
+        .unwrap()
+        .0
+        {
+            ParseOutcome::BenchDiff(d) => d,
+            other => panic!("expected BenchDiff, got {other:?}"),
+        };
+        assert!((d.max_regress_pct - 25.0).abs() < 1e-12);
+        assert_eq!(d.fields, vec!["p99".to_string(), "req_per_s".to_string()]);
+
+        assert!(parse_outcome(&["bench-diff"]).is_err());
+        assert!(parse_outcome(&["bench-diff", "only.json"]).is_err());
+        assert!(parse_outcome(&["bench-diff", "a", "b", "c"]).is_err());
+        assert!(parse_outcome(&["bench-diff", "a", "b", "--max-regress-pct", "-5"]).is_err());
+        assert!(parse_outcome(&["bench-diff", "a", "b", "--wat"]).is_err());
     }
 
     #[test]

@@ -45,10 +45,11 @@ mod report;
 mod screen_cmd;
 mod serve_cmd;
 mod sweep;
+mod top_cmd;
 
 pub use args::{
-    AuditArgs, Command, DelayMetricArg, MetricArg, ObsArgs, ParseOutcome, ScreenCmdArgs,
-    ServeArgs, ShapeArg, SweepCmdArgs, SweepFamily, Transport,
+    AuditArgs, BenchDiffArgs, Command, DelayMetricArg, MetricArg, ObsArgs, ParseOutcome,
+    ScreenCmdArgs, ServeArgs, ShapeArg, SweepCmdArgs, SweepFamily, TopArgs, Transport,
 };
 pub use exit::{ExitCode, FatalServerError};
 pub use report::{delay_report, info_report, noise_report};
@@ -148,6 +149,28 @@ fn dispatch(outcome: ParseOutcome) -> Result<RunOutcome, Box<dyn Error>> {
         ParseOutcome::Help(text) => Ok(RunOutcome::clean(text)),
         ParseOutcome::Serve(serve) => serve_cmd::run_serve(&serve),
         ParseOutcome::Screen(screen) => screen_cmd::run_screen(&screen),
+        ParseOutcome::Top(top) => top_cmd::run_top(&top),
+        ParseOutcome::BenchDiff(diff) => {
+            let old = std::fs::read_to_string(&diff.old_path)
+                .map_err(|e| format!("cannot read {}: {e}", diff.old_path))?;
+            let new = std::fs::read_to_string(&diff.new_path)
+                .map_err(|e| format!("cannot read {}: {e}", diff.new_path))?;
+            let report = xtalk_bench::diff::diff_benchmarks(
+                &old,
+                &new,
+                &xtalk_bench::diff::DiffConfig {
+                    max_regress_pct: diff.max_regress_pct,
+                    fields: diff.fields.clone(),
+                },
+            )?;
+            // Regressions ride the audit-violation exit code (3): both
+            // mean "the artifact moved outside its envelope".
+            Ok(RunOutcome {
+                report: report.render(),
+                degraded: false,
+                violations: report.regressions() > 0,
+            })
+        }
         ParseOutcome::Sweep(sweep) => sweep::run_sweep(&sweep),
         ParseOutcome::Audit(audit) => {
             let report = xtalk_audit::run_audit(&xtalk_audit::AuditConfig {

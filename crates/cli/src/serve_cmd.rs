@@ -26,6 +26,7 @@ pub fn run_serve(args: &ServeArgs) -> Result<RunOutcome, Box<dyn Error>> {
         max_request_bytes: args.max_request_bytes,
         default_deadline_ms: args.deadline_ms,
         allow_test_faults: args.test_faults,
+        event_capacity: xtalk_serve::DEFAULT_EVENT_CAPACITY,
     };
     let server = Server::new(config);
     match &args.transport {
@@ -78,6 +79,16 @@ pub fn run_serve(args: &ServeArgs) -> Result<RunOutcome, Box<dyn Error>> {
         }
     }
     server.run_until_drained();
+    // Flush the request-lifecycle event log after the drain so every
+    // admitted request's `completed`/`panicked` line is present.
+    if let Some(path) = &args.events_out {
+        let mut out = server.handle().drain_events().join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
+        xtalk_obs::warn!("xtalk serve: wrote event log to {path}");
+    }
     let summary = server.finish();
     // Stdout belongs to the wire protocol (stdio transport); the human
     // summary goes to stderr, where --quiet can silence it.

@@ -1,0 +1,64 @@
+//! End-to-end test of `xtalk bench-diff` as a real child process: the
+//! exit-code contract (0 clean, 3 on regression, 1 on unusable input)
+//! that CI's benchmark gate depends on.
+
+use std::process::Command;
+
+const XTALK: &str = env!("CARGO_BIN_EXE_xtalk");
+
+const BASELINE: &str = r#"{"requests":500,"jobs":2,
+    "closed_loop":{"mean_us":133.7,"p50_us":114.2,"p99_us":865.5},
+    "pipelined":{"total_s":0.0548,"req_per_s":9124.8}}
+"#;
+
+fn run_diff(dir: &std::path::Path, new_json: &str, extra: &[&str]) -> std::process::Output {
+    let old_path = dir.join("old.json");
+    let new_path = dir.join("new.json");
+    std::fs::write(&old_path, BASELINE).expect("write baseline");
+    std::fs::write(&new_path, new_json).expect("write candidate");
+    Command::new(XTALK)
+        .arg("bench-diff")
+        .arg(&old_path)
+        .arg(&new_path)
+        .args(extra)
+        .output()
+        .expect("run xtalk bench-diff")
+}
+
+#[test]
+fn exit_codes_follow_the_regression_contract() {
+    let dir = std::env::temp_dir().join(format!("xtalk_bench_diff_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    // Identical artifacts: clean pass, every field reported.
+    let out = run_diff(&dir, BASELINE, &[]);
+    assert_eq!(out.status.code(), Some(0), "identical files must pass");
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("0 regression(s)"), "report: {report}");
+    assert!(report.contains("closed_loop.p99_us"), "report: {report}");
+
+    // An injected >threshold latency regression must exit 3 (the
+    // audit-violation code) and name the field.
+    let slow = BASELINE.replace("865.5", "2000.0");
+    let out = run_diff(&dir, &slow, &[]);
+    assert_eq!(out.status.code(), Some(3), "regression must exit 3");
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        report.contains("closed_loop.p99_us") && report.contains("REGRESSION"),
+        "report: {report}"
+    );
+
+    // A generous threshold tolerates the same delta.
+    let out = run_diff(&dir, &slow, &["--max-regress-pct", "200"]);
+    assert_eq!(out.status.code(), Some(0), "200% tolerance must pass");
+
+    // --fields gates only matching paths.
+    let out = run_diff(&dir, &slow, &["--fields", "req_per_s"]);
+    assert_eq!(out.status.code(), Some(0), "p99 is outside the gated set");
+
+    // Unusable input is an ordinary error (1), not a regression.
+    let out = run_diff(&dir, "{not json", &[]);
+    assert_eq!(out.status.code(), Some(1), "bad JSON must exit 1");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

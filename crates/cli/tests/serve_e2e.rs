@@ -227,6 +227,115 @@ fn sigterm_drains_inflight_work_then_exits_zero() {
     drop(stdin);
 }
 
+#[test]
+fn events_out_writes_the_request_lifecycle_jsonl() {
+    let dir = std::env::temp_dir().join(format!("xtalk_serve_ev_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let events = dir.join("events.jsonl");
+    let events_arg = events.to_str().expect("utf8 path").to_string();
+
+    let mut child = spawn_serve(&["--quiet", "--events-out", &events_arg]);
+    let mut stdin = child.stdin.take().expect("stdin");
+    let stdout = child.stdout.take().expect("stdout");
+    for i in 1..=2 {
+        stdin
+            .write_all(analyze_line(i, GOOD_DECK, "").as_bytes())
+            .expect("write");
+        stdin.write_all(b"\n").expect("write");
+    }
+    drop(stdin);
+    assert_eq!(BufReader::new(stdout).lines().count(), 2);
+    assert_eq!(child.wait().expect("wait").code(), Some(0));
+
+    let log = std::fs::read_to_string(&events).expect("event log written");
+    let lines: Vec<&str> = log.lines().collect();
+    // Each request leaves at least admitted + started + completed.
+    assert!(lines.len() >= 6, "event log too short: {log}");
+    for event in ["admitted", "started", "completed"] {
+        assert_eq!(
+            lines.iter().filter(|l| l.contains(&format!("\"event\":\"{event}\""))).count(),
+            2,
+            "expected two {event} events: {log}"
+        );
+    }
+    // Server-global request numbers attribute every line; the per-stage
+    // latencies ride the completed events.
+    assert!(lines.iter().any(|l| l.contains("\"req\":1")), "log: {log}");
+    assert!(lines.iter().any(|l| l.contains("\"req\":2")), "log: {log}");
+    let completed = lines
+        .iter()
+        .find(|l| l.contains("\"event\":\"completed\""))
+        .expect("a completed event");
+    for stage in ["total_ms", "parse_ms", "chain_ms"] {
+        assert!(completed.contains(stage), "completed lacks {stage}: {completed}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn top_once_renders_a_dashboard_from_a_live_daemon() {
+    use std::net::TcpStream;
+    // Port 0: the daemon announces the real port on stderr.
+    let mut child = spawn_serve(&["--tcp", "127.0.0.1:0", "--jobs", "2"]);
+    let stderr = child.stderr.take().expect("stderr");
+    let mut stderr_reader = BufReader::new(stderr);
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr_reader.read_line(&mut line).expect("read stderr") > 0,
+            "daemon exited before announcing its port"
+        );
+        if let Some(rest) = line.trim().split("listening on tcp ").nth(1) {
+            break rest.to_string();
+        }
+    };
+
+    // Put some traffic through so the windowed stats have data.
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut tx = stream.try_clone().expect("clone");
+    let mut rx = BufReader::new(stream);
+    for i in 1..=3 {
+        tx.write_all(analyze_line(i, GOOD_DECK, "").as_bytes())
+            .expect("write");
+        tx.write_all(b"\n").expect("write");
+        let mut reply = String::new();
+        rx.read_line(&mut reply).expect("read");
+        assert_eq!(field(&reply, "status"), Some("ok"));
+    }
+
+    let out = Command::new(XTALK)
+        .args(["top", "--tcp", &addr, "--once"])
+        .output()
+        .expect("run xtalk top");
+    assert_eq!(out.status.code(), Some(0), "top --once must exit 0");
+    let frame = String::from_utf8_lossy(&out.stdout);
+    assert!(frame.contains("xtalk top"), "frame: {frame}");
+    assert!(frame.contains("req/s"), "frame: {frame}");
+    for stage in ["request", "parse", "chain", "golden"] {
+        assert!(frame.contains(stage), "frame lacks stage {stage}: {frame}");
+    }
+    assert!(frame.contains("fast-tier"), "frame: {frame}");
+    assert!(frame.contains("buffers"), "frame: {frame}");
+    assert!(!frame.contains('\u{1b}'), "--once must not emit ANSI control codes");
+
+    drop(tx);
+    drop(rx);
+    #[cfg(unix)]
+    {
+        let kill = Command::new("kill")
+            .args(["-TERM", &child.id().to_string()])
+            .status()
+            .expect("kill");
+        assert!(kill.success());
+        assert_eq!(child.wait().expect("wait").code(), Some(0));
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
 #[cfg(unix)]
 #[test]
 fn unix_socket_round_trip() {

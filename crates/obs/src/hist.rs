@@ -43,6 +43,18 @@ pub fn bucket_upper_bound(index: usize) -> Option<u64> {
     }
 }
 
+/// Inclusive lower edge of a bucket. For the overflow bucket this is the
+/// smallest value it can hold (`2^38`), which quantile reporting uses as
+/// a `≥` floor instead of blanking the cell.
+#[must_use]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        b if b < OVERFLOW_BUCKET => 1u64 << (b - 1),
+        _ => 1u64 << (OVERFLOW_BUCKET - 1),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -70,11 +70,16 @@ mod hist;
 mod registry;
 mod snapshot;
 mod span;
+mod window;
 
-pub use hist::{bucket_index, bucket_upper_bound, BUCKETS, OVERFLOW_BUCKET};
+pub use hist::{bucket_index, bucket_lower_bound, bucket_upper_bound, BUCKETS, OVERFLOW_BUCKET};
 pub use registry::{LazyCounter, LazyHistogram};
-pub use snapshot::{snapshot, CounterSnap, HistogramSnap, Snapshot};
-pub use span::{start_span, take_trace_json, trace_event_count, SpanGuard};
+pub use snapshot::{snapshot, CounterSnap, HistogramSnap, QuantileBound, Snapshot};
+pub use span::{
+    current_request_ctx, push_request_ctx, set_trace_capacity, start_span, take_trace_json,
+    trace_event_count, CtxGuard, SpanGuard, DEFAULT_TRACE_CAPACITY,
+};
+pub use window::{WindowRing, WindowView};
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};

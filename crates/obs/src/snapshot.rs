@@ -8,10 +8,44 @@
 //! workload at any `--jobs`; the stats table and [`Snapshot::to_json_full`]
 //! add the performance-class metrics for humans and profiling.
 
-use crate::hist::{bucket_upper_bound, BUCKETS, OVERFLOW_BUCKET};
+use crate::hist::{bucket_lower_bound, bucket_upper_bound, BUCKETS, OVERFLOW_BUCKET};
 use crate::registry::{with_registry, MetricRef};
 use crate::Class;
 use std::fmt::Write as _;
+
+/// An approximate quantile read off a log2 histogram.
+///
+/// Closed buckets yield an inclusive upper bound; when the quantile
+/// lands in the open-ended overflow bucket, the best available statement
+/// is a lower bound (`≥ 2^38`), and reporting must say so rather than
+/// blank the cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantileBound {
+    /// The quantile is at most this value (closed bucket's upper edge).
+    UpperBound(u64),
+    /// The quantile fell in the overflow bucket; it is at least this
+    /// value (the overflow bucket's lower edge, `2^38`).
+    OverflowAtLeast(u64),
+}
+
+impl QuantileBound {
+    /// The bound's numeric value, losing the direction marker.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        match self {
+            Self::UpperBound(v) | Self::OverflowAtLeast(v) => v,
+        }
+    }
+
+    /// `"≤"` for closed buckets, `"≥"` for the overflow bucket.
+    #[must_use]
+    pub fn marker(self) -> &'static str {
+        match self {
+            Self::UpperBound(_) => "≤",
+            Self::OverflowAtLeast(_) => "≥",
+        }
+    }
+}
 
 /// One counter's value at snapshot time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,23 +85,44 @@ impl HistogramSnap {
         }
     }
 
-    /// Approximate quantile: the inclusive upper edge of the first bucket
-    /// whose cumulative count reaches `q * count`, or `None` when empty
-    /// or when the quantile falls in the open-ended overflow bucket.
+    /// Approximate quantile: the bucket edge bracketing the first bucket
+    /// whose cumulative count reaches `q * count`, or `None` when the
+    /// histogram is empty. A quantile landing in the open-ended overflow
+    /// bucket yields [`QuantileBound::OverflowAtLeast`] with the bucket's
+    /// lower edge instead of vanishing.
     #[must_use]
-    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+    pub fn quantile(&self, q: f64) -> Option<QuantileBound> {
         if self.count == 0 {
             return None;
         }
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut cumulative = 0u64;
+        let mut last_index = 0usize;
         for &(index, count) in &self.buckets {
             cumulative += count;
+            last_index = index;
             if cumulative >= target {
-                return bucket_upper_bound(index);
+                return Some(match bucket_upper_bound(index) {
+                    Some(hi) => QuantileBound::UpperBound(hi),
+                    None => QuantileBound::OverflowAtLeast(bucket_lower_bound(index)),
+                });
             }
         }
-        None
+        // count > 0 but the walk fell through (inconsistent sparse
+        // buckets); answer with the highest populated bucket.
+        Some(match bucket_upper_bound(last_index) {
+            Some(hi) => QuantileBound::UpperBound(hi),
+            None => QuantileBound::OverflowAtLeast(bucket_lower_bound(last_index)),
+        })
+    }
+
+    /// Numeric form of [`HistogramSnap::quantile`]: `None` only when the
+    /// histogram is empty. A quantile in the overflow bucket reports the
+    /// bucket's lower edge (`2^38`) — callers that care about direction
+    /// should use [`HistogramSnap::quantile`] for the `≥` marker.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        self.quantile(q).map(QuantileBound::value)
     }
 }
 
@@ -164,6 +219,111 @@ impl Snapshot {
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnap> {
         self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// What happened between `base` and `self`: per-counter and
+    /// per-bucket saturating differences. Metrics absent from `base`
+    /// (registered later) keep their full value; entries whose delta is
+    /// zero are dropped, so interval deltas stay sparse. Both snapshots
+    /// must come from [`snapshot`] (sorted, deduplicated) — the walk
+    /// relies on name order.
+    #[must_use]
+    pub fn delta_since(&self, base: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|c| {
+                let before = base
+                    .counters
+                    .binary_search_by(|b| b.name.as_str().cmp(&c.name))
+                    .map_or(0, |i| base.counters[i].value);
+                let value = c.value.saturating_sub(before);
+                (value > 0).then(|| CounterSnap {
+                    name: c.name.clone(),
+                    class: c.class,
+                    value,
+                })
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|h| {
+                let mut dense = [0u64; BUCKETS];
+                for &(i, n) in &h.buckets {
+                    dense[i.min(OVERFLOW_BUCKET)] = n;
+                }
+                let mut count = h.count;
+                let mut sum = h.sum;
+                if let Ok(i) = base
+                    .histograms
+                    .binary_search_by(|b| b.name.as_str().cmp(&h.name))
+                {
+                    let before = &base.histograms[i];
+                    count = count.saturating_sub(before.count);
+                    sum = sum.saturating_sub(before.sum);
+                    for &(i, n) in &before.buckets {
+                        let slot = &mut dense[i.min(OVERFLOW_BUCKET)];
+                        *slot = slot.saturating_sub(n);
+                    }
+                }
+                (count > 0).then(|| HistogramSnap {
+                    name: h.name.clone(),
+                    class: h.class,
+                    count,
+                    sum,
+                    buckets: dense
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &n)| n > 0)
+                        .map(|(i, &n)| (i, n))
+                        .collect(),
+                })
+            })
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Accumulates `other` into `self` by metric name (counters add,
+    /// histogram counts/sums/buckets add). Used to merge a window's
+    /// interval deltas back into one reportable snapshot; keeps the
+    /// sorted-by-name invariant.
+    pub fn merge_from(&mut self, other: &Snapshot) {
+        for c in &other.counters {
+            match self
+                .counters
+                .binary_search_by(|s| s.name.as_str().cmp(&c.name))
+            {
+                Ok(i) => self.counters[i].value += c.value,
+                Err(i) => self.counters.insert(i, c.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self
+                .histograms
+                .binary_search_by(|s| s.name.as_str().cmp(&h.name))
+            {
+                Ok(i) => {
+                    let mine = &mut self.histograms[i];
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                    let mut dense = [0u64; BUCKETS];
+                    for &(b, n) in mine.buckets.iter().chain(h.buckets.iter()) {
+                        dense[b.min(OVERFLOW_BUCKET)] += n;
+                    }
+                    mine.buckets = dense
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &n)| n > 0)
+                        .map(|(i, &n)| (i, n))
+                        .collect();
+                }
+                Err(i) => self.histograms.insert(i, h.clone()),
+            }
+        }
     }
 
     /// Deterministic JSON: [`Class::Det`] metrics only, sorted by name.
@@ -269,12 +429,13 @@ impl Snapshot {
                         format_count(v)
                     }
                 };
-                let p95 = h
-                    .quantile_upper_bound(0.95)
-                    .map_or_else(|| "overflow".to_owned(), |v| fmt(v as f64));
+                let (marker, p95) = h.quantile(0.95).map_or_else(
+                    || ("≤", "-".to_owned()),
+                    |b| (b.marker(), fmt(b.value() as f64)),
+                );
                 let _ = writeln!(
                     out,
-                    "  {:<name_width$}  n={:<7} mean={:<10} p95≤{:<10} total={}",
+                    "  {:<name_width$}  n={:<7} mean={:<10} p95{marker}{:<10} total={}",
                     h.name,
                     h.count,
                     fmt(h.mean()),
@@ -411,5 +572,119 @@ mod tests {
     #[test]
     fn escape_handles_quotes_and_controls() {
         assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn overflow_quantile_reports_lower_edge_not_none() {
+        let h = HistogramSnap {
+            name: "slow".into(),
+            class: Class::Perf,
+            count: 10,
+            sum: 0,
+            buckets: vec![(1, 5), (OVERFLOW_BUCKET, 5)],
+        };
+        // Median is still in the closed buckets...
+        assert_eq!(h.quantile(0.5), Some(QuantileBound::UpperBound(1)));
+        // ...but p95 lands in overflow: a `≥ 2^38` statement, not a blank.
+        let p95 = h.quantile(0.95).expect("non-empty");
+        assert_eq!(p95, QuantileBound::OverflowAtLeast(1u64 << 38));
+        assert_eq!(p95.marker(), "≥");
+        assert_eq!(h.quantile_upper_bound(0.95), Some(1u64 << 38));
+        // The stats table renders the marker instead of "overflow".
+        let table = Snapshot {
+            counters: vec![],
+            histograms: vec![h],
+        }
+        .stats_table();
+        assert!(table.contains("p95≥"), "table was:\n{table}");
+    }
+
+    #[test]
+    fn delta_since_subtracts_per_name_and_per_bucket() {
+        let base = Snapshot {
+            counters: vec![CounterSnap {
+                name: "a".into(),
+                class: Class::Det,
+                value: 3,
+            }],
+            histograms: vec![HistogramSnap {
+                name: "h".into(),
+                class: Class::Det,
+                count: 2,
+                sum: 5,
+                buckets: vec![(1, 1), (3, 1)],
+            }],
+        };
+        let now = Snapshot {
+            counters: vec![
+                CounterSnap {
+                    name: "a".into(),
+                    class: Class::Det,
+                    value: 10,
+                },
+                CounterSnap {
+                    name: "b".into(),
+                    class: Class::Det,
+                    value: 4,
+                },
+            ],
+            histograms: vec![HistogramSnap {
+                name: "h".into(),
+                class: Class::Det,
+                count: 5,
+                sum: 25,
+                buckets: vec![(1, 1), (3, 3), (4, 1)],
+            }],
+        };
+        let d = now.delta_since(&base);
+        assert_eq!(d.counter("a"), Some(7));
+        assert_eq!(d.counter("b"), Some(4));
+        let h = d.histogram("h").expect("histogram delta present");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 20);
+        assert_eq!(h.buckets, vec![(3, 2), (4, 1)]);
+        // A no-change delta is empty, not full of zeros.
+        let none = now.delta_since(&now);
+        assert!(none.counters.is_empty() && none.histograms.is_empty());
+    }
+
+    #[test]
+    fn merge_from_accumulates_and_keeps_order() {
+        let mut acc = Snapshot::default();
+        let part = Snapshot {
+            counters: vec![CounterSnap {
+                name: "b".into(),
+                class: Class::Det,
+                value: 2,
+            }],
+            histograms: vec![HistogramSnap {
+                name: "h".into(),
+                class: Class::Det,
+                count: 1,
+                sum: 4,
+                buckets: vec![(3, 1)],
+            }],
+        };
+        acc.merge_from(&part);
+        acc.merge_from(&part);
+        let other = Snapshot {
+            counters: vec![CounterSnap {
+                name: "a".into(),
+                class: Class::Det,
+                value: 1,
+            }],
+            histograms: vec![],
+        };
+        acc.merge_from(&other);
+        assert_eq!(acc.counter("a"), Some(1));
+        assert_eq!(acc.counter("b"), Some(4));
+        assert_eq!(
+            acc.counters.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"],
+            "merge must keep the sorted-by-name invariant"
+        );
+        let h = acc.histogram("h").expect("merged histogram");
+        assert_eq!((h.count, h.sum), (2, 8));
+        assert_eq!(h.buckets, vec![(3, 2)]);
     }
 }

@@ -1,0 +1,135 @@
+//! Windowed metric aggregation: rates and quantiles over "the last N
+//! seconds" instead of "since boot".
+//!
+//! Cumulative counters are the right primitive for determinism (sums
+//! commute), but a daemon that has served requests for three days cannot
+//! answer "what is the p99 *right now*" from a since-boot histogram. A
+//! [`WindowRing`] closes that gap without touching the hot path: a
+//! telemetry thread calls [`WindowRing::tick`] once per interval, which
+//! takes one registry snapshot and stores the *delta* against the
+//! previous tick in a fixed-capacity ring. [`WindowRing::windowed`]
+//! merges the buffered deltas — plus the live partial interval since the
+//! last tick, so a window is never blind to in-flight work — back into
+//! one [`Snapshot`] covering the window, on which the usual rate / mean /
+//! [`HistogramSnap::quantile`] machinery applies unchanged.
+//!
+//! Recording threads never see the ring; its cost is one snapshot and
+//! one delta per interval, on the telemetry thread only.
+//!
+//! [`HistogramSnap::quantile`]: crate::HistogramSnap::quantile
+
+use crate::snapshot::{snapshot, Snapshot};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// One closed interval's worth of metric movement.
+struct Interval {
+    /// Deltas recorded during this interval.
+    delta: Snapshot,
+    /// Wall-clock length of the interval.
+    elapsed: Duration,
+}
+
+/// A ring of per-interval metric deltas (see the module docs).
+pub struct WindowRing {
+    /// Closed intervals, oldest first; at most `capacity` retained.
+    intervals: VecDeque<Interval>,
+    /// Maximum number of closed intervals kept.
+    capacity: usize,
+    /// Cumulative snapshot taken at the last tick (delta baseline).
+    base: Snapshot,
+    /// When `base` was taken.
+    base_at: Instant,
+}
+
+/// A merged view over the most recent intervals.
+pub struct WindowView {
+    /// Summed deltas across the window (live partial interval included).
+    pub delta: Snapshot,
+    /// Wall-clock span the deltas cover.
+    pub elapsed: Duration,
+    /// Closed intervals merged in (the live partial adds on top).
+    pub intervals: usize,
+}
+
+impl WindowView {
+    /// Events per second for a counter over the window, 0.0 when the
+    /// counter did not move or no time has passed.
+    #[must_use]
+    pub fn rate(&self, counter: &str) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.delta.counter(counter).unwrap_or(0) as f64 / secs
+    }
+}
+
+impl WindowRing {
+    /// Creates a ring retaining at most `capacity` closed intervals
+    /// (minimum 1). The current registry state becomes the baseline, so
+    /// pre-existing cumulative totals never leak into a window.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            intervals: VecDeque::new(),
+            capacity: capacity.max(1),
+            base: snapshot(),
+            base_at: Instant::now(),
+        }
+    }
+
+    /// Closes the current interval: snapshots the registry, stores the
+    /// delta since the previous tick, and starts the next interval.
+    /// Oldest intervals fall off past the ring's capacity.
+    pub fn tick(&mut self) {
+        let now_snap = snapshot();
+        let now = Instant::now();
+        let delta = now_snap.delta_since(&self.base);
+        self.intervals.push_back(Interval {
+            delta,
+            elapsed: now.saturating_duration_since(self.base_at),
+        });
+        while self.intervals.len() > self.capacity {
+            self.intervals.pop_front();
+        }
+        self.base = now_snap;
+        self.base_at = now;
+    }
+
+    /// Merges the newest `max_intervals` closed intervals plus the live
+    /// partial interval since the last tick into one view. Asking for
+    /// more intervals than the ring holds yields whatever is there; with
+    /// zero closed intervals the view is the live partial alone.
+    #[must_use]
+    pub fn windowed(&self, max_intervals: usize) -> WindowView {
+        let take = max_intervals.min(self.intervals.len());
+        let mut delta = Snapshot::default();
+        let mut elapsed = Duration::ZERO;
+        for interval in self.intervals.iter().rev().take(take) {
+            delta.merge_from(&interval.delta);
+            elapsed += interval.elapsed;
+        }
+        // The live partial interval: work since the last tick.
+        let live = snapshot().delta_since(&self.base);
+        delta.merge_from(&live);
+        elapsed += Instant::now().saturating_duration_since(self.base_at);
+        WindowView {
+            delta,
+            elapsed,
+            intervals: take,
+        }
+    }
+
+    /// Number of closed intervals currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// `true` when no interval has been closed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+}

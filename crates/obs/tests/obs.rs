@@ -87,6 +87,72 @@ fn registry_spans_trace_and_warnings_work_end_to_end() {
     assert!(trace.contains("\"ph\": \"X\""));
     assert_eq!(xtalk_obs::trace_event_count(), 0, "take drains the buffer");
 
+    // --- Trace buffer is bounded: oldest events evicted, counted -------
+    xtalk_obs::set_trace_capacity(4);
+    for _ in 0..6 {
+        let _span = xtalk_obs::span!("test.ring");
+    }
+    assert_eq!(xtalk_obs::trace_event_count(), 4, "ring holds capacity");
+    assert_eq!(
+        xtalk_obs::snapshot().counter("trace.events.dropped"),
+        Some(2),
+        "evictions are counted"
+    );
+    let _ = xtalk_obs::take_trace_json();
+    xtalk_obs::set_trace_capacity(xtalk_obs::DEFAULT_TRACE_CAPACITY);
+
+    // --- Request context stamps spans recorded on this thread ----------
+    assert_eq!(xtalk_obs::current_request_ctx(), 0);
+    {
+        let _ctx = xtalk_obs::push_request_ctx(7);
+        assert_eq!(xtalk_obs::current_request_ctx(), 7);
+        {
+            let _inner = xtalk_obs::push_request_ctx(8);
+            assert_eq!(xtalk_obs::current_request_ctx(), 8);
+        }
+        assert_eq!(xtalk_obs::current_request_ctx(), 7, "nesting restores");
+        let _span = xtalk_obs::span!("test.ctx");
+    }
+    assert_eq!(xtalk_obs::current_request_ctx(), 0);
+    {
+        let _span = xtalk_obs::span!("test.no_ctx");
+    }
+    let trace = xtalk_obs::take_trace_json();
+    assert!(
+        trace.contains("\"args\": {\"req\": 7}"),
+        "ctx span carries the request id; trace was:\n{trace}"
+    );
+    let no_ctx_line = trace
+        .lines()
+        .find(|l| l.contains("test.no_ctx"))
+        .expect("no_ctx span exported");
+    assert!(!no_ctx_line.contains("\"req\""), "no ctx → no args");
+
+    // --- Windowed aggregation: deltas, not since-boot totals ------------
+    xtalk_obs::counter!("test.win").add(5);
+    let mut ring = xtalk_obs::WindowRing::new(8);
+    xtalk_obs::counter!("test.win").add(5);
+    xtalk_obs::histogram!("test.win.hist").record(100);
+    ring.tick();
+    assert_eq!(ring.len(), 1);
+    xtalk_obs::counter!("test.win").add(3);
+    let view = ring.windowed(8);
+    assert_eq!(
+        view.delta.counter("test.win"),
+        Some(8),
+        "closed interval (5) + live partial (3); pre-ring 5 excluded"
+    );
+    assert_eq!(
+        view.delta.histogram("test.win.hist").map(|h| h.count),
+        Some(1)
+    );
+    let live_only = ring.windowed(0);
+    assert_eq!(
+        live_only.delta.counter("test.win"),
+        Some(3),
+        "zero closed intervals → live partial only"
+    );
+
     // --- Warning sink counts, and quiet suppresses printing only -------
     xtalk_obs::warn!("first warning: case {}", 7);
     xtalk_obs::set_quiet(true);

@@ -97,19 +97,73 @@ enum GoldenOutcome {
     Failed(String),
 }
 
+/// Per-stage timings and degradation facts for one request, filled by
+/// [`run_analyze`] and consumed by the server's event log. All values
+/// refer to this request alone; statuses an early error return leaves
+/// behind stay at the default `"error"`.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestTrace {
+    /// Wall time spent parsing the deck (ns).
+    pub parse_ns: u64,
+    /// Wall time spent in the closed-form robust chain, all rows (ns).
+    pub chain_ns: u64,
+    /// Wall time spent in golden cross-checks, all rows (ns).
+    pub golden_ns: u64,
+    /// Rows whose estimate came from a fallback rung or was clamped.
+    pub degraded_rows: u32,
+    /// Rows whose golden cross-check was dropped for deadline reasons.
+    pub golden_skips: u32,
+    /// Rows rescued by the analytic fast tier under deadline pressure.
+    pub analytic_rescues: u32,
+    /// Whether the request's deadline had expired by reply time.
+    pub deadline_expired: bool,
+    /// Reply status: `"ok"`, `"degraded"`, or `"error"`.
+    pub status: &'static str,
+}
+
+impl Default for RequestTrace {
+    fn default() -> Self {
+        RequestTrace {
+            parse_ns: 0,
+            chain_ns: 0,
+            golden_ns: 0,
+            degraded_rows: 0,
+            golden_skips: 0,
+            analytic_rescues: 0,
+            deadline_expired: false,
+            status: "error",
+        }
+    }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Runs one validated `analyze` request to a complete reply line.
 ///
 /// `accepted` is when the request was admitted (queue wait counts
 /// against the deadline — that is the point of admission control).
+/// Stage timings and degradation facts land in `trace`; the per-stage
+/// spans (`serve.parse`, `serve.chain`, `serve.golden`) feed the
+/// windowed stats and, with tracing on, carry the request id the worker
+/// pinned via `xtalk_obs::push_request_ctx`.
 pub fn run_analyze(
     id: &RequestId,
     req: &AnalyzeRequest,
     accepted: Instant,
     ws: &mut SimWorkspace,
+    trace: &mut RequestTrace,
 ) -> String {
     xtalk_obs::counter!("serve.requests.analyze").add(1);
     let budget = req.deadline_ms.map(|ms| Duration::from_secs_f64(ms / 1e3));
-    let network = match spice::parse_deck_with_limits(&req.deck, &deck_limits()) {
+    let parse_started = Instant::now();
+    let parsed = {
+        let _span = xtalk_obs::span!("serve.parse");
+        spice::parse_deck_with_limits(&req.deck, &deck_limits())
+    };
+    trace.parse_ns = elapsed_ns(parse_started);
+    let network = match parsed {
         Ok(n) => n,
         Err(e @ spice::SpiceParseError::TooLarge { .. }) => {
             xtalk_obs::counter!("serve.replies.error").add(1);
@@ -152,12 +206,23 @@ pub fn run_analyze(
     let mut golden_skips = 0usize;
     let mut analytic_runs = 0usize;
     for (agg, name) in targets {
-        let row = match robust.analyze(agg, &input) {
+        let chain_started = Instant::now();
+        let analyzed = {
+            let _span = xtalk_obs::span!("serve.chain");
+            robust.analyze(agg, &input)
+        };
+        trace.chain_ns += elapsed_ns(chain_started);
+        let row = match analyzed {
             Ok(re) => {
-                degraded |= re.provenance.degraded();
+                if re.provenance.degraded() {
+                    degraded = true;
+                    trace.degraded_rows += 1;
+                }
+                let golden_started = Instant::now();
                 let golden = if !req.golden {
                     GoldenOutcome::NotRequested
                 } else if out_of_budget(budget, accepted) {
+                    let _span = xtalk_obs::span!("serve.golden");
                     // No budget for a transient sim — but the analytic
                     // fast tier costs microseconds, so try it before
                     // dropping the cross-check entirely.
@@ -165,6 +230,7 @@ pub fn run_analyze(
                     {
                         Ok(params) => {
                             analytic_runs += 1;
+                            trace.analytic_rescues += 1;
                             xtalk_obs::counter!(perf: "serve.deadline.analytic_rescues").add(1);
                             GoldenOutcome::Ran(params, GoldenTier::Analytic)
                         }
@@ -176,6 +242,7 @@ pub fn run_analyze(
                         }
                     }
                 } else {
+                    let _span = xtalk_obs::span!("serve.golden");
                     match golden_noise_tiered(
                         &network,
                         &[(agg, input)],
@@ -195,6 +262,9 @@ pub fn run_analyze(
                         }
                     }
                 };
+                if req.golden {
+                    trace.golden_ns += elapsed_ns(golden_started);
+                }
                 Row::Estimate {
                     name,
                     est: re.estimate,
@@ -224,6 +294,9 @@ pub fn run_analyze(
         xtalk_obs::counter!(perf: "serve.deadline.expired").add(1);
     }
     let status = if degraded || expired { "degraded" } else { "ok" };
+    trace.golden_skips = u32::try_from(golden_skips).unwrap_or(u32::MAX);
+    trace.deadline_expired = expired;
+    trace.status = status;
     if degraded || expired {
         xtalk_obs::counter!("serve.replies.degraded").add(1);
     } else {
@@ -411,8 +484,16 @@ mod tests {
 
     fn run(r: &AnalyzeRequest) -> Value {
         let id = RequestId::null();
-        let reply = run_analyze(&id, r, Instant::now(), &mut SimWorkspace::new());
-        crate::json::parse(&reply).expect("reply is valid JSON")
+        let mut trace = RequestTrace::default();
+        let reply = run_analyze(&id, r, Instant::now(), &mut SimWorkspace::new(), &mut trace);
+        let v = crate::json::parse(&reply).expect("reply is valid JSON");
+        // The trace's status must agree with the reply's.
+        assert_eq!(
+            v.get("status").and_then(Value::as_str),
+            Some(trace.status),
+            "trace status disagrees with the wire status"
+        );
+        v
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! The structured request-lifecycle event log.
+//!
+//! Every admitted request leaves a breadcrumb trail — `admitted`,
+//! `shed`, `started`, `rung_degraded`, `deadline`, `completed`,
+//! `panicked` — rendered eagerly as one JSON object per line (JSONL) and
+//! buffered in a bounded ring. `admitted` is recorded before the job
+//! becomes poppable, so it always precedes the worker-side events; a
+//! request the full queue then refuses follows its `admitted` line with
+//! a `shed` retraction. The lines carry the server-global request
+//! number (`req`), the client-supplied `id`, a timestamp relative to
+//! server start (`t_ms`), and per-event fields such as queue depth or
+//! per-stage latencies, so a single `grep '"req":17'` over the flushed
+//! file reconstructs one request's life; the same `req` number appears
+//! as `args.req` on the Chrome-trace spans recorded while the request
+//! ran (see `xtalk_obs::push_request_ctx`).
+//!
+//! The ring evicts oldest-first when full (a daemon keeps its *recent*
+//! history) and counts evictions; the `stats` reply surfaces
+//! `events.buffered` / `events.dropped` so a reader knows whether the
+//! log is complete. Rendering happens outside the lock; the lock holds
+//! only a `VecDeque` rotate.
+
+use crate::proto::RequestId;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Default event-ring capacity (lines).
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+struct Buf {
+    lines: VecDeque<String>,
+    dropped: u64,
+}
+
+/// A bounded in-memory JSONL event log (see the module docs).
+pub struct EventLog {
+    buf: Mutex<Buf>,
+    capacity: usize,
+    start: Instant,
+}
+
+impl EventLog {
+    /// Creates a log holding at most `capacity` lines (minimum 1),
+    /// timestamping events relative to now.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            buf: Mutex::new(Buf {
+                lines: VecDeque::new(),
+                dropped: 0,
+            }),
+            capacity: capacity.max(1),
+            start: Instant::now(),
+        }
+    }
+
+    /// Appends one event line. `req` is the server-global request
+    /// number (0 for events before admission, e.g. a shed), `id` the
+    /// client-supplied request id, and `detail` extra pre-rendered JSON
+    /// members — either empty or starting with `,` (e.g.
+    /// `,"queue_depth":3`).
+    pub fn emit(&self, event: &str, req: u64, id: &RequestId, detail: &str) {
+        debug_assert!(detail.is_empty() || detail.starts_with(','));
+        let t_ms = self.start.elapsed().as_secs_f64() * 1e3;
+        let mut line = String::with_capacity(64 + detail.len());
+        let _ = write!(
+            line,
+            "{{\"t_ms\":{t_ms:.3},\"event\":\"{event}\",\"req\":{req},\"id\":{}{detail}}}",
+            id.as_json()
+        );
+        let mut buf = self.buf.lock().unwrap_or_else(PoisonError::into_inner);
+        while buf.lines.len() >= self.capacity {
+            buf.lines.pop_front();
+            buf.dropped += 1;
+        }
+        buf.lines.push_back(line);
+    }
+
+    /// Takes every buffered line, oldest first, leaving the log empty
+    /// (the dropped count survives).
+    #[must_use]
+    pub fn drain(&self) -> Vec<String> {
+        let mut buf = self.buf.lock().unwrap_or_else(PoisonError::into_inner);
+        std::mem::take(&mut buf.lines).into_iter().collect()
+    }
+
+    /// Number of lines currently buffered.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .lines
+            .len()
+    }
+
+    /// Lines evicted so far because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.buf
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Value};
+
+    #[test]
+    fn lines_are_json_with_the_common_fields() {
+        let log = EventLog::new(8);
+        log.emit("admitted", 3, &RequestId::null(), ",\"queue_depth\":1");
+        let lines = log.drain();
+        assert_eq!(lines.len(), 1);
+        let v = json::parse(&lines[0]).expect("event line is JSON");
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("admitted"));
+        assert_eq!(v.get("req").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("queue_depth").and_then(Value::as_f64), Some(1.0));
+        assert!(v.get("t_ms").and_then(Value::as_f64).is_some());
+        assert_eq!(log.buffered(), 0, "drain empties the ring");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let log = EventLog::new(2);
+        for req in 1..=5u64 {
+            log.emit("completed", req, &RequestId::null(), "");
+        }
+        assert_eq!(log.buffered(), 2);
+        assert_eq!(log.dropped(), 3);
+        let lines = log.drain();
+        assert!(lines[0].contains("\"req\":4") && lines[1].contains("\"req\":5"));
+        assert_eq!(log.dropped(), 3, "dropped count survives the drain");
+    }
+}

@@ -31,12 +31,15 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod events;
 pub mod json;
 pub mod proto;
 pub mod queue;
 pub mod server;
 pub mod signal;
 
+pub use engine::RequestTrace;
+pub use events::{EventLog, DEFAULT_EVENT_CAPACITY};
 pub use proto::{parse_request, AnalyzeRequest, Request, RequestId};
 pub use queue::{Bounded, PushError};
 pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};

@@ -29,24 +29,37 @@
 //! cannot wedge the drain: undeliverable replies are counted as
 //! delivered and dropped.
 
-use crate::engine;
+use crate::engine::{self, RequestTrace};
+use crate::events::{EventLog, DEFAULT_EVENT_CAPACITY};
 use crate::proto::{self, Request, RequestId};
 use crate::queue::{Bounded, PushError};
 use crate::signal;
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 use std::net::TcpListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
 use xtalk_exec::Jobs;
+use xtalk_obs::WindowRing;
 use xtalk_sim::SimWorkspace;
 
 /// How often blocking socket reads wake up to poll the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(50);
+
+/// How often the telemetry thread closes a window interval.
+const TELEMETRY_INTERVAL: Duration = Duration::from_secs(1);
+
+/// Closed intervals retained by the window ring (2 minutes of history).
+const WINDOW_CAPACITY: usize = 120;
+
+/// Intervals a `stats` reply aggregates over (~60 s plus the live
+/// partial interval).
+const STATS_WINDOW_INTERVALS: usize = 60;
 
 /// Server tuning knobs, all with serviceable defaults.
 #[derive(Debug, Clone)]
@@ -65,6 +78,9 @@ pub struct ServeConfig {
     /// Honor `{"type": "boom"}` requests that deliberately panic a
     /// worker — the fault-isolation test hook. Off in production.
     pub allow_test_faults: bool,
+    /// Capacity of the in-memory request-event ring (JSONL lines);
+    /// oldest lines are evicted and counted once it fills.
+    pub event_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +91,7 @@ impl Default for ServeConfig {
             max_request_bytes: 4 << 20,
             default_deadline_ms: None,
             allow_test_faults: false,
+            event_capacity: DEFAULT_EVENT_CAPACITY,
         }
     }
 }
@@ -117,6 +134,9 @@ enum JobKind {
 
 struct Job {
     seq: u64,
+    /// Server-global request number; ties the event-log trail and the
+    /// Chrome-trace `args.req` stamps to this job.
+    req: u64,
     id: RequestId,
     kind: JobKind,
     /// Reply channel; also pins the connection's writer (and thus its
@@ -131,6 +151,9 @@ struct Shared {
     /// Admission stops the moment this is set; workers drain what is
     /// already in.
     shutdown: AtomicBool,
+    /// Stops the telemetry ticker; set by [`Server::finish`] only, so
+    /// `stats` stays answerable during the drain.
+    stop_telemetry: AtomicBool,
     /// Jobs admitted to the queue whose reply has not yet been *sent*
     /// toward a writer.
     inflight: AtomicUsize,
@@ -138,6 +161,14 @@ struct Shared {
     served: AtomicU64,
     panics: AtomicU64,
     shed: AtomicU64,
+    /// Next server-global request number (first handed out is 1).
+    next_req: AtomicU64,
+    /// Request-lifecycle JSONL event ring.
+    events: EventLog,
+    /// Per-interval metric deltas feeding windowed `stats` figures.
+    window: Mutex<WindowRing>,
+    /// When the server was created (uptime reference).
+    started: Instant,
 }
 
 impl Shared {
@@ -166,21 +197,27 @@ pub struct ServerHandle {
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<thread::JoinHandle<()>>,
+    telemetry: Option<thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Spawns the worker pool (no I/O yet).
+    /// Spawns the worker pool and the telemetry ticker (no I/O yet).
     pub fn new(config: ServeConfig) -> Self {
         let workers_n = config.jobs.resolve().max(1);
         let shared = Arc::new(Shared {
             queue: Bounded::new(config.queue_capacity),
+            events: EventLog::new(config.event_capacity),
             config,
             shutdown: AtomicBool::new(false),
+            stop_telemetry: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
             served: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            next_req: AtomicU64::new(0),
+            window: Mutex::new(WindowRing::new(WINDOW_CAPACITY)),
+            started: Instant::now(),
         });
         let workers = (0..workers_n)
             .map(|_| {
@@ -188,7 +225,15 @@ impl Server {
                 thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        Server { shared, workers }
+        let telemetry = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || telemetry_loop(&shared))
+        };
+        Server {
+            shared,
+            workers,
+            telemetry: Some(telemetry),
+        }
     }
 
     /// A handle for other threads.
@@ -213,13 +258,18 @@ impl Server {
         }
     }
 
-    /// Stops the pool: closes the queue (remaining items still drain) and
-    /// joins every worker. Call after [`Server::run_until_drained`].
-    pub fn finish(self) -> ServeSummary {
+    /// Stops the pool: closes the queue (remaining items still drain),
+    /// joins every worker and the telemetry ticker. Call after
+    /// [`Server::run_until_drained`].
+    pub fn finish(mut self) -> ServeSummary {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.queue.close();
         for w in self.workers {
             let _ = w.join();
+        }
+        self.shared.stop_telemetry.store(true, Ordering::SeqCst);
+        if let Some(t) = self.telemetry.take() {
+            let _ = t.join();
         }
         ServeSummary {
             served: self.shared.served.load(Ordering::SeqCst),
@@ -502,16 +552,30 @@ impl ServerHandle {
         let seq = *next_seq;
         *next_seq += 1;
         conn.submitted.fetch_add(1, Ordering::SeqCst);
+        let req = shared.next_req.fetch_add(1, Ordering::SeqCst) + 1;
         // Count the job before it becomes poppable, so `inflight == 0 &&
         // queue empty` can never miss a job a worker is about to claim.
         shared.inflight.fetch_add(1, Ordering::SeqCst);
+        let id_copy = id.clone();
         let job = Job {
             seq,
+            req,
             id,
             kind,
             reply_tx: tx.clone(),
             accepted: Instant::now(),
         };
+        // The admitted event is emitted *before* the push: once the job
+        // is poppable a worker can start (and even complete) it before
+        // this thread runs again, which would timestamp `admitted`
+        // after `completed`. A request the queue then refuses follows
+        // its admitted line with a `shed` retraction.
+        shared.events.emit(
+            "admitted",
+            req,
+            &id_copy,
+            &format!(",\"queue_depth\":{}", shared.queue.len()),
+        );
         match shared.queue.try_push(job) {
             Ok(()) => {}
             Err((why, job)) => {
@@ -523,6 +587,12 @@ impl ServerHandle {
                         // fast client on a slow box sheds more.
                         xtalk_obs::counter!(perf: "serve.shed").add(1);
                         let depth = shared.queue.len();
+                        shared.events.emit(
+                            "shed",
+                            job.req,
+                            &job.id,
+                            &format!(",\"queue_depth\":{depth}"),
+                        );
                         proto::overloaded_reply(
                             &job.id,
                             retry_after_ms(depth),
@@ -576,8 +646,110 @@ impl ServerHandle {
                 out.push_str(&c.value.to_string());
             }
         }
-        out.push_str("}}");
+        out.push('}');
+        let _ = write!(
+            out,
+            ",\"uptime_s\":{:.3}",
+            shared.started.elapsed().as_secs_f64()
+        );
+        self.push_window_json(&mut out);
+        let _ = write!(
+            out,
+            ",\"events\":{{\"buffered\":{},\"dropped\":{}}}",
+            shared.events.buffered(),
+            shared.events.dropped()
+        );
+        let trace_dropped = xtalk_obs::snapshot()
+            .counter("trace.events.dropped")
+            .unwrap_or(0);
+        let _ = write!(
+            out,
+            ",\"trace\":{{\"buffered\":{},\"dropped\":{trace_dropped}}}",
+            xtalk_obs::trace_event_count()
+        );
+        out.push('}');
         out
+    }
+
+    /// Renders the `"window"` member of a `stats` reply: rates and
+    /// per-stage latency quantiles over roughly the last minute (merged
+    /// closed intervals plus the live partial one).
+    fn push_window_json(&self, out: &mut String) {
+        let view = self
+            .shared
+            .window
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .windowed(STATS_WINDOW_INTERVALS);
+        let _ = write!(
+            out,
+            ",\"window\":{{\"seconds\":{:.3},\"intervals\":{}",
+            view.elapsed.as_secs_f64(),
+            view.intervals
+        );
+        let _ = write!(out, ",\"req_per_s\":{:.3}", view.rate("serve.requests.analyze"));
+        let counter = |name: &str| view.delta.counter(name).unwrap_or(0);
+        let _ = write!(
+            out,
+            ",\"replies\":{{\"ok\":{},\"degraded\":{},\"error\":{}}}",
+            counter("serve.replies.ok"),
+            counter("serve.replies.degraded"),
+            counter("serve.replies.error"),
+        );
+        out.push_str(",\"stages\":{");
+        for (i, (key, hist)) in [
+            ("request", "span.serve.request.ns"),
+            ("parse", "span.serve.parse.ns"),
+            ("chain", "span.serve.chain.ns"),
+            ("golden", "span.serve.golden.ns"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{key}\":{{");
+            match view.delta.histogram(hist) {
+                Some(h) => {
+                    let us =
+                        |q: f64| h.quantile_upper_bound(q).map_or(0.0, |ns| ns as f64 / 1e3);
+                    let _ = write!(
+                        out,
+                        "\"count\":{},\"mean_us\":{:.1},\"p50_us\":{:.1},\"p99_us\":{:.1}",
+                        h.count,
+                        h.mean() / 1e3,
+                        us(0.50),
+                        us(0.99),
+                    );
+                }
+                None => out.push_str("\"count\":0"),
+            }
+            out.push('}');
+        }
+        out.push('}');
+        let _ = write!(
+            out,
+            ",\"fallback_rungs\":{{\"metric2\":{},\"metric1_m1\":{},\"bounds\":{},\"lumped\":{}}}",
+            counter("resilience.rung.metric2"),
+            counter("resilience.rung.metric1_m1"),
+            counter("resilience.rung.bounds"),
+            counter("resilience.rung.lumped"),
+        );
+        let _ = write!(
+            out,
+            ",\"fast_tier\":{{\"hits\":{},\"fallbacks\":{}}}}}",
+            counter("sim.fast_tier.hits"),
+            counter("sim.fast_tier.fallback"),
+        );
+    }
+
+    /// Takes every buffered request-lifecycle event line (JSONL, oldest
+    /// first), leaving the ring empty. The CLI flushes these to
+    /// `--events-out` after the drain.
+    #[must_use]
+    pub fn drain_events(&self) -> Vec<String> {
+        self.shared.events.drain()
     }
 }
 
@@ -591,16 +763,68 @@ fn retry_after_ms(depth: usize) -> u64 {
 fn worker_loop(shared: &Arc<Shared>) {
     let mut ws = SimWorkspace::new();
     while let Some(job) = shared.queue.pop() {
+        // Pin the request number on this thread: every span recorded
+        // below — engine stages, eval, sim internals — carries it as
+        // `args.req` in the Chrome trace.
+        let _ctx = xtalk_obs::push_request_ctx(job.req);
         let _span = xtalk_obs::span!("serve.request");
+        shared.events.emit(
+            "started",
+            job.req,
+            &job.id,
+            &format!(
+                ",\"queue_wait_ms\":{:.3}",
+                job.accepted.elapsed().as_secs_f64() * 1e3
+            ),
+        );
+        let mut trace = RequestTrace::default();
         let outcome = catch_unwind(AssertUnwindSafe(|| match &job.kind {
-            JobKind::Analyze(req) => engine::run_analyze(&job.id, req, job.accepted, &mut ws),
+            JobKind::Analyze(req) => {
+                engine::run_analyze(&job.id, req, job.accepted, &mut ws, &mut trace)
+            }
             JobKind::Boom => panic!("deliberate test fault (boom request)"),
         }));
         let reply = match outcome {
-            Ok(reply) => reply,
+            Ok(reply) => {
+                if trace.degraded_rows > 0 {
+                    shared.events.emit(
+                        "rung_degraded",
+                        job.req,
+                        &job.id,
+                        &format!(",\"degraded_rows\":{}", trace.degraded_rows),
+                    );
+                }
+                if trace.deadline_expired || trace.golden_skips > 0 || trace.analytic_rescues > 0 {
+                    shared.events.emit(
+                        "deadline",
+                        job.req,
+                        &job.id,
+                        &format!(
+                            ",\"expired\":{},\"golden_skips\":{},\"analytic_rescues\":{}",
+                            trace.deadline_expired, trace.golden_skips, trace.analytic_rescues
+                        ),
+                    );
+                }
+                shared.events.emit(
+                    "completed",
+                    job.req,
+                    &job.id,
+                    &format!(
+                        ",\"status\":\"{}\",\"total_ms\":{:.3},\"parse_ms\":{:.3},\
+                         \"chain_ms\":{:.3},\"golden_ms\":{:.3}",
+                        trace.status,
+                        job.accepted.elapsed().as_secs_f64() * 1e3,
+                        trace.parse_ns as f64 / 1e6,
+                        trace.chain_ns as f64 / 1e6,
+                        trace.golden_ns as f64 / 1e6,
+                    ),
+                );
+                reply
+            }
             Err(payload) => {
                 shared.panics.fetch_add(1, Ordering::SeqCst);
                 xtalk_obs::counter!("serve.panics_caught").add(1);
+                shared.events.emit("panicked", job.req, &job.id, "");
                 // The workspace may have been mid-factorization when the
                 // panic unwound through it; drop it rather than trust it.
                 ws = SimWorkspace::new();
@@ -618,6 +842,25 @@ fn worker_loop(shared: &Arc<Shared>) {
         shared.served.fetch_add(1, Ordering::SeqCst);
         let _ = job.reply_tx.send((job.seq, reply));
         shared.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Closes one window interval per [`TELEMETRY_INTERVAL`] until
+/// [`Server::finish`] stops it. Runs on its own thread so `stats`
+/// replies only ever *read* merged deltas; recording threads never see
+/// the ring.
+fn telemetry_loop(shared: &Arc<Shared>) {
+    let mut last_tick = Instant::now();
+    while !shared.stop_telemetry.load(Ordering::SeqCst) {
+        thread::sleep(READ_POLL);
+        if last_tick.elapsed() >= TELEMETRY_INTERVAL {
+            shared
+                .window
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .tick();
+            last_tick = Instant::now();
+        }
     }
 }
 
@@ -895,6 +1138,108 @@ mod tests {
         server.run_until_drained(); // must not hang
         let summary = server.finish();
         assert_eq!(summary.served, 8);
+    }
+
+    #[test]
+    fn stats_reply_carries_windowed_schema() {
+        // Windowed figures need live metrics; sticky and harmless for
+        // the sibling tests (none assert that metrics are off).
+        xtalk_obs::enable_metrics();
+        let deck = sample_deck();
+        let server = Server::new(ServeConfig {
+            jobs: Jobs::Count(2),
+            ..ServeConfig::default()
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = server.handle();
+        let accept = thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            stream
+                .set_read_timeout(Some(Duration::from_millis(20)))
+                .expect("timeout");
+            let writer = stream.try_clone().expect("clone");
+            handle.attach(&stream, writer);
+        });
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+        // Analyze first and *read the replies* before asking for stats,
+        // so the windowed counters have provably moved.
+        let mut reply = String::new();
+        for i in 0..4 {
+            client
+                .write_all(analyze_line(i, &deck).as_bytes())
+                .expect("write");
+            client.write_all(b"\n").expect("write");
+            reply.clear();
+            reader.read_line(&mut reply).expect("reply");
+        }
+        client
+            .write_all(b"{\"id\":99,\"type\":\"stats\"}\n")
+            .expect("write");
+        reply.clear();
+        reader.read_line(&mut reply).expect("stats reply");
+        let v = json::parse(&reply).expect("stats reply parses");
+
+        assert!(v.get("uptime_s").and_then(Value::as_f64).unwrap() >= 0.0);
+        let window = v.get("window").expect("window object");
+        assert!(window.get("seconds").and_then(Value::as_f64).unwrap() > 0.0);
+        assert!(
+            window.get("req_per_s").and_then(Value::as_f64).unwrap() > 0.0,
+            "4 analyzed requests must show up as a windowed rate: {reply}"
+        );
+        let replies = window.get("replies").expect("replies object");
+        assert!(replies.get("ok").and_then(Value::as_f64).unwrap() >= 4.0);
+        let stages = window.get("stages").expect("stages object");
+        for stage in ["request", "parse", "chain"] {
+            let s = stages.get(stage).unwrap_or_else(|| panic!("stage {stage}"));
+            assert!(
+                s.get("count").and_then(Value::as_f64).unwrap() >= 4.0,
+                "stage {stage} must have recorded: {reply}"
+            );
+            assert!(s.get("p50_us").and_then(Value::as_f64).unwrap() > 0.0);
+            assert!(s.get("p99_us").and_then(Value::as_f64).unwrap() > 0.0);
+        }
+        assert!(stages.get("golden").is_some(), "golden stage always present");
+        assert!(window.get("fallback_rungs").is_some());
+        assert!(window.get("fast_tier").is_some());
+        let events = v.get("events").expect("events object");
+        assert!(
+            events.get("buffered").and_then(Value::as_f64).unwrap() > 0.0,
+            "admitted/started/completed events must be buffered: {reply}"
+        );
+        assert_eq!(events.get("dropped").and_then(Value::as_f64), Some(0.0));
+        assert!(v.get("trace").expect("trace object").get("dropped").is_some());
+
+        client.shutdown(std::net::Shutdown::Write).expect("eof");
+        assert_eq!(reader.lines().count(), 0);
+        accept.join().expect("conn");
+        let h = server.handle();
+        h.request_shutdown();
+        server.run_until_drained();
+        // The event trail for one request is reconstructable from the
+        // drained JSONL: admitted → started → completed, same req.
+        let lines = h.drain_events();
+        assert!(lines.len() >= 12, "4 requests × ≥3 events: {lines:?}");
+        let admitted: Vec<&String> =
+            lines.iter().filter(|l| l.contains("\"event\":\"admitted\"")).collect();
+        assert_eq!(admitted.len(), 4);
+        assert!(admitted[0].contains("\"req\":1"));
+        for event in ["started", "completed"] {
+            assert_eq!(
+                lines
+                    .iter()
+                    .filter(|l| l.contains(&format!("\"event\":\"{event}\"")))
+                    .count(),
+                4,
+                "every request leaves one {event} event"
+            );
+        }
+        assert!(
+            lines.iter().all(|l| json::parse(l).is_ok()),
+            "every event line is standalone JSON"
+        );
+        server.finish();
     }
 
     #[test]
