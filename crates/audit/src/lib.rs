@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod incremental;
 pub mod invariants;
 pub mod report;
 pub mod screening;
@@ -230,6 +231,11 @@ pub fn run_audit(config: &AuditConfig) -> AuditReport {
     report
         .findings
         .extend(screening::screening_agreement_findings(config.cases));
+    // Likewise deterministic: the incremental-equivalence scripts,
+    // numbered after the two screening specs.
+    report
+        .findings
+        .extend(incremental::incremental_equiv_findings(config.cases + 2));
     report
 }
 

@@ -26,6 +26,12 @@
 //! worker count. The serial and parallel fast legs must render
 //! byte-identical tables (the executor's determinism contract); the
 //! baseline leg's table legitimately differs in golden-derived digits.
+//! On a single-core host (`host_parallelism == 1`) the parallel leg
+//! still runs for the byte-identity assert, but the export replaces the
+//! `parallel` and `speedup` fields with `"parallel_skipped":true` — a
+//! one-worker-vs-one-worker ratio is scheduling noise, not a speedup
+//! (the same treatment `screen_throughput` applies). `fast_speedup`
+//! compares two one-worker legs and stays meaningful everywhere.
 //!
 //! Stage figures come from the observability span histograms: `sim_s`
 //! is the summed time under `sim.golden` spans (including analytic-tier
@@ -265,6 +271,12 @@ fn main() {
         "fast-tier sweep must evaluate the same case population"
     );
 
+    // On a single-core host the "parallel" leg is the same one worker
+    // plus scheduling overhead; a sub-1.0 "speedup" from it is noise,
+    // not measurement, so the export annotates the skip instead (the
+    // same treatment screen_throughput applies). The leg still runs
+    // above: the byte-identity assert is about determinism, not speed.
+    let parallel_meaningful = host > 1;
     let speedup = serial_t.total_s / parallel_t.total_s;
     let fast_speedup = baseline_t.total_s / serial_t.total_s;
     print_leg("baseline", &baseline_t, "1 worker, fixed/off");
@@ -278,25 +290,38 @@ fn main() {
         "sweep_throughput/fast_tier          hits {} fallback {} steps_saved {}",
         serial_t.fast_hits, serial_t.fast_fallback, serial_t.steps_saved
     );
-    println!("sweep_throughput/speedup           {speedup:>10.2} x  (tables byte-identical)");
+    if parallel_meaningful {
+        println!("sweep_throughput/speedup           {speedup:>10.2} x  (tables byte-identical)");
+    } else {
+        println!(
+            "sweep_throughput/speedup           skipped (host parallelism 1; tables byte-identical)"
+        );
+    }
     println!("sweep_throughput/fast_speedup      {fast_speedup:>10.2} x  (vs fixed/off baseline)");
 
     if test_mode {
         println!("sweep_throughput: test passed");
         return;
     }
+    let parallel_json = if parallel_meaningful {
+        format!(
+            "\"parallel\":{},\"speedup\":{speedup:.4},",
+            leg_json(&parallel_t, parallel_jobs, fast_sim, fast_tier)
+        )
+    } else {
+        "\"parallel_skipped\":true,".to_owned()
+    };
     // Hand-rolled JSON (no serde in the offline workspace); the repo root
     // is two levels above this crate's manifest.
     let json = format!(
         "{{\"cases\":{cases},\"audit_cases\":{audit_cases},\"host_parallelism\":{host},\
          \"baseline\":{},\
          \"serial\":{},\
-         \"parallel\":{},\
+         {parallel_json}\
          \"fast_tier\":{{\"hits\":{},\"fallback\":{},\"steps_saved\":{}}},\
-         \"speedup\":{speedup:.4},\"fast_speedup\":{fast_speedup:.4}}}\n",
+         \"fast_speedup\":{fast_speedup:.4}}}\n",
         leg_json(&baseline_t, 1, SimMode::Fixed, FastTier::Off),
         leg_json(&serial_t, 1, fast_sim, fast_tier),
-        leg_json(&parallel_t, parallel_jobs, fast_sim, fast_tier),
         serial_t.fast_hits,
         serial_t.fast_fallback,
         serial_t.steps_saved,

@@ -1,0 +1,399 @@
+//! Value deltas over a built [`Network`] — the edit vocabulary of the
+//! incremental what-if engine.
+//!
+//! A physical-design optimizer moves one thing at a time: it resizes a
+//! driver, respaces a wire away from its neighbour (scaling the coupling
+//! capacitance), retargets a sink to a different receiver size, or
+//! re-widens a segment (changing its resistance). Every one of those is
+//! a *value* change on an existing element — the topology (nodes, tree
+//! shapes, which elements exist) never changes. [`Delta`] captures
+//! exactly that vocabulary, and [`Network::apply_delta`] applies one in
+//! place, returning the **inverse** delta so an optimizer can keep an
+//! undo stack for free.
+//!
+//! Because deltas cannot change topology, every analysis structure built
+//! from the network (tree orders, moment-engine traversals, island
+//! partitions) stays valid across a delta; only element *values* move.
+//! That invariant is what makes dependency-tracked invalidation sound:
+//! a delta's blast radius is the set of nets whose values it touches
+//! ([`Delta::touched_nets`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use xtalk_circuit::{Delta, NetRole, NetworkBuilder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = NetworkBuilder::new();
+//! let v = b.add_net("v", NetRole::Victim);
+//! let a = b.add_net("a", NetRole::Aggressor);
+//! let vn = b.add_node(v, "v0");
+//! let an = b.add_node(a, "a0");
+//! b.add_driver(v, vn, 100.0)?;
+//! b.add_driver(a, an, 100.0)?;
+//! b.add_sink(vn, 10e-15)?;
+//! b.add_sink(an, 10e-15)?;
+//! b.add_coupling_cap(vn, an, 20e-15)?;
+//! let mut network = b.build()?;
+//!
+//! let undo = network.apply_delta(&Delta::ResizeDriver { net: v, ohms: 50.0 })?;
+//! assert!((network.net(v).driver().ohms - 50.0).abs() < 1e-12);
+//! network.apply_delta(&undo)?; // back to 100 Ω
+//! assert!((network.net(v).driver().ohms - 100.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{NetId, Network, NodeId};
+
+/// One value edit on a built network. Indices refer to the network's
+/// element tables ([`Network::resistors`], [`Network::ground_caps`],
+/// [`Network::coupling_caps`]); node and net ids to the network the
+/// delta is applied to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Delta {
+    /// Re-linearize a driver: set the equivalent resistance of `net`'s
+    /// driver (upsizing a gate lowers it).
+    ResizeDriver {
+        /// Net whose driver changes.
+        net: NetId,
+        /// New equivalent resistance (Ω), positive and finite.
+        ohms: f64,
+    },
+    /// Set the load of the (first) sink at `node` — retargeting the
+    /// receiver.
+    SetSinkCap {
+        /// Sink node.
+        node: NodeId,
+        /// New load (F), non-negative and finite.
+        farads: f64,
+    },
+    /// Respace a coupling segment: set coupling capacitor `index` to a
+    /// new value (moving wires apart scales the coupling down).
+    SetCouplingCap {
+        /// Index into [`Network::coupling_caps`].
+        index: usize,
+        /// New coupling capacitance (F), positive and finite.
+        farads: f64,
+    },
+    /// Re-width a wire segment: set resistor `index`'s resistance.
+    SetResistor {
+        /// Index into [`Network::resistors`].
+        index: usize,
+        /// New resistance (Ω), positive and finite.
+        ohms: f64,
+    },
+    /// Set grounded wire capacitor `index`'s value (layer change,
+    /// shielding).
+    SetGroundCap {
+        /// Index into [`Network::ground_caps`].
+        index: usize,
+        /// New capacitance (F), positive and finite.
+        farads: f64,
+    },
+}
+
+impl Delta {
+    /// The nets whose element values this delta touches on `network`:
+    /// one for every variant except [`Delta::SetCouplingCap`], which
+    /// bridges two. Returns `None` when the target does not exist.
+    #[must_use]
+    pub fn touched_nets(&self, network: &Network) -> Option<(NetId, Option<NetId>)> {
+        match *self {
+            Delta::ResizeDriver { net, .. } => {
+                (net.index() < network.net_count()).then_some((net, None))
+            }
+            Delta::SetSinkCap { node, .. } => {
+                if node.index() >= network.node_count() {
+                    return None;
+                }
+                Some((network.node_net(node), None))
+            }
+            Delta::SetCouplingCap { index, .. } => {
+                let cc = network.coupling_caps.get(index)?;
+                Some((network.node_net(cc.a), Some(network.node_net(cc.b))))
+            }
+            Delta::SetResistor { index, .. } => {
+                let r = network.resistors.get(index)?;
+                Some((network.node_net(r.a), None))
+            }
+            Delta::SetGroundCap { index, .. } => {
+                let gc = network.ground_caps.get(index)?;
+                Some((network.node_net(gc.node), None))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Delta::ResizeDriver { net, ohms } => {
+                write!(f, "resize driver of net {} to {ohms} Ω", net.index())
+            }
+            Delta::SetSinkCap { node, farads } => {
+                write!(f, "set sink at node {} to {farads} F", node.index())
+            }
+            Delta::SetCouplingCap { index, farads } => {
+                write!(f, "set coupling cap #{index} to {farads} F")
+            }
+            Delta::SetResistor { index, ohms } => {
+                write!(f, "set resistor #{index} to {ohms} Ω")
+            }
+            Delta::SetGroundCap { index, farads } => {
+                write!(f, "set ground cap #{index} to {farads} F")
+            }
+        }
+    }
+}
+
+/// Why a delta was rejected. Rejected deltas leave the network
+/// untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaError {
+    /// The delta names an element, node or net the network doesn't have.
+    UnknownTarget(String),
+    /// The new value fails the same validation the builder enforces.
+    BadValue(String),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::UnknownTarget(what) => write!(f, "delta targets unknown {what}"),
+            DeltaError::BadValue(why) => write!(f, "delta value rejected: {why}"),
+        }
+    }
+}
+
+impl Error for DeltaError {}
+
+fn check_positive(value: f64, what: &str) -> Result<(), DeltaError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(DeltaError::BadValue(format!(
+            "{what} must be positive and finite, got {value}"
+        )))
+    }
+}
+
+impl Network {
+    /// Applies one value [`Delta`] in place, returning the inverse delta
+    /// (same target, previous value). Validation matches the builder's:
+    /// resistances and capacitances positive and finite, sink loads
+    /// non-negative.
+    ///
+    /// Topology is untouched, so every id and element index — and any
+    /// tree/traversal structure derived from them — remains valid.
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaError::UnknownTarget`] when the target doesn't exist,
+    /// [`DeltaError::BadValue`] when the value fails validation; the
+    /// network is unchanged in both cases.
+    pub fn apply_delta(&mut self, delta: &Delta) -> Result<Delta, DeltaError> {
+        match *delta {
+            Delta::ResizeDriver { net, ohms } => {
+                check_positive(ohms, "driver resistance")?;
+                let entry = self
+                    .nets
+                    .get_mut(net.index())
+                    .ok_or_else(|| DeltaError::UnknownTarget(format!("net {}", net.index())))?;
+                let old = entry.driver.ohms;
+                entry.driver.ohms = ohms;
+                Ok(Delta::ResizeDriver { net, ohms: old })
+            }
+            Delta::SetSinkCap { node, farads } => {
+                if !(farads.is_finite() && farads >= 0.0) {
+                    return Err(DeltaError::BadValue(format!(
+                        "sink load must be non-negative and finite, got {farads}"
+                    )));
+                }
+                if node.index() >= self.node_names.len() {
+                    return Err(DeltaError::UnknownTarget(format!("node {}", node.index())));
+                }
+                let net = self.node_net[node.index()];
+                let sink = self.nets[net.index()]
+                    .sinks
+                    .iter_mut()
+                    .find(|s| s.node == node)
+                    .ok_or_else(|| {
+                        DeltaError::UnknownTarget(format!("sink at node {}", node.index()))
+                    })?;
+                let old = sink.farads;
+                sink.farads = farads;
+                Ok(Delta::SetSinkCap { node, farads: old })
+            }
+            Delta::SetCouplingCap { index, farads } => {
+                check_positive(farads, "coupling capacitance")?;
+                let cc = self.coupling_caps.get_mut(index).ok_or_else(|| {
+                    DeltaError::UnknownTarget(format!("coupling cap #{index}"))
+                })?;
+                let old = cc.farads;
+                cc.farads = farads;
+                Ok(Delta::SetCouplingCap { index, farads: old })
+            }
+            Delta::SetResistor { index, ohms } => {
+                check_positive(ohms, "resistance")?;
+                let r = self
+                    .resistors
+                    .get_mut(index)
+                    .ok_or_else(|| DeltaError::UnknownTarget(format!("resistor #{index}")))?;
+                let old = r.ohms;
+                r.ohms = ohms;
+                // The tree view caches the parent-edge resistance; keep
+                // it in sync so path/common-path sums stay truthful.
+                let (a, b) = (r.a, r.b);
+                let net = self.node_net[a.index()];
+                self.trees[net.index()].set_edge_resistance(a, b, ohms);
+                Ok(Delta::SetResistor { index, ohms: old })
+            }
+            Delta::SetGroundCap { index, farads } => {
+                check_positive(farads, "ground capacitance")?;
+                let gc = self
+                    .ground_caps
+                    .get_mut(index)
+                    .ok_or_else(|| DeltaError::UnknownTarget(format!("ground cap #{index}")))?;
+                let old = gc.farads;
+                gc.farads = farads;
+                Ok(Delta::SetGroundCap { index, farads: old })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetRole;
+    use crate::NetworkBuilder;
+
+    fn pair() -> Network {
+        let mut b = NetworkBuilder::new();
+        let v = b.add_net("v", NetRole::Victim);
+        let a = b.add_net("a", NetRole::Aggressor);
+        let v0 = b.add_node(v, "v0");
+        let v1 = b.add_node(v, "v1");
+        let a0 = b.add_node(a, "a0");
+        b.add_driver(v, v0, 100.0).unwrap();
+        b.add_driver(a, a0, 200.0).unwrap();
+        b.add_resistor(v0, v1, 50.0).unwrap();
+        b.add_ground_cap(v1, 5e-15).unwrap();
+        b.add_sink(v1, 10e-15).unwrap();
+        b.add_sink(a0, 12e-15).unwrap();
+        b.add_coupling_cap(a0, v1, 20e-15).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn apply_and_inverse_round_trip() {
+        let mut n = pair();
+        let deltas = [
+            Delta::ResizeDriver {
+                net: n.victim(),
+                ohms: 42.0,
+            },
+            Delta::SetSinkCap {
+                node: n.victim_output(),
+                farads: 7e-15,
+            },
+            Delta::SetCouplingCap {
+                index: 0,
+                farads: 33e-15,
+            },
+            Delta::SetResistor {
+                index: 0,
+                ohms: 81.0,
+            },
+            Delta::SetGroundCap {
+                index: 0,
+                farads: 9e-15,
+            },
+        ];
+        for d in &deltas {
+            let before = format!("{n:?}");
+            let undo = n.apply_delta(d).unwrap();
+            assert_ne!(before, format!("{n:?}"), "{d} must change the network");
+            let redo = n.apply_delta(&undo).unwrap();
+            assert_eq!(before, format!("{n:?}"), "{d} inverse must round-trip");
+            assert_eq!(redo, *d);
+        }
+    }
+
+    #[test]
+    fn resistor_delta_updates_tree_view() {
+        let mut n = pair();
+        let v = n.victim();
+        let before = n.tree(v).path_resistance(n.victim_output());
+        n.apply_delta(&Delta::SetResistor {
+            index: 0,
+            ohms: 500.0,
+        })
+        .unwrap();
+        let after = n.tree(v).path_resistance(n.victim_output());
+        assert!((after - before - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_values_and_targets_rejected_without_change() {
+        let mut n = pair();
+        let before = format!("{n:?}");
+        for d in [
+            Delta::ResizeDriver {
+                net: n.victim(),
+                ohms: 0.0,
+            },
+            Delta::ResizeDriver {
+                net: n.victim(),
+                ohms: f64::NAN,
+            },
+            Delta::SetSinkCap {
+                node: n.victim_output(),
+                farads: -1e-15,
+            },
+            Delta::SetCouplingCap {
+                index: 9,
+                farads: 1e-15,
+            },
+            Delta::SetResistor {
+                index: 7,
+                ohms: 1.0,
+            },
+            Delta::SetGroundCap {
+                index: 5,
+                farads: 1e-15,
+            },
+        ] {
+            assert!(n.apply_delta(&d).is_err(), "{d} must be rejected");
+        }
+        assert_eq!(before, format!("{n:?}"), "rejected deltas leave no trace");
+    }
+
+    #[test]
+    fn touched_nets_cover_both_coupling_sides() {
+        let n = pair();
+        let (a, b) = Delta::SetCouplingCap {
+            index: 0,
+            farads: 1e-15,
+        }
+        .touched_nets(&n)
+        .unwrap();
+        let b = b.unwrap();
+        assert_ne!(a, b);
+        let (r, none) = Delta::SetResistor { index: 0, ohms: 1.0 }
+            .touched_nets(&n)
+            .unwrap();
+        assert_eq!(r, n.victim());
+        assert!(none.is_none());
+        assert!(Delta::SetCouplingCap {
+            index: 44,
+            farads: 1e-15
+        }
+        .touched_nets(&n)
+        .is_none());
+    }
+}

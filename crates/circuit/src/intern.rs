@@ -1,0 +1,289 @@
+//! Structural interning and content hashing for incremental queries.
+//!
+//! The incremental engine memoizes pipeline stages behind keys derived
+//! from network sub-structure (a victim plus its coupled neighbours, an
+//! RC segment run, a victim–aggressor pair) and element *values*. Two
+//! pieces make those keys cheap:
+//!
+//! * [`ContentHash`] — a deterministic 64-bit FNV-1a stream hasher over
+//!   ids and `f64` bit patterns. Unlike [`std::hash::Hasher`] instances,
+//!   its output is stable across processes and platforms, so hashes can
+//!   participate in persisted artifacts and cross-run comparisons.
+//! * [`Interner`] — an append-only arena mapping interned keys to dense
+//!   [`Symbol`] handles (`u32`), so equality on a complex structural key
+//!   becomes one integer compare and the key itself is stored exactly
+//!   once.
+//!
+//! # Examples
+//!
+//! ```
+//! use xtalk_circuit::intern::{ContentHash, Interner};
+//!
+//! let mut interner: Interner<(u32, u64)> = Interner::new();
+//! let mut h = ContentHash::new();
+//! h.write_f64(1.5);
+//! h.write_u32(7);
+//! let key = (7, h.finish());
+//! let s1 = interner.intern(key);
+//! let s2 = interner.intern(key);
+//! assert_eq!(s1, s2);
+//! assert_eq!(interner.resolve(s1), &key);
+//! assert_eq!(interner.len(), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A dense handle into an [`Interner`] — one `u32`, `Copy`, ordered by
+/// interning time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Position of the interned key in arena order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only interning arena: each distinct key is stored once and
+/// addressed by a [`Symbol`].
+#[derive(Debug, Clone, Default)]
+pub struct Interner<T> {
+    map: HashMap<T, u32>,
+    items: Vec<T>,
+}
+
+impl<T: Clone + Eq + Hash> Interner<T> {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Interner {
+            map: HashMap::new(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Interns `key`, returning its (new or existing) handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct keys are interned.
+    pub fn intern(&mut self, key: T) -> Symbol {
+        if let Some(&id) = self.map.get(&key) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(self.items.len()).expect("interner overflow");
+        self.items.push(key.clone());
+        self.map.insert(key, id);
+        Symbol(id)
+    }
+
+    /// The handle of `key` if it was interned before.
+    #[must_use]
+    pub fn lookup(&self, key: &T) -> Option<Symbol> {
+        self.map.get(key).copied().map(Symbol)
+    }
+
+    /// The key behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle from another arena (out of range).
+    #[must_use]
+    pub fn resolve(&self, symbol: Symbol) -> &T {
+        &self.items[symbol.index()]
+    }
+
+    /// Number of distinct interned keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing was interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Deterministic 64-bit FNV-1a stream hash over structural content.
+///
+/// Stable across processes, platforms and runs (unlike the randomized
+/// std `DefaultHasher`), which is what makes it usable in content-hashed
+/// query keys that may be logged, compared across runs, or persisted.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentHash(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl ContentHash {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        ContentHash(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` widened to 64 bits, so hashes agree across
+    /// pointer widths.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs an `f64` by bit pattern — distinguishes `0.0` from
+    /// `-0.0` and every NaN payload, which is exactly right for keys
+    /// that must witness bit-identical values.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The accumulated hash.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for ContentHash {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Content hash of a whole network's element *values* (driver
+/// resistances, sink loads, resistors, ground and coupling caps) in
+/// table order. Two networks built the same way hash equal iff every
+/// value is bit-identical; any [`crate::Delta`] changes the hash.
+#[must_use]
+pub fn network_value_hash(network: &crate::Network) -> u64 {
+    let mut h = ContentHash::new();
+    for (_, net) in network.nets() {
+        h.write_f64(net.driver().ohms);
+        for s in net.sinks() {
+            h.write_f64(s.farads);
+        }
+    }
+    for r in network.resistors() {
+        h.write_f64(r.ohms);
+    }
+    for gc in network.ground_caps() {
+        h.write_f64(gc.farads);
+    }
+    for cc in network.coupling_caps() {
+        h.write_f64(cc.farads);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Delta, NetRole, NetworkBuilder};
+
+    #[test]
+    fn fnv_vectors_are_stable() {
+        // Classic FNV-1a test vectors: the empty string hashes to the
+        // offset basis; "a" to the published constant.
+        assert_eq!(ContentHash::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = ContentHash::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn f64_hashing_is_bit_exact() {
+        let mut a = ContentHash::new();
+        let mut b = ContentHash::new();
+        a.write_f64(0.0);
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = ContentHash::new();
+        c.write_f64(0.1 + 0.2);
+        let mut d = ContentHash::new();
+        d.write_f64(0.3);
+        assert_ne!(c.finish(), d.finish(), "witnesses rounding differences");
+    }
+
+    #[test]
+    fn interner_dedups_and_resolves() {
+        let mut i: Interner<u64> = Interner::new();
+        assert!(i.is_empty());
+        let a = i.intern(10);
+        let b = i.intern(20);
+        let a2 = i.intern(10);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+        assert_eq!(*i.resolve(b), 20);
+        assert_eq!(i.lookup(&10), Some(a));
+        assert_eq!(i.lookup(&30), None);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+
+    #[test]
+    fn network_value_hash_witnesses_every_delta_kind() {
+        let mut b = NetworkBuilder::new();
+        let v = b.add_net("v", NetRole::Victim);
+        let a = b.add_net("a", NetRole::Aggressor);
+        let v0 = b.add_node(v, "v0");
+        let v1 = b.add_node(v, "v1");
+        let a0 = b.add_node(a, "a0");
+        b.add_driver(v, v0, 100.0).unwrap();
+        b.add_driver(a, a0, 200.0).unwrap();
+        b.add_resistor(v0, v1, 50.0).unwrap();
+        b.add_ground_cap(v1, 5e-15).unwrap();
+        b.add_sink(v1, 10e-15).unwrap();
+        b.add_sink(a0, 12e-15).unwrap();
+        b.add_coupling_cap(a0, v1, 20e-15).unwrap();
+        let mut n = b.build().unwrap();
+        let h0 = network_value_hash(&n);
+        assert_eq!(h0, network_value_hash(&n), "hash is a pure function");
+        for d in [
+            Delta::ResizeDriver { net: v, ohms: 99.0 },
+            Delta::SetSinkCap {
+                node: v1,
+                farads: 11e-15,
+            },
+            Delta::SetCouplingCap {
+                index: 0,
+                farads: 21e-15,
+            },
+            Delta::SetResistor {
+                index: 0,
+                ohms: 51.0,
+            },
+            Delta::SetGroundCap {
+                index: 0,
+                farads: 6e-15,
+            },
+        ] {
+            let before = network_value_hash(&n);
+            let undo = n.apply_delta(&d).unwrap();
+            assert_ne!(before, network_value_hash(&n), "{d} must move the hash");
+            n.apply_delta(&undo).unwrap();
+            assert_eq!(before, network_value_hash(&n), "{d} undo restores it");
+        }
+    }
+}

@@ -63,9 +63,11 @@
 
 mod builder;
 pub mod cluster;
+mod delta;
 mod elements;
 mod error;
 mod ids;
+pub mod intern;
 mod network;
 pub mod reduce;
 pub mod signal;
@@ -75,6 +77,7 @@ pub mod units;
 mod validate;
 
 pub use builder::NetworkBuilder;
+pub use delta::{Delta, DeltaError};
 pub use elements::{CouplingCap, Driver, GroundCap, Resistor, Sink};
 pub use error::CircuitError;
 pub use ids::{NetId, NodeId};

@@ -160,6 +160,36 @@ impl NetTree {
         self.path_resistance(self.lca(a, b))
     }
 
+    /// Updates the resistance of the tree edge between `a` and `b` (one
+    /// must be the other's parent) and refreshes the cached root-path
+    /// sums. Used by [`crate::Network::apply_delta`] to keep the tree
+    /// view truthful across a resistor value delta; topology is
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is not on this net or the pair is not a
+    /// tree edge.
+    pub(crate) fn set_edge_resistance(&mut self, a: NodeId, b: NodeId, ohms: f64) {
+        let (sa, sb) = (self.slot(a), self.slot(b));
+        let child = if self.parent[sa].is_some_and(|(p, _)| p == sb) {
+            sa
+        } else if self.parent[sb].is_some_and(|(p, _)| p == sa) {
+            sb
+        } else {
+            panic!("nodes {a} and {b} are not a tree edge of net {}", self.net)
+        };
+        let (p, _) = self.parent[child].expect("child has a parent");
+        self.parent[child] = Some((p, ohms));
+        // Root-first order guarantees parents are refreshed before
+        // children, so one pass rebuilds every affected path sum.
+        for i in 0..self.order.len() {
+            if let Some((pi, r)) = self.parent[i] {
+                self.path_res[i] = self.path_res[pi] + r;
+            }
+        }
+    }
+
     fn slot(&self, node: NodeId) -> usize {
         *self
             .index

@@ -276,6 +276,22 @@ pub struct BenchDiffArgs {
     pub fields: Vec<String>,
 }
 
+/// Parsed `xtalk optimize` invocation: the closed-loop noise-driven
+/// optimizer over a generated Figure-4 coupled-lane cluster.
+#[derive(Debug, Clone)]
+pub struct OptimizeArgs {
+    /// Lanes in the generated cluster.
+    pub lanes: usize,
+    /// Maximum optimization iterations (one accepted move each).
+    pub iters: usize,
+    /// Input ramp rise time in seconds.
+    pub slew: f64,
+    /// Worker threads for building the per-net analysis views.
+    pub jobs: Jobs,
+    /// When set, write the final noise report as deterministic JSON.
+    pub json: Option<String>,
+}
+
 /// Result of parsing: either run an analysis or print help.
 #[derive(Debug, Clone)]
 pub enum ParseOutcome {
@@ -293,6 +309,8 @@ pub enum ParseOutcome {
     Top(TopArgs),
     /// Diff two benchmark JSON artifacts against regression thresholds.
     BenchDiff(BenchDiffArgs),
+    /// Run the closed-loop noise-driven optimizer demo.
+    Optimize(OptimizeArgs),
     /// Print this help text and exit successfully.
     Help(String),
 }
@@ -319,6 +337,8 @@ USAGE:
     xtalk top (--tcp ADDR | --unix PATH) [--interval MS] [--once]
     xtalk bench-diff <old.json> <new.json> [--max-regress-pct P]
                      [--fields SUBSTR[,SUBSTR...]]
+    xtalk optimize [--lanes N] [--iters N] [--slew T] [--jobs N|auto]
+                   [--json PATH]
 
 The deck must use the subset written by xtalk's SPICE exporter (element
 cards R/C/CC/CL/RDRV plus `*!` net-role directives). Times accept SPICE
@@ -387,6 +407,18 @@ numeric field is classified by naming convention: throughputs
 (default 10). Other numerics are reported but never gated, as are
 fields present in only one file. --fields SUBSTR,... restricts gating
 to matching paths. Any regression exits with code 3.
+
+`xtalk optimize` demonstrates the incremental what-if engine in a
+closed loop: it generates a Figure-4 coupled-lane cluster (--lanes,
+default 16), then repeatedly takes the noisiest net and tries one-edit
+repairs — upsizing that net's driver or thinning its largest coupling
+capacitor (wire spreading) — keeping whichever move lowers the
+cluster-worst peak noise most and reverting the rest. Every trial is a
+single-delta query against the memoized session, so the loop reports
+its cache-hit rate alongside the noise improvement. --iters bounds the
+accepted moves (default 20); the loop stops early once no candidate
+improves. --json PATH writes the final ranked noise report
+(byte-identical for every --jobs value).
 
 `xtalk screen` streams a flat extracted deck (bounded memory — the whole
 deck is never built as one network), partitions nets into coupling
@@ -506,6 +538,7 @@ fn parse_command(argv: &[String]) -> Result<ParseOutcome, Box<dyn Error>> {
         Some("screen") => return parse_screen(it),
         Some("top") => return parse_top(it),
         Some("bench-diff") => return parse_bench_diff(it),
+        Some("optimize") => return parse_optimize(it),
         Some(other) => return Err(format!("unknown command {other:?}; try --help").into()),
     };
     let deck_path = it
@@ -885,6 +918,53 @@ fn parse_bench_diff(
     Ok(ParseOutcome::BenchDiff(diff))
 }
 
+fn parse_optimize(
+    mut it: std::iter::Peekable<std::slice::Iter<'_, String>>,
+) -> Result<ParseOutcome, Box<dyn Error>> {
+    let mut opt = OptimizeArgs {
+        lanes: 16,
+        iters: 20,
+        slew: 100e-12,
+        jobs: Jobs::Auto,
+        json: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, Box<dyn Error>> {
+            it.next().ok_or_else(|| format!("{flag} needs a value").into())
+        };
+        match flag.as_str() {
+            "--lanes" => {
+                opt.lanes = value()?
+                    .parse()
+                    .map_err(|_| "bad --lanes value".to_string())?;
+                if opt.lanes < 2 {
+                    return Err("--lanes must be at least 2 (need a coupled pair)".into());
+                }
+            }
+            "--iters" => {
+                opt.iters = value()?
+                    .parse()
+                    .map_err(|_| "bad --iters value".to_string())?;
+                if opt.iters == 0 {
+                    return Err("--iters must be at least 1".into());
+                }
+            }
+            "--slew" => {
+                opt.slew = parse_si_value(value()?)
+                    .ok_or_else(|| "bad --slew value".to_string())?;
+                if !(opt.slew.is_finite() && opt.slew > 0.0) {
+                    return Err("--slew must be positive".into());
+                }
+            }
+            "--jobs" => opt.jobs = Jobs::parse(value()?)?,
+            "--json" => opt.json = Some(value()?.to_string()),
+            "--help" | "-h" => return Ok(ParseOutcome::Help(HELP.to_string())),
+            other => return Err(format!("unknown flag {other:?}; try --help").into()),
+        }
+    }
+    Ok(ParseOutcome::Optimize(opt))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1253,6 +1333,44 @@ mod tests {
         assert!(parse_outcome(&["bench-diff", "a", "b", "c"]).is_err());
         assert!(parse_outcome(&["bench-diff", "a", "b", "--max-regress-pct", "-5"]).is_err());
         assert!(parse_outcome(&["bench-diff", "a", "b", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn optimize_flags_parse() {
+        let o = match parse_outcome(&["optimize"]).unwrap().0 {
+            ParseOutcome::Optimize(o) => o,
+            other => panic!("expected Optimize, got {other:?}"),
+        };
+        assert_eq!(o.lanes, 16);
+        assert_eq!(o.iters, 20);
+        assert!((o.slew - 100e-12).abs() < 1e-18);
+        assert_eq!(o.jobs, Jobs::Auto);
+        assert!(o.json.is_none());
+
+        let o = match parse_outcome(&[
+            "optimize", "--lanes", "8", "--iters", "5", "--slew", "200p",
+            "--jobs", "2", "--json", "out.json",
+        ])
+        .unwrap()
+        .0
+        {
+            ParseOutcome::Optimize(o) => o,
+            other => panic!("expected Optimize, got {other:?}"),
+        };
+        assert_eq!(o.lanes, 8);
+        assert_eq!(o.iters, 5);
+        assert!((o.slew - 200e-12).abs() < 1e-18);
+        assert_eq!(o.jobs, Jobs::Count(2));
+        assert_eq!(o.json.as_deref(), Some("out.json"));
+
+        assert!(parse_outcome(&["optimize", "--lanes", "1"]).is_err());
+        assert!(parse_outcome(&["optimize", "--iters", "0"]).is_err());
+        assert!(parse_outcome(&["optimize", "--slew", "-1n"]).is_err());
+        assert!(parse_outcome(&["optimize", "--wat"]).is_err());
+        assert!(matches!(
+            parse_outcome(&["optimize", "--help"]).unwrap().0,
+            ParseOutcome::Help(_)
+        ));
     }
 
     #[test]

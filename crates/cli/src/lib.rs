@@ -14,6 +14,7 @@
 //! xtalk serve [--tcp ADDR | --unix PATH] [--queue-capacity N]   # daemon
 //! xtalk screen <deck.sp> [--threshold 0.1] [--escalate-ratio 0.8]
 //!              [--no-escalate] [--strict] [--json PATH]   # full-chip screen
+//! xtalk optimize [--lanes N] [--iters N] [--json PATH]  # what-if demo loop
 //! ```
 //!
 //! Every command additionally accepts the observability switches
@@ -41,6 +42,7 @@
 
 mod args;
 mod exit;
+mod optimize_cmd;
 mod report;
 mod screen_cmd;
 mod serve_cmd;
@@ -48,8 +50,9 @@ mod sweep;
 mod top_cmd;
 
 pub use args::{
-    AuditArgs, BenchDiffArgs, Command, DelayMetricArg, MetricArg, ObsArgs, ParseOutcome,
-    ScreenCmdArgs, ServeArgs, ShapeArg, SweepCmdArgs, SweepFamily, TopArgs, Transport,
+    AuditArgs, BenchDiffArgs, Command, DelayMetricArg, MetricArg, ObsArgs, OptimizeArgs,
+    ParseOutcome, ScreenCmdArgs, ServeArgs, ShapeArg, SweepCmdArgs, SweepFamily, TopArgs,
+    Transport,
 };
 pub use exit::{ExitCode, FatalServerError};
 pub use report::{delay_report, info_report, noise_report};
@@ -150,6 +153,7 @@ fn dispatch(outcome: ParseOutcome) -> Result<RunOutcome, Box<dyn Error>> {
         ParseOutcome::Serve(serve) => serve_cmd::run_serve(&serve),
         ParseOutcome::Screen(screen) => screen_cmd::run_screen(&screen),
         ParseOutcome::Top(top) => top_cmd::run_top(&top),
+        ParseOutcome::Optimize(opt) => optimize_cmd::run_optimize(&opt),
         ParseOutcome::BenchDiff(diff) => {
             let old = std::fs::read_to_string(&diff.old_path)
                 .map_err(|e| format!("cannot read {}: {e}", diff.old_path))?;

@@ -131,6 +131,18 @@ fn render(v: &Value) -> String {
         out,
         "  fast-tier hits {hits:.0}   fallbacks {fallbacks:.0}   hit-rate {hit_rate}"
     );
+    let ihits = num(v, &["window", "incr", "hits"]).unwrap_or(0.0);
+    let imiss = num(v, &["window", "incr", "misses"]).unwrap_or(0.0);
+    let irate = if ihits + imiss > 0.0 {
+        format!("{:.0}%", ihits / (ihits + imiss) * 100.0)
+    } else {
+        "-".to_owned()
+    };
+    let _ = writeln!(
+        out,
+        "  incr     hits {ihits:.0}   misses {imiss:.0}   invalidated {}   hit-rate {irate}",
+        fmt_opt(num(v, &["window", "incr", "invalidated"]), 0),
+    );
     let _ = writeln!(
         out,
         "  buffers  events {}/{} dropped   trace {}/{} dropped",
@@ -186,7 +198,8 @@ mod tests {
                         "chain":{"count":40,"mean_us":300.0,"p50_us":256,"p99_us":1024},
                         "golden":{"count":0}},
               "fallback_rungs":{"metric2":39,"metric1_m1":1,"bounds":0,"lumped":0},
-              "fast_tier":{"hits":3,"fallbacks":1}},
+              "fast_tier":{"hits":3,"fallbacks":1},
+              "incr":{"hits":9,"misses":3,"invalidated":2}},
             "events":{"buffered":120,"dropped":0},
             "trace":{"buffered":160,"dropped":0}}"#;
         let frame = render(&json::parse(full).expect("fixture parses"));
@@ -196,6 +209,10 @@ mod tests {
         for stage in ["request", "parse", "chain", "golden"] {
             assert!(frame.contains(stage), "frame lacks {stage}: {frame}");
         }
+        assert!(
+            frame.contains("incr     hits 9   misses 3   invalidated 2   hit-rate 75%"),
+            "frame: {frame}"
+        );
 
         // A minimal reply (older daemon, metrics off) renders dashes,
         // not panics.

@@ -65,6 +65,7 @@ pub mod baselines;
 pub mod batch;
 mod error;
 mod estimate;
+pub mod memo;
 mod metric1;
 mod metric2;
 mod output;

@@ -1,0 +1,36 @@
+//! Incremental what-if engine over coupled-net clusters.
+//!
+//! The paper's target application is a router moving **one wire at a
+//! time**: metrics cheap enough for an optimization inner loop. The
+//! static pipeline (`moments` → `core`) recomputes everything per call;
+//! this crate makes single-edit queries nearly free by memoizing every
+//! pipeline stage and invalidating by dependency:
+//!
+//! * **Views** — each net is analyzed as the victim of a truncated view
+//!   holding only its 1-hop coupled neighbours, so an edit's blast
+//!   radius is a neighbourhood, not the cluster.
+//! * **Moments** — each view runs an
+//!   [`xtalk_moments::IncrTreeEngine`], which repairs only the dirty
+//!   per-net moment blocks after a value edit.
+//! * **Metrics** — Metric I/II estimates and bounds are memoized behind
+//!   bit-pattern keys ([`xtalk_core::memo::StageMemo`]); unchanged
+//!   victim–aggressor pairs replay stored results verbatim.
+//!
+//! The contract throughout is **bit-identity**: an incremental report
+//! equals a from-scratch rebuild of the same edited network byte for
+//! byte. Conservative recomputation is allowed (same inputs → same
+//! bits); approximation is not.
+//!
+//! Entry point: [`WhatIf`] — `apply(Delta) → NoiseReport`, `revert()`,
+//! with `incr.query.{hit,miss,invalidated}` Perf counters wired through
+//! `xtalk-obs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod session;
+mod view;
+
+pub use session::{
+    NetNoise, NoiseReport, SessionStats, WhatIf, WhatIfConfig, WhatIfError,
+};

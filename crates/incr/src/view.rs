@@ -1,0 +1,237 @@
+//! Per-net truncated analysis views and base→view delta translation.
+//!
+//! A [`View`] re-roles one base net as the victim and keeps only its
+//! *directly coupled* neighbours as aggressors — the paper's locality
+//! assumption made structural: noise is injected exclusively through
+//! coupling capacitors, and second-hop nets perturb the victim only
+//! through their (small) loading of the first-hop aggressors. Truncating
+//! at one hop makes each view O(neighbourhood) instead of O(cluster),
+//! which is where the incremental engine's asymptotic win comes from on
+//! chain-coupled clusters that form one giant coupling island.
+//!
+//! Each view carries translation tables from base element identifiers to
+//! view identifiers, built once during construction. Translating a
+//! [`Delta`] answers two questions at once: *does this edit affect the
+//! view at all* (exact invalidation — `None` means provably untouched),
+//! and *what is the equivalent edit inside the view*.
+
+use xtalk_circuit::{CircuitError, Delta, NetId, NetRole, Network, NetworkBuilder, NodeId};
+use xtalk_moments::IncrTreeEngine;
+
+/// Taylor order the noise pipeline consumes (`h0..h3`).
+pub(crate) const MOMENT_ORDER: usize = 4;
+
+/// One net's truncated analysis view: the re-roled victim, its 1-hop
+/// aggressors, an incremental moment engine over the view network, and
+/// the base→view translation tables.
+#[derive(Debug)]
+pub(crate) struct View {
+    /// The base net this view analyzes as victim.
+    pub target: NetId,
+    /// The truncated network (victim + direct neighbours).
+    pub network: Network,
+    /// Incrementally-repairable moment engine over `network`.
+    pub engine: IncrTreeEngine,
+    /// Base net index → view net id (None: net not in this view).
+    net_map: Vec<Option<NetId>>,
+    /// Base node index → view node id (None: node not in this view).
+    node_map: Vec<Option<NodeId>>,
+    /// Base resistor index → view resistor index.
+    res_map: Vec<Option<usize>>,
+    /// Base ground-cap index → view ground-cap index.
+    gc_map: Vec<Option<usize>>,
+    /// Base coupling-cap index → view coupling-cap index.
+    cc_map: Vec<Option<usize>>,
+}
+
+impl View {
+    /// Builds the view of `target` over `base`. Element iteration follows
+    /// the base table order throughout, so two builds of the same view
+    /// are identical and the translation tables are index-stable.
+    pub fn build(base: &Network, target: NetId) -> Result<View, CircuitError> {
+        let mut included = vec![false; base.net_count()];
+        included[target.index()] = true;
+        for cc in base.coupling_caps() {
+            let (na, nb) = (base.node_net(cc.a), base.node_net(cc.b));
+            if na == target {
+                included[nb.index()] = true;
+            }
+            if nb == target {
+                included[na.index()] = true;
+            }
+        }
+
+        let mut b = NetworkBuilder::new();
+        let mut net_map = vec![None; base.net_count()];
+        let mut node_map = vec![None; base.node_count()];
+        for (id, net) in base.nets() {
+            if !included[id.index()] {
+                continue;
+            }
+            let role = if id == target {
+                NetRole::Victim
+            } else {
+                NetRole::Aggressor
+            };
+            let view_net = b.add_net(net.name(), role);
+            net_map[id.index()] = Some(view_net);
+            for &node in net.nodes() {
+                node_map[node.index()] = Some(b.add_node(view_net, base.node_name(node)));
+            }
+            let driver = net.driver();
+            let dnode = node_map[driver.node.index()].expect("driver node just added");
+            b.add_driver(view_net, dnode, driver.ohms)?;
+            for s in net.sinks() {
+                let snode = node_map[s.node.index()].expect("sink node just added");
+                b.add_sink(snode, s.farads)?;
+            }
+        }
+
+        let mut res_map = vec![None; base.resistors().len()];
+        let mut res_next = 0usize;
+        for (i, r) in base.resistors().iter().enumerate() {
+            if let (Some(a), Some(bb)) = (node_map[r.a.index()], node_map[r.b.index()]) {
+                res_map[i] = Some(res_next);
+                res_next += 1;
+                b.add_resistor(a, bb, r.ohms)?;
+            }
+        }
+        let mut gc_map = vec![None; base.ground_caps().len()];
+        let mut gc_next = 0usize;
+        for (i, gc) in base.ground_caps().iter().enumerate() {
+            if let Some(node) = node_map[gc.node.index()] {
+                gc_map[i] = Some(gc_next);
+                gc_next += 1;
+                b.add_ground_cap(node, gc.farads)?;
+            }
+        }
+        let mut cc_map = vec![None; base.coupling_caps().len()];
+        let mut cc_next = 0usize;
+        for (i, cc) in base.coupling_caps().iter().enumerate() {
+            if let (Some(a), Some(bb)) = (node_map[cc.a.index()], node_map[cc.b.index()]) {
+                cc_map[i] = Some(cc_next);
+                cc_next += 1;
+                b.add_coupling_cap(a, bb, cc.farads)?;
+            }
+        }
+
+        if target == base.victim() {
+            if let Some(out) = node_map[base.victim_output().index()] {
+                b.set_victim_output(out);
+            }
+        }
+        // Re-roled nets observe at the builder default: the victim's
+        // first sink — the same convention the screening views use.
+
+        let network = b.build()?;
+        let engine = IncrTreeEngine::new(&network, MOMENT_ORDER);
+        Ok(View {
+            target,
+            network,
+            engine,
+            net_map,
+            node_map,
+            res_map,
+            gc_map,
+            cc_map,
+        })
+    }
+
+    /// Translates a base-network delta into this view, or `None` when the
+    /// delta provably cannot affect it (its target is outside the view).
+    ///
+    /// `None` is *exact*, not conservative: every element a delta can
+    /// name (a net's driver, a sink node, a resistor, a capacitor) is
+    /// either present in the view — and then its value is shared with the
+    /// base — or absent, and then no quantity of this view depends on it.
+    pub fn translate(&self, delta: &Delta) -> Option<Delta> {
+        match *delta {
+            Delta::ResizeDriver { net, ohms } => self.net_map[net.index()]
+                .map(|net| Delta::ResizeDriver { net, ohms }),
+            Delta::SetSinkCap { node, farads } => self.node_map[node.index()]
+                .map(|node| Delta::SetSinkCap { node, farads }),
+            Delta::SetResistor { index, ohms } => {
+                self.res_map[index].map(|index| Delta::SetResistor { index, ohms })
+            }
+            Delta::SetGroundCap { index, farads } => {
+                self.gc_map[index].map(|index| Delta::SetGroundCap { index, farads })
+            }
+            Delta::SetCouplingCap { index, farads } => {
+                self.cc_map[index].map(|index| Delta::SetCouplingCap { index, farads })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_tech::{ClusterSpec, Technology};
+
+    fn cluster(lanes: usize) -> (Network, Vec<NetId>) {
+        ClusterSpec::figure4_family(lanes)
+            .build(&Technology::p25())
+            .unwrap()
+    }
+
+    #[test]
+    fn view_keeps_only_one_hop_neighbours() {
+        let (base, lanes) = cluster(6);
+        let v = View::build(&base, lanes[2]).unwrap();
+        // Lane 2 couples to lanes 1 and 3 only.
+        assert_eq!(v.network.net_count(), 3);
+        assert_eq!(v.network.victim_net().name(), base.net(lanes[2]).name());
+        let end = View::build(&base, lanes[0]).unwrap();
+        assert_eq!(end.network.net_count(), 2);
+    }
+
+    #[test]
+    fn view_of_base_victim_preserves_output_node() {
+        let (base, _) = cluster(4);
+        let v = View::build(&base, base.victim()).unwrap();
+        assert_eq!(
+            v.network.node_name(v.network.victim_output()),
+            base.node_name(base.victim_output())
+        );
+    }
+
+    #[test]
+    fn translation_is_exact_per_element() {
+        let (base, lanes) = cluster(6);
+        let v = View::build(&base, lanes[0]).unwrap();
+        // Lane 0's view contains lanes 0 and 1.
+        assert!(v
+            .translate(&Delta::ResizeDriver { net: lanes[1], ohms: 50.0 })
+            .is_some());
+        assert!(v
+            .translate(&Delta::ResizeDriver { net: lanes[2], ohms: 50.0 })
+            .is_none());
+        // Couplings between lanes 0-1 are the first `segments` caps.
+        let segs = base.couplings_between(lanes[0], lanes[1]).count();
+        assert!(v
+            .translate(&Delta::SetCouplingCap { index: 0, farads: 1e-15 })
+            .is_some());
+        assert!(v
+            .translate(&Delta::SetCouplingCap { index: segs, farads: 1e-15 })
+            .is_none(), "lane 1-2 coupling is outside lane 0's view");
+    }
+
+    #[test]
+    fn translated_delta_applies_with_matching_values() {
+        let (mut base, lanes) = cluster(4);
+        let mut v = View::build(&base, lanes[1]).unwrap();
+        let d = Delta::SetResistor { index: 3, ohms: 99.0 };
+        let vd = v.translate(&d).expect("lane 1's own resistor is in view");
+        base.apply_delta(&d).unwrap();
+        v.network.apply_delta(&vd).unwrap();
+        // The translated resistor carries the same new value.
+        let Delta::SetResistor { index, .. } = vd else { unreachable!() };
+        assert_eq!(v.network.resistors()[index].ohms, 99.0);
+        assert_eq!(base.resistors()[3].ohms, 99.0);
+        // And a rebuild of the view from the edited base matches element
+        // for element.
+        let fresh = View::build(&base, lanes[1]).unwrap();
+        assert_eq!(fresh.network.resistors(), v.network.resistors());
+        assert_eq!(fresh.network.coupling_caps(), v.network.coupling_caps());
+    }
+}

@@ -57,6 +57,7 @@
 
 mod engine;
 mod error;
+pub mod incr;
 mod pade;
 pub mod three_pole;
 pub mod tree;
@@ -64,6 +65,7 @@ mod tree_engine;
 
 pub use engine::MomentEngine;
 pub use error::MomentError;
+pub use incr::{IncrStats, IncrTreeEngine};
 pub use pade::{PoleKind, TwoPoleFit};
 pub use three_pole::{CubicRoots, ThreePoleFit};
 pub use tree_engine::TreeMomentEngine;

@@ -221,6 +221,20 @@ impl Snapshot {
         self.histograms.iter().find(|h| h.name == name)
     }
 
+    /// All counters whose name starts with `prefix`, in name order
+    /// (the snapshot is already sorted). Used by commands that surface
+    /// one subsystem's counters — e.g. everything under `incr.` — as a
+    /// block without naming each counter individually.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .iter()
+            .filter(move |c| c.name.starts_with(prefix))
+            .map(|c| (c.name.as_str(), c.value))
+    }
+
     /// What happened between `base` and `self`: per-counter and
     /// per-bucket saturating differences. Metrics absent from `base`
     /// (registered later) keep their full value; entries whose delta is
@@ -686,5 +700,32 @@ mod tests {
         let h = acc.histogram("h").expect("merged histogram");
         assert_eq!((h.count, h.sum), (2, 8));
         assert_eq!(h.buckets, vec![(3, 2)]);
+    }
+
+    #[test]
+    fn counters_with_prefix_selects_in_name_order() {
+        let snap = Snapshot {
+            counters: vec![
+                CounterSnap {
+                    name: "incr.query.hit".into(),
+                    class: Class::Perf,
+                    value: 7,
+                },
+                CounterSnap {
+                    name: "incr.query.miss".into(),
+                    class: Class::Perf,
+                    value: 3,
+                },
+                CounterSnap {
+                    name: "other.counter".into(),
+                    class: Class::Det,
+                    value: 9,
+                },
+            ],
+            histograms: vec![],
+        };
+        let got: Vec<_> = snap.counters_with_prefix("incr.").collect();
+        assert_eq!(got, vec![("incr.query.hit", 7), ("incr.query.miss", 3)]);
+        assert_eq!(snap.counters_with_prefix("absent.").count(), 0);
     }
 }

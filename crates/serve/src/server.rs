@@ -738,9 +738,16 @@ impl ServerHandle {
         );
         let _ = write!(
             out,
-            ",\"fast_tier\":{{\"hits\":{},\"fallbacks\":{}}}}}",
+            ",\"fast_tier\":{{\"hits\":{},\"fallbacks\":{}}}",
             counter("sim.fast_tier.hits"),
             counter("sim.fast_tier.fallback"),
+        );
+        let _ = write!(
+            out,
+            ",\"incr\":{{\"hits\":{},\"misses\":{},\"invalidated\":{}}}}}",
+            counter("incr.query.hit"),
+            counter("incr.query.miss"),
+            counter("incr.query.invalidated"),
         );
     }
 
@@ -1203,6 +1210,13 @@ mod tests {
         assert!(stages.get("golden").is_some(), "golden stage always present");
         assert!(window.get("fallback_rungs").is_some());
         assert!(window.get("fast_tier").is_some());
+        let incr = window.get("incr").expect("incr object");
+        for key in ["hits", "misses", "invalidated"] {
+            assert!(
+                incr.get(key).and_then(Value::as_f64).unwrap() >= 0.0,
+                "incr.{key} must be a number: {reply}"
+            );
+        }
         let events = v.get("events").expect("events object");
         assert!(
             events.get("buffered").and_then(Value::as_f64).unwrap() > 0.0,

@@ -1,0 +1,183 @@
+use crate::Technology;
+use xtalk_circuit::{CircuitError, NetId, NetRole, Network, NetworkBuilder, NodeId};
+
+/// A chain-coupled routing cluster: `lanes` parallel wires at minimum
+/// pitch, every physically adjacent pair coupled along its full length.
+///
+/// Unlike [`crate::BusSpec`] — which drops aggressor–aggressor couplings
+/// because they are invisible to a single-victim analysis — this spec
+/// keeps the whole coupling chain. That is the workload the incremental
+/// what-if engine targets: one connected cluster where a local edit
+/// (respace one segment, resize one driver) is analytically local, so an
+/// engine that tracks dependencies recomputes a handful of nets while a
+/// full recompute touches all of them. The middle lane is the designated
+/// victim; re-role any other lane with
+/// [`xtalk_circuit::cluster::CouplingClusters`] views or a what-if
+/// session.
+///
+/// Driver resistances are staggered lane to lane (`driver` ±
+/// `driver_stagger·lane` cycling over 8 lanes) so neighbouring transfer
+/// functions are not accidentally identical — a memo layer must earn its
+/// hits from true invariance, not from symmetric inputs.
+///
+/// # Examples
+///
+/// ```
+/// use xtalk_tech::{ClusterSpec, Technology};
+///
+/// let (network, lanes) = ClusterSpec::figure4_family(8).build(&Technology::p25()).unwrap();
+/// assert_eq!(lanes.len(), 8);
+/// assert_eq!(network.net_count(), 8);
+/// // Interior lanes couple to both neighbours.
+/// assert!(network.couplings_between(lanes[3], lanes[4]).count() > 0);
+/// assert!(network.couplings_between(lanes[3], lanes[2]).count() > 0);
+/// // Distant lanes do not couple directly.
+/// assert_eq!(network.couplings_between(lanes[0], lanes[5]).count(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of parallel wires (≥ 2).
+    pub lanes: usize,
+    /// Wire length (m).
+    pub length: f64,
+    /// Base driver resistance (Ω).
+    pub driver: f64,
+    /// Per-lane driver stagger (Ω per lane index, cycling mod 8).
+    pub driver_stagger: f64,
+    /// Receiver load of every wire (F).
+    pub load: f64,
+    /// Spatial discretization (segments per mm).
+    pub segments_per_mm: usize,
+}
+
+impl ClusterSpec {
+    /// The Figure-4-style family used by the optimizer demo and the
+    /// `incr_speedup` bench: 2 mm wires, 180 Ω nominal drivers staggered
+    /// by 15 Ω, 20 fF loads, 4 segments/mm.
+    #[must_use]
+    pub fn figure4_family(lanes: usize) -> Self {
+        ClusterSpec {
+            lanes,
+            length: 2.0e-3,
+            driver: 180.0,
+            driver_stagger: 15.0,
+            load: 20e-15,
+            segments_per_mm: 4,
+        }
+    }
+
+    /// Number of RC segments per lane for this discretization.
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        ((self.length * 1e3 * self.segments_per_mm as f64).ceil() as usize).max(2)
+    }
+
+    /// Builds the cluster. Returns `(network, lane_nets)` with lanes in
+    /// physical order; the victim is `lane_nets[lanes / 2]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates element validation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than two lanes, non-positive length or zero
+    /// segments.
+    pub fn build(&self, tech: &Technology) -> Result<(Network, Vec<NetId>), CircuitError> {
+        assert!(self.lanes >= 2, "a cluster needs at least two lanes");
+        assert!(self.length > 0.0, "wire length must be positive");
+        assert!(self.segments_per_mm > 0, "need at least one segment per mm");
+
+        let n = self.segments();
+        let seg = self.length / n as f64;
+        let victim_lane = self.lanes / 2;
+
+        let mut b = NetworkBuilder::new();
+        let mut lane_nets = Vec::with_capacity(self.lanes);
+        let mut lane_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(self.lanes);
+        for lane in 0..self.lanes {
+            let (name, role) = if lane == victim_lane {
+                ("victim".to_string(), NetRole::Victim)
+            } else {
+                (format!("lane{lane}"), NetRole::Aggressor)
+            };
+            let net = b.add_net(name, role);
+            let mut nodes = vec![b.add_node(net, format!("l{lane}_0"))];
+            let driver = self.driver + self.driver_stagger * (lane % 8) as f64;
+            b.add_driver(net, nodes[0], driver)?;
+            for i in 1..=n {
+                let node = b.add_node(net, format!("l{lane}_{i}"));
+                b.add_resistor(nodes[i - 1], node, tech.wire_r(seg))?;
+                b.add_ground_cap(node, tech.wire_c(seg))?;
+                nodes.push(node);
+            }
+            b.add_sink(nodes[n], self.load)?;
+            if lane == victim_lane {
+                b.set_victim_output(nodes[n]);
+            }
+            lane_nets.push(net);
+            lane_nodes.push(nodes);
+        }
+
+        for lane in 1..self.lanes {
+            #[allow(clippy::needless_range_loop)]
+            for i in 1..=n {
+                b.add_coupling_cap(
+                    lane_nodes[lane - 1][i],
+                    lane_nodes[lane][i],
+                    tech.wire_cc(seg),
+                )?;
+            }
+        }
+
+        Ok((b.build()?, lane_nets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_couples_every_adjacent_pair() {
+        let tech = Technology::p25();
+        let spec = ClusterSpec::figure4_family(6);
+        let (net, lanes) = spec.build(&tech).unwrap();
+        assert_eq!(lanes.len(), 6);
+        for w in lanes.windows(2) {
+            assert_eq!(
+                net.couplings_between(w[0], w[1]).count(),
+                spec.segments(),
+                "adjacent lanes couple segment-aligned"
+            );
+        }
+        assert_eq!(net.couplings_between(lanes[0], lanes[2]).count(), 0);
+    }
+
+    #[test]
+    fn victim_is_middle_lane_with_output_at_far_end() {
+        let (net, lanes) = ClusterSpec::figure4_family(8)
+            .build(&Technology::p25())
+            .unwrap();
+        assert_eq!(net.victim(), lanes[4]);
+        let out = net.victim_output();
+        assert!(net.net(net.victim()).nodes().contains(&out));
+    }
+
+    #[test]
+    fn drivers_are_staggered() {
+        let (net, lanes) = ClusterSpec::figure4_family(4)
+            .build(&Technology::p25())
+            .unwrap();
+        let r = |l: NetId| net.net(l).driver().ohms;
+        assert_eq!(r(lanes[0]), 180.0);
+        assert_eq!(r(lanes[1]), 195.0);
+        assert_eq!(r(lanes[3]), 225.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two lanes")]
+    fn single_lane_panics() {
+        let _ = ClusterSpec::figure4_family(1).build(&Technology::p25());
+    }
+}

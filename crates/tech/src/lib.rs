@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod bus;
+mod clusterspec;
 mod pex;
 mod technology;
 mod tree;
@@ -52,6 +53,7 @@ mod two_pin;
 pub mod sweep;
 
 pub use bus::BusSpec;
+pub use clusterspec::ClusterSpec;
 pub use pex::PexDeckSpec;
 pub use technology::Technology;
 pub use tree::{random_tree, TreeSpec};

@@ -66,6 +66,7 @@ pub use xtalk_circuit as circuit;
 pub use xtalk_core as core;
 pub use xtalk_delay as delay;
 pub use xtalk_eval as eval;
+pub use xtalk_incr as incr;
 pub use xtalk_linalg as linalg;
 pub use xtalk_moments as moments;
 pub use xtalk_obs as obs;
